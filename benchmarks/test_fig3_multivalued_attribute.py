@@ -1,0 +1,95 @@
+"""Figure 3 — performance impact of the Multi-Valued Attribute anti-pattern.
+
+The paper measures three GlobaLeaks tasks with and without the AP and reports
+0.762 s vs 0.003 s, 0.772 s vs 0.004 s, and 0.636 s vs 0.001 s (636× / 256× /
+193× speedups once the intersection table replaces the comma-separated
+column).  Our substrate is the in-memory engine rather than PostgreSQL with
+10 M rows, so the absolute numbers differ; the reproduced claim is the shape:
+every task is at least several times faster without the AP, with the join
+task (Task #2) showing the largest gap.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.ranking import MetricEstimator
+from repro.model import AntiPattern
+from repro.workloads import GlobaLeaksWorkload
+
+from ._helpers import measure, print_table, speedup
+
+TENANTS = 800  # 3 200 users; keeps the regex join clearly super-linear
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return GlobaLeaksWorkload(tenants=TENANTS)
+
+
+@pytest.fixture(scope="module")
+def databases(workload):
+    return workload.build_ap_database(), workload.build_fixed_database()
+
+
+def _task_pairs(workload, databases):
+    ap_db, fixed_db = databases
+    return {
+        "Task #1 (tenant lookup by user)": (
+            lambda: ap_db.execute(workload.task1_ap("U101")),
+            lambda: fixed_db.execute(workload.task1_fixed("U101")),
+        ),
+        "Task #2 (users served by tenant)": (
+            lambda: ap_db.execute(workload.task2_ap("T37")),
+            lambda: fixed_db.execute(workload.task2_fixed("T37")),
+        ),
+        "Task #3 (remove user everywhere)": (
+            lambda: ap_db.execute(workload.task3_ap("U202")),
+            lambda: fixed_db.execute(workload.task3_fixed("U202")),
+        ),
+    }
+
+
+def test_fig3_multivalued_attribute(benchmark, workload, databases):
+    """Reproduce Figure 3(a)-(c): AP vs. no-AP execution time per task."""
+    tasks = _task_pairs(workload, databases)
+    estimator = MetricEstimator()
+    rows = []
+    speedups = {}
+    for name, (with_ap, without_ap) in tasks.items():
+        ap_time = measure(with_ap)
+        fixed_time = measure(without_ap)
+        factor = speedup(ap_time, fixed_time)
+        speedups[name] = factor
+        kind = "select" if "lookup" in name else ("join" if "served" in name else "update")
+        estimator.record_measurement(
+            AntiPattern.MULTI_VALUED_ATTRIBUTE, kind=kind, with_ap=ap_time, without_ap=fixed_time
+        )
+        rows.append([name, f"{ap_time * 1000:.2f} ms", f"{fixed_time * 1000:.2f} ms", f"{factor:.1f}x"])
+    print_table(
+        "Figure 3: Multi-Valued Attribute AP (paper: 636x / 256x / 193x on PostgreSQL, 10M rows)",
+        ["task", "with AP", "AP fixed", "speedup"],
+        rows,
+    )
+
+    # The benchmark timer tracks the AP-variant join task (the dominant cost).
+    benchmark(tasks["Task #2 (users served by tenant)"][0])
+
+    # Shape assertions: fixing the AP wins on every task, the join task most.
+    assert all(factor > 2.0 for factor in speedups.values())
+    assert speedups["Task #2 (users served by tenant)"] == max(speedups.values())
+    # The measured speedups feed the ranking model (the paper's retraining loop).
+    table = estimator.apply()
+    assert table[AntiPattern.MULTI_VALUED_ATTRIBUTE].read_performance > 2.0
+
+
+def test_fig3_results_are_equivalent(benchmark, workload, databases):
+    """The AP-free design must return the same logical answers (§2.1.1)."""
+    ap_db, fixed_db = databases
+
+    def both():
+        ap_rows = ap_db.execute(workload.task1_ap("U55")).rows
+        fixed_rows = fixed_db.execute(workload.task1_fixed("U55")).rows
+        return ap_rows, fixed_rows
+
+    ap_rows, fixed_rows = benchmark(both)
+    assert {r["Tenant_ID"] for r in ap_rows} == {r["Tenant_ID"] for r in fixed_rows}

@@ -1,0 +1,138 @@
+"""Table 2 — detection accuracy of sqlcheck vs. dbdeo on the query corpus.
+
+The paper manually labels a subset of anti-pattern types in the GitHub corpus
+and reports, per type, how many occurrences only sqlcheck finds (S), only
+dbdeo finds (D), both find, and the true/false-positive split of each tool —
+concluding that sqlcheck has ~48% fewer false positives and ~20% fewer false
+negatives.  Here the corpus is synthetic and fully labelled, so precision and
+recall are computed exactly.  The reproduced claims: sqlcheck covers more
+anti-pattern types, finds more true positives, and has both higher precision
+and higher recall than dbdeo.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import DBDeo
+from repro.detector import APDetector, DetectorConfig
+from repro.model import AntiPattern
+from repro.workloads import GitHubCorpusGenerator
+
+from ._helpers import print_table
+
+#: The anti-pattern types Table 2 examines.
+TABLE2_TYPES = (
+    AntiPattern.PATTERN_MATCHING,
+    AntiPattern.GOD_TABLE,
+    AntiPattern.ENUMERATED_TYPES,
+    AntiPattern.ROUNDING_ERRORS,
+    AntiPattern.DATA_IN_METADATA,
+    AntiPattern.ADJACENCY_LIST,
+)
+
+REPOS = 60
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return GitHubCorpusGenerator(repos=REPOS, seed=2020).generate()
+
+
+def _evaluate(corpus):
+    """Per-statement, per-type detection outcomes for both tools."""
+    sqlcheck = APDetector(DetectorConfig())
+    dbdeo = DBDeo()
+    outcome = {
+        ap: {"tp_s": 0, "fp_s": 0, "fn_s": 0, "tp_d": 0, "fp_d": 0, "fn_d": 0, "only_s": 0, "only_d": 0, "both": 0}
+        for ap in TABLE2_TYPES
+    }
+    for repo in corpus.repos():
+        statements = corpus.statements_for(repo)
+        sql = [s.sql for s in statements]
+        s_report = sqlcheck.detect(sql, source=repo)
+        s_hits: dict[int, set[AntiPattern]] = {}
+        for detection in s_report:
+            if detection.query_index is not None:
+                s_hits.setdefault(detection.query_index, set()).add(detection.anti_pattern)
+        d_hits: dict[int, set[AntiPattern]] = {}
+        for detection in dbdeo.detect(sql):
+            d_hits.setdefault(detection.query_index, set()).add(detection.anti_pattern)
+        for index, statement in enumerate(statements):
+            for ap in TABLE2_TYPES:
+                truth = ap in statement.labels
+                found_s = ap in s_hits.get(index, set())
+                found_d = ap in d_hits.get(index, set())
+                entry = outcome[ap]
+                if found_s and truth:
+                    entry["tp_s"] += 1
+                if found_s and not truth:
+                    entry["fp_s"] += 1
+                if not found_s and truth:
+                    entry["fn_s"] += 1
+                if found_d and truth:
+                    entry["tp_d"] += 1
+                if found_d and not truth:
+                    entry["fp_d"] += 1
+                if not found_d and truth:
+                    entry["fn_d"] += 1
+                if found_s and found_d:
+                    entry["both"] += 1
+                elif found_s:
+                    entry["only_s"] += 1
+                elif found_d:
+                    entry["only_d"] += 1
+    return outcome
+
+
+def test_table2_detection_comparison(benchmark, corpus):
+    outcome = benchmark.pedantic(_evaluate, args=(corpus,), rounds=1, iterations=1)
+    rows = []
+    totals = {"S": 0, "D": 0, "Both": 0, "TP-S": 0, "FP-S": 0, "TP-D": 0, "FP-D": 0, "FN-S": 0, "FN-D": 0}
+    for ap in TABLE2_TYPES:
+        entry = outcome[ap]
+        rows.append(
+            [
+                ap.display_name,
+                entry["only_s"],
+                entry["only_d"],
+                entry["both"],
+                entry["tp_s"],
+                entry["fp_s"],
+                entry["tp_d"],
+                entry["fp_d"],
+            ]
+        )
+        totals["S"] += entry["only_s"]
+        totals["D"] += entry["only_d"]
+        totals["Both"] += entry["both"]
+        totals["TP-S"] += entry["tp_s"]
+        totals["FP-S"] += entry["fp_s"]
+        totals["TP-D"] += entry["tp_d"]
+        totals["FP-D"] += entry["fp_d"]
+        totals["FN-S"] += entry["fn_s"]
+        totals["FN-D"] += entry["fn_d"]
+    rows.append(
+        ["Total", totals["S"], totals["D"], totals["Both"], totals["TP-S"], totals["FP-S"], totals["TP-D"], totals["FP-D"]]
+    )
+    print_table(
+        "Table 2: Detection of Anti-Patterns — sqlcheck (S) vs dbdeo (D)",
+        ["AP Name", "S", "D", "Both", "TP-S", "FP-S", "TP-D", "FP-D"],
+        rows,
+    )
+    precision_s = totals["TP-S"] / max(1, totals["TP-S"] + totals["FP-S"])
+    precision_d = totals["TP-D"] / max(1, totals["TP-D"] + totals["FP-D"])
+    recall_s = totals["TP-S"] / max(1, totals["TP-S"] + totals["FN-S"])
+    recall_d = totals["TP-D"] / max(1, totals["TP-D"] + totals["FN-D"])
+    print_table(
+        "Table 2 (derived): precision / recall (paper: sqlcheck has 48% fewer FPs, 20% fewer FNs)",
+        ["tool", "precision", "recall", "false positives", "false negatives"],
+        [
+            ["sqlcheck", precision_s, recall_s, totals["FP-S"], totals["FN-S"]],
+            ["dbdeo", precision_d, recall_d, totals["FP-D"], totals["FN-D"]],
+        ],
+    )
+    # Reproduced claims.
+    assert totals["TP-S"] > totals["TP-D"], "sqlcheck must find more true positives"
+    assert precision_s > precision_d, "sqlcheck must be more precise than dbdeo"
+    assert recall_s > recall_d, "sqlcheck must have higher recall than dbdeo"
+    assert totals["FP-S"] < totals["FP-D"], "sqlcheck must produce fewer false positives"

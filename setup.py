@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+The environment has no ``wheel`` package, so PEP-517 editable installs are
+unavailable; this shim lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path.  All project metadata lives in ``pyproject.toml``.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — a reproduction of SQLCheck (SIGMOD 2020).
+
+SQLCheck is a toolchain that finds, ranks, and fixes SQL anti-patterns in
+database applications.  The public API mirrors the paper's components:
+
+* :func:`repro.find_anti_patterns` / :class:`repro.SQLCheck` — the toolchain;
+* :class:`repro.APDetector` — ap-detect (query + data analysis);
+* :class:`repro.APRanker` — ap-rank (impact-based ordering);
+* :class:`repro.APFixer` — ap-fix (rule-based query repair);
+* :class:`repro.Database` — the in-memory engine used for data analysis and
+  for the performance experiments.
+
+Quickstart::
+
+    from repro import find_anti_patterns
+    detections = find_anti_patterns("INSERT INTO Users VALUES (1, 'foo')")
+    for detection in detections:
+        print(detection.display_name, "-", detection.message)
+"""
+from .core.finder import find_anti_patterns
+from .core.sqlcheck import SQLCheck, SQLCheckOptions, SQLCheckReport
+from .detector.detector import APDetector, DetectorConfig
+from .engine.database import Database
+from .fixer.fix import Fix, FixKind
+from .fixer.repair_engine import APFixer, QueryRepairEngine
+from .model.antipatterns import AntiPattern, APCategory
+from .model.detection import Detection, DetectionReport, Severity
+from .ranking.config import C1, C2, RankingConfig
+from .ranking.ranker import APRanker, RankedDetection
+from .rules.registry import RuleRegistry, default_registry
+from .rules.thresholds import Thresholds
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APCategory",
+    "APDetector",
+    "APFixer",
+    "APRanker",
+    "AntiPattern",
+    "C1",
+    "C2",
+    "Database",
+    "Detection",
+    "DetectionReport",
+    "DetectorConfig",
+    "Fix",
+    "FixKind",
+    "QueryRepairEngine",
+    "RankedDetection",
+    "RankingConfig",
+    "RuleRegistry",
+    "SQLCheck",
+    "SQLCheckOptions",
+    "SQLCheckReport",
+    "Severity",
+    "Thresholds",
+    "default_registry",
+    "find_anti_patterns",
+    "__version__",
+]

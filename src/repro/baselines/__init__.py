@@ -1,0 +1,4 @@
+"""Baseline detectors sqlcheck is compared against in the evaluation."""
+from .dbdeo import DBDeo, DBDeoDetection
+
+__all__ = ["DBDeo", "DBDeoDetection"]

@@ -1,0 +1,174 @@
+"""dbdeo baseline (Sharma et al., ICSE 2018), reimplemented for comparison.
+
+The paper characterises dbdeo as a purely static, regular-expression-based
+detector over raw SQL strings: it supports 11 anti-pattern types, does not
+build any application context, does not analyse data, and therefore "suffers
+from low precision and recall" (§2, §8.1).  This module reimplements that
+behaviour so the Table 2 / Table 3 comparison can be reproduced: each
+anti-pattern is a list of regexes applied to every statement independently.
+
+The deliberate imprecision of the original (matching keywords anywhere in
+the string, counting every VALUES list, ignoring context) is preserved —
+that is what produces dbdeo's characteristic false positives.
+"""
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..model.antipatterns import AntiPattern
+from ..sqlparser.splitter import split
+
+
+@dataclass
+class DBDeoDetection:
+    """One dbdeo hit: the anti-pattern, the statement, and the matching regex."""
+
+    anti_pattern: AntiPattern
+    query: str
+    query_index: int
+    pattern: str
+
+
+#: The 11 anti-pattern types dbdeo supports (the non-zero "D" rows of Table 3).
+DBDEO_ANTI_PATTERNS: tuple[AntiPattern, ...] = (
+    AntiPattern.NO_PRIMARY_KEY,
+    AntiPattern.DATA_IN_METADATA,
+    AntiPattern.ENUMERATED_TYPES,
+    AntiPattern.INDEX_UNDERUSE,
+    AntiPattern.GOD_TABLE,
+    AntiPattern.CLONE_TABLE,
+    AntiPattern.ROUNDING_ERRORS,
+    AntiPattern.MULTI_VALUED_ATTRIBUTE,
+    AntiPattern.PATTERN_MATCHING,
+    AntiPattern.ADJACENCY_LIST,
+    AntiPattern.INDEX_OVERUSE,
+)
+
+# Regex tables.  These intentionally mirror the keyword-matching style of the
+# original tool: simple patterns over the raw statement text.
+_REGEX_RULES: dict[AntiPattern, tuple[str, ...]] = {
+    AntiPattern.MULTI_VALUED_ATTRIBUTE: (
+        r"id\s+regexp",
+        r"ids?\s+like",
+        r"find_in_set\s*\(",
+    ),
+    AntiPattern.PATTERN_MATCHING: (
+        # dbdeo flags every LIKE/REGEXP usage, including index-friendly
+        # prefix patterns — a major source of its false positives.
+        r"\blike\s+'",
+        r"\bregexp\b",
+        r"\bsimilar\s+to\b",
+    ),
+    AntiPattern.ENUMERATED_TYPES: (
+        r"\benum\s*\(",
+        r"\bset\s*\(",
+    ),
+    AntiPattern.ROUNDING_ERRORS: (
+        # matches FLOAT anywhere, including comments and column names such as
+        # "float_precision" — a keyword-level false positive sqlcheck avoids.
+        r"\bfloat",
+        r"\breal\b",
+        r"\bdouble\b",
+    ),
+    AntiPattern.GOD_TABLE: (
+        # approximated by counting commas in a CREATE TABLE — overshoots for
+        # multi-row inserts with many values (handled in _check_god_table).
+    ),
+    AntiPattern.NO_PRIMARY_KEY: (),     # handled by _check_no_primary_key
+    AntiPattern.DATA_IN_METADATA: (
+        r"\b\w+_?(19|20)\d{2}\b",        # names embedding years
+        r"\b\w+?[a-z](1|2|3)\s+\w+,\s*\w+?[a-z](2|3|4)\s+\w+",  # numbered column pairs
+    ),
+    AntiPattern.CLONE_TABLE: (
+        r"create\s+table\s+\w+_\d+\b",
+    ),
+    AntiPattern.ADJACENCY_LIST: (
+        r"\bparent_id\b",
+        r"\bmanager_id\b",
+    ),
+    AntiPattern.INDEX_UNDERUSE: (),     # dbdeo reports these only per-application
+    AntiPattern.INDEX_OVERUSE: (
+        r"create\s+index\s+\w+\s+on\s+\w+\s*\([^)]*,[^)]*,[^)]*\)",
+    ),
+}
+
+
+class DBDeo:
+    """Regex-only anti-pattern detector (the comparison baseline)."""
+
+    #: God Table approximation: flag CREATE TABLE statements with more commas
+    #: than this (dbdeo's heuristic threshold).
+    god_table_comma_threshold: int = 10
+
+    def detect(self, queries: "str | list[str]") -> list[DBDeoDetection]:
+        """Detect anti-patterns in SQL text (statement strings or a script)."""
+        statements = self._statements(queries)
+        detections: list[DBDeoDetection] = []
+        for index, statement in enumerate(statements):
+            lowered = statement.lower()
+            for anti_pattern, patterns in _REGEX_RULES.items():
+                for pattern in patterns:
+                    if re.search(pattern, lowered):
+                        detections.append(
+                            DBDeoDetection(
+                                anti_pattern=anti_pattern,
+                                query=statement,
+                                query_index=index,
+                                pattern=pattern,
+                            )
+                        )
+                        break  # one hit per (statement, anti-pattern)
+            detections.extend(self._check_no_primary_key(statement, index))
+            detections.extend(self._check_god_table(statement, index))
+        return detections
+
+    def detect_types(self, queries: "str | list[str]") -> set[AntiPattern]:
+        return {d.anti_pattern for d in self.detect(queries)}
+
+    def counts(self, queries: "str | list[str]") -> dict[AntiPattern, int]:
+        counts: dict[AntiPattern, int] = {}
+        for detection in self.detect(queries):
+            counts[detection.anti_pattern] = counts.get(detection.anti_pattern, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # heuristics that are not plain regexes
+    # ------------------------------------------------------------------
+    def _check_no_primary_key(self, statement: str, index: int) -> list[DBDeoDetection]:
+        lowered = statement.lower()
+        if "create table" in lowered and "primary key" not in lowered:
+            return [
+                DBDeoDetection(
+                    anti_pattern=AntiPattern.NO_PRIMARY_KEY,
+                    query=statement,
+                    query_index=index,
+                    pattern="create table without primary key",
+                )
+            ]
+        return []
+
+    def _check_god_table(self, statement: str, index: int) -> list[DBDeoDetection]:
+        lowered = statement.lower()
+        if "create table" not in lowered:
+            return []
+        commas = statement.count(",")
+        if commas >= self.god_table_comma_threshold:
+            return [
+                DBDeoDetection(
+                    anti_pattern=AntiPattern.GOD_TABLE,
+                    query=statement,
+                    query_index=index,
+                    pattern=f"comma count {commas}",
+                )
+            ]
+        return []
+
+    @staticmethod
+    def _statements(queries: "str | list[str]") -> list[str]:
+        if isinstance(queries, str):
+            return split(queries)
+        flattened: list[str] = []
+        for query in queries:
+            flattened.extend(split(query) or [query])
+        return flattened

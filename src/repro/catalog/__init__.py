@@ -1,0 +1,29 @@
+"""Schema catalog: SQL types, tables, constraints, indexes, and DDL interpretation."""
+from .ddl_builder import DDLBuilder, build_schema
+from .schema import (
+    CheckConstraint,
+    Column,
+    ForeignKey,
+    Index,
+    Schema,
+    Table,
+    UniqueConstraint,
+)
+from .types import SQLType, TypeFamily, infer_type_from_value, parse_type, value_has_timezone
+
+__all__ = [
+    "CheckConstraint",
+    "Column",
+    "DDLBuilder",
+    "ForeignKey",
+    "Index",
+    "SQLType",
+    "Schema",
+    "Table",
+    "TypeFamily",
+    "UniqueConstraint",
+    "build_schema",
+    "infer_type_from_value",
+    "parse_type",
+    "value_has_timezone",
+]

@@ -1,0 +1,5 @@
+"""Application context: the combined query / schema / data view rules consume."""
+from .application_context import ApplicationContext, ColumnUsage
+from .builder import ContextBuilder, build_context
+
+__all__ = ["ApplicationContext", "ColumnUsage", "ContextBuilder", "build_context"]

@@ -1,0 +1,223 @@
+"""The application context.
+
+Algorithm 1 builds an application context from (1) query analysis and
+(2) data analysis, then every detection rule receives that context.  The
+context "exports a queryable interface for applying contextual rules on the
+queries, schema, and other application-specific metadata" (§4.1) — the
+methods on :class:`ApplicationContext` are that interface.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from ..catalog.schema import Column, Index, Schema, Table
+from ..profiler.profiler import TableProfile
+from ..sqlparser import ColumnReference, QueryAnnotation
+from ..sqlparser.dialects import Dialect, GENERIC
+
+
+@dataclass
+class ColumnUsage:
+    """How a column is used across the whole workload.
+
+    The index-overuse / index-underuse rules need to know which columns
+    actually appear in selective predicates, join conditions, GROUP BY
+    clauses, and UPDATE SET lists (Example 5 in the paper).
+    """
+
+    table: str
+    column: str
+    where_count: int = 0
+    join_count: int = 0
+    group_by_count: int = 0
+    order_by_count: int = 0
+    update_count: int = 0
+    insert_count: int = 0
+    select_count: int = 0
+
+    @property
+    def read_lookups(self) -> int:
+        """Uses that an index could accelerate."""
+        return self.where_count + self.join_count + self.group_by_count + self.order_by_count
+
+    @property
+    def writes(self) -> int:
+        return self.update_count + self.insert_count
+
+
+@dataclass
+class ApplicationContext:
+    """Everything ap-detect knows about the target application."""
+
+    queries: list[QueryAnnotation] = field(default_factory=list)
+    schema: Schema = field(default_factory=Schema)
+    profiles: dict[str, TableProfile] = field(default_factory=dict)
+    database: Any | None = None
+    dialect: Dialect = GENERIC
+    source: str | None = None
+
+    # ------------------------------------------------------------------
+    # schema access
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> Table | None:
+        return self.schema.get_table(name)
+
+    def table_names(self) -> list[str]:
+        return self.schema.table_names
+
+    def column(self, table: str, column: str) -> Column | None:
+        table_def = self.schema.get_table(table)
+        if table_def is None:
+            return None
+        return table_def.get_column(column)
+
+    def indexes_for(self, table: str) -> list[Index]:
+        table_def = self.schema.get_table(table)
+        if table_def is None:
+            return []
+        return list(table_def.indexes.values())
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+    @property
+    def has_data(self) -> bool:
+        return bool(self.profiles)
+
+    def profile(self, table: str) -> TableProfile | None:
+        return self.profiles.get(table.lower())
+
+    def column_profile(self, table: str, column: str):
+        table_profile = self.profile(table)
+        if table_profile is None:
+            return None
+        return table_profile.column(column)
+
+    # ------------------------------------------------------------------
+    # query access
+    # ------------------------------------------------------------------
+    @property
+    def query_count(self) -> int:
+        return len(self.queries)
+
+    def queries_of_type(self, *statement_types: str) -> list[QueryAnnotation]:
+        wanted = set(statement_types)
+        return [q for q in self.queries if q.statement_type in wanted]
+
+    def queries_referencing(self, table: str) -> list[QueryAnnotation]:
+        lowered = table.lower()
+        return [
+            q
+            for q in self.queries
+            if any(t.name.lower() == lowered for t in q.all_tables)
+        ]
+
+    def queries_referencing_column(self, table: str, column: str) -> list[QueryAnnotation]:
+        """Queries whose predicates, projections, or assignments touch the column."""
+        result = []
+        lowered_column = column.lower()
+        for query in self.queries_referencing(table):
+            for reference in query.referenced_columns():
+                if reference.name.lower() == lowered_column and self._column_belongs(
+                    query, reference, table
+                ):
+                    result.append(query)
+                    break
+        return result
+
+    def join_pairs(self) -> list[tuple[str, str]]:
+        """Pairs of tables that are joined anywhere in the workload."""
+        pairs: list[tuple[str, str]] = []
+        for query in self.queries:
+            tables = [t.name for t in query.all_tables]
+            if len(tables) < 2:
+                continue
+            base = tables[0]
+            for other in tables[1:]:
+                pairs.append((base, other))
+        return pairs
+
+    def join_columns_between(self, left: str, right: str) -> list[tuple[str, str]]:
+        """Column pairs used to join ``left`` and ``right`` across the workload."""
+        results: list[tuple[str, str]] = []
+        for query in self.queries:
+            alias_map = query.alias_map
+            for predicate in query.predicates:
+                if predicate.clause not in ("on", "where") or not predicate.is_column_comparison:
+                    continue
+                left_table = alias_map.get((predicate.column.qualifier or "").lower())
+                right_table = alias_map.get((predicate.value_column.qualifier or "").lower())
+                if left_table is None or right_table is None:
+                    continue
+                names = {left_table.lower(), right_table.lower()}
+                if names == {left.lower(), right.lower()}:
+                    if left_table.lower() == left.lower():
+                        results.append((predicate.column.name, predicate.value_column.name))
+                    else:
+                        results.append((predicate.value_column.name, predicate.column.name))
+        return results
+
+    # ------------------------------------------------------------------
+    # workload statistics
+    # ------------------------------------------------------------------
+    def column_usage(self) -> dict[tuple[str, str], ColumnUsage]:
+        """Aggregate how every (table, column) pair is used across queries."""
+        usage: dict[tuple[str, str], ColumnUsage] = {}
+
+        def bump(table: str | None, column: str, attribute: str) -> None:
+            if not table:
+                return
+            key = (table.lower(), column.lower())
+            entry = usage.get(key)
+            if entry is None:
+                entry = ColumnUsage(table=table, column=column)
+                usage[key] = entry
+            setattr(entry, attribute, getattr(entry, attribute) + 1)
+
+        for query in self.queries:
+            alias_map = query.alias_map
+            default_table = query.tables[0].name if query.tables else None
+
+            def resolve(reference: ColumnReference) -> str | None:
+                if reference.qualifier:
+                    return alias_map.get(reference.qualifier.lower(), reference.qualifier)
+                owner = self.schema.resolve_column(
+                    reference.name, hint_tables=[t.name for t in query.all_tables]
+                )
+                if owner is not None:
+                    return owner[0].name
+                return default_table
+
+            for predicate in query.predicates:
+                if predicate.column is not None:
+                    attribute = "join_count" if predicate.is_column_comparison else "where_count"
+                    bump(resolve(predicate.column), predicate.column.name, attribute)
+                if predicate.value_column is not None:
+                    bump(resolve(predicate.value_column), predicate.value_column.name, "join_count")
+            for reference in query.group_by_columns:
+                bump(resolve(reference), reference.name, "group_by_count")
+            for reference in query.order_by_columns:
+                bump(resolve(reference), reference.name, "order_by_count")
+            for reference in query.select_columns:
+                bump(resolve(reference), reference.name, "select_count")
+            if query.statement_type == "UPDATE":
+                for column, _ in query.update_assignments:
+                    bump(default_table, column, "update_count")
+            if query.statement_type == "INSERT" and query.insert_columns:
+                for column in query.insert_columns:
+                    bump(default_table, column, "insert_count")
+        return usage
+
+    def _column_belongs(
+        self, query: QueryAnnotation, reference: ColumnReference, table: str
+    ) -> bool:
+        if reference.qualifier:
+            resolved = query.alias_map.get(reference.qualifier.lower(), reference.qualifier)
+            return resolved.lower() == table.lower()
+        table_def = self.schema.get_table(table)
+        if table_def is not None and table_def.has_column(reference.name):
+            return True
+        # Without schema information, a bare column in a single-table query
+        # belongs to that table.
+        return len(query.all_tables) == 1 and query.all_tables[0].name.lower() == table.lower()

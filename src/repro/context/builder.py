@@ -1,0 +1,128 @@
+"""ContextBuilder (Algorithm 1, lines 1–7).
+
+Builds the :class:`ApplicationContext` from the application's queries and —
+when available — its database.  Query analysis always runs; schema context
+comes from the live database's catalog when connected, otherwise from the
+DDL statements found in the workload; data context comes from profiling the
+database's tables.
+"""
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..catalog.ddl_builder import DDLBuilder
+from ..catalog.schema import Schema
+from ..profiler.profiler import DataProfiler
+from ..profiler.sampler import Sampler
+from ..sqlparser import ParsedStatement, QueryAnnotation, annotate, parse
+from ..sqlparser.dialects import Dialect, get_dialect
+from .application_context import ApplicationContext
+
+
+class ContextBuilder:
+    """Builds and (incrementally) refreshes application contexts."""
+
+    def __init__(
+        self,
+        *,
+        sample_size: int = 1000,
+        dialect: "Dialect | str | None" = None,
+        profiler: DataProfiler | None = None,
+    ):
+        self.profiler = profiler or DataProfiler(Sampler(sample_size=sample_size))
+        if isinstance(dialect, Dialect):
+            self.dialect = dialect
+        else:
+            self.dialect = get_dialect(dialect)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        queries: "Sequence[str | ParsedStatement | QueryAnnotation] | str" = (),
+        database: Any | None = None,
+        source: str | None = None,
+    ) -> ApplicationContext:
+        """Build a context from queries and an optional engine database."""
+        annotations = self._annotate_queries(queries, source)
+        schema = self._build_schema(annotations, database)
+        profiles = self.profiler.profile_database(database) if database is not None else {}
+        return ApplicationContext(
+            queries=annotations,
+            schema=schema,
+            profiles=profiles,
+            database=database,
+            dialect=self.dialect,
+            source=source,
+        )
+
+    def refresh_data(self, context: ApplicationContext) -> ApplicationContext:
+        """Re-profile the database (the paper notes the data analyser
+        periodically refreshes the context and re-profiles on schema change)."""
+        if context.database is not None:
+            context.profiles = self.profiler.profile_database(context.database)
+        return context
+
+    def extend(
+        self,
+        context: ApplicationContext,
+        queries: "Sequence[str | ParsedStatement | QueryAnnotation] | str",
+        source: str | None = None,
+    ) -> ApplicationContext:
+        """Add more queries to an existing context (incremental analysis)."""
+        additional = self._annotate_queries(queries, source)
+        context.queries.extend(additional)
+        ddl = [a.statement for a in additional if a.statement is not None and a.statement.is_ddl]
+        if ddl and context.database is None:
+            DDLBuilder(context.schema).build(ddl)
+        return context
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _annotate_queries(
+        self,
+        queries: "Sequence[str | ParsedStatement | QueryAnnotation] | str",
+        source: str | None,
+    ) -> list[QueryAnnotation]:
+        annotations: list[QueryAnnotation] = []
+        if isinstance(queries, str):
+            statements: list = parse(queries, source=source)
+        else:
+            statements = []
+            for query in queries:
+                if isinstance(query, QueryAnnotation):
+                    annotations.append(query)
+                elif isinstance(query, ParsedStatement):
+                    statements.append(query)
+                else:
+                    statements.extend(parse(query, source=source))
+        offset = len(annotations)
+        for index, statement in enumerate(statements):
+            statement.index = index + offset
+            annotations.append(annotate(statement))
+        return annotations
+
+    def _build_schema(
+        self, annotations: Iterable[QueryAnnotation], database: Any | None
+    ) -> Schema:
+        if database is not None and getattr(database, "schema", None) is not None:
+            return database.schema
+        builder = DDLBuilder()
+        ddl = [a.statement for a in annotations if a.statement is not None and a.statement.is_ddl]
+        return builder.build(ddl)
+
+
+def build_context(
+    queries: "Sequence[str | ParsedStatement | QueryAnnotation] | str" = (),
+    database: Any | None = None,
+    *,
+    dialect: "Dialect | str | None" = None,
+    sample_size: int = 1000,
+    source: str | None = None,
+) -> ApplicationContext:
+    """Convenience wrapper around :class:`ContextBuilder`."""
+    return ContextBuilder(sample_size=sample_size, dialect=dialect).build(
+        queries, database=database, source=source
+    )

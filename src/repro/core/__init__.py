@@ -1,0 +1,5 @@
+"""The sqlcheck toolchain facade (detect → rank → fix)."""
+from .finder import find_anti_patterns
+from .sqlcheck import SQLCheck, SQLCheckOptions, SQLCheckReport
+
+__all__ = ["SQLCheck", "SQLCheckOptions", "SQLCheckReport", "find_anti_patterns"]

@@ -1,0 +1,138 @@
+"""The SQLCheck toolchain (Figure 4).
+
+``SQLCheck`` wires the three components together: ap-detect finds the
+anti-patterns, ap-rank orders them by estimated impact, and ap-fix produces
+one suggested fix per detection.  The optional "upload to the online AP
+repository" step of the paper's workflow is modelled as a local JSON export.
+"""
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..context.application_context import ApplicationContext
+from ..context.builder import ContextBuilder
+from ..detector.detector import APDetector, DetectorConfig
+from ..fixer.fix import Fix
+from ..fixer.repair_engine import APFixer, QueryRepairEngine
+from ..model.antipatterns import AntiPattern
+from ..model.detection import Detection, DetectionReport
+from ..ranking.config import C1, RankingConfig
+from ..ranking.metrics import APMetrics
+from ..ranking.ranker import APRanker, RankedDetection
+from ..rules.registry import RuleRegistry, default_registry
+from ..rules.thresholds import Thresholds
+
+
+@dataclass
+class SQLCheckOptions:
+    """End-to-end configuration of the toolchain."""
+
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    ranking: RankingConfig = C1
+    metrics: dict[AntiPattern, APMetrics] | None = None
+    suggest_fixes: bool = True
+
+
+@dataclass
+class SQLCheckReport:
+    """The output of one sqlcheck run: ranked detections and their fixes."""
+
+    detections: list[RankedDetection] = field(default_factory=list)
+    fixes: list[Fix] = field(default_factory=list)
+    queries_analyzed: int = 0
+    tables_analyzed: int = 0
+
+    def __len__(self) -> int:
+        return len(self.detections)
+
+    def __iter__(self):
+        return iter(self.detections)
+
+    def anti_patterns(self) -> list[AntiPattern]:
+        return [entry.anti_pattern for entry in self.detections]
+
+    def counts(self) -> dict[AntiPattern, int]:
+        counts: dict[AntiPattern, int] = {}
+        for entry in self.detections:
+            counts[entry.anti_pattern] = counts.get(entry.anti_pattern, 0) + 1
+        return counts
+
+    def fix_for(self, ranked: RankedDetection) -> Fix | None:
+        for fix in self.fixes:
+            if fix.detection is ranked.detection:
+                return fix
+        return None
+
+    def to_dict(self) -> dict:
+        return {
+            "queries_analyzed": self.queries_analyzed,
+            "tables_analyzed": self.tables_analyzed,
+            "detections": [
+                {**entry.detection.to_dict(), "rank": entry.rank, "score": round(entry.score, 4)}
+                for entry in self.detections
+            ],
+            "fixes": [fix.to_dict() for fix in self.fixes],
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, default=str)
+
+    def export(self, path: str) -> None:
+        """Write the report to a JSON file (the local stand-in for uploading
+        detections to the online AP repository in the paper's workflow)."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+
+class SQLCheck:
+    """The end-to-end toolchain: detect, rank, and fix anti-patterns."""
+
+    def __init__(
+        self,
+        options: SQLCheckOptions | None = None,
+        *,
+        registry: RuleRegistry | None = None,
+        repair_engine: QueryRepairEngine | None = None,
+    ):
+        self.options = options or SQLCheckOptions()
+        self.detector = APDetector(self.options.detector, registry=registry or default_registry())
+        self.ranker = APRanker(self.options.ranking, metrics=self.options.metrics)
+        self.fixer = APFixer(repair_engine or QueryRepairEngine())
+        self._builder = ContextBuilder(
+            sample_size=self.options.detector.sample_size,
+            dialect=self.options.detector.dialect,
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        queries: "Sequence[str] | str" = (),
+        database: Any | None = None,
+        source: str | None = None,
+    ) -> SQLCheckReport:
+        """Run the full pipeline over queries and an optional database."""
+        context = self._builder.build(queries, database=database, source=source)
+        return self.check_context(context)
+
+    def check_context(self, context: ApplicationContext) -> SQLCheckReport:
+        """Run the full pipeline over a pre-built application context."""
+        report = self.detector.detect_in_context(context)
+        ranked = self.ranker.rank(report)
+        fixes = self.fixer.fix(ranked, context) if self.options.suggest_fixes else []
+        return SQLCheckReport(
+            detections=ranked,
+            fixes=fixes,
+            queries_analyzed=report.queries_analyzed,
+            tables_analyzed=report.tables_analyzed,
+        )
+
+    def detect(self, queries: "Sequence[str] | str" = (), database: Any | None = None) -> DetectionReport:
+        """Detection only (no ranking or fixes)."""
+        return self.detector.detect(queries, database=database)
+
+    def thresholds(self) -> Thresholds:
+        return self.options.detector.thresholds

@@ -1,0 +1,4 @@
+"""ap-detect: the anti-pattern detection component."""
+from .detector import APDetector, DetectorConfig
+
+__all__ = ["APDetector", "DetectorConfig"]

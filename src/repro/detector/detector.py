@@ -1,0 +1,103 @@
+"""ap-detect (Algorithms 1–3).
+
+``APDetector`` builds the application context from queries and an optional
+database, applies the registered query rules to every statement
+(intra-query and — when enabled — inter-query detection), applies the data
+rules to every profiled table, filters out low-confidence findings, and
+returns a :class:`DetectionReport`.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from ..context.application_context import ApplicationContext
+from ..context.builder import ContextBuilder
+from ..model.detection import Detection, DetectionReport
+from ..rules.base import RuleContext
+from ..rules.registry import RuleRegistry, default_registry
+from ..rules.thresholds import Thresholds
+from ..sqlparser import ParsedStatement, QueryAnnotation
+from ..sqlparser.dialects import Dialect
+
+
+@dataclass
+class DetectorConfig:
+    """Configuration of ap-detect.
+
+    ``enable_inter_query`` and ``enable_data`` correspond to the two analysis
+    stages the paper ablates in §8.1 (intra-query only vs. intra+inter) and
+    §4.2 (data analysis).  ``confidence_threshold`` drops detections whose
+    confidence a contextual rule has lowered — this is the mechanism that
+    removes false positives when more context is available.
+    """
+
+    enable_inter_query: bool = True
+    enable_data: bool = True
+    confidence_threshold: float = 0.5
+    deduplicate: bool = True
+    thresholds: Thresholds = field(default_factory=Thresholds)
+    dialect: "Dialect | str | None" = None
+    sample_size: int = 1000
+
+
+class APDetector:
+    """Finds anti-patterns in a workload (Algorithm 1)."""
+
+    def __init__(
+        self,
+        config: DetectorConfig | None = None,
+        registry: RuleRegistry | None = None,
+    ):
+        self.config = config or DetectorConfig()
+        self.registry = registry or default_registry()
+        self._builder = ContextBuilder(
+            sample_size=self.config.sample_size, dialect=self.config.dialect
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def detect(
+        self,
+        queries: "Sequence[str | ParsedStatement | QueryAnnotation] | str" = (),
+        database: Any | None = None,
+        source: str | None = None,
+    ) -> DetectionReport:
+        """Run detection over queries and (optionally) a live database."""
+        context = self._builder.build(queries, database=database, source=source)
+        return self.detect_in_context(context)
+
+    def detect_in_context(self, context: ApplicationContext) -> DetectionReport:
+        """Run detection over a pre-built application context."""
+        rule_context = RuleContext(
+            application=context,
+            thresholds=self.config.thresholds,
+            use_inter_query=self.config.enable_inter_query,
+            use_data=self.config.enable_data,
+        )
+        detections: list[Detection] = []
+        # Query analysis (Algorithm 2): rules chosen by statement type.
+        for annotation in context.queries:
+            for rule in self.registry.rules_for_statement(annotation.statement_type):
+                if rule.requires_context and not self.config.enable_inter_query:
+                    continue
+                if not rule.applies_to(annotation):
+                    continue
+                detections.extend(rule.check(annotation, rule_context))
+        # Data analysis (Algorithm 3): rules applied to every profiled table.
+        if self.config.enable_data and context.has_data:
+            for profile in context.profiles.values():
+                for rule in self.registry.data_rules:
+                    detections.extend(rule.check_table(profile, rule_context))
+        kept = [
+            d for d in detections if d.confidence >= self.config.confidence_threshold
+        ]
+        report = DetectionReport(
+            detections=kept,
+            queries_analyzed=len(context.queries),
+            tables_analyzed=len(context.profiles) or context.schema.table_count,
+        )
+        if self.config.deduplicate:
+            report.detections = report.deduplicated()
+        return report

@@ -1,0 +1,39 @@
+"""In-memory relational engine (the PostgreSQL stand-in for the experiments)."""
+from .database import Database, EngineError
+from .executor import CostModel, Result, SelectExecutor
+from .expressions import (
+    ColumnRef,
+    Expression,
+    ExpressionError,
+    Literal,
+    evaluate,
+    parse_expression,
+)
+from .storage import IntegrityError, SecondaryIndex, StoredTable
+from .values import NULL, SQLNull, coerce, compare, concat, equals, is_null, like_match, regexp_match
+
+__all__ = [
+    "ColumnRef",
+    "CostModel",
+    "Database",
+    "EngineError",
+    "Expression",
+    "ExpressionError",
+    "IntegrityError",
+    "Literal",
+    "NULL",
+    "Result",
+    "SQLNull",
+    "SecondaryIndex",
+    "SelectExecutor",
+    "StoredTable",
+    "coerce",
+    "compare",
+    "concat",
+    "equals",
+    "evaluate",
+    "is_null",
+    "like_match",
+    "parse_expression",
+    "regexp_match",
+]

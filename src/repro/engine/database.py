@@ -1,0 +1,414 @@
+"""The Database facade: execute SQL against in-memory storage.
+
+``Database`` is the PostgreSQL stand-in used by (a) the data analyser when a
+"live database connection" is handed to sqlcheck and (b) the performance
+benchmarks that reproduce Figures 3 and 8.  It supports the DDL/DML subset
+the evaluation requires: CREATE TABLE / CREATE INDEX / ALTER TABLE / DROP,
+INSERT (multi-row, with or without a column list), UPDATE, DELETE, and
+SELECT with joins, grouping, ordering and aggregates.
+"""
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from ..catalog.ddl_builder import DDLBuilder
+from ..catalog.schema import Index as CatalogIndex
+from ..catalog.schema import Schema, Table
+from ..sqlparser import ParsedStatement, QueryAnnotation, annotate, parse, parse_statement
+from ..sqlparser.tokens import Token, TokenType
+from .executor import CostModel, Result, SelectExecutor, _literal_value
+from .expressions import ExpressionError, parse_expression
+from .storage import IntegrityError, SecondaryIndex, StoredTable
+
+
+class EngineError(Exception):
+    """Raised for statements the engine cannot execute."""
+
+
+class Database:
+    """An in-memory relational database."""
+
+    def __init__(self, name: str = "main", cost_model: CostModel | None = None):
+        self.name = name
+        self.schema = Schema(name=name)
+        self.tables: dict[str, StoredTable] = {}
+        self.cost_model = cost_model or CostModel()
+        self._executor = SelectExecutor(self, self.cost_model)
+        self._ddl = DDLBuilder(self.schema)
+        #: abstract cost units accumulated by the most recent statement
+        self.last_cost: float = 0.0
+        self.last_plan: str = ""
+
+    # ------------------------------------------------------------------
+    # catalog access
+    # ------------------------------------------------------------------
+    def get_table(self, name: str) -> StoredTable | None:
+        return self.tables.get(name.lower())
+
+    def table_names(self) -> list[str]:
+        return [t.name for t in self.tables.values()]
+
+    def create_table(self, definition: Table) -> StoredTable:
+        """Create a table directly from a catalog definition (programmatic API)."""
+        self.schema.add_table(definition)
+        stored = StoredTable(definition=definition)
+        self.tables[definition.name.lower()] = stored
+        self._materialise_primary_key_index(stored)
+        return stored
+
+    def _materialise_primary_key_index(self, stored: StoredTable) -> None:
+        """Create the implicit unique index backing a PRIMARY KEY (as real
+        DBMSs do); PK lookups and FK validation then avoid full scans."""
+        pk = stored.definition.primary_key_columns
+        if not pk:
+            return
+        name = f"pk_{stored.definition.name.lower()}"
+        if name in stored.indexes:
+            return
+        # Keep the implicit index out of the catalog definition so detection
+        # rules (e.g. Index Overuse) only see user-created indexes.
+        index = SecondaryIndex(
+            CatalogIndex(name=name, table=stored.definition.name, columns=tuple(pk), unique=True)
+        )
+        for row_id, row in stored.rows.items():
+            index.add(row_id, row)
+        stored.indexes[name] = index
+
+    def insert_rows(self, table_name: str, rows: Iterable[dict[str, Any]]) -> int:
+        """Bulk-insert rows (programmatic API used by workload generators)."""
+        table = self._require_table(table_name)
+        count = 0
+        for row in rows:
+            table.insert(row, database=self)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # SQL execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, *, force_index: bool | None = None) -> Result:
+        """Execute a single SQL statement and return its :class:`Result`."""
+        statements = parse(sql)
+        if not statements:
+            return Result()
+        if len(statements) > 1:
+            result = Result()
+            for statement in statements:
+                result = self._execute_statement(statement, force_index=force_index)
+            return result
+        return self._execute_statement(statements[0], force_index=force_index)
+
+    def execute_script(self, sql: str) -> list[Result]:
+        """Execute every statement in a script, returning one result per statement."""
+        return [self._execute_statement(s) for s in parse(sql)]
+
+    def _execute_statement(
+        self, statement: ParsedStatement, *, force_index: bool | None = None
+    ) -> Result:
+        handler = {
+            "SELECT": self._execute_select,
+            "INSERT": self._execute_insert,
+            "UPDATE": self._execute_update,
+            "DELETE": self._execute_delete,
+            "CREATE_TABLE": self._execute_create_table,
+            "CREATE_INDEX": self._execute_create_index,
+            "ALTER_TABLE": self._execute_alter_table,
+            "DROP": self._execute_drop,
+            "TRUNCATE": self._execute_truncate,
+        }.get(statement.statement_type)
+        if handler is None:
+            raise EngineError(f"unsupported statement: {statement.raw[:60]!r}")
+        if statement.statement_type == "SELECT":
+            result = handler(statement, force_index=force_index)
+        else:
+            result = handler(statement)
+        self.last_cost = result.cost
+        self.last_plan = result.plan
+        return result
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _execute_create_table(self, statement: ParsedStatement) -> Result:
+        before = set(self.schema.tables)
+        self._ddl.apply(statement)
+        created = set(self.schema.tables) - before
+        for key in created:
+            definition = self.schema.tables[key]
+            stored = StoredTable(definition=definition)
+            self.tables[key] = stored
+            self._materialise_primary_key_index(stored)
+        return Result(plan="create_table", rowcount=0)
+
+    def _execute_create_index(self, statement: ParsedStatement) -> Result:
+        before = {
+            (t, name)
+            for t, table in self.schema.tables.items()
+            for name in table.indexes
+        }
+        self._ddl.apply(statement)
+        cost = 0.0
+        for table_key, table in self.schema.tables.items():
+            stored = self.tables.get(table_key)
+            if stored is None:
+                continue
+            for index_name, definition in table.indexes.items():
+                if (table_key, index_name) not in before and index_name not in stored.indexes:
+                    stored.create_index(definition)
+                    cost += stored.row_count * self.cost_model.index_maintenance_cost
+        return Result(plan="create_index", cost=cost)
+
+    def _execute_alter_table(self, statement: ParsedStatement) -> Result:
+        tokens = statement.meaningful_tokens()
+        text = " ".join(t.value for t in tokens)
+        upper = text.upper()
+        self._ddl.apply(statement)
+        cost = 0.0
+        # Column drops must be applied to stored rows as well.
+        drop_match = re.search(r"\bDROP\s+(?:COLUMN\s+)?(\w+)", text, re.IGNORECASE)
+        if drop_match and "CONSTRAINT" not in upper:
+            column = drop_match.group(1)
+            table = self._table_for_statement(statement)
+            if table is not None:
+                for row in table.rows.values():
+                    for key in [k for k in row if k.lower() == column.lower()]:
+                        row.pop(key, None)
+                cost += table.row_count * self.cost_model.seq_page_cost
+        # Adding a constraint re-validates every row (the expensive part of
+        # the Enumerated Types fix cycle, Figure 8g).
+        if "ADD" in upper and ("CHECK" in upper or "FOREIGN KEY" in upper or "PRIMARY KEY" in upper):
+            table = self._table_for_statement(statement)
+            if table is not None:
+                validated = table.validate_all_rows()
+                cost += validated * self.cost_model.seq_page_cost
+        return Result(plan="alter_table", cost=cost)
+
+    def _execute_drop(self, statement: ParsedStatement) -> Result:
+        tokens = statement.meaningful_tokens()
+        keywords = {t.normalized for t in tokens if t.is_keyword}
+        names = [t.unquoted() for t in tokens if t.is_identifier]
+        self._ddl.apply(statement)
+        if "TABLE" in keywords and names:
+            self.tables.pop(names[0].lower(), None)
+        elif "INDEX" in keywords and names:
+            for stored in self.tables.values():
+                stored.drop_index(names[0])
+        return Result(plan="drop")
+
+    def _execute_truncate(self, statement: ParsedStatement) -> Result:
+        table = self._table_for_statement(statement)
+        if table is None:
+            return Result(plan="truncate")
+        removed = table.row_count
+        table.rows.clear()
+        for index in table.indexes.values():
+            index._buckets.clear()
+        return Result(plan="truncate", rowcount=removed)
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _execute_select(self, statement: ParsedStatement, *, force_index: bool | None = None) -> Result:
+        annotation = annotate(statement)
+        return self._executor.execute(annotation, force_index=force_index)
+
+    def _execute_insert(self, statement: ParsedStatement) -> Result:
+        annotation = annotate(statement)
+        if not annotation.tables:
+            raise EngineError("INSERT without a target table")
+        table = self._require_table(annotation.tables[0].name)
+        columns = annotation.insert_columns or table.column_names()
+        value_rows = self._insert_value_rows(statement)
+        cost = 0.0
+        inserted = 0
+        for literals in value_rows:
+            row = {column: value for column, value in zip(columns, literals)}
+            table.insert(row, database=self)
+            inserted += 1
+            cost += self.cost_model.seq_page_cost
+            cost += len(table.indexes) * self.cost_model.index_maintenance_cost
+        return Result(rowcount=inserted, cost=cost, plan=f"insert({table.name})")
+
+    def _insert_value_rows(self, statement: ParsedStatement) -> list[list[Any]]:
+        tokens = statement.meaningful_tokens()
+        values_idx = None
+        for i, token in enumerate(tokens):
+            if token.is_keyword and token.normalized == "VALUES":
+                values_idx = i
+                break
+        if values_idx is None:
+            raise EngineError("INSERT ... SELECT is not supported by the engine")
+        rows: list[list[Any]] = []
+        current: list[Any] | None = None
+        expression_tokens: list[Token] = []
+        depth = 0
+        for token in tokens[values_idx + 1 :]:
+            if token.value == "(":
+                depth += 1
+                if depth == 1:
+                    current = []
+                    expression_tokens = []
+                    continue
+            if token.value == ")":
+                depth -= 1
+                if depth == 0 and current is not None:
+                    if expression_tokens:
+                        current.append(self._evaluate_literal(expression_tokens))
+                    rows.append(current)
+                    current = None
+                    continue
+            if depth >= 1:
+                if token.value == "," and depth == 1:
+                    current.append(self._evaluate_literal(expression_tokens))
+                    expression_tokens = []
+                else:
+                    expression_tokens.append(token)
+        return rows
+
+    def _evaluate_literal(self, tokens: list[Token]) -> Any:
+        if not tokens:
+            return None
+        if len(tokens) == 1:
+            token = tokens[0]
+            if token.ttype is TokenType.STRING:
+                return token.unquoted()
+            if token.ttype is TokenType.NUMBER:
+                return _literal_value(token.value)
+            if token.is_keyword and token.normalized in ("NULL",):
+                return None
+            if token.is_keyword and token.normalized in ("TRUE", "FALSE"):
+                return token.normalized == "TRUE"
+            if token.is_identifier:
+                return token.unquoted()
+        try:
+            return parse_expression(tokens).evaluate({})
+        except ExpressionError:
+            return " ".join(t.value for t in tokens)
+
+    def _execute_update(self, statement: ParsedStatement) -> Result:
+        annotation = annotate(statement)
+        if not annotation.tables:
+            raise EngineError("UPDATE without a target table")
+        table = self._require_table(annotation.tables[0].name)
+        where = self._where_expression(statement)
+        assignments = self._parse_assignments(annotation)
+        cost = 0.0
+        updated = 0
+        # Index-assisted row selection mirrors the SELECT path.
+        target_ids = self._candidate_row_ids(table, annotation, where)
+        cost += self._selection_cost(table, annotation, target_ids)
+        for row_id in target_ids:
+            row = table.rows.get(row_id)
+            if row is None:
+                continue
+            qualified = dict(row)
+            if where is not None:
+                cost += self.cost_model.expression_eval_cost
+                try:
+                    verdict = where.evaluate(qualified)
+                except ExpressionError:
+                    verdict = False
+                if not verdict:
+                    continue
+            changes = {}
+            for column, expression in assignments:
+                try:
+                    changes[column] = expression.evaluate(qualified)
+                except ExpressionError:
+                    changes[column] = None
+            table.update_row(row_id, changes, database=self)
+            updated += 1
+            cost += self.cost_model.seq_page_cost
+            cost += len(table.indexes) * self.cost_model.index_maintenance_cost
+        return Result(rowcount=updated, cost=cost, plan=f"update({table.name})")
+
+    def _execute_delete(self, statement: ParsedStatement) -> Result:
+        annotation = annotate(statement)
+        if not annotation.tables:
+            raise EngineError("DELETE without a target table")
+        table = self._require_table(annotation.tables[0].name)
+        where = self._where_expression(statement)
+        cost = 0.0
+        to_delete: list[int] = []
+        target_ids = self._candidate_row_ids(table, annotation, where)
+        cost += self._selection_cost(table, annotation, target_ids)
+        for row_id in target_ids:
+            row = table.rows.get(row_id)
+            if row is None:
+                continue
+            if where is not None:
+                cost += self.cost_model.expression_eval_cost
+                try:
+                    if not where.evaluate(row):
+                        continue
+                except ExpressionError:
+                    continue
+            to_delete.append(row_id)
+        for row_id in to_delete:
+            table.delete_row(row_id)
+            cost += len(table.indexes) * self.cost_model.index_maintenance_cost
+        return Result(rowcount=len(to_delete), cost=cost, plan=f"delete({table.name})")
+
+    # ------------------------------------------------------------------
+    # shared helpers
+    # ------------------------------------------------------------------
+    def _require_table(self, name: str) -> StoredTable:
+        table = self.get_table(name)
+        if table is None:
+            raise EngineError(f"unknown table: {name}")
+        return table
+
+    def _table_for_statement(self, statement: ParsedStatement) -> StoredTable | None:
+        annotation = annotate(statement)
+        if annotation.tables:
+            return self.get_table(annotation.tables[0].name)
+        return None
+
+    def _where_expression(self, statement: ParsedStatement):
+        tokens = statement.meaningful_tokens()
+        collecting = False
+        collected: list[Token] = []
+        for token in tokens:
+            if token.is_keyword and token.normalized == "WHERE":
+                collecting = True
+                continue
+            if collecting and token.is_keyword and token.normalized in ("RETURNING", "ORDER BY", "LIMIT"):
+                break
+            if collecting:
+                collected.append(token)
+        if not collected:
+            return None
+        try:
+            return parse_expression(collected)
+        except ExpressionError:
+            return None
+
+    def _parse_assignments(self, annotation: QueryAnnotation):
+        assignments = []
+        for column, expression_text in annotation.update_assignments:
+            try:
+                assignments.append((column, parse_expression(expression_text)))
+            except ExpressionError:
+                assignments.append((column, parse_expression("NULL")))
+        return assignments
+
+    def _candidate_row_ids(self, table: StoredTable, annotation: QueryAnnotation, where) -> list[int]:
+        """Row ids to visit: an index probe when an equality predicate allows
+        it, otherwise every row id."""
+        for predicate in annotation.predicates:
+            if predicate.operator not in ("=", "==") or predicate.column is None:
+                continue
+            if predicate.value is None:
+                continue
+            index = table.index_on(predicate.column.name)
+            if index is None:
+                continue
+            value = _literal_value(predicate.value)
+            return sorted(index.lookup_leading(value))
+        return list(table.rows.keys())
+
+    def _selection_cost(self, table: StoredTable, annotation: QueryAnnotation, target_ids: list[int]) -> float:
+        if len(target_ids) < table.row_count:
+            return len(target_ids) * self.cost_model.random_page_cost
+        return table.row_count * self.cost_model.seq_page_cost

@@ -1,0 +1,588 @@
+"""Expression parsing and evaluation for the in-memory engine.
+
+A small recursive-descent parser turns the token run of a WHERE / ON / SET
+clause into an expression tree; the evaluator then computes the expression
+against a row (a mapping from column name — optionally qualified — to value).
+
+The grammar covers the subset the evaluation workloads need:
+
+    expr        := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | predicate
+    predicate   := concat ( (=|!=|<>|<|>|<=|>=) concat
+                          | [NOT] LIKE concat | [NOT] ILIKE concat
+                          | REGEXP concat | [NOT] IN ( list )
+                          | IS [NOT] NULL | [NOT] BETWEEN concat AND concat )?
+    concat      := additive (|| additive)*
+    additive    := term ((+|-) term)*
+    term        := factor ((*|/|%) factor)*
+    factor      := literal | column | function(args) | ( expr ) | - factor
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..sqlparser import Token, TokenType, tokenize
+from . import values as V
+
+Row = Mapping[str, Any]
+
+
+class ExpressionError(ValueError):
+    """Raised when an expression cannot be parsed or evaluated."""
+
+
+# ----------------------------------------------------------------------
+# expression tree
+# ----------------------------------------------------------------------
+class Expression:
+    """Base class for expression-tree nodes."""
+
+    def evaluate(self, row: Row) -> Any:
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names (qualified where written) of the columns the expression reads."""
+        return set()
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+    def evaluate(self, row: Row) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expression):
+    name: str
+    qualifier: str | None = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def evaluate(self, row: Row) -> Any:
+        # Try the qualified key, then the bare name, then a case-insensitive
+        # scan (the engine stores column names in their declared case).
+        if self.qualifier:
+            qualified = f"{self.qualifier}.{self.name}"
+            if qualified in row:
+                return row[qualified]
+            lowered = qualified.lower()
+            for key, value in row.items():
+                if key.lower() == lowered:
+                    return value
+        if self.name in row:
+            return row[self.name]
+        lowered = self.name.lower()
+        for key, value in row.items():
+            if key.lower() == lowered or key.lower().endswith("." + lowered):
+                return value
+        raise ExpressionError(f"unknown column: {self.key}")
+
+    def columns(self) -> set[str]:
+        return {self.key}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    operator: str
+    left: Expression
+    right: Expression
+
+    def evaluate(self, row: Row) -> Any:
+        op = self.operator
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if op in ("=", "==", "<=>"):
+            return V.equals(left, right)
+        if op in ("!=", "<>"):
+            eq = V.equals(left, right)
+            return None if eq is None else not eq
+        if op in ("<", ">", "<=", ">="):
+            cmp = V.compare(left, right)
+            if cmp is None:
+                return None
+            return {"<": cmp < 0, ">": cmp > 0, "<=": cmp <= 0, ">=": cmp >= 0}[op]
+        if op == "||":
+            return V.concat(left, right)
+        if op in ("+", "-", "*", "/", "%"):
+            if V.is_null(left) or V.is_null(right):
+                return None
+            left_num, right_num = float(left), float(right)
+            if op == "+":
+                result = left_num + right_num
+            elif op == "-":
+                result = left_num - right_num
+            elif op == "*":
+                result = left_num * right_num
+            elif op == "/":
+                if right_num == 0:
+                    return None
+                result = left_num / right_num
+            else:
+                if right_num == 0:
+                    return None
+                result = left_num % right_num
+            if isinstance(left, int) and isinstance(right, int) and op != "/":
+                return int(result)
+            return result
+        raise ExpressionError(f"unsupported operator: {op}")
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+
+@dataclass(frozen=True)
+class LikeOp(Expression):
+    left: Expression
+    pattern: Expression
+    negate: bool = False
+    case_insensitive: bool = False
+    regexp: bool = False
+
+    def evaluate(self, row: Row) -> Any:
+        value = self.left.evaluate(row)
+        pattern = self.pattern.evaluate(row)
+        if self.regexp:
+            matched = V.regexp_match(value, pattern)
+        else:
+            matched = V.like_match(value, pattern, case_insensitive=self.case_insensitive)
+        if matched is None:
+            return None
+        return (not matched) if self.negate else matched
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.pattern.columns()
+
+
+@dataclass(frozen=True)
+class InOp(Expression):
+    left: Expression
+    options: tuple[Expression, ...]
+    negate: bool = False
+
+    def evaluate(self, row: Row) -> Any:
+        value = self.left.evaluate(row)
+        if V.is_null(value):
+            return None
+        found = False
+        saw_null = False
+        for option in self.options:
+            candidate = option.evaluate(row)
+            eq = V.equals(value, candidate)
+            if eq is None:
+                saw_null = True
+            elif eq:
+                found = True
+                break
+        if found:
+            return not self.negate
+        if saw_null:
+            return None
+        return self.negate
+
+    def columns(self) -> set[str]:
+        cols = self.left.columns()
+        for option in self.options:
+            cols |= option.columns()
+        return cols
+
+
+@dataclass(frozen=True)
+class BetweenOp(Expression):
+    left: Expression
+    low: Expression
+    high: Expression
+    negate: bool = False
+
+    def evaluate(self, row: Row) -> Any:
+        value = self.left.evaluate(row)
+        low = self.low.evaluate(row)
+        high = self.high.evaluate(row)
+        low_cmp = V.compare(value, low)
+        high_cmp = V.compare(value, high)
+        if low_cmp is None or high_cmp is None:
+            return None
+        inside = low_cmp >= 0 and high_cmp <= 0
+        return (not inside) if self.negate else inside
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.low.columns() | self.high.columns()
+
+
+@dataclass(frozen=True)
+class IsNullOp(Expression):
+    left: Expression
+    negate: bool = False
+
+    def evaluate(self, row: Row) -> Any:
+        null = V.is_null(self.left.evaluate(row))
+        return (not null) if self.negate else null
+
+    def columns(self) -> set[str]:
+        return self.left.columns()
+
+
+@dataclass(frozen=True)
+class LogicalOp(Expression):
+    operator: str  # AND / OR
+    operands: tuple[Expression, ...]
+
+    def evaluate(self, row: Row) -> Any:
+        results = [operand.evaluate(row) for operand in self.operands]
+        booleans = [None if r is None else bool(r) for r in results]
+        if self.operator == "AND":
+            if any(b is False for b in booleans):
+                return False
+            if any(b is None for b in booleans):
+                return None
+            return True
+        if any(b is True for b in booleans):
+            return True
+        if any(b is None for b in booleans):
+            return None
+        return False
+
+    def columns(self) -> set[str]:
+        cols: set[str] = set()
+        for operand in self.operands:
+            cols |= operand.columns()
+        return cols
+
+
+@dataclass(frozen=True)
+class NotOp(Expression):
+    operand: Expression
+
+    def evaluate(self, row: Row) -> Any:
+        result = self.operand.evaluate(row)
+        return None if result is None else not bool(result)
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    name: str
+    arguments: tuple[Expression, ...]
+
+    def evaluate(self, row: Row) -> Any:
+        handler = _SCALAR_FUNCTIONS.get(self.name)
+        if handler is None:
+            raise ExpressionError(f"unsupported function: {self.name}")
+        return handler([arg.evaluate(row) for arg in self.arguments])
+
+    def columns(self) -> set[str]:
+        cols: set[str] = set()
+        for argument in self.arguments:
+            cols |= argument.columns()
+        return cols
+
+
+def _fn_replace(args: Sequence[Any]) -> Any:
+    if len(args) != 3 or any(V.is_null(a) for a in args):
+        return None
+    return str(args[0]).replace(str(args[1]), str(args[2]))
+
+
+def _fn_concat(args: Sequence[Any]) -> Any:
+    # MySQL-style CONCAT: NULL if any argument is NULL.
+    return V.concat(*args)
+
+
+def _fn_coalesce(args: Sequence[Any]) -> Any:
+    for arg in args:
+        if not V.is_null(arg):
+            return arg
+    return None
+
+def _fn_length(args: Sequence[Any]) -> Any:
+    if not args or V.is_null(args[0]):
+        return None
+    return len(str(args[0]))
+
+
+def _fn_lower(args: Sequence[Any]) -> Any:
+    if not args or V.is_null(args[0]):
+        return None
+    return str(args[0]).lower()
+
+
+def _fn_upper(args: Sequence[Any]) -> Any:
+    if not args or V.is_null(args[0]):
+        return None
+    return str(args[0]).upper()
+
+
+def _fn_abs(args: Sequence[Any]) -> Any:
+    if not args or V.is_null(args[0]):
+        return None
+    return abs(float(args[0]))
+
+
+def _fn_round(args: Sequence[Any]) -> Any:
+    if not args or V.is_null(args[0]):
+        return None
+    digits = int(args[1]) if len(args) > 1 and not V.is_null(args[1]) else 0
+    return round(float(args[0]), digits)
+
+
+def _fn_substr(args: Sequence[Any]) -> Any:
+    if len(args) < 2 or V.is_null(args[0]):
+        return None
+    text = str(args[0])
+    start = max(0, int(args[1]) - 1)
+    if len(args) > 2:
+        return text[start : start + int(args[2])]
+    return text[start:]
+
+
+_SCALAR_FUNCTIONS: dict[str, Callable[[Sequence[Any]], Any]] = {
+    "REPLACE": _fn_replace,
+    "CONCAT": _fn_concat,
+    "CONCAT_WS": lambda args: None if any(V.is_null(a) for a in args[:1]) else str(args[0]).join(
+        str(a) for a in args[1:] if not V.is_null(a)
+    ),
+    "COALESCE": _fn_coalesce,
+    "IFNULL": _fn_coalesce,
+    "NVL": _fn_coalesce,
+    "LENGTH": _fn_length,
+    "LOWER": _fn_lower,
+    "UPPER": _fn_upper,
+    "ABS": _fn_abs,
+    "ROUND": _fn_round,
+    "SUBSTR": _fn_substr,
+    "SUBSTRING": _fn_substr,
+}
+
+
+# ----------------------------------------------------------------------
+# parser
+# ----------------------------------------------------------------------
+class ExpressionParser:
+    """Recursive-descent parser over meaningful SQL tokens."""
+
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens = [t for t in tokens if not t.is_whitespace and not t.is_comment]
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------
+    def _peek(self) -> Token | None:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        self._pos += 1
+        return token
+
+    def _match_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        if token is not None and token.is_keyword and token.normalized in keywords:
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, value: str) -> None:
+        token = self._peek()
+        if token is None or token.value != value:
+            raise ExpressionError(f"expected {value!r} at position {self._pos}")
+        self._advance()
+
+    # -- grammar -----------------------------------------------------------
+    def parse(self) -> Expression:
+        expression = self._or_expr()
+        return expression
+
+    def _or_expr(self) -> Expression:
+        operands = [self._and_expr()]
+        while self._match_keyword("OR"):
+            operands.append(self._and_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return LogicalOp("OR", tuple(operands))
+
+    def _and_expr(self) -> Expression:
+        operands = [self._not_expr()]
+        while self._match_keyword("AND"):
+            operands.append(self._not_expr())
+        if len(operands) == 1:
+            return operands[0]
+        return LogicalOp("AND", tuple(operands))
+
+    def _not_expr(self) -> Expression:
+        if self._match_keyword("NOT"):
+            return NotOp(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> Expression:
+        left = self._concat()
+        token = self._peek()
+        if token is None:
+            return left
+        if token.ttype is TokenType.COMPARISON:
+            operator = self._advance().normalized
+            if operator == "==":
+                operator = "="
+            right = self._concat()
+            return BinaryOp(operator, left, right)
+        if token.is_keyword:
+            keyword = token.normalized
+            if keyword in ("LIKE", "NOT LIKE", "ILIKE", "NOT ILIKE"):
+                self._advance()
+                pattern = self._concat()
+                return LikeOp(
+                    left,
+                    pattern,
+                    negate=keyword.startswith("NOT"),
+                    case_insensitive="ILIKE" in keyword,
+                )
+            if keyword in ("REGEXP", "RLIKE", "SIMILAR TO", "GLOB"):
+                self._advance()
+                pattern = self._concat()
+                return LikeOp(left, pattern, regexp=True)
+            if keyword in ("IN", "NOT IN"):
+                self._advance()
+                options = self._expression_list()
+                return InOp(left, tuple(options), negate=keyword.startswith("NOT"))
+            if keyword in ("BETWEEN", "NOT BETWEEN"):
+                self._advance()
+                low = self._concat()
+                if not self._match_keyword("AND"):
+                    raise ExpressionError("BETWEEN requires AND")
+                high = self._concat()
+                return BetweenOp(left, low, high, negate=keyword.startswith("NOT"))
+            if keyword in ("IS", "IS NOT"):
+                self._advance()
+                negate = keyword == "IS NOT"
+                if self._match_keyword("NOT"):
+                    negate = True
+                if self._match_keyword("NULL"):
+                    return IsNullOp(left, negate=negate)
+                # IS TRUE / IS FALSE
+                if self._match_keyword("TRUE"):
+                    return BinaryOp("=", left, Literal(True)) if not negate else BinaryOp("!=", left, Literal(True))
+                if self._match_keyword("FALSE"):
+                    return BinaryOp("=", left, Literal(False)) if not negate else BinaryOp("!=", left, Literal(False))
+                raise ExpressionError("unsupported IS expression")
+        return left
+
+    def _concat(self) -> Expression:
+        left = self._additive()
+        while True:
+            token = self._peek()
+            if token is not None and token.ttype is TokenType.OPERATOR and token.value == "||":
+                self._advance()
+                right = self._additive()
+                left = BinaryOp("||", left, right)
+            else:
+                return left
+
+    def _additive(self) -> Expression:
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token is not None and token.ttype is TokenType.OPERATOR and token.value in ("+", "-"):
+                operator = self._advance().value
+                left = BinaryOp(operator, left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expression:
+        left = self._factor()
+        while True:
+            token = self._peek()
+            if token is not None and (
+                (token.ttype is TokenType.OPERATOR and token.value in ("/", "%"))
+                or token.ttype is TokenType.WILDCARD
+            ):
+                operator = self._advance().value
+                operator = "*" if operator == "*" else operator
+                left = BinaryOp(operator, left, self._factor())
+            else:
+                return left
+
+    def _factor(self) -> Expression:
+        token = self._peek()
+        if token is None:
+            raise ExpressionError("unexpected end of expression")
+        if token.ttype is TokenType.OPERATOR and token.value == "-":
+            self._advance()
+            operand = self._factor()
+            return BinaryOp("-", Literal(0), operand)
+        if token.value == "(":
+            self._advance()
+            inner = self._or_expr()
+            self._expect(")")
+            return inner
+        if token.ttype is TokenType.NUMBER:
+            self._advance()
+            text = token.value
+            return Literal(float(text) if any(c in text for c in ".eE") else int(text))
+        if token.ttype is TokenType.STRING:
+            self._advance()
+            return Literal(token.unquoted())
+        if token.is_keyword and token.normalized in ("NULL",):
+            self._advance()
+            return Literal(None)
+        if token.is_keyword and token.normalized in ("TRUE", "FALSE"):
+            self._advance()
+            return Literal(token.normalized == "TRUE")
+        if token.ttype is TokenType.PLACEHOLDER:
+            self._advance()
+            return Literal(None)
+        if token.is_identifier or token.ttype is TokenType.DATATYPE:
+            return self._column_or_function()
+        # Keywords that are actually function calls (REPLACE, SET, ...) — the
+        # lexer tags them as keywords, but a following "(" disambiguates.
+        if token.is_keyword and self._pos + 1 < len(self._tokens) and self._tokens[self._pos + 1].value == "(":
+            return self._column_or_function()
+        raise ExpressionError(f"unexpected token {token.value!r}")
+
+    def _column_or_function(self) -> Expression:
+        first = self._advance()
+        nxt = self._peek()
+        if nxt is not None and nxt.value == "(":
+            self._advance()
+            arguments: list[Expression] = []
+            if self._peek() is not None and self._peek().value != ")":
+                arguments.append(self._or_expr())
+                while self._peek() is not None and self._peek().value == ",":
+                    self._advance()
+                    arguments.append(self._or_expr())
+            self._expect(")")
+            return FunctionCall(first.unquoted().upper(), tuple(arguments))
+        if nxt is not None and nxt.value == ".":
+            self._advance()
+            column = self._advance()
+            return ColumnRef(name=column.unquoted(), qualifier=first.unquoted())
+        return ColumnRef(name=first.unquoted())
+
+    def _expression_list(self) -> list[Expression]:
+        self._expect("(")
+        options: list[Expression] = []
+        if self._peek() is not None and self._peek().value != ")":
+            options.append(self._or_expr())
+            while self._peek() is not None and self._peek().value == ",":
+                self._advance()
+                options.append(self._or_expr())
+        self._expect(")")
+        return options
+
+
+def parse_expression(source: "str | Sequence[Token]") -> Expression:
+    """Parse an expression from SQL text or a token sequence."""
+    tokens = tokenize(source) if isinstance(source, str) else list(source)
+    parser = ExpressionParser(tokens)
+    return parser.parse()
+
+
+def evaluate(source: "str | Expression", row: Row) -> Any:
+    """Parse (if needed) and evaluate an expression against a row."""
+    expression = parse_expression(source) if isinstance(source, str) else source
+    return expression.evaluate(row)

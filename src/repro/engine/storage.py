@@ -1,0 +1,307 @@
+"""Row storage, secondary indexes, and constraint enforcement.
+
+This is the storage half of the PostgreSQL stand-in used by the performance
+experiments.  The cost mechanisms the paper's Figure 3 / Figure 8 rely on are
+modelled directly:
+
+* secondary indexes are hash maps from key to row ids — equality lookups are
+  O(matching rows), full scans are O(table size);
+* every INSERT / UPDATE / DELETE maintains **all** indexes on the table, so
+  each extra index adds real work (Index Overuse);
+* PRIMARY KEY / FOREIGN KEY / CHECK constraints are validated on write, and
+  re-validated over the whole table when a constraint is added back by
+  ``ALTER TABLE`` (Enumerated Types fix experiment).
+"""
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator
+
+from ..catalog.schema import CheckConstraint, Column, ForeignKey, Index, Table
+from . import values as V
+from .expressions import ExpressionError, parse_expression
+
+
+class IntegrityError(Exception):
+    """Raised when a write violates a PRIMARY KEY / FOREIGN KEY / CHECK constraint."""
+
+
+class SecondaryIndex:
+    """A hash index mapping a column-value tuple to the set of row ids."""
+
+    def __init__(self, definition: Index):
+        self.definition = definition
+        self.columns = tuple(definition.columns)
+        self.unique = definition.unique
+        self._buckets: dict[tuple, set[int]] = {}
+
+    def key_for(self, row: dict[str, Any]) -> tuple:
+        return tuple(_normalise_key(row.get(self._actual_column(row, c))) for c in self.columns)
+
+    def _actual_column(self, row: dict[str, Any], column: str) -> str:
+        if column in row:
+            return column
+        lowered = column.lower()
+        for key in row:
+            if key.lower() == lowered:
+                return key
+        return column
+
+    def add(self, row_id: int, row: dict[str, Any]) -> None:
+        key = self.key_for(row)
+        bucket = self._buckets.setdefault(key, set())
+        if self.unique and bucket and not all(v is None for v in key):
+            raise IntegrityError(
+                f"unique index {self.definition.name} violated for key {key!r}"
+            )
+        bucket.add(row_id)
+
+    def remove(self, row_id: int, row: dict[str, Any]) -> None:
+        key = self.key_for(row)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(row_id)
+            if not bucket:
+                del self._buckets[key]
+
+    def lookup(self, key_values: Iterable[Any]) -> set[int]:
+        key = tuple(_normalise_key(v) for v in key_values)
+        return set(self._buckets.get(key, set()))
+
+    def lookup_leading(self, value: Any) -> set[int]:
+        """Lookup by the leading column only (used for single-column probes
+        against multi-column indexes)."""
+        if len(self.columns) == 1:
+            return self.lookup((value,))
+        target = _normalise_key(value)
+        result: set[int] = set()
+        for key, bucket in self._buckets.items():
+            if key and key[0] == target:
+                result |= bucket
+        return result
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+def _normalise_key(value: Any) -> Any:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, str):
+        return value
+    return value
+
+
+@dataclass
+class StoredTable:
+    """A heap of rows plus its schema definition and secondary indexes."""
+
+    definition: Table
+    rows: dict[int, dict[str, Any]] = field(default_factory=dict)
+    indexes: dict[str, SecondaryIndex] = field(default_factory=dict)
+    _next_row_id: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.definition.name
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows)
+
+    def column_names(self) -> list[str]:
+        return self.definition.column_names
+
+    # ------------------------------------------------------------------
+    # index management
+    # ------------------------------------------------------------------
+    def create_index(self, definition: Index) -> SecondaryIndex:
+        index = SecondaryIndex(definition)
+        for row_id, row in self.rows.items():
+            index.add(row_id, row)
+        self.indexes[definition.name.lower()] = index
+        self.definition.add_index(definition)
+        return index
+
+    def drop_index(self, name: str) -> None:
+        self.indexes.pop(name.lower(), None)
+        self.definition.indexes.pop(name.lower(), None)
+
+    def index_on(self, column: str) -> SecondaryIndex | None:
+        """An index whose leading column is ``column`` (PK index included)."""
+        target = column.lower()
+        for index in self.indexes.values():
+            if index.columns and index.columns[0].lower() == target:
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # row operations
+    # ------------------------------------------------------------------
+    def insert(self, row: dict[str, Any], *, database: "Database | None" = None) -> int:
+        """Insert a row (validating constraints), returning its row id."""
+        stored = self._coerce_row(row)
+        self._check_not_null(stored)
+        self._check_primary_key(stored, exclude_row_id=None)
+        self._check_checks(stored)
+        if database is not None:
+            self._check_foreign_keys(stored, database)
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self.rows[row_id] = stored
+        for index in self.indexes.values():
+            index.add(row_id, stored)
+        return row_id
+
+    def update_row(
+        self, row_id: int, changes: dict[str, Any], *, database: "Database | None" = None
+    ) -> None:
+        old = self.rows[row_id]
+        new = dict(old)
+        for column, value in changes.items():
+            actual = self._actual_column_name(column)
+            definition = self.definition.get_column(column)
+            new[actual] = V.coerce(value, definition.sql_type) if definition else value
+        self._check_not_null(new)
+        self._check_primary_key(new, exclude_row_id=row_id)
+        self._check_checks(new)
+        if database is not None:
+            self._check_foreign_keys(new, database)
+        for index in self.indexes.values():
+            index.remove(row_id, old)
+            index.add(row_id, new)
+        self.rows[row_id] = new
+
+    def delete_row(self, row_id: int) -> None:
+        row = self.rows.pop(row_id)
+        for index in self.indexes.values():
+            index.remove(row_id, row)
+
+    def scan(self) -> Iterator[tuple[int, dict[str, Any]]]:
+        yield from self.rows.items()
+
+    def all_rows(self) -> list[dict[str, Any]]:
+        return list(self.rows.values())
+
+    # ------------------------------------------------------------------
+    # constraint validation
+    # ------------------------------------------------------------------
+    def validate_all_rows(self) -> int:
+        """Re-validate every row against CHECK constraints (used when a
+        constraint is added via ALTER TABLE).  Returns rows validated."""
+        validated = 0
+        for row in self.rows.values():
+            self._check_checks(row)
+            validated += 1
+        return validated
+
+    def _coerce_row(self, row: dict[str, Any]) -> dict[str, Any]:
+        stored: dict[str, Any] = {}
+        for column in self.definition.columns.values():
+            provided_key = self._provided_key(row, column.name)
+            if provided_key is not None:
+                stored[column.name] = V.coerce(row[provided_key], column.sql_type)
+            elif column.default is not None:
+                stored[column.name] = V.coerce(column.default.strip("'\""), column.sql_type)
+            else:
+                stored[column.name] = None
+        # preserve any extra keys verbatim (schema-less inserts in tests)
+        known = {c.lower() for c in stored}
+        for key, value in row.items():
+            if key.lower() not in known:
+                stored[key] = value
+        return stored
+
+    def _provided_key(self, row: dict[str, Any], column: str) -> str | None:
+        if column in row:
+            return column
+        lowered = column.lower()
+        for key in row:
+            if key.lower() == lowered:
+                return key
+        return None
+
+    def _actual_column_name(self, column: str) -> str:
+        definition = self.definition.get_column(column)
+        return definition.name if definition is not None else column
+
+    def _check_not_null(self, row: dict[str, Any]) -> None:
+        for column in self.definition.columns.values():
+            if not column.nullable and V.is_null(row.get(column.name)):
+                raise IntegrityError(f"column {self.name}.{column.name} may not be NULL")
+
+    def _check_primary_key(self, row: dict[str, Any], exclude_row_id: int | None) -> None:
+        pk = self.definition.primary_key_columns
+        if not pk:
+            return
+        key = tuple(_normalise_key(row.get(self._actual_column_name(c))) for c in pk)
+        if all(v is None for v in key):
+            raise IntegrityError(f"primary key of {self.name} may not be NULL")
+        index = self.index_on(pk[0])
+        if index is not None and tuple(c.lower() for c in index.columns) == tuple(c.lower() for c in pk):
+            matches = index.lookup(key) - ({exclude_row_id} if exclude_row_id is not None else set())
+            if matches:
+                raise IntegrityError(f"duplicate primary key {key!r} in {self.name}")
+            return
+        for row_id, existing in self.rows.items():
+            if row_id == exclude_row_id:
+                continue
+            existing_key = tuple(
+                _normalise_key(existing.get(self._actual_column_name(c))) for c in pk
+            )
+            if existing_key == key:
+                raise IntegrityError(f"duplicate primary key {key!r} in {self.name}")
+
+    def _check_checks(self, row: dict[str, Any]) -> None:
+        for column in self.definition.columns.values():
+            if column.check_values:
+                value = row.get(column.name)
+                if value is not None and str(value) not in column.check_values:
+                    raise IntegrityError(
+                        f"CHECK constraint on {self.name}.{column.name} rejects {value!r}"
+                    )
+            if column.sql_type.is_enum and column.sql_type.enum_values:
+                value = row.get(column.name)
+                if value is not None and str(value) not in column.sql_type.enum_values:
+                    raise IntegrityError(
+                        f"ENUM column {self.name}.{column.name} rejects {value!r}"
+                    )
+        for check in self.definition.checks:
+            if check.in_values and check.column:
+                value = row.get(self._actual_column_name(check.column))
+                if value is not None and str(value) not in check.in_values:
+                    raise IntegrityError(
+                        f"CHECK constraint {check.name or check.expression} rejects {value!r}"
+                    )
+
+    def _check_foreign_keys(self, row: dict[str, Any], database: "Database") -> None:
+        for fk in self.definition.all_foreign_keys():
+            referenced = database.get_table(fk.referenced_table)
+            if referenced is None:
+                continue
+            values = [row.get(self._actual_column_name(c)) for c in fk.columns]
+            if any(V.is_null(v) for v in values):
+                continue
+            ref_columns = fk.referenced_columns or referenced.definition.primary_key_columns
+            if not ref_columns:
+                continue
+            index = referenced.index_on(ref_columns[0])
+            if index is not None and len(ref_columns) == len(fk.columns):
+                if index.lookup(values):
+                    continue
+            found = False
+            for existing in referenced.rows.values():
+                if all(
+                    V.equals(existing.get(referenced._actual_column_name(rc)), v) is True
+                    for rc, v in zip(ref_columns, values)
+                ):
+                    found = True
+                    break
+            if not found:
+                raise IntegrityError(
+                    f"foreign key violation: {self.name}({', '.join(fk.columns)}) -> "
+                    f"{fk.referenced_table}({', '.join(ref_columns)}) value {values!r}"
+                )

@@ -1,0 +1,193 @@
+"""Value semantics for the in-memory relational engine.
+
+Implements SQL-style three-valued comparison (NULL never equals anything),
+type coercion based on the declared column type, and LIKE / regular
+expression matching.  These semantics are what several anti-patterns hinge
+on (Concatenate Nulls, Rounding Errors, Pattern Matching).
+"""
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from ..catalog.types import SQLType, TypeFamily
+
+
+class SQLNull:
+    """Singleton marker for SQL NULL (kept distinct from Python ``None`` in
+    expression results so three-valued logic is explicit)."""
+
+    _instance: "SQLNull | None" = None
+
+    def __new__(cls) -> "SQLNull":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL = SQLNull()
+
+
+def is_null(value: Any) -> bool:
+    """True for SQL NULL (``None`` or the :data:`NULL` marker)."""
+    return value is None or isinstance(value, SQLNull)
+
+
+def coerce(value: Any, sql_type: SQLType) -> Any:
+    """Coerce a Python value to the storage representation of ``sql_type``.
+
+    Coercion is permissive (like most DBMSs with weak typing): values that
+    cannot be converted are stored as-is.  That permissiveness is exactly
+    what enables the Incorrect Data Type anti-pattern to occur.
+    """
+    if is_null(value):
+        return None
+    family = sql_type.family
+    try:
+        if family is TypeFamily.INTEGER:
+            return int(value)
+        if family is TypeFamily.APPROXIMATE_NUMERIC:
+            # FLOAT: round-trip through a 32-bit-ish representation to model
+            # finite precision (rounding-errors AP).
+            return float(f"{float(value):.6g}")
+        if family is TypeFamily.EXACT_NUMERIC:
+            return round(float(value), sql_type.scale if sql_type.scale is not None else 10)
+        if family is TypeFamily.BOOLEAN:
+            if isinstance(value, str):
+                return value.strip().lower() in ("t", "true", "1", "yes")
+            return bool(value)
+        if family in (TypeFamily.TEXT, TypeFamily.ENUM):
+            text = str(value)
+            if sql_type.length is not None:
+                return text[: sql_type.length]
+            return text
+        if family in (TypeFamily.DATE, TypeFamily.TIME, TypeFamily.DATETIME, TypeFamily.UUID):
+            return str(value)
+    except (TypeError, ValueError):
+        return value
+    return value
+
+
+def compare(left: Any, right: Any) -> int | None:
+    """SQL comparison: returns -1/0/1, or ``None`` when either side is NULL."""
+    if is_null(left) or is_null(right):
+        return None
+    left, right = _align(left, right)
+    try:
+        if left < right:
+            return -1
+        if left > right:
+            return 1
+        return 0
+    except TypeError:
+        left_text, right_text = str(left), str(right)
+        if left_text < right_text:
+            return -1
+        if left_text > right_text:
+            return 1
+        return 0
+
+
+def equals(left: Any, right: Any) -> bool | None:
+    """SQL equality with NULL propagation."""
+    result = compare(left, right)
+    return None if result is None else result == 0
+
+
+def _align(left: Any, right: Any) -> tuple[Any, Any]:
+    """Align operand types for comparison (numeric strings vs numbers,
+    booleans vs their text forms)."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        return _as_bool(left), _as_bool(right)
+    if isinstance(left, (int, float)) and isinstance(right, str):
+        converted = _try_number(right)
+        if converted is not None:
+            return left, converted
+        return str(left), right
+    if isinstance(right, (int, float)) and isinstance(left, str):
+        converted = _try_number(left)
+        if converted is not None:
+            return converted, right
+        return left, str(right)
+    return left, right
+
+
+def _as_bool(value: Any) -> Any:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+    if isinstance(value, (int, float)):
+        return bool(value)
+    return value
+
+
+def _try_number(text: str) -> float | int | None:
+    try:
+        if re.fullmatch(r"[+-]?\d+", text.strip()):
+            return int(text)
+        return float(text)
+    except (ValueError, TypeError):
+        return None
+
+
+def like_match(value: Any, pattern: Any, *, case_insensitive: bool = False) -> bool | None:
+    """SQL ``LIKE`` matching (``%`` and ``_`` wildcards)."""
+    if is_null(value) or is_null(pattern):
+        return None
+    regex = _like_to_regex(str(pattern))
+    flags = re.IGNORECASE if case_insensitive else 0
+    return re.fullmatch(regex, str(value), flags) is not None
+
+
+def regexp_match(value: Any, pattern: Any) -> bool | None:
+    """SQL ``REGEXP`` / ``~`` matching.
+
+    POSIX word-boundary markers ``[[:<:]]`` / ``[[:>:]]`` (used by the
+    paper's multi-valued-attribute example) are translated to ``\\b``.
+    """
+    if is_null(value) or is_null(pattern):
+        return None
+    translated = str(pattern).replace("[[:<:]]", r"\b").replace("[[:>:]]", r"\b")
+    try:
+        return re.search(translated, str(value)) is not None
+    except re.error:
+        return False
+
+
+def _like_to_regex(pattern: str) -> str:
+    out: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return "".join(out)
+
+
+def concat(*values: Any) -> Any:
+    """SQL ``||`` concatenation: NULL-propagating (the Concatenate-Nulls AP)."""
+    if any(is_null(v) for v in values):
+        return None
+    return "".join(str(v) for v in values)
+
+
+def sql_repr(value: Any) -> str:
+    """Render a stored value the way a result printer would."""
+    if is_null(value):
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

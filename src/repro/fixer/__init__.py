@@ -1,0 +1,5 @@
+"""ap-fix: rule-based query repair (§6)."""
+from .fix import Fix, FixKind
+from .repair_engine import APFixer, QueryRepairEngine
+
+__all__ = ["APFixer", "Fix", "FixKind", "QueryRepairEngine"]

@@ -1,0 +1,51 @@
+"""Fix records produced by ap-fix."""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..model.detection import Detection
+
+
+class FixKind(enum.Enum):
+    """How the fix is delivered (§6: unambiguous rewrites vs. textual guidance)."""
+
+    REWRITE = "rewrite"       # concrete replacement statements were generated
+    TEXTUAL = "textual"       # context-tailored guidance the developer applies manually
+
+
+@dataclass
+class Fix:
+    """A suggested fix for one detection.
+
+    Attributes:
+        detection: the detection being fixed.
+        kind: rewrite or textual.
+        statements: new or rewritten SQL statements, in execution order.
+        rewritten_query: the transformed version of the offending query, when
+            the fix rewrites it directly.
+        explanation: human-readable description of the change and why.
+        impacted_queries: other workload statements that must change when the
+            fix is applied (GetImpactedQueries in Algorithm 4).
+    """
+
+    detection: Detection
+    kind: FixKind = FixKind.TEXTUAL
+    statements: list[str] = field(default_factory=list)
+    rewritten_query: str | None = None
+    explanation: str = ""
+    impacted_queries: list[str] = field(default_factory=list)
+
+    @property
+    def is_rewrite(self) -> bool:
+        return self.kind is FixKind.REWRITE
+
+    def to_dict(self) -> dict:
+        return {
+            "anti_pattern": self.detection.anti_pattern.value,
+            "kind": self.kind.value,
+            "statements": list(self.statements),
+            "rewritten_query": self.rewritten_query,
+            "explanation": self.explanation,
+            "impacted_queries": list(self.impacted_queries),
+        }

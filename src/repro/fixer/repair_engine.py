@@ -1,0 +1,86 @@
+"""The query repair engine and ap-fix driver (Algorithm 4).
+
+The repair engine holds the fix rules (detection/action pairs).  ``APFixer``
+is the user-facing component: given ranked (or raw) detections and the
+application context, it produces one :class:`Fix` per detection, either a
+concrete rewrite or a context-tailored textual fix.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..context.application_context import ApplicationContext
+from ..model.detection import Detection, DetectionReport
+from ..ranking.ranker import RankedDetection
+from .fix import Fix, FixKind
+from .fix_rules import FixRule, default_fix_rules
+
+
+class QueryRepairEngine:
+    """Applies fix rules to detections (§6.1's rule system)."""
+
+    def __init__(self, rules: Iterable[FixRule] | None = None):
+        self.rules: list[FixRule] = list(rules) if rules is not None else default_fix_rules()
+
+    def register(self, rule: FixRule) -> FixRule:
+        """Register an additional fix rule (extensibility, §7)."""
+        self.rules.append(rule)
+        return rule
+
+    def rules_for(self, detection: Detection) -> list[FixRule]:
+        """Fix rules applicable to a detection (GetRulesForAntiPattern)."""
+        return [rule for rule in self.rules if rule.applies(detection)]
+
+    def repair(self, detection: Detection, context: ApplicationContext) -> Fix:
+        """Produce a fix for one detection.
+
+        When no rule can generate a non-ambiguous transformation, the engine
+        falls back to a generic textual fix (Algorithm 4, line 12).
+        """
+        for rule in self.rules_for(detection):
+            fix = rule.build(detection, context)
+            if fix is not None:
+                return fix
+        return Fix(
+            detection=detection,
+            kind=FixKind.TEXTUAL,
+            explanation=(
+                f"Review the {detection.display_name} anti-pattern in: {detection.query or detection.table}."
+            ),
+        )
+
+
+class APFixer:
+    """ap-fix: suggests fixes for (ranked) detections."""
+
+    def __init__(self, engine: QueryRepairEngine | None = None):
+        self.engine = engine or QueryRepairEngine()
+
+    def fix(
+        self,
+        detections: "DetectionReport | Sequence[Detection] | Sequence[RankedDetection]",
+        context: ApplicationContext | None = None,
+    ) -> list[Fix]:
+        """Produce fixes in the order the detections were given (ap-rank's order)."""
+        context = context if context is not None else ApplicationContext()
+        fixes: list[Fix] = []
+        for item in self._iter_detections(detections):
+            fixes.append(self.engine.repair(item, context))
+        return fixes
+
+    def fix_one(self, detection: Detection, context: ApplicationContext | None = None) -> Fix:
+        context = context if context is not None else ApplicationContext()
+        return self.engine.repair(detection, context)
+
+    @staticmethod
+    def _iter_detections(
+        detections: "DetectionReport | Sequence[Detection] | Sequence[RankedDetection]",
+    ) -> Iterable[Detection]:
+        if isinstance(detections, DetectionReport):
+            yield from detections.detections
+            return
+        for item in detections:
+            if isinstance(item, RankedDetection):
+                yield item.detection
+            else:
+                yield item

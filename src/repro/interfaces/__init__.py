@@ -1,0 +1,6 @@
+"""User-facing interfaces: CLI, interactive shell, and REST (§7)."""
+from .cli import main as cli_main
+from .rest import RestServer, create_server, handle_check_request
+from .shell import SQLCheckShell
+
+__all__ = ["RestServer", "SQLCheckShell", "cli_main", "create_server", "handle_check_request"]

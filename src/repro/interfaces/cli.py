@@ -1,0 +1,118 @@
+"""Command-line interface.
+
+``sqlcheck`` (installed as a console script) reads SQL from files, a literal
+``--query``, or stdin, runs the toolchain, and prints the ranked detections
+with their suggested fixes.  ``--format json`` emits the machine-readable
+report; ``--no-inter-query`` / ``--no-fixes`` expose the ablation switches
+used in the evaluation.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from ..core.sqlcheck import SQLCheck, SQLCheckOptions, SQLCheckReport
+from ..detector.detector import DetectorConfig
+from ..ranking.config import C1, C2, RankingConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sqlcheck",
+        description="Detect, rank, and fix SQL anti-patterns (SQLCheck reproduction).",
+    )
+    parser.add_argument("files", nargs="*", help="SQL files to analyse (reads stdin when empty)")
+    parser.add_argument("-q", "--query", action="append", default=[], help="analyse a literal SQL statement")
+    parser.add_argument("--format", choices=("text", "json"), default="text", help="output format")
+    parser.add_argument("--config", choices=("C1", "C2"), default="C1", help="ranking configuration (Figure 7a)")
+    parser.add_argument("--dialect", default=None, help="SQL dialect hint (postgresql, mysql, sqlite, ...)")
+    parser.add_argument("--top", type=int, default=0, help="only print the N highest-impact detections")
+    parser.add_argument("--no-inter-query", action="store_true", help="disable inter-query analysis")
+    parser.add_argument("--no-fixes", action="store_true", help="do not generate fixes")
+    parser.add_argument("--min-confidence", type=float, default=0.5, help="confidence threshold")
+    return parser
+
+
+def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple[int, str]:
+    """Run the CLI and return (exit code, rendered output).
+
+    ``stdin`` can be supplied directly for tests; otherwise the process stdin
+    is read when no files or --query arguments are given.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    sql_parts: list[str] = []
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as handle:
+            sql_parts.append(handle.read())
+    sql_parts.extend(args.query)
+    if not sql_parts:
+        text = stdin if stdin is not None else sys.stdin.read()
+        if text.strip():
+            sql_parts.append(text)
+    if not sql_parts:
+        return 2, "error: no SQL to analyse (pass files, --query, or pipe SQL on stdin)"
+
+    ranking: RankingConfig = C1 if args.config == "C1" else C2
+    options = SQLCheckOptions(
+        detector=DetectorConfig(
+            enable_inter_query=not args.no_inter_query,
+            confidence_threshold=args.min_confidence,
+            dialect=args.dialect,
+        ),
+        ranking=ranking,
+        suggest_fixes=not args.no_fixes,
+    )
+    toolchain = SQLCheck(options)
+    report = toolchain.check("\n".join(sql_parts))
+    output = render(report, fmt=args.format, top=args.top)
+    return (1 if len(report) else 0), output
+
+
+def render(report: SQLCheckReport, *, fmt: str = "text", top: int = 0) -> str:
+    """Render a report as text or JSON."""
+    if fmt == "json":
+        payload = report.to_dict()
+        if top:
+            payload["detections"] = payload["detections"][:top]
+        return json.dumps(payload, indent=2, default=str)
+    lines: list[str] = []
+    entries = report.detections[:top] if top else report.detections
+    lines.append(
+        f"sqlcheck: {len(report.detections)} anti-pattern(s) in "
+        f"{report.queries_analyzed} statement(s)"
+    )
+    for entry in entries:
+        detection = entry.detection
+        lines.append("")
+        lines.append(
+            f"[{entry.rank}] {detection.display_name}  (score {entry.score:.3f}, "
+            f"confidence {detection.confidence:.2f}, {detection.detection_mode})"
+        )
+        if detection.query:
+            lines.append(f"    query : {detection.query.strip()[:120]}")
+        if detection.table:
+            target = f"{detection.table}.{detection.column}" if detection.column else detection.table
+            lines.append(f"    target: {target}")
+        lines.append(f"    why   : {detection.message}")
+        fix = report.fix_for(entry)
+        if fix is not None:
+            lines.append(f"    fix   : {fix.explanation}")
+            for statement in fix.statements:
+                lines.append(f"            {statement.splitlines()[0]}" + (" …" if "\n" in statement else ""))
+            if fix.rewritten_query:
+                lines.append(f"            rewrite -> {fix.rewritten_query}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Console-script entry point."""
+    code, output = run(argv)
+    print(output)
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,126 @@
+"""REST interface (§7).
+
+The paper exposes ``POST /api/check`` with a JSON body ``{"query": "..."}``
+through Flask.  Flask is unavailable offline, so the same contract is served
+by the standard library's ``http.server``:
+
+* ``POST /api/check``  — body ``{"query": "...", "config": "C1"|"C2"}``,
+  returns the ranked detections and fixes as JSON;
+* ``GET  /api/antipatterns`` — the supported anti-pattern catalog;
+* ``GET  /api/health`` — liveness probe.
+
+``handle_check_request`` contains the framework-independent logic so it can
+be unit-tested without opening a socket.
+"""
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..core.sqlcheck import SQLCheck, SQLCheckOptions
+from ..model.antipatterns import full_catalog
+from ..ranking.config import C1, C2
+
+
+def handle_check_request(payload: dict) -> tuple[int, dict]:
+    """Process the body of ``POST /api/check`` and return (status, response)."""
+    query = payload.get("query")
+    if not query or not isinstance(query, str):
+        return 400, {"error": "the request body must contain a non-empty 'query' string"}
+    config_name = str(payload.get("config", "C1")).upper()
+    ranking = C2 if config_name == "C2" else C1
+    toolchain = SQLCheck(SQLCheckOptions(ranking=ranking))
+    report = toolchain.check(query)
+    return 200, report.to_dict()
+
+
+def catalog_response() -> dict:
+    """Response body of ``GET /api/antipatterns``."""
+    return {
+        "anti_patterns": [
+            {
+                "name": entry.anti_pattern.value,
+                "display_name": entry.anti_pattern.display_name,
+                "category": entry.category.value,
+                "description": entry.description,
+            }
+            for entry in full_catalog().values()
+        ]
+    }
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """HTTP request handler mapping routes onto the functions above."""
+
+    def log_message(self, format: str, *args) -> None:  # pragma: no cover - silence
+        return
+
+    def _send(self, status: int, body: dict) -> None:
+        data = json.dumps(body, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path == "/api/health":
+            self._send(200, {"status": "ok"})
+        elif self.path == "/api/antipatterns":
+            self._send(200, catalog_response())
+        else:
+            self._send(404, {"error": f"unknown path {self.path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server naming)
+        if self.path != "/api/check":
+            self._send(404, {"error": f"unknown path {self.path}"})
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            payload = json.loads(raw.decode("utf-8") or "{}")
+        except json.JSONDecodeError:
+            self._send(400, {"error": "request body is not valid JSON"})
+            return
+        status, body = handle_check_request(payload)
+        self._send(status, body)
+
+
+class RestServer:
+    """A small threaded HTTP server exposing the sqlcheck REST API."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0):
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self._server.server_address[0], self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "RestServer":
+        self._thread = threading.Thread(target=self._server.serve_forever, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "RestServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def create_server(host: str = "127.0.0.1", port: int = 8080) -> RestServer:
+    """Create (but do not start) a REST server."""
+    return RestServer(host=host, port=port)

@@ -1,0 +1,91 @@
+"""Interactive shell interface (§7).
+
+A small ``cmd``-based REPL: paste a SQL statement and sqlcheck prints the
+detected anti-patterns and suggested fixes.  Multi-statement input is
+supported; ``schema <ddl>`` accumulates DDL so later statements benefit from
+inter-query context.
+"""
+from __future__ import annotations
+
+import cmd
+from typing import IO
+
+from ..core.sqlcheck import SQLCheck, SQLCheckOptions
+from .cli import render
+
+
+class SQLCheckShell(cmd.Cmd):
+    """Interactive sqlcheck shell."""
+
+    intro = (
+        "sqlcheck interactive shell — type a SQL statement to analyse it,\n"
+        "'schema <DDL>' to register schema context, 'help' for commands, 'quit' to exit."
+    )
+    prompt = "sqlcheck> "
+
+    def __init__(self, stdin: IO | None = None, stdout: IO | None = None):
+        super().__init__(stdin=stdin, stdout=stdout)
+        if stdin is not None:
+            self.use_rawinput = False
+        self.toolchain = SQLCheck(SQLCheckOptions())
+        self.schema_statements: list[str] = []
+        self.history: list[str] = []
+
+    # ------------------------------------------------------------------
+    # commands
+    # ------------------------------------------------------------------
+    def do_schema(self, line: str) -> bool | None:
+        """schema <DDL> — register DDL statements as application context."""
+        if line.strip():
+            self.schema_statements.append(line.strip())
+            self.stdout.write(f"registered ({len(self.schema_statements)} schema statement(s))\n")
+        else:
+            for statement in self.schema_statements:
+                self.stdout.write(statement + "\n")
+        return None
+
+    def do_reset(self, line: str) -> bool | None:
+        """reset — clear the registered schema context and history."""
+        self.schema_statements.clear()
+        self.history.clear()
+        self.stdout.write("context cleared\n")
+        return None
+
+    def do_history(self, line: str) -> bool | None:
+        """history — list the statements analysed so far."""
+        for statement in self.history:
+            self.stdout.write(statement + "\n")
+        return None
+
+    def do_quit(self, line: str) -> bool:
+        """quit — leave the shell."""
+        return True
+
+    do_exit = do_quit
+    do_EOF = do_quit
+
+    def emptyline(self) -> bool | None:  # pragma: no cover - interactive nicety
+        return None
+
+    def default(self, line: str) -> bool | None:
+        """Anything that is not a command is treated as SQL to analyse."""
+        sql = line.strip()
+        if not sql:
+            return None
+        self.history.append(sql)
+        workload = ";\n".join(self.schema_statements + [sql])
+        report = self.toolchain.check(workload)
+        # Only show findings attached to the statement just typed (the schema
+        # statements are context, not the subject of the question).
+        relevant = [
+            entry
+            for entry in report.detections
+            if entry.detection.query.strip().rstrip(";") == sql.rstrip(";")
+            or not entry.detection.query
+        ]
+        if not relevant:
+            self.stdout.write("no anti-patterns detected\n")
+            return None
+        report.detections = relevant
+        self.stdout.write(render(report) + "\n")
+        return None

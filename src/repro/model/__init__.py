@@ -1,0 +1,14 @@
+"""Anti-pattern model: the AP taxonomy (Table 1) and detection records."""
+from .antipatterns import AntiPattern, APCategory, ImpactProfile, catalog_entry, full_catalog
+from .detection import Detection, DetectionReport, Severity
+
+__all__ = [
+    "APCategory",
+    "AntiPattern",
+    "Detection",
+    "DetectionReport",
+    "ImpactProfile",
+    "Severity",
+    "catalog_entry",
+    "full_catalog",
+]

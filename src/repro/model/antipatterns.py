@@ -1,0 +1,296 @@
+"""The anti-pattern taxonomy (paper Table 1).
+
+Every anti-pattern sqlcheck targets is listed here together with its
+category and its qualitative impact profile — which of the five metrics
+(Performance, Maintainability, Data Amplification, Data Integrity, Accuracy)
+the paper marks as affected.  The ranking model builds on these profiles.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class APCategory(enum.Enum):
+    """The four anti-pattern categories from §2.2."""
+
+    LOGICAL_DESIGN = "logical_design"
+    PHYSICAL_DESIGN = "physical_design"
+    QUERY = "query"
+    DATA = "data"
+
+
+class AntiPattern(enum.Enum):
+    """The anti-patterns sqlcheck detects (Table 1, plus Readable Password
+    which appears in the Table 3 distribution)."""
+
+    # Logical design APs
+    MULTI_VALUED_ATTRIBUTE = "multi_valued_attribute"
+    NO_PRIMARY_KEY = "no_primary_key"
+    NO_FOREIGN_KEY = "no_foreign_key"
+    GENERIC_PRIMARY_KEY = "generic_primary_key"
+    DATA_IN_METADATA = "data_in_metadata"
+    ADJACENCY_LIST = "adjacency_list"
+    GOD_TABLE = "god_table"
+    # Physical design APs
+    ROUNDING_ERRORS = "rounding_errors"
+    ENUMERATED_TYPES = "enumerated_types"
+    EXTERNAL_DATA_STORAGE = "external_data_storage"
+    INDEX_OVERUSE = "index_overuse"
+    INDEX_UNDERUSE = "index_underuse"
+    CLONE_TABLE = "clone_table"
+    # Query APs
+    COLUMN_WILDCARD = "column_wildcard"
+    CONCATENATE_NULLS = "concatenate_nulls"
+    ORDERING_BY_RAND = "ordering_by_rand"
+    PATTERN_MATCHING = "pattern_matching"
+    IMPLICIT_COLUMNS = "implicit_columns"
+    DISTINCT_AND_JOIN = "distinct_and_join"
+    TOO_MANY_JOINS = "too_many_joins"
+    READABLE_PASSWORD = "readable_password"
+    # Data APs
+    MISSING_TIMEZONE = "missing_timezone"
+    INCORRECT_DATA_TYPE = "incorrect_data_type"
+    DENORMALIZED_TABLE = "denormalized_table"
+    INFORMATION_DUPLICATION = "information_duplication"
+    REDUNDANT_COLUMN = "redundant_column"
+    NO_DOMAIN_CONSTRAINT = "no_domain_constraint"
+
+    @property
+    def display_name(self) -> str:
+        return self.value.replace("_", " ").title()
+
+
+@dataclass(frozen=True)
+class ImpactProfile:
+    """Which of the five Table 1 metrics an anti-pattern affects.
+
+    ``data_amplification`` uses +1 when fixing the AP *increases* data size
+    (the ↑ in Table 1), -1 when fixing it decreases data size (↓), and 0
+    when the AP does not affect data amplification.
+    """
+
+    performance: bool = False
+    maintainability: bool = False
+    data_amplification: int = 0
+    data_integrity: bool = False
+    accuracy: bool = False
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One row of Table 1."""
+
+    anti_pattern: AntiPattern
+    category: APCategory
+    description: str
+    impact: ImpactProfile
+
+
+_CATALOG: dict[AntiPattern, CatalogEntry] = {}
+
+
+def _register(
+    anti_pattern: AntiPattern,
+    category: APCategory,
+    description: str,
+    *,
+    performance: bool = False,
+    maintainability: bool = False,
+    data_amplification: int = 0,
+    data_integrity: bool = False,
+    accuracy: bool = False,
+) -> None:
+    _CATALOG[anti_pattern] = CatalogEntry(
+        anti_pattern=anti_pattern,
+        category=category,
+        description=description,
+        impact=ImpactProfile(
+            performance=performance,
+            maintainability=maintainability,
+            data_amplification=data_amplification,
+            data_integrity=data_integrity,
+            accuracy=accuracy,
+        ),
+    )
+
+
+# --- Logical design APs -------------------------------------------------
+_register(
+    AntiPattern.MULTI_VALUED_ATTRIBUTE,
+    APCategory.LOGICAL_DESIGN,
+    "Storing list of values in a delimiter-separated list violating 1-NF.",
+    performance=True, maintainability=True, data_amplification=-1, data_integrity=True, accuracy=True,
+)
+_register(
+    AntiPattern.NO_PRIMARY_KEY,
+    APCategory.LOGICAL_DESIGN,
+    "Lack of data integrity constraints.",
+    performance=True, maintainability=True, data_amplification=+1, data_integrity=True,
+)
+_register(
+    AntiPattern.NO_FOREIGN_KEY,
+    APCategory.LOGICAL_DESIGN,
+    "Lack of referential integrity constraints.",
+    performance=True, maintainability=True, data_integrity=True,
+)
+_register(
+    AntiPattern.GENERIC_PRIMARY_KEY,
+    APCategory.LOGICAL_DESIGN,
+    "Creating a generic primary key column (e.g., id) for each table.",
+    maintainability=True,
+)
+_register(
+    AntiPattern.DATA_IN_METADATA,
+    APCategory.LOGICAL_DESIGN,
+    "Hard-coding application logic in table's meta-data.",
+    performance=True, maintainability=True, data_amplification=-1, data_integrity=True, accuracy=True,
+)
+_register(
+    AntiPattern.ADJACENCY_LIST,
+    APCategory.LOGICAL_DESIGN,
+    "Foreign key constraint referring to an attribute in the same table.",
+    performance=True,
+)
+_register(
+    AntiPattern.GOD_TABLE,
+    APCategory.LOGICAL_DESIGN,
+    "Number of attributes defined in the table cross a threshold (e.g., 10).",
+    performance=True, maintainability=True,
+)
+
+# --- Physical design APs ------------------------------------------------
+_register(
+    AntiPattern.ROUNDING_ERRORS,
+    APCategory.PHYSICAL_DESIGN,
+    "Storing fractional data using a type with finite precision (e.g., FLOAT).",
+    accuracy=True,
+)
+_register(
+    AntiPattern.ENUMERATED_TYPES,
+    APCategory.PHYSICAL_DESIGN,
+    "Using enum to constrain the domain of a column.",
+    performance=True, maintainability=True, data_amplification=-1,
+)
+_register(
+    AntiPattern.EXTERNAL_DATA_STORAGE,
+    APCategory.PHYSICAL_DESIGN,
+    "Storing file paths instead of actual file content in database.",
+    maintainability=True, data_integrity=True, accuracy=True,
+)
+_register(
+    AntiPattern.INDEX_OVERUSE,
+    APCategory.PHYSICAL_DESIGN,
+    "Creating too many infrequently-used indexes.",
+    performance=True, maintainability=True, data_amplification=-1,
+)
+_register(
+    AntiPattern.INDEX_UNDERUSE,
+    APCategory.PHYSICAL_DESIGN,
+    "Lack of performance-critical indexes.",
+    performance=True, maintainability=True, data_amplification=+1,
+)
+_register(
+    AntiPattern.CLONE_TABLE,
+    APCategory.PHYSICAL_DESIGN,
+    "Multiple tables matching the pattern <TableName>_N.",
+    performance=True, maintainability=True, data_integrity=True, accuracy=True,
+)
+
+# --- Query APs ----------------------------------------------------------
+_register(
+    AntiPattern.COLUMN_WILDCARD,
+    APCategory.QUERY,
+    "Selecting all attributes from a table using wildcards to reduce typing.",
+    performance=True, accuracy=True,
+)
+_register(
+    AntiPattern.CONCATENATE_NULLS,
+    APCategory.QUERY,
+    "Concatenating columns that might contain NULL values using ||.",
+    accuracy=True,
+)
+_register(
+    AntiPattern.ORDERING_BY_RAND,
+    APCategory.QUERY,
+    "Using RAND function for random sampling or shuffling.",
+    performance=True,
+)
+_register(
+    AntiPattern.PATTERN_MATCHING,
+    APCategory.QUERY,
+    "Using regular expressions for pattern matching complex strings.",
+    performance=True,
+)
+_register(
+    AntiPattern.IMPLICIT_COLUMNS,
+    APCategory.QUERY,
+    "Not explicitly specifying column names in data modification operations.",
+    maintainability=True, data_integrity=True,
+)
+_register(
+    AntiPattern.DISTINCT_AND_JOIN,
+    APCategory.QUERY,
+    "Using DISTINCT to remove duplicate values generated by a JOIN.",
+    performance=True, maintainability=True,
+)
+_register(
+    AntiPattern.TOO_MANY_JOINS,
+    APCategory.QUERY,
+    "Number of JOINs cross a threshold.",
+    performance=True,
+)
+_register(
+    AntiPattern.READABLE_PASSWORD,
+    APCategory.QUERY,
+    "Storing or comparing plain-text passwords in queries.",
+    data_integrity=True, accuracy=True,
+)
+
+# --- Data APs -------------------------------------------------------------
+_register(
+    AntiPattern.MISSING_TIMEZONE,
+    APCategory.DATA,
+    "Date-time fields stored without timezone.",
+    accuracy=True,
+)
+_register(
+    AntiPattern.INCORRECT_DATA_TYPE,
+    APCategory.DATA,
+    "Actual data does not conform to expected data type.",
+    performance=True, data_amplification=-1,
+)
+_register(
+    AntiPattern.DENORMALIZED_TABLE,
+    APCategory.DATA,
+    "Duplication of values.",
+    performance=True, data_amplification=-1,
+)
+_register(
+    AntiPattern.INFORMATION_DUPLICATION,
+    APCategory.DATA,
+    "Derived columns (e.g., age from date of birth).",
+    maintainability=True, data_integrity=True, accuracy=True,
+)
+_register(
+    AntiPattern.REDUNDANT_COLUMN,
+    APCategory.DATA,
+    "Column with NULLs or same value (e.g., en-us).",
+    data_amplification=-1,
+)
+_register(
+    AntiPattern.NO_DOMAIN_CONSTRAINT,
+    APCategory.DATA,
+    "All values should belong to particular range (e.g., rating).",
+    maintainability=True, data_amplification=-1, data_integrity=True,
+)
+
+
+def catalog_entry(anti_pattern: AntiPattern) -> CatalogEntry:
+    """Look up the Table 1 entry for an anti-pattern."""
+    return _CATALOG[anti_pattern]
+
+
+def full_catalog() -> dict[AntiPattern, CatalogEntry]:
+    """The complete anti-pattern catalog keyed by :class:`AntiPattern`."""
+    return dict(_CATALOG)

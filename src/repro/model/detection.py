@@ -1,0 +1,141 @@
+"""Detection records produced by ap-detect and consumed by ap-rank / ap-fix."""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .antipatterns import AntiPattern, APCategory, catalog_entry
+
+
+class Severity(enum.Enum):
+    """Coarse severity level used when no quantitative ranking is requested."""
+
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+    def __lt__(self, other: "Severity") -> bool:
+        return self.value < other.value
+
+
+@dataclass
+class Detection:
+    """A single anti-pattern occurrence.
+
+    Attributes:
+        anti_pattern: the detected anti-pattern type.
+        message: human-readable explanation tailored to the occurrence.
+        query: the offending SQL statement text (empty for pure data APs).
+        query_index: index of the statement in the workload, if applicable.
+        table: the table involved, when known.
+        column: the column involved, when known.
+        source: provenance label (file name, application name, database name).
+        rule: name of the rule that fired.
+        detection_mode: ``intra_query``, ``inter_query``, or ``data``.
+        confidence: the rule's confidence in [0, 1]; contextual rules raise or
+            lower this, and the detector drops detections whose confidence
+            falls below its threshold (this is how inter-query/data analysis
+            removes false positives, §4).
+        severity: coarse severity; the ranking model computes a finer score.
+        score: impact score filled in by ap-rank.
+        metadata: free-form extra facts used by ap-fix (e.g. delimiter found).
+    """
+
+    anti_pattern: AntiPattern
+    message: str = ""
+    query: str = ""
+    query_index: int | None = None
+    table: str | None = None
+    column: str | None = None
+    source: str | None = None
+    rule: str = ""
+    detection_mode: str = "intra_query"
+    confidence: float = 1.0
+    severity: Severity = Severity.MEDIUM
+    score: float | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def category(self) -> APCategory:
+        return catalog_entry(self.anti_pattern).category
+
+    @property
+    def display_name(self) -> str:
+        return self.anti_pattern.display_name
+
+    def key(self) -> tuple:
+        """Deduplication key: same AP on the same statement/table/column."""
+        return (
+            self.anti_pattern,
+            self.query_index,
+            (self.table or "").lower(),
+            (self.column or "").lower(),
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly representation (used by the REST interface)."""
+        return {
+            "anti_pattern": self.anti_pattern.value,
+            "display_name": self.display_name,
+            "category": self.category.value,
+            "message": self.message,
+            "query": self.query,
+            "query_index": self.query_index,
+            "table": self.table,
+            "column": self.column,
+            "source": self.source,
+            "rule": self.rule,
+            "detection_mode": self.detection_mode,
+            "confidence": round(self.confidence, 3),
+            "severity": self.severity.name,
+            "score": self.score,
+            "metadata": dict(self.metadata),
+        }
+
+
+@dataclass
+class DetectionReport:
+    """The result of running ap-detect over a workload."""
+
+    detections: list[Detection] = field(default_factory=list)
+    queries_analyzed: int = 0
+    tables_analyzed: int = 0
+
+    def __iter__(self):
+        return iter(self.detections)
+
+    def __len__(self) -> int:
+        return len(self.detections)
+
+    def by_type(self) -> dict[AntiPattern, list[Detection]]:
+        grouped: dict[AntiPattern, list[Detection]] = {}
+        for detection in self.detections:
+            grouped.setdefault(detection.anti_pattern, []).append(detection)
+        return grouped
+
+    def counts(self) -> dict[AntiPattern, int]:
+        return {ap: len(items) for ap, items in self.by_type().items()}
+
+    def types_detected(self) -> set[AntiPattern]:
+        return {d.anti_pattern for d in self.detections}
+
+    def filter(self, *anti_patterns: AntiPattern) -> list[Detection]:
+        wanted = set(anti_patterns)
+        return [d for d in self.detections if d.anti_pattern in wanted]
+
+    def deduplicated(self) -> list[Detection]:
+        """Detections with duplicate (AP, query, table, column) keys removed,
+        keeping the highest-confidence occurrence."""
+        best: dict[tuple, Detection] = {}
+        for detection in self.detections:
+            key = detection.key()
+            if key not in best or detection.confidence > best[key].confidence:
+                best[key] = detection
+        return list(best.values())
+
+    def to_dict(self) -> dict:
+        return {
+            "queries_analyzed": self.queries_analyzed,
+            "tables_analyzed": self.tables_analyzed,
+            "detections": [d.to_dict() for d in self.detections],
+        }

@@ -1,0 +1,23 @@
+"""Data profiling: column/table statistics that power the data-analysis rules."""
+from .column_profile import ColumnProfile
+from .inference import (
+    detect_delimited_values,
+    detect_derived_pair,
+    looks_like_email,
+    looks_like_file_path,
+    looks_like_plaintext_password_column,
+)
+from .profiler import DataProfiler, TableProfile
+from .sampler import Sampler
+
+__all__ = [
+    "ColumnProfile",
+    "DataProfiler",
+    "Sampler",
+    "TableProfile",
+    "detect_delimited_values",
+    "detect_derived_pair",
+    "looks_like_email",
+    "looks_like_file_path",
+    "looks_like_plaintext_password_column",
+]

@@ -1,0 +1,138 @@
+"""Per-column statistics computed by the data analyser."""
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..catalog.types import TypeFamily, infer_type_from_value, value_has_timezone
+from .inference import detect_delimited_values, looks_like_file_path
+
+
+@dataclass
+class ColumnProfile:
+    """Statistics for a single column over the sampled rows.
+
+    These are the facts the paper's data analyser collects: "the distribution
+    of the data in the component columns (e.g., unique values, mean, median)"
+    plus format inferences used by individual data rules.
+    """
+
+    name: str
+    table: str = ""
+    values_sampled: int = 0
+    null_count: int = 0
+    distinct_count: int = 0
+    inferred_family: TypeFamily = TypeFamily.OTHER
+    family_counts: dict[TypeFamily, int] = field(default_factory=dict)
+    mean: float | None = None
+    median: float | None = None
+    min_value: Any = None
+    max_value: Any = None
+    average_length: float | None = None
+    most_common_value: Any = None
+    most_common_fraction: float = 0.0
+    delimiter: str | None = None
+    delimited_fraction: float = 0.0
+    timezone_fraction: float = 0.0
+    file_path_fraction: float = 0.0
+
+    # -- derived ratios ------------------------------------------------------
+    @property
+    def non_null_count(self) -> int:
+        return self.values_sampled - self.null_count
+
+    @property
+    def null_fraction(self) -> float:
+        if self.values_sampled == 0:
+            return 0.0
+        return self.null_count / self.values_sampled
+
+    @property
+    def distinct_ratio(self) -> float:
+        """Distinct values over non-null values (1.0 = all unique)."""
+        if self.non_null_count == 0:
+            return 0.0
+        return self.distinct_count / self.non_null_count
+
+    @property
+    def is_constant(self) -> bool:
+        return self.non_null_count > 0 and self.distinct_count <= 1
+
+    @property
+    def is_all_null(self) -> bool:
+        return self.values_sampled > 0 and self.null_count == self.values_sampled
+
+    @property
+    def looks_delimited(self) -> bool:
+        return self.delimiter is not None and self.delimited_fraction >= 0.5
+
+
+def profile_column(name: str, values: list[Any], table: str = "") -> ColumnProfile:
+    """Compute a :class:`ColumnProfile` from sampled values."""
+    profile = ColumnProfile(name=name, table=table, values_sampled=len(values))
+    non_null = [v for v in values if v is not None]
+    profile.null_count = len(values) - len(non_null)
+    if not non_null:
+        return profile
+
+    as_keys = [_hashable(v) for v in non_null]
+    counts: dict[Any, int] = {}
+    for key in as_keys:
+        counts[key] = counts.get(key, 0) + 1
+    profile.distinct_count = len(counts)
+    most_common = max(counts.items(), key=lambda kv: kv[1])
+    profile.most_common_value = most_common[0]
+    profile.most_common_fraction = most_common[1] / len(non_null)
+
+    family_counts: dict[TypeFamily, int] = {}
+    for value in non_null:
+        family = infer_type_from_value(value)
+        family_counts[family] = family_counts.get(family, 0) + 1
+    profile.family_counts = family_counts
+    profile.inferred_family = max(family_counts.items(), key=lambda kv: kv[1])[0]
+
+    numbers = [_as_number(v) for v in non_null]
+    numbers = [n for n in numbers if n is not None]
+    if numbers:
+        profile.mean = statistics.fmean(numbers)
+        profile.median = statistics.median(numbers)
+        profile.min_value = min(numbers)
+        profile.max_value = max(numbers)
+    else:
+        text_values = sorted(str(v) for v in non_null)
+        profile.min_value = text_values[0]
+        profile.max_value = text_values[-1]
+
+    text_lengths = [len(str(v)) for v in non_null]
+    profile.average_length = statistics.fmean(text_lengths) if text_lengths else None
+
+    delimiter, fraction = detect_delimited_values([str(v) for v in non_null])
+    profile.delimiter = delimiter
+    profile.delimited_fraction = fraction
+
+    timezone_hits = sum(1 for v in non_null if value_has_timezone(v))
+    profile.timezone_fraction = timezone_hits / len(non_null)
+
+    path_hits = sum(1 for v in non_null if looks_like_file_path(str(v)))
+    profile.file_path_fraction = path_hits / len(non_null)
+    return profile
+
+
+def _hashable(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return str(value)
+
+
+def _as_number(value: Any) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(str(value))
+    except (TypeError, ValueError):
+        return None

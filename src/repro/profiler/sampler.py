@@ -1,0 +1,48 @@
+"""Tuple sampling.
+
+Data analysis is computationally expensive, so ap-detect samples tuples from
+each table instead of scanning everything (§4.2: "It then collects samples
+from each table in the examined database"; the sampling frequency is
+configurable).  The sampler is deterministic for reproducibility.
+"""
+from __future__ import annotations
+
+import random
+from typing import Any, Sequence
+
+
+class Sampler:
+    """Deterministic reservoir-style sampler over table rows."""
+
+    def __init__(self, sample_size: int = 1000, seed: int = 7):
+        if sample_size <= 0:
+            raise ValueError("sample_size must be positive")
+        self.sample_size = sample_size
+        self.seed = seed
+
+    def sample(self, rows: Sequence[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Sample up to ``sample_size`` rows.
+
+        Small tables are returned in full; larger tables are sampled without
+        replacement using a seeded PRNG so repeated runs see the same sample.
+        """
+        rows = list(rows)
+        if len(rows) <= self.sample_size:
+            return rows
+        rng = random.Random(self.seed)
+        return rng.sample(rows, self.sample_size)
+
+    def sample_column(self, rows: Sequence[dict[str, Any]], column: str) -> list[Any]:
+        """Sampled values of a single column (case-insensitive lookup)."""
+        sampled = self.sample(rows)
+        values: list[Any] = []
+        lowered = column.lower()
+        for row in sampled:
+            if column in row:
+                values.append(row[column])
+                continue
+            for key, value in row.items():
+                if key.lower() == lowered:
+                    values.append(value)
+                    break
+        return values

@@ -1,0 +1,15 @@
+"""ap-rank: impact metrics and the weighted ranking model (§5)."""
+from .config import C1, C2, RankingConfig
+from .metrics import APMetrics, MetricEstimator, default_metrics
+from .ranker import APRanker, RankedDetection
+
+__all__ = [
+    "APMetrics",
+    "APRanker",
+    "C1",
+    "C2",
+    "MetricEstimator",
+    "RankedDetection",
+    "RankingConfig",
+    "default_metrics",
+]

@@ -1,0 +1,82 @@
+"""Ranking-model configuration (Figure 6 / Figure 7a).
+
+The score of an anti-pattern is a weighted combination of six normalised
+metrics:
+
+    score = Wrp * Srp(RP) + Wwp * Swp(WP) + Wm * Sm(M)
+          + Wda * Sda(DA) + Wdi * Sdi(DI) + Wa * Sa(A)
+
+with Srp(x) = Swp(x) = Sm(x) = min(1, x/5), Sda(x) = min(1, x/8), and
+Sdi / Sa being 0/1 indicators.  The developer tunes the weights to match
+the application (read-heavy vs. hybrid workloads, etc.).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RankingConfig:
+    """Weights of the ranking model (one row of Figure 7a)."""
+
+    name: str = "custom"
+    w_read_performance: float = 0.7
+    w_write_performance: float = 0.15
+    w_maintainability: float = 0.05
+    w_data_amplification: float = 0.04
+    w_data_integrity: float = 0.02
+    w_accuracy: float = 0.02
+    #: inter-query ordering mode: "score" ranks by aggregate impact score,
+    #: "count" ranks queries with more anti-patterns higher (§5.2).
+    inter_query_mode: str = "score"
+
+    def weights(self) -> tuple[float, float, float, float, float, float]:
+        return (
+            self.w_read_performance,
+            self.w_write_performance,
+            self.w_maintainability,
+            self.w_data_amplification,
+            self.w_data_integrity,
+            self.w_accuracy,
+        )
+
+    def total_weight(self) -> float:
+        return sum(self.weights())
+
+
+#: C1 — prioritises read performance (analytical workloads), Figure 7a row 1.
+C1 = RankingConfig(
+    name="C1",
+    w_read_performance=0.7,
+    w_write_performance=0.15,
+    w_maintainability=0.05,
+    w_data_amplification=0.04,
+    w_data_integrity=0.02,
+    w_accuracy=0.02,
+)
+
+#: C2 — equal read/write priority (HTAP workloads), Figure 7a row 2.
+C2 = RankingConfig(
+    name="C2",
+    w_read_performance=0.4,
+    w_write_performance=0.4,
+    w_maintainability=0.1,
+    w_data_amplification=0.04,
+    w_data_integrity=0.02,
+    w_accuracy=0.02,
+)
+
+
+def normalise_performance(x: float) -> float:
+    """Srp / Swp / Sm from Figure 6: ``min(1, x / 5)``."""
+    return min(1.0, max(0.0, x) / 5.0)
+
+
+def normalise_amplification(x: float) -> float:
+    """Sda from Figure 6: ``min(1, x / 8)``."""
+    return min(1.0, max(0.0, x) / 8.0)
+
+
+def normalise_indicator(x: float) -> float:
+    """Sdi / Sa from Figure 6: a 0/1 indicator."""
+    return 1.0 if x else 0.0

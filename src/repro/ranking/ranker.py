@@ -1,0 +1,112 @@
+"""ap-rank (§5.2): order detected anti-patterns by estimated impact."""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..model.antipatterns import AntiPattern
+from ..model.detection import Detection, DetectionReport
+from .config import (
+    C1,
+    RankingConfig,
+    normalise_amplification,
+    normalise_indicator,
+    normalise_performance,
+)
+from .metrics import APMetrics, default_metrics
+
+
+@dataclass
+class RankedDetection:
+    """A detection together with its computed impact score and rank."""
+
+    detection: Detection
+    score: float
+    rank: int = 0
+
+    @property
+    def anti_pattern(self) -> AntiPattern:
+        return self.detection.anti_pattern
+
+
+class APRanker:
+    """Scores and orders detections.
+
+    The model has two components (§5.2): the *intra-query* component scores
+    each detection with the Figure 6 formula; the *inter-query* component
+    orders whole queries either by their aggregate score or by how many
+    anti-patterns they contain, depending on the configuration.
+    """
+
+    def __init__(
+        self,
+        config: RankingConfig = C1,
+        metrics: dict[AntiPattern, APMetrics] | None = None,
+    ):
+        self.config = config
+        self.metrics = metrics if metrics is not None else default_metrics()
+
+    # ------------------------------------------------------------------
+    # scoring
+    # ------------------------------------------------------------------
+    def score_metrics(self, metrics: APMetrics) -> float:
+        """Apply the Figure 6 formula to a metric vector."""
+        config = self.config
+        return (
+            config.w_read_performance * normalise_performance(metrics.read_performance)
+            + config.w_write_performance * normalise_performance(metrics.write_performance)
+            + config.w_maintainability * normalise_performance(metrics.maintainability)
+            + config.w_data_amplification * normalise_amplification(metrics.data_amplification)
+            + config.w_data_integrity * normalise_indicator(metrics.data_integrity)
+            + config.w_accuracy * normalise_indicator(metrics.accuracy)
+        )
+
+    def score_anti_pattern(self, anti_pattern: AntiPattern) -> float:
+        """Impact score of an anti-pattern type under the current config."""
+        return self.score_metrics(self.metrics.get(anti_pattern, APMetrics()))
+
+    def score_detection(self, detection: Detection) -> float:
+        """Impact score of one detection (type score weighted by confidence)."""
+        return self.score_anti_pattern(detection.anti_pattern) * detection.confidence
+
+    # ------------------------------------------------------------------
+    # ranking
+    # ------------------------------------------------------------------
+    def rank(self, report: "DetectionReport | list[Detection]") -> list[RankedDetection]:
+        """Rank every detection in decreasing order of estimated impact."""
+        detections = list(report.detections if isinstance(report, DetectionReport) else report)
+        ranked = [
+            RankedDetection(detection=d, score=self.score_detection(d)) for d in detections
+        ]
+        ranked.sort(key=lambda r: (-r.score, r.detection.anti_pattern.value))
+        for position, entry in enumerate(ranked, start=1):
+            entry.rank = position
+            entry.detection.score = round(entry.score, 6)
+        return ranked
+
+    def rank_queries(
+        self, report: "DetectionReport | list[Detection]"
+    ) -> list[tuple[int | None, float, list[Detection]]]:
+        """Inter-query ranking: order queries by aggregate impact.
+
+        Returns (query index, aggregate value, detections) tuples in rank
+        order.  The aggregate is the summed score when
+        ``config.inter_query_mode == "score"`` and the anti-pattern count when
+        it is ``"count"`` (§5.2's two inter-query modes).
+        """
+        detections = list(report.detections if isinstance(report, DetectionReport) else report)
+        per_query: dict[int | None, list[Detection]] = {}
+        for detection in detections:
+            per_query.setdefault(detection.query_index, []).append(detection)
+        entries = []
+        for query_index, group in per_query.items():
+            if self.config.inter_query_mode == "count":
+                aggregate = float(len(group))
+            else:
+                aggregate = sum(self.score_detection(d) for d in group)
+            entries.append((query_index, aggregate, group))
+        entries.sort(key=lambda item: -item[1])
+        return entries
+
+    def top(self, report: "DetectionReport | list[Detection]", n: int = 10) -> list[RankedDetection]:
+        """The ``n`` highest-impact detections."""
+        return self.rank(report)[:n]

@@ -1,0 +1,24 @@
+"""Anti-pattern detection rules.
+
+Rules come in two flavours mirroring Algorithms 2 and 3 of the paper:
+
+* **query rules** inspect one annotated statement at a time, optionally
+  consulting the application context (inter-query detection);
+* **data rules** inspect one table profile at a time (data analysis).
+
+All rules are registered in a :class:`RuleRegistry`; sqlcheck is extensible
+by registering additional rules that implement the same interface.
+"""
+from .base import DataRule, QueryRule, Rule, RuleContext
+from .registry import RuleRegistry, default_registry
+from .thresholds import Thresholds
+
+__all__ = [
+    "DataRule",
+    "QueryRule",
+    "Rule",
+    "RuleContext",
+    "RuleRegistry",
+    "Thresholds",
+    "default_registry",
+]

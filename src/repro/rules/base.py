@@ -1,0 +1,126 @@
+"""Rule base classes.
+
+The paper represents each rule as "a general-purpose function that leverages
+the overall context of the application" (§4).  Here that function is the
+``check`` method; a rule also declares which anti-pattern it detects, which
+statement types it applies to, and whether it needs the inter-query context
+(so the detector can run an intra-query-only configuration for the Table 3
+ablation).
+"""
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..context.application_context import ApplicationContext
+from ..model.antipatterns import AntiPattern
+from ..model.detection import Detection, Severity
+from ..profiler.profiler import TableProfile
+from ..sqlparser import QueryAnnotation
+from .thresholds import Thresholds
+
+
+@dataclass
+class RuleContext:
+    """What a rule sees when it runs.
+
+    ``application`` is the full application context; ``use_inter_query`` and
+    ``use_data`` tell the rule which parts it may consult.  When inter-query
+    analysis is disabled the detector still passes the application context,
+    but contextual refinements must be skipped — rules honour the flags via
+    the convenience properties below.
+    """
+
+    application: ApplicationContext
+    thresholds: Thresholds = field(default_factory=Thresholds)
+    use_inter_query: bool = True
+    use_data: bool = True
+
+    @property
+    def schema_available(self) -> bool:
+        return self.use_inter_query and self.application.schema.table_count > 0
+
+    @property
+    def data_available(self) -> bool:
+        return self.use_data and self.application.has_data
+
+    @property
+    def queries(self) -> list[QueryAnnotation]:
+        return self.application.queries if self.use_inter_query else []
+
+
+class Rule(abc.ABC):
+    """Common interface for query rules and data rules."""
+
+    #: the anti-pattern this rule detects
+    anti_pattern: AntiPattern
+    #: short machine name (defaults to the class name)
+    name: str = ""
+    #: default severity attached to detections
+    severity: Severity = Severity.MEDIUM
+
+    def __init__(self) -> None:
+        if not self.name:
+            self.name = type(self).__name__
+
+    def make_detection(
+        self,
+        *,
+        message: str,
+        query: QueryAnnotation | None = None,
+        table: str | None = None,
+        column: str | None = None,
+        confidence: float = 1.0,
+        detection_mode: str = "intra_query",
+        metadata: dict | None = None,
+    ) -> Detection:
+        """Build a :class:`Detection` pre-filled with this rule's identity."""
+        return Detection(
+            anti_pattern=self.anti_pattern,
+            message=message,
+            query=query.raw if query is not None else "",
+            query_index=query.statement.index if query is not None else None,
+            source=query.statement.source if query is not None else None,
+            table=table,
+            column=column,
+            rule=self.name,
+            detection_mode=detection_mode,
+            confidence=max(0.0, min(1.0, confidence)),
+            severity=self.severity,
+            metadata=metadata or {},
+        )
+
+
+class QueryRule(Rule):
+    """A rule applied to one annotated query (Algorithm 2)."""
+
+    #: statement types the rule applies to; empty means every statement.
+    statement_types: tuple[str, ...] = ()
+    #: True when the rule needs the inter-query context to fire at all.
+    requires_context: bool = False
+
+    def applies_to(self, annotation: QueryAnnotation) -> bool:
+        if not self.statement_types:
+            return True
+        return annotation.statement_type in self.statement_types
+
+    @abc.abstractmethod
+    def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
+        """Return the detections found in ``annotation`` (possibly empty)."""
+
+
+class DataRule(Rule):
+    """A rule applied to one table profile (Algorithm 3)."""
+
+    @abc.abstractmethod
+    def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
+        """Return the detections found in the profiled table (possibly empty)."""
+
+
+def merge_detections(groups: Iterable[list[Detection]]) -> list[Detection]:
+    """Flatten detection lists produced by several rules."""
+    merged: list[Detection] = []
+    for group in groups:
+        merged.extend(group)
+    return merged

@@ -1,0 +1,416 @@
+"""Data anti-pattern rules (Table 1, fourth block).
+
+Missing Timezone, Incorrect Data Type, Denormalized Table, Information
+Duplication, Redundant Column, No Domain Constraint.  These are the rules
+that only examine data (and the schema the data implies), which is how
+sqlcheck analyses the Kaggle databases without any queries (§8.4).
+"""
+from __future__ import annotations
+
+import itertools
+import re
+
+from ..catalog.types import TypeFamily
+from ..model.antipatterns import AntiPattern
+from ..model.detection import Detection, Severity
+from ..profiler.inference import detect_derived_pair
+from ..profiler.profiler import TableProfile
+from .base import DataRule, RuleContext
+
+_BOUNDED_COLUMN_RE = re.compile(
+    r"(rating|score|status|grade|level|priority|severity|stars|rank|category|type|state)$",
+    re.IGNORECASE,
+)
+
+
+class MissingTimezoneRule(DataRule):
+    """Date-time columns stored without timezone information."""
+
+    anti_pattern = AntiPattern.MISSING_TIMEZONE
+    severity = Severity.LOW
+
+    def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
+        detections = []
+        thresholds = context.thresholds
+        for column_profile in profile.columns.values():
+            if column_profile.non_null_count < thresholds.min_sample_size:
+                continue
+            definition = (
+                profile.definition.get_column(column_profile.name)
+                if profile.definition is not None
+                else None
+            )
+            declared_temporal = definition is not None and definition.sql_type.family is TypeFamily.DATETIME
+            inferred_temporal = column_profile.inferred_family is TypeFamily.DATETIME
+            if not (declared_temporal or inferred_temporal):
+                continue
+            if definition is not None and definition.sql_type.with_timezone:
+                continue
+            if column_profile.timezone_fraction > thresholds.timezone_fraction:
+                continue
+            detections.append(
+                self.make_detection(
+                    message=(
+                        f"Column '{profile.name}.{column_profile.name}' stores timestamps without a "
+                        "timezone; readings are ambiguous once clients span time zones — use "
+                        "TIMESTAMP WITH TIME ZONE."
+                    ),
+                    table=profile.name,
+                    column=column_profile.name,
+                    confidence=0.85 if declared_temporal else 0.7,
+                    detection_mode="data",
+                )
+            )
+        return detections
+
+
+class IncorrectDataTypeRule(DataRule):
+    """Actual data does not conform to the declared column type."""
+
+    anti_pattern = AntiPattern.INCORRECT_DATA_TYPE
+    severity = Severity.MEDIUM
+
+    _COMPATIBLE: dict[TypeFamily, set[TypeFamily]] = {
+        TypeFamily.TEXT: {TypeFamily.TEXT},
+        TypeFamily.INTEGER: {TypeFamily.INTEGER},
+        TypeFamily.APPROXIMATE_NUMERIC: {TypeFamily.APPROXIMATE_NUMERIC, TypeFamily.INTEGER},
+        TypeFamily.EXACT_NUMERIC: {TypeFamily.EXACT_NUMERIC, TypeFamily.APPROXIMATE_NUMERIC, TypeFamily.INTEGER},
+        TypeFamily.BOOLEAN: {TypeFamily.BOOLEAN, TypeFamily.INTEGER},
+        TypeFamily.DATE: {TypeFamily.DATE, TypeFamily.DATETIME},
+        TypeFamily.DATETIME: {TypeFamily.DATETIME, TypeFamily.DATE},
+        TypeFamily.TIME: {TypeFamily.TIME},
+        TypeFamily.UUID: {TypeFamily.UUID, TypeFamily.TEXT},
+    }
+
+    def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
+        detections = []
+        if profile.definition is None:
+            return detections
+        thresholds = context.thresholds
+        for column_profile in profile.columns.values():
+            if column_profile.non_null_count < thresholds.min_sample_size:
+                continue
+            definition = profile.definition.get_column(column_profile.name)
+            if definition is None:
+                continue
+            declared = definition.sql_type.family
+            if declared not in self._COMPATIBLE:
+                continue
+            compatible = self._COMPATIBLE[declared]
+            mismatching = sum(
+                count
+                for family, count in column_profile.family_counts.items()
+                if family not in compatible
+            )
+            fraction = mismatching / max(1, column_profile.non_null_count)
+            # A TEXT column dominated by numeric / date / boolean values is the
+            # classic case ("storing a numerical field in a TEXT column").
+            if declared is TypeFamily.TEXT:
+                if fraction < thresholds.type_mismatch_fraction:
+                    continue
+                inferred = column_profile.inferred_family
+                if inferred is TypeFamily.TEXT:
+                    continue
+                suggestion = inferred.value
+            else:
+                if fraction < thresholds.type_mismatch_fraction:
+                    continue
+                suggestion = column_profile.inferred_family.value
+            detections.append(
+                self.make_detection(
+                    message=(
+                        f"Column '{profile.name}.{column_profile.name}' is declared "
+                        f"{definition.sql_type.name} but {fraction:.0%} of sampled values look like "
+                        f"{suggestion}; the mismatch costs storage and prevents index-friendly comparisons."
+                    ),
+                    table=profile.name,
+                    column=column_profile.name,
+                    confidence=min(1.0, 0.5 + fraction / 2),
+                    detection_mode="data",
+                    metadata={"declared": definition.sql_type.name, "inferred": suggestion},
+                )
+            )
+        return detections
+
+
+class DenormalizedTableRule(DataRule):
+    """Wide-spread duplication of values in a non-key column."""
+
+    anti_pattern = AntiPattern.DENORMALIZED_TABLE
+    severity = Severity.MEDIUM
+
+    def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
+        detections = []
+        thresholds = context.thresholds
+        if profile.sampled_rows < thresholds.min_sample_size * 4:
+            return detections
+        for column_profile in profile.columns.values():
+            if column_profile.non_null_count < thresholds.min_sample_size * 4:
+                continue
+            if column_profile.inferred_family is not TypeFamily.TEXT:
+                continue
+            definition = (
+                profile.definition.get_column(column_profile.name)
+                if profile.definition is not None
+                else None
+            )
+            if definition is not None and (definition.is_primary_key or definition.references):
+                continue
+            if (column_profile.average_length or 0) < 4:
+                continue
+            if column_profile.distinct_count <= 1:
+                continue  # redundant column, handled by RedundantColumnRule
+            if (
+                column_profile.most_common_fraction >= thresholds.denormalized_most_common_fraction
+                and column_profile.distinct_ratio <= thresholds.denormalized_distinct_ratio
+            ):
+                detections.append(
+                    self.make_detection(
+                        message=(
+                            f"Column '{profile.name}.{column_profile.name}' repeats the same long "
+                            f"text values ({column_profile.most_common_fraction:.0%} of rows share one "
+                            "value); normalising it into a reference table removes the duplication."
+                        ),
+                        table=profile.name,
+                        column=column_profile.name,
+                        confidence=0.7,
+                        detection_mode="data",
+                        metadata={
+                            "distinct_ratio": round(column_profile.distinct_ratio, 4),
+                            "most_common_fraction": round(column_profile.most_common_fraction, 4),
+                        },
+                    )
+                )
+        return detections
+
+
+class InformationDuplicationRule(DataRule):
+    """Columns whose values are derivable from another column."""
+
+    anti_pattern = AntiPattern.INFORMATION_DUPLICATION
+    severity = Severity.LOW
+
+    def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
+        detections = []
+        thresholds = context.thresholds
+        names = [c.name for c in profile.columns.values()]
+        if len(names) < 2 or profile.sampled_rows < thresholds.min_sample_size:
+            return detections
+        sample_values = self._column_values(profile, context)
+        for first, second in itertools.combinations(names, 2):
+            if detect_derived_pair(
+                first, sample_values.get(first.lower(), []), second, sample_values.get(second.lower(), [])
+            ):
+                detections.append(
+                    self.make_detection(
+                        message=(
+                            f"Column '{profile.name}.{first}' appears to be derivable from "
+                            f"'{second}' (or vice versa); storing both invites inconsistency."
+                        ),
+                        table=profile.name,
+                        column=first,
+                        confidence=0.65,
+                        detection_mode="data",
+                        metadata={"other_column": second},
+                    )
+                )
+        return detections
+
+    def _column_values(self, profile: TableProfile, context: RuleContext) -> dict[str, list]:
+        database = context.application.database
+        values: dict[str, list] = {}
+        if database is not None:
+            stored = database.get_table(profile.name)
+            if stored is not None:
+                rows = stored.all_rows()[:200]
+                for column in profile.columns.values():
+                    values[column.name.lower()] = [
+                        self._row_value(row, column.name) for row in rows
+                    ]
+                return values
+        return values
+
+    @staticmethod
+    def _row_value(row: dict, column: str):
+        if column in row:
+            return row[column]
+        lowered = column.lower()
+        for key, value in row.items():
+            if key.lower() == lowered:
+                return value
+        return None
+
+
+class RedundantColumnRule(DataRule):
+    """Columns that carry no information: all NULLs or a single constant value."""
+
+    anti_pattern = AntiPattern.REDUNDANT_COLUMN
+    severity = Severity.LOW
+
+    def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
+        detections = []
+        thresholds = context.thresholds
+        if profile.sampled_rows < thresholds.min_sample_size * 4:
+            return detections
+        for column_profile in profile.columns.values():
+            if column_profile.values_sampled < thresholds.min_sample_size * 4:
+                continue
+            reason = None
+            if column_profile.null_fraction >= thresholds.redundant_null_fraction:
+                reason = f"{column_profile.null_fraction:.0%} of sampled values are NULL"
+            elif column_profile.is_constant and column_profile.non_null_count >= thresholds.min_sample_size * 4:
+                reason = f"every sampled value equals {column_profile.most_common_value!r}"
+            if reason is None:
+                continue
+            definition = (
+                profile.definition.get_column(column_profile.name)
+                if profile.definition is not None
+                else None
+            )
+            if definition is not None and definition.is_primary_key:
+                continue
+            detections.append(
+                self.make_detection(
+                    message=(
+                        f"Column '{profile.name}.{column_profile.name}' is redundant: {reason}."
+                    ),
+                    table=profile.name,
+                    column=column_profile.name,
+                    confidence=0.8,
+                    detection_mode="data",
+                )
+            )
+        return detections
+
+
+class NoDomainConstraintRule(DataRule):
+    """Columns whose values clearly belong to a bounded domain but whose
+    schema does not enforce it."""
+
+    anti_pattern = AntiPattern.NO_DOMAIN_CONSTRAINT
+    severity = Severity.LOW
+
+    def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
+        detections = []
+        thresholds = context.thresholds
+        for column_profile in profile.columns.values():
+            if column_profile.non_null_count < thresholds.min_sample_size * 2:
+                continue
+            definition = (
+                profile.definition.get_column(column_profile.name)
+                if profile.definition is not None
+                else None
+            )
+            if definition is None:
+                continue
+            if definition.is_primary_key or definition.references is not None:
+                continue
+            if definition.has_domain_constraint:
+                continue
+            bounded_name = bool(_BOUNDED_COLUMN_RE.search(column_profile.name))
+            small_domain = (
+                1 < column_profile.distinct_count <= thresholds.domain_constraint_max_distinct
+                and column_profile.distinct_ratio <= 0.5
+            )
+            bounded_numeric = (
+                column_profile.inferred_family is TypeFamily.INTEGER
+                and column_profile.min_value is not None
+                and column_profile.max_value is not None
+                and 0 <= float(column_profile.min_value)
+                and float(column_profile.max_value) <= 10
+                and column_profile.distinct_count <= thresholds.domain_constraint_max_distinct
+            )
+            if not (bounded_name and (small_domain or bounded_numeric)):
+                continue
+            detections.append(
+                self.make_detection(
+                    message=(
+                        f"Column '{profile.name}.{column_profile.name}' takes only "
+                        f"{column_profile.distinct_count} values "
+                        f"({column_profile.min_value!r}–{column_profile.max_value!r}) but no CHECK or "
+                        "FOREIGN KEY constraint restricts its domain."
+                    ),
+                    table=profile.name,
+                    column=column_profile.name,
+                    confidence=0.7,
+                    detection_mode="data",
+                    metadata={
+                        "distinct_count": column_profile.distinct_count,
+                        "min": column_profile.min_value,
+                        "max": column_profile.max_value,
+                    },
+                )
+            )
+        return detections
+
+
+class DataInMetadataDataRule(DataRule):
+    """Data-analysis variant of the Data In Metadata rule: numbered column
+    groups (``metric_1, metric_2, …``) or value-bearing table names found in
+    a profiled schema (used for the Kaggle databases, §8.4)."""
+
+    anti_pattern = AntiPattern.DATA_IN_METADATA
+    severity = Severity.MEDIUM
+
+    _NUMBERED_RE = re.compile(r"^(?P<prefix>[A-Za-z_]+?)_?(?P<number>\d+)$")
+
+    def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
+        detections: list[Detection] = []
+        groups: dict[str, list[str]] = {}
+        for column_profile in profile.columns.values():
+            match = self._NUMBERED_RE.match(column_profile.name)
+            if match and len(match.group("prefix").rstrip("_")) >= 2:
+                groups.setdefault(match.group("prefix").rstrip("_").lower(), []).append(
+                    column_profile.name
+                )
+        for prefix, members in groups.items():
+            if len(members) >= context.thresholds.data_in_metadata_min_columns:
+                detections.append(
+                    self.make_detection(
+                        message=(
+                            f"Table '{profile.name}' stores a repeating group in numbered columns "
+                            f"{', '.join(sorted(members))}; the position belongs in a child-table row."
+                        ),
+                        table=profile.name,
+                        column=sorted(members)[0],
+                        confidence=0.8,
+                        detection_mode="data",
+                        metadata={"columns": sorted(members)},
+                    )
+                )
+        if re.search(r"_(19|20)\d{2}$", profile.name):
+            detections.append(
+                self.make_detection(
+                    message=f"Table name '{profile.name}' embeds a data value (a year).",
+                    table=profile.name,
+                    confidence=0.8,
+                    detection_mode="data",
+                )
+            )
+        return detections
+
+
+class GenericPrimaryKeyDataRule(DataRule):
+    """Data-analysis variant of the Generic Primary Key rule (used for the
+    Kaggle databases, where only schemas and data — not DDL text — exist)."""
+
+    anti_pattern = AntiPattern.GENERIC_PRIMARY_KEY
+    severity = Severity.LOW
+
+    def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
+        if profile.definition is None:
+            return []
+        pk = profile.definition.primary_key_columns
+        if len(pk) != 1 or pk[0].lower() not in ("id", "pk", "key", "rowid", "row_id"):
+            return []
+        return [
+            self.make_detection(
+                message=(
+                    f"Table '{profile.name}' uses the generic primary key column '{pk[0]}'."
+                ),
+                table=profile.name,
+                column=pk[0],
+                confidence=0.85,
+                detection_mode="data",
+            )
+        ]

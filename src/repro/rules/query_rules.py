@@ -1,0 +1,298 @@
+"""Query anti-pattern rules (Table 1, third block).
+
+Column Wildcard, Concatenate Nulls, Ordering by RAND, Pattern Matching,
+Implicit Columns, DISTINCT & JOIN, Too Many Joins, and Readable Password.
+"""
+from __future__ import annotations
+
+import re
+
+from ..model.antipatterns import AntiPattern
+from ..model.detection import Detection, Severity
+from ..sqlparser import QueryAnnotation
+from .base import QueryRule, RuleContext
+
+_PASSWORD_COLUMN_RE = re.compile(r"\b(password|passwd|pwd)\b", re.IGNORECASE)
+_HASH_LITERAL_RE = re.compile(r"^[0-9a-fA-F]{32,128}$|^\$2[aby]?\$")
+_LEADING_WILDCARD_RE = re.compile(r"^['\"]?%")
+
+
+class ColumnWildcardRule(QueryRule):
+    """``SELECT *`` projections (excluding ``COUNT(*)``-style aggregates)."""
+
+    anti_pattern = AntiPattern.COLUMN_WILDCARD
+    severity = Severity.LOW
+    statement_types = ("SELECT",)
+
+    def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
+        if not annotation.has_select_wildcard:
+            return []
+        # COUNT(*) etc. put the wildcard inside a function call; the select
+        # item then contains a parenthesis.
+        wildcard_items = [
+            item
+            for item in annotation.select_items
+            if item.strip() == "*" or item.strip().endswith(".*" ) or item.strip().endswith(". *")
+        ]
+        if not wildcard_items:
+            return []
+        table = annotation.tables[0].name if annotation.tables else None
+        return [
+            self.make_detection(
+                message=(
+                    "SELECT * returns every column; schema changes silently break the "
+                    "application and unneeded columns inflate network traffic — list the "
+                    "columns explicitly."
+                ),
+                query=annotation,
+                table=table,
+                confidence=0.9,
+            )
+        ]
+
+
+class ImplicitColumnsRule(QueryRule):
+    """INSERT statements that omit the column list (Example 2)."""
+
+    anti_pattern = AntiPattern.IMPLICIT_COLUMNS
+    severity = Severity.MEDIUM
+    statement_types = ("INSERT",)
+
+    def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
+        if annotation.insert_columns is not None:
+            return []
+        table = annotation.tables[0].name if annotation.tables else None
+        confidence = 0.9
+        metadata: dict = {}
+        if context.schema_available and table is not None:
+            table_def = context.application.table(table)
+            if table_def is not None and table_def.columns:
+                metadata["expected_columns"] = table_def.column_names
+        return [
+            self.make_detection(
+                message=(
+                    f"INSERT INTO {table or '?'} does not list its target columns; the statement "
+                    "breaks silently when the table's schema evolves."
+                ),
+                query=annotation,
+                table=table,
+                confidence=confidence,
+                metadata=metadata,
+            )
+        ]
+
+
+class OrderingByRandRule(QueryRule):
+    """ORDER BY RAND()/RANDOM() forces a full sort of the result set."""
+
+    anti_pattern = AntiPattern.ORDERING_BY_RAND
+    severity = Severity.MEDIUM
+    statement_types = ("SELECT",)
+
+    def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
+        if not annotation.uses_random_ordering:
+            return []
+        table = annotation.tables[0].name if annotation.tables else None
+        return [
+            self.make_detection(
+                message=(
+                    "ORDER BY RAND() sorts the entire result just to pick random rows; "
+                    "use a random key lookup or TABLESAMPLE instead."
+                ),
+                query=annotation,
+                table=table,
+                confidence=0.95,
+            )
+        ]
+
+
+class PatternMatchingRule(QueryRule):
+    """Pattern-matching predicates that defeat index usage."""
+
+    anti_pattern = AntiPattern.PATTERN_MATCHING
+    severity = Severity.MEDIUM
+    statement_types = ("SELECT", "UPDATE", "DELETE")
+
+    def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
+        detections: list[Detection] = []
+        for predicate in annotation.pattern_predicates:
+            if predicate.column is None:
+                continue
+            value = (predicate.value or "")
+            regex_style = predicate.operator in ("REGEXP", "RLIKE", "SIMILAR TO", "GLOB")
+            leading_wildcard = bool(_LEADING_WILDCARD_RE.match(value.strip()))
+            if not (regex_style or leading_wildcard):
+                # LIKE 'abc%' can still use an index; not an anti-pattern.
+                continue
+            table = annotation.resolve_qualifier(predicate.column.qualifier) or (
+                annotation.tables[0].name if annotation.tables else None
+            )
+            detections.append(
+                self.make_detection(
+                    message=(
+                        f"Predicate {predicate.column.name} {predicate.operator} {value or '…'} "
+                        "cannot use an index "
+                        + ("because regular-expression matching scans every row."
+                           if regex_style
+                           else "because the pattern starts with a wildcard."),
+                    ),
+                    query=annotation,
+                    table=table,
+                    column=predicate.column.name,
+                    confidence=0.85 if regex_style else 0.75,
+                    metadata={"operator": predicate.operator, "pattern": value},
+                )
+            )
+        return detections
+
+
+class ConcatenateNullsRule(QueryRule):
+    """String concatenation over columns that may contain NULLs."""
+
+    anti_pattern = AntiPattern.CONCATENATE_NULLS
+    severity = Severity.LOW
+    statement_types = ("SELECT", "UPDATE", "INSERT")
+
+    def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
+        if not annotation.uses_concat_operator:
+            return []
+        # Identify columns adjacent to the || operator.
+        tokens = annotation.statement.meaningful_tokens()
+        suspicious: list[str] = []
+        for i, token in enumerate(tokens):
+            if token.value == "||":
+                for j in (i - 1, i + 1):
+                    if 0 <= j < len(tokens) and tokens[j].is_identifier:
+                        suspicious.append(tokens[j].unquoted())
+        if not suspicious:
+            return []
+        table = annotation.tables[0].name if annotation.tables else None
+        nullable = None
+        if context.schema_available and table is not None:
+            table_def = context.application.table(table)
+            if table_def is not None and table_def.columns:
+                involved = [table_def.get_column(c) for c in suspicious]
+                involved = [c for c in involved if c is not None]
+                if involved:
+                    nullable = any(c.nullable for c in involved)
+        if nullable is False:
+            return []
+        confidence = 0.85 if nullable else 0.6
+        return [
+            self.make_detection(
+                message=(
+                    f"Concatenating column(s) {', '.join(dict.fromkeys(suspicious))} with '||' yields "
+                    "NULL when any operand is NULL; wrap them in COALESCE()."
+                ),
+                query=annotation,
+                table=table,
+                column=suspicious[0],
+                confidence=confidence,
+                detection_mode="inter_query" if nullable is not None else "intra_query",
+            )
+        ]
+
+
+class DistinctAndJoinRule(QueryRule):
+    """DISTINCT used to compensate for row multiplication caused by a JOIN."""
+
+    anti_pattern = AntiPattern.DISTINCT_AND_JOIN
+    severity = Severity.MEDIUM
+    statement_types = ("SELECT",)
+
+    def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
+        if not annotation.is_distinct or annotation.join_count == 0:
+            return []
+        table = annotation.tables[0].name if annotation.tables else None
+        return [
+            self.make_detection(
+                message=(
+                    "SELECT DISTINCT over a JOIN usually papers over duplicate rows produced by "
+                    "the join; rewrite with EXISTS or a semi-join instead of deduplicating."
+                ),
+                query=annotation,
+                table=table,
+                confidence=0.8,
+                metadata={"join_count": annotation.join_count},
+            )
+        ]
+
+
+class TooManyJoinsRule(QueryRule):
+    """Queries whose JOIN count crosses the configured threshold."""
+
+    anti_pattern = AntiPattern.TOO_MANY_JOINS
+    severity = Severity.MEDIUM
+    statement_types = ("SELECT", "UPDATE", "DELETE")
+
+    def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
+        threshold = context.thresholds.too_many_joins
+        total_tables = len(annotation.all_tables)
+        joins = max(annotation.join_count, total_tables - 1 if total_tables else 0)
+        if joins < threshold:
+            return []
+        table = annotation.tables[0].name if annotation.tables else None
+        return [
+            self.make_detection(
+                message=(
+                    f"The query joins {joins + 1} tables (threshold {threshold}); the optimizer's "
+                    "search space explodes and intermediate results grow — consider denormalising "
+                    "or splitting the query."
+                ),
+                query=annotation,
+                table=table,
+                confidence=0.85,
+                metadata={"join_count": joins},
+            )
+        ]
+
+
+class ReadablePasswordRule(QueryRule):
+    """Plain-text passwords stored or compared in SQL statements."""
+
+    anti_pattern = AntiPattern.READABLE_PASSWORD
+    severity = Severity.HIGH
+    statement_types = ("SELECT", "INSERT", "UPDATE", "CREATE_TABLE")
+
+    def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
+        raw = annotation.raw
+        if not _PASSWORD_COLUMN_RE.search(raw):
+            return []
+        table = annotation.tables[0].name if annotation.tables else None
+        # Compare / assign a literal to a password column -> plain text usage.
+        literal_use = re.search(
+            r"(password|passwd|pwd)\s*(=|LIKE)\s*'(?P<value>[^']*)'", raw, re.IGNORECASE
+        )
+        if annotation.statement_type == "CREATE_TABLE":
+            match = re.search(r"\b(password|passwd|pwd)\w*\s+(VARCHAR|TEXT|CHAR)", raw, re.IGNORECASE)
+            if match is None:
+                return []
+            return [
+                self.make_detection(
+                    message=(
+                        "The schema stores passwords in a plain text column; store a salted hash "
+                        "(e.g. bcrypt) instead."
+                    ),
+                    query=annotation,
+                    table=table,
+                    column=match.group(1),
+                    confidence=0.6,
+                )
+            ]
+        if literal_use is None:
+            return []
+        value = literal_use.group("value")
+        if _HASH_LITERAL_RE.match(value):
+            return []
+        return [
+            self.make_detection(
+                message=(
+                    "The statement compares or stores a plain-text password literal; passwords "
+                    "must be hashed before they reach the database."
+                ),
+                query=annotation,
+                table=table,
+                column=literal_use.group(1),
+                confidence=0.9,
+            )
+        ]

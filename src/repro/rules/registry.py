@@ -1,0 +1,171 @@
+"""Rule registry.
+
+The paper stresses extensibility: "A developer may add a new AP rule that
+implements the generic rule interface ... and register it in the sqlcheck
+rule registry" (§7).  :func:`default_registry` builds the registry covering
+every Table 1 anti-pattern; callers can register additional rules or disable
+existing ones.
+"""
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..model.antipatterns import AntiPattern
+from .base import DataRule, QueryRule, Rule
+from .data_rules import (
+    DataInMetadataDataRule,
+    DenormalizedTableRule,
+    GenericPrimaryKeyDataRule,
+    IncorrectDataTypeRule,
+    InformationDuplicationRule,
+    MissingTimezoneRule,
+    NoDomainConstraintRule,
+    RedundantColumnRule,
+)
+from .logical_design import (
+    AdjacencyListRule,
+    CloneTableRule,
+    DataInMetadataRule,
+    GenericPrimaryKeyRule,
+    GodTableRule,
+    MultiValuedAttributeDataRule,
+    MultiValuedAttributeRule,
+    NoForeignKeyRule,
+    NoPrimaryKeyDataRule,
+    NoPrimaryKeyRule,
+)
+from .physical_design import (
+    EnumeratedTypesDataRule,
+    EnumeratedTypesRule,
+    ExternalDataStorageDataRule,
+    ExternalDataStorageRule,
+    IndexOveruseRule,
+    IndexUnderuseRule,
+    RoundingErrorsRule,
+)
+from .query_rules import (
+    ColumnWildcardRule,
+    ConcatenateNullsRule,
+    DistinctAndJoinRule,
+    ImplicitColumnsRule,
+    OrderingByRandRule,
+    PatternMatchingRule,
+    ReadablePasswordRule,
+    TooManyJoinsRule,
+)
+
+
+class RuleRegistry:
+    """Holds the active query rules and data rules."""
+
+    def __init__(self, rules: Iterable[Rule] = ()):
+        self._query_rules: list[QueryRule] = []
+        self._data_rules: list[DataRule] = []
+        for rule in rules:
+            self.register(rule)
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, rule: Rule) -> Rule:
+        """Register a rule instance (returns it, so it can be used as a decorator helper)."""
+        if isinstance(rule, QueryRule):
+            self._query_rules.append(rule)
+        elif isinstance(rule, DataRule):
+            self._data_rules.append(rule)
+        else:
+            raise TypeError(f"{type(rule).__name__} is neither a QueryRule nor a DataRule")
+        return rule
+
+    def unregister(self, name: str) -> None:
+        """Remove every rule whose name matches ``name``."""
+        self._query_rules = [r for r in self._query_rules if r.name != name]
+        self._data_rules = [r for r in self._data_rules if r.name != name]
+
+    def disable_anti_pattern(self, anti_pattern: AntiPattern) -> None:
+        """Remove every rule detecting the given anti-pattern."""
+        self._query_rules = [r for r in self._query_rules if r.anti_pattern is not anti_pattern]
+        self._data_rules = [r for r in self._data_rules if r.anti_pattern is not anti_pattern]
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    @property
+    def query_rules(self) -> list[QueryRule]:
+        return list(self._query_rules)
+
+    @property
+    def data_rules(self) -> list[DataRule]:
+        return list(self._data_rules)
+
+    def rules_for_statement(self, statement_type: str) -> list[QueryRule]:
+        """Query rules applicable to a statement type (Algorithm 2's
+        ``RulesForQuery``)."""
+        return [
+            rule
+            for rule in self._query_rules
+            if not rule.statement_types or statement_type in rule.statement_types
+        ]
+
+    def anti_patterns_covered(self) -> set[AntiPattern]:
+        return {r.anti_pattern for r in self._query_rules} | {
+            r.anti_pattern for r in self._data_rules
+        }
+
+    def get(self, name: str) -> Rule | None:
+        for rule in self:
+            if rule.name == name:
+                return rule
+        return None
+
+    def __iter__(self) -> Iterator[Rule]:
+        yield from self._query_rules
+        yield from self._data_rules
+
+    def __len__(self) -> int:
+        return len(self._query_rules) + len(self._data_rules)
+
+
+def default_registry() -> RuleRegistry:
+    """The registry covering all 26 Table 1 anti-patterns (plus Readable Password)."""
+    return RuleRegistry(
+        [
+            # logical design
+            MultiValuedAttributeRule(),
+            MultiValuedAttributeDataRule(),
+            NoPrimaryKeyRule(),
+            NoPrimaryKeyDataRule(),
+            NoForeignKeyRule(),
+            GenericPrimaryKeyRule(),
+            GenericPrimaryKeyDataRule(),
+            DataInMetadataRule(),
+            AdjacencyListRule(),
+            GodTableRule(),
+            # physical design
+            RoundingErrorsRule(),
+            EnumeratedTypesRule(),
+            EnumeratedTypesDataRule(),
+            ExternalDataStorageRule(),
+            ExternalDataStorageDataRule(),
+            IndexOveruseRule(),
+            IndexUnderuseRule(),
+            CloneTableRule(),
+            # query
+            ColumnWildcardRule(),
+            ConcatenateNullsRule(),
+            OrderingByRandRule(),
+            PatternMatchingRule(),
+            ImplicitColumnsRule(),
+            DistinctAndJoinRule(),
+            TooManyJoinsRule(),
+            ReadablePasswordRule(),
+            # data
+            DataInMetadataDataRule(),
+            MissingTimezoneRule(),
+            IncorrectDataTypeRule(),
+            DenormalizedTableRule(),
+            InformationDuplicationRule(),
+            RedundantColumnRule(),
+            NoDomainConstraintRule(),
+        ]
+    )

@@ -1,0 +1,83 @@
+"""Configurable detection thresholds.
+
+The paper notes that "ap-detect allows the developer to configure the tuple
+sampling frequency and the thresholds associated with activating data rules"
+(§4.2).  Every tunable lives here with its default.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Thresholds:
+    """Thresholds controlling when rules fire."""
+
+    #: God Table: number of columns above which a table is flagged (Table 1
+    #: uses "e.g., 10").
+    god_table_columns: int = 10
+
+    #: Too Many Joins: number of JOIN clauses above which a query is flagged.
+    too_many_joins: int = 5
+
+    #: Enumerated Types (data rule): a textual column whose ratio of distinct
+    #: values to sampled tuples falls below this is an enum candidate
+    #: (Example 4 computes exactly this ratio).
+    enum_distinct_ratio: float = 0.05
+
+    #: Enumerated Types (data rule): at most this many distinct values.
+    enum_max_distinct: int = 10
+
+    #: Multi-Valued Attribute (data rule): fraction of sampled values that
+    #: must look like delimiter-separated lists.
+    delimited_fraction: float = 0.5
+
+    #: Index Underuse: minimum number of read lookups on a column before a
+    #: missing index is reported.
+    index_underuse_min_lookups: int = 1
+
+    #: Index Underuse (data refinement): minimum distinct ratio for an index
+    #: to be beneficial — low-cardinality columns are not worth indexing
+    #: (the Figure 8c false positive).
+    index_min_distinct_ratio: float = 0.01
+
+    #: Index Underuse (data refinement): minimum distinct values.
+    index_min_distinct_values: int = 3
+
+    #: Index Overuse: more indexes than this on one table is flagged.
+    index_overuse_max_indexes: int = 3
+
+    #: Clone Table: minimum number of ``name_<n>`` siblings.
+    clone_table_min_clones: int = 2
+
+    #: Data In Metadata: minimum number of numbered column siblings
+    #: (``col1, col2, col3``) before the design is flagged.
+    data_in_metadata_min_columns: int = 3
+
+    #: Redundant Column: fraction of NULLs above which a column is redundant.
+    redundant_null_fraction: float = 0.95
+
+    #: Denormalized Table: a non-key textual column whose most common value
+    #: covers at least this fraction of rows indicates duplication.
+    denormalized_most_common_fraction: float = 0.4
+
+    #: Denormalized Table: ...and whose distinct ratio is below this.
+    denormalized_distinct_ratio: float = 0.2
+
+    #: No Domain Constraint: a column with at most this many distinct values
+    #: (or an obviously bounded numeric range) should carry a constraint.
+    domain_constraint_max_distinct: int = 10
+
+    #: External Data Storage: fraction of values that look like file paths.
+    file_path_fraction: float = 0.5
+
+    #: Missing Timezone: fraction of values carrying a UTC offset below which
+    #: a timestamp column is flagged.
+    timezone_fraction: float = 0.05
+
+    #: Incorrect Data Type: fraction of sampled values whose inferred type
+    #: disagrees with the declared type.
+    type_mismatch_fraction: float = 0.8
+
+    #: Minimum sampled (non-null) values before a data rule may fire.
+    min_sample_size: int = 5

@@ -1,0 +1,74 @@
+"""Non-validating SQL parsing substrate.
+
+This package replaces the ``sqlparse`` dependency used by the original
+SQLCheck implementation: a tolerant lexer, a statement splitter, a grouping
+pass that builds a shallow parse tree, an annotation layer that extracts
+tables / columns / predicates / joins, and a serializer for the repair
+engine's rewrites.
+"""
+from .annotate import (
+    ColumnReference,
+    JoinInfo,
+    Predicate,
+    QueryAnnotation,
+    QueryAnnotator,
+    TableReference,
+    annotate,
+)
+from .ast import (
+    Comparison,
+    Function,
+    Group,
+    Identifier,
+    IdentifierList,
+    Node,
+    Parenthesis,
+    Statement,
+    TokenNode,
+    Where,
+)
+from .dialects import DIALECTS, Dialect, get_dialect
+from .lexer import Lexer, tokenize
+from .parser import STATEMENT_TYPES, ParsedStatement, classify_statement, parse, parse_statement
+from .serializer import format_sql, quote_identifier, quote_literal, to_sql
+from .splitter import split, split_tokens
+from .tokens import Token, TokenStream, TokenType
+
+__all__ = [
+    "ColumnReference",
+    "Comparison",
+    "DIALECTS",
+    "Dialect",
+    "Function",
+    "Group",
+    "Identifier",
+    "IdentifierList",
+    "JoinInfo",
+    "Lexer",
+    "Node",
+    "ParsedStatement",
+    "Parenthesis",
+    "Predicate",
+    "QueryAnnotation",
+    "QueryAnnotator",
+    "STATEMENT_TYPES",
+    "Statement",
+    "TableReference",
+    "Token",
+    "TokenNode",
+    "TokenStream",
+    "TokenType",
+    "Where",
+    "annotate",
+    "classify_statement",
+    "format_sql",
+    "get_dialect",
+    "parse",
+    "parse_statement",
+    "quote_identifier",
+    "quote_literal",
+    "split",
+    "split_tokens",
+    "to_sql",
+    "tokenize",
+]

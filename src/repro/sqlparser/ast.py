@@ -1,0 +1,271 @@
+"""Parse-tree node classes.
+
+The grouping pass (:mod:`repro.sqlparser.grouping`) folds the flat token
+stream into a shallow tree of these nodes.  The tree is deliberately
+*non-validating*: a malformed statement still produces a tree, it simply has
+fewer composite nodes.  The paper's rules and the query repair engine both
+walk this tree ("the tree-structured representation allows recursive
+application of rules", §4.1).
+"""
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from .tokens import Token, TokenType
+
+
+class Node:
+    """Base class for every parse-tree node."""
+
+    def flatten_tokens(self) -> Iterator[Token]:
+        """Yield the raw tokens covered by this node, in source order."""
+        raise NotImplementedError
+
+    def sql(self) -> str:
+        """Reconstruct the SQL text covered by this node."""
+        return "".join(t.value for t in self.flatten_tokens())
+
+    @property
+    def is_group(self) -> bool:
+        return isinstance(self, Group)
+
+
+class TokenNode(Node):
+    """Leaf node wrapping a single token."""
+
+    __slots__ = ("token",)
+
+    def __init__(self, token: Token):
+        self.token = token
+
+    def flatten_tokens(self) -> Iterator[Token]:
+        yield self.token
+
+    @property
+    def ttype(self) -> TokenType:
+        return self.token.ttype
+
+    @property
+    def value(self) -> str:
+        return self.token.value
+
+    @property
+    def normalized(self) -> str:
+        return self.token.normalized
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenNode({self.token.ttype.name}, {self.token.value!r})"
+
+
+class Group(Node):
+    """Composite node holding child nodes."""
+
+    def __init__(self, children: Iterable[Node] | None = None):
+        self.children: list[Node] = list(children or [])
+
+    def flatten_tokens(self) -> Iterator[Token]:
+        for child in self.children:
+            yield from child.flatten_tokens()
+
+    # -- navigation helpers -------------------------------------------------
+    def meaningful_children(self) -> list[Node]:
+        """Children that are not whitespace/comment leaves."""
+        result = []
+        for child in self.children:
+            if isinstance(child, TokenNode) and (child.token.is_whitespace or child.token.is_comment):
+                continue
+            result.append(child)
+        return result
+
+    def walk(self) -> Iterator[Node]:
+        """Depth-first traversal of the subtree (including self)."""
+        yield self
+        for child in self.children:
+            if isinstance(child, Group):
+                yield from child.walk()
+            else:
+                yield child
+
+    def find_all(self, node_type: type) -> Iterator[Node]:
+        """All descendant nodes (and possibly self) of the given class."""
+        for node in self.walk():
+            if isinstance(node, node_type):
+                yield node
+
+    def token_matching(self, ttype: TokenType, values: "str | tuple[str, ...] | None" = None
+                       ) -> TokenNode | None:
+        """First direct-child leaf matching the given type/values."""
+        for child in self.children:
+            if isinstance(child, TokenNode) and child.token.match(ttype, values):
+                return child
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.sql()!r})"
+
+
+class Parenthesis(Group):
+    """A parenthesised group, including the surrounding ``(`` and ``)``."""
+
+    def inner_children(self) -> list[Node]:
+        """Children excluding the outer parentheses."""
+        inner = []
+        for child in self.meaningful_children():
+            if isinstance(child, TokenNode) and child.value in ("(", ")"):
+                continue
+            inner.append(child)
+        return inner
+
+
+class Function(Group):
+    """A function call: a name leaf followed by a :class:`Parenthesis`."""
+
+    @property
+    def name(self) -> str:
+        for child in self.children:
+            if isinstance(child, TokenNode) and not child.token.is_whitespace:
+                return child.token.unquoted().upper()
+            if isinstance(child, Identifier):
+                return child.name.upper()
+        return ""
+
+    @property
+    def arguments(self) -> Parenthesis | None:
+        for child in self.children:
+            if isinstance(child, Parenthesis):
+                return child
+        return None
+
+
+class Identifier(Group):
+    """A (possibly dotted, possibly aliased) identifier.
+
+    Examples: ``users``, ``u.name``, ``Users AS u``, ``"Users" u``.
+    """
+
+    @property
+    def parts(self) -> list[str]:
+        """Dotted name components excluding the alias."""
+        names: list[str] = []
+        for child in self.children:
+            if isinstance(child, TokenNode):
+                if child.token.is_identifier:
+                    names.append(child.token.unquoted())
+                elif child.token.match(TokenType.KEYWORD, "AS"):
+                    break
+                elif child.token.is_whitespace:
+                    # whitespace before a bare alias terminates the dotted name
+                    if names:
+                        break
+        return names
+
+    @property
+    def name(self) -> str:
+        """The final component of the dotted name (column or table name)."""
+        parts = self.parts
+        return parts[-1] if parts else ""
+
+    @property
+    def qualifier(self) -> str | None:
+        """The table/schema qualifier, if the identifier is dotted."""
+        parts = self.parts
+        return parts[-2] if len(parts) >= 2 else None
+
+    @property
+    def alias(self) -> str | None:
+        """Alias introduced via ``AS alias`` or a trailing bare name."""
+        meaningful = [
+            c for c in self.children
+            if isinstance(c, TokenNode) and not c.token.is_whitespace and not c.token.is_comment
+        ]
+        saw_as = False
+        dotted_done = False
+        last_identifier: Token | None = None
+        for i, child in enumerate(meaningful):
+            token = child.token
+            if token.match(TokenType.KEYWORD, "AS"):
+                saw_as = True
+                continue
+            if token.is_identifier:
+                if saw_as:
+                    return token.unquoted()
+                if dotted_done:
+                    return token.unquoted()
+                last_identifier = token
+                # a dotted chain continues only when the next token is a dot
+                nxt = meaningful[i + 1] if i + 1 < len(meaningful) else None
+                if not (nxt is not None and nxt.token.value == "."):
+                    dotted_done = True
+        return None
+
+    @property
+    def full_name(self) -> str:
+        """Dotted name joined with ``.`` (no alias)."""
+        return ".".join(self.parts)
+
+
+class IdentifierList(Group):
+    """A comma-separated list of identifiers/expressions."""
+
+    def items(self) -> list[Node]:
+        """List elements (commas and whitespace removed)."""
+        result = []
+        for child in self.meaningful_children():
+            if isinstance(child, TokenNode) and child.value == ",":
+                continue
+            result.append(child)
+        return result
+
+
+class Comparison(Group):
+    """A binary comparison such as ``a.x = b.y`` or ``price > 10``."""
+
+    def _sides(self) -> tuple[list[Node], TokenNode | None, list[Node]]:
+        left: list[Node] = []
+        right: list[Node] = []
+        op: TokenNode | None = None
+        for child in self.meaningful_children():
+            if op is None and isinstance(child, TokenNode) and child.ttype is TokenType.COMPARISON:
+                op = child
+                continue
+            (left if op is None else right).append(child)
+        return left, op, right
+
+    @property
+    def left(self) -> Node | None:
+        left, _, _ = self._sides()
+        return left[0] if left else None
+
+    @property
+    def operator(self) -> str | None:
+        _, op, _ = self._sides()
+        return op.normalized if op else None
+
+    @property
+    def right(self) -> Node | None:
+        _, _, right = self._sides()
+        return right[0] if right else None
+
+
+class Where(Group):
+    """A WHERE clause (keyword plus condition tokens)."""
+
+
+class Values(Group):
+    """The VALUES(...) section of an INSERT statement."""
+
+
+class Statement(Group):
+    """Root node for a single SQL statement."""
+
+    def __init__(self, children: Iterable[Node] | None = None, statement_type: str = "UNKNOWN"):
+        super().__init__(children)
+        self.statement_type = statement_type
+
+    def first_keyword(self) -> str:
+        for child in self.meaningful_children():
+            tokens = list(child.flatten_tokens())
+            for token in tokens:
+                if token.is_keyword:
+                    return token.normalized
+        return ""

@@ -1,0 +1,72 @@
+"""SQL dialect descriptors.
+
+The toolchain is dialect tolerant (non-validating), but the repair engine and
+serializer need a handful of dialect-specific facts: identifier quoting,
+whether ``ENUM`` is a native type, the random-order function name, and the
+concatenation operator.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """A minimal description of a SQL dialect."""
+
+    name: str
+    quote_char: str = '"'
+    quote_close: str = '"'
+    supports_enum_type: bool = False
+    random_function: str = "RANDOM()"
+    concat_operator: str = "||"
+    supports_check_constraints: bool = True
+    boolean_literals: tuple[str, str] = ("TRUE", "FALSE")
+
+
+GENERIC = Dialect(name="generic")
+
+POSTGRESQL = Dialect(
+    name="postgresql",
+    quote_char='"',
+    quote_close='"',
+    supports_enum_type=True,
+    random_function="RANDOM()",
+)
+
+MYSQL = Dialect(
+    name="mysql",
+    quote_char="`",
+    quote_close="`",
+    supports_enum_type=True,
+    random_function="RAND()",
+    concat_operator="CONCAT",
+)
+
+SQLITE = Dialect(
+    name="sqlite",
+    quote_char='"',
+    quote_close='"',
+    supports_enum_type=False,
+    random_function="RANDOM()",
+)
+
+SQLSERVER = Dialect(
+    name="sqlserver",
+    quote_char="[",
+    quote_close="]",
+    supports_enum_type=False,
+    random_function="NEWID()",
+    concat_operator="+",
+)
+
+DIALECTS: dict[str, Dialect] = {
+    d.name: d for d in (GENERIC, POSTGRESQL, MYSQL, SQLITE, SQLSERVER)
+}
+
+
+def get_dialect(name: str | None) -> Dialect:
+    """Look up a dialect by name, falling back to the generic dialect."""
+    if not name:
+        return GENERIC
+    return DIALECTS.get(name.lower(), GENERIC)

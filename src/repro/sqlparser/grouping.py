@@ -1,0 +1,321 @@
+"""Token grouping: fold the flat token stream into a parse tree.
+
+The grouping passes run in a fixed order:
+
+1. parentheses (recursive),
+2. function calls (identifier immediately followed by a parenthesis),
+3. dotted / aliased identifiers,
+4. binary comparisons,
+5. comma-separated identifier lists,
+6. WHERE clauses.
+
+Each pass is tolerant: if a pattern does not match, the tokens stay as
+leaves.  That is exactly the "annotated parse tree over a non-validating
+parser" design the paper describes (§4.1).
+"""
+from __future__ import annotations
+
+from .ast import (
+    Comparison,
+    Function,
+    Group,
+    Identifier,
+    IdentifierList,
+    Node,
+    Parenthesis,
+    Statement,
+    TokenNode,
+    Where,
+)
+from .tokens import Token, TokenType
+
+# Keywords that terminate a WHERE clause at the same nesting level.
+_WHERE_TERMINATORS = {
+    "GROUP BY",
+    "ORDER BY",
+    "HAVING",
+    "LIMIT",
+    "OFFSET",
+    "UNION",
+    "UNION ALL",
+    "INTERSECT",
+    "EXCEPT",
+    "RETURNING",
+    "FETCH",
+    "WINDOW",
+}
+
+# Keywords after which an identifier is expected (used to keep keywords such
+# as function-like names out of identifier grouping).
+_IDENTIFIER_BLOCKERS = {
+    TokenType.KEYWORD,
+    TokenType.DML_KEYWORD,
+    TokenType.DDL_KEYWORD,
+}
+
+
+def group_statement(tokens: list[Token], statement_type: str = "UNKNOWN") -> Statement:
+    """Build a :class:`Statement` tree from a flat token list."""
+    nodes: list[Node] = [TokenNode(t) for t in tokens]
+    nodes = _group_parentheses(nodes)
+    nodes = _apply_recursively(nodes, _group_functions)
+    nodes = _apply_recursively(nodes, _group_identifiers)
+    nodes = _apply_recursively(nodes, _group_comparisons)
+    nodes = _apply_recursively(nodes, _group_identifier_lists)
+    nodes = _group_where(nodes)
+    return Statement(nodes, statement_type=statement_type)
+
+
+# ----------------------------------------------------------------------
+# pass helpers
+# ----------------------------------------------------------------------
+def _apply_recursively(nodes: list[Node], transform) -> list[Node]:
+    """Apply ``transform`` inside every existing child group, then at this level.
+
+    Transforming bottom-up (children first, then the current list) guarantees
+    that groups created by ``transform`` itself are not re-visited, which
+    would otherwise nest single identifiers forever.
+    """
+    for node in nodes:
+        if isinstance(node, Group):
+            node.children = _apply_recursively(node.children, transform)
+    return transform(nodes)
+
+
+def _group_parentheses(nodes: list[Node]) -> list[Node]:
+    """Fold balanced ``( ... )`` runs into :class:`Parenthesis` groups."""
+    result: list[Node] = []
+    stack: list[list[Node]] = []
+    for node in nodes:
+        if isinstance(node, TokenNode) and node.value == "(":
+            stack.append([node])
+        elif isinstance(node, TokenNode) and node.value == ")" and stack:
+            group_children = stack.pop()
+            group_children.append(node)
+            paren = Parenthesis(group_children)
+            if stack:
+                stack[-1].append(paren)
+            else:
+                result.append(paren)
+        else:
+            if stack:
+                stack[-1].append(node)
+            else:
+                result.append(node)
+    # Unbalanced input: flush whatever is left as-is (non-validating).
+    for leftovers in stack:
+        result.extend(leftovers)
+    return result
+
+
+def _group_functions(nodes: list[Node]) -> list[Node]:
+    """Fold ``name ( ... )`` into :class:`Function` groups.
+
+    Keyword-like names (``IN``, ``VALUES``, datatypes, ...) are excluded so
+    that ``VARCHAR(30)`` or ``IN (...)`` are not mistaken for function calls;
+    datatype calls are handled by the catalog's type parser instead.
+    """
+    result: list[Node] = []
+    i = 0
+    while i < len(nodes):
+        node = nodes[i]
+        nxt = _next_meaningful(nodes, i + 1)
+        if (
+            isinstance(node, TokenNode)
+            and node.ttype is TokenType.NAME
+            and nxt is not None
+            and isinstance(nodes[nxt], Parenthesis)
+            and nxt == i + 1  # no whitespace between name and parenthesis
+        ):
+            result.append(Function([node, nodes[nxt]]))
+            i = nxt + 1
+            continue
+        result.append(node)
+        i += 1
+    return result
+
+
+def _group_identifiers(nodes: list[Node]) -> list[Node]:
+    """Fold dotted and aliased names into :class:`Identifier` groups."""
+    result: list[Node] = []
+    i = 0
+    while i < len(nodes):
+        node = nodes[i]
+        if isinstance(node, TokenNode) and node.token.is_identifier:
+            j = i
+            chain: list[Node] = [node]
+            end = i
+            # consume dotted components:  a . b . c
+            while True:
+                dot = _next_meaningful(nodes, end + 1)
+                if dot is None or not (
+                    isinstance(nodes[dot], TokenNode) and nodes[dot].value == "."
+                ):
+                    break
+                part = _next_meaningful(nodes, dot + 1)
+                if part is None or not (
+                    isinstance(nodes[part], TokenNode)
+                    and (nodes[part].token.is_identifier or nodes[part].ttype is TokenType.WILDCARD)
+                ):
+                    break
+                chain.extend(nodes[end + 1 : part + 1])
+                end = part
+            # consume an alias:  AS alias   |   bare alias
+            alias_idx = _next_meaningful(nodes, end + 1)
+            if alias_idx is not None and isinstance(nodes[alias_idx], TokenNode):
+                alias_node = nodes[alias_idx]
+                if alias_node.token.match(TokenType.KEYWORD, "AS"):
+                    name_idx = _next_meaningful(nodes, alias_idx + 1)
+                    if name_idx is not None and isinstance(nodes[name_idx], TokenNode) and nodes[
+                        name_idx
+                    ].token.is_identifier:
+                        chain.extend(nodes[end + 1 : name_idx + 1])
+                        end = name_idx
+                elif alias_node.token.is_identifier and alias_idx == end + 2:
+                    # "Users u" style alias: exactly one whitespace separator
+                    sep = nodes[end + 1]
+                    if isinstance(sep, TokenNode) and sep.token.is_whitespace:
+                        chain.extend(nodes[end + 1 : alias_idx + 1])
+                        end = alias_idx
+            if len(chain) > 1:
+                result.append(Identifier(nodes[i : end + 1]))
+                i = end + 1
+                continue
+            result.append(Identifier([node]))
+            i += 1
+            continue
+        result.append(node)
+        i += 1
+    return result
+
+
+def _group_comparisons(nodes: list[Node]) -> list[Node]:
+    """Fold ``lhs <op> rhs`` into :class:`Comparison` groups."""
+    result: list[Node] = []
+    i = 0
+    while i < len(nodes):
+        node = nodes[i]
+        if isinstance(node, TokenNode) and node.ttype is TokenType.COMPARISON:
+            left_idx = _prev_meaningful_in(result)
+            right_idx = _next_meaningful(nodes, i + 1)
+            left_ok = left_idx is not None and _is_operand(result[left_idx])
+            right_ok = right_idx is not None and _is_operand(nodes[right_idx])
+            if left_ok and right_ok:
+                # Keep the whitespace between the left operand and the operator
+                # so serialising the tree reproduces the original text.
+                comparison_children = result[left_idx:] + nodes[i : right_idx + 1]
+                del result[left_idx:]
+                result.append(Comparison(comparison_children))
+                i = right_idx + 1
+                continue
+        result.append(node)
+        i += 1
+    return result
+
+
+def _group_identifier_lists(nodes: list[Node]) -> list[Node]:
+    """Fold runs of ``item , item , item`` into :class:`IdentifierList`."""
+    result: list[Node] = []
+    i = 0
+    while i < len(nodes):
+        node = nodes[i]
+        if _is_list_item(node):
+            comma_idx = _next_meaningful(nodes, i + 1)
+            if comma_idx is not None and isinstance(nodes[comma_idx], TokenNode) and nodes[
+                comma_idx
+            ].value == ",":
+                items: list[Node] = list(nodes[i : comma_idx + 1])
+                end = comma_idx
+                while True:
+                    item_idx = _next_meaningful(nodes, end + 1)
+                    if item_idx is None or not _is_list_item(nodes[item_idx]):
+                        break
+                    items.extend(nodes[end + 1 : item_idx + 1])
+                    end = item_idx
+                    next_comma = _next_meaningful(nodes, end + 1)
+                    if next_comma is not None and isinstance(
+                        nodes[next_comma], TokenNode
+                    ) and nodes[next_comma].value == ",":
+                        items.extend(nodes[end + 1 : next_comma + 1])
+                        end = next_comma
+                        continue
+                    break
+                result.append(IdentifierList(items))
+                i = end + 1
+                continue
+        result.append(node)
+        i += 1
+    return result
+
+
+def _group_where(nodes: list[Node]) -> list[Node]:
+    """Fold the WHERE keyword and its condition into a :class:`Where` group."""
+    result: list[Node] = []
+    i = 0
+    while i < len(nodes):
+        node = nodes[i]
+        if isinstance(node, TokenNode) and node.token.match(TokenType.KEYWORD, "WHERE"):
+            end = len(nodes)
+            for j in range(i + 1, len(nodes)):
+                candidate = nodes[j]
+                if isinstance(candidate, TokenNode) and candidate.token.is_keyword and (
+                    candidate.normalized in _WHERE_TERMINATORS
+                ):
+                    end = j
+                    break
+                if isinstance(candidate, TokenNode) and candidate.value == ";":
+                    end = j
+                    break
+            result.append(Where(nodes[i:end]))
+            i = end
+            continue
+        result.append(node)
+        i += 1
+    return result
+
+
+# ----------------------------------------------------------------------
+# small utilities
+# ----------------------------------------------------------------------
+def _next_meaningful(nodes: list[Node], start: int) -> int | None:
+    for idx in range(start, len(nodes)):
+        node = nodes[idx]
+        if isinstance(node, TokenNode) and (node.token.is_whitespace or node.token.is_comment):
+            continue
+        return idx
+    return None
+
+
+def _prev_meaningful_in(nodes: list[Node]) -> int | None:
+    for idx in range(len(nodes) - 1, -1, -1):
+        node = nodes[idx]
+        if isinstance(node, TokenNode) and (node.token.is_whitespace or node.token.is_comment):
+            continue
+        return idx
+    return None
+
+
+def _is_operand(node: Node) -> bool:
+    if isinstance(node, (Identifier, Function, Parenthesis)):
+        return True
+    if isinstance(node, TokenNode):
+        return node.token.is_literal or node.ttype in (
+            TokenType.PLACEHOLDER,
+            TokenType.NAME,
+            TokenType.QUOTED_NAME,
+            TokenType.NUMBER,
+            TokenType.STRING,
+        ) or node.token.match(TokenType.KEYWORD, ("NULL", "TRUE", "FALSE", "CURRENT_TIMESTAMP"))
+    return False
+
+
+def _is_list_item(node: Node) -> bool:
+    if isinstance(node, (Identifier, Function, Comparison, Parenthesis)):
+        return True
+    if isinstance(node, TokenNode):
+        return node.token.is_literal or node.ttype in (
+            TokenType.WILDCARD,
+            TokenType.PLACEHOLDER,
+            TokenType.DATATYPE,
+        ) or node.token.match(TokenType.KEYWORD, ("NULL", "TRUE", "FALSE", "DEFAULT"))
+    return False

@@ -1,0 +1,202 @@
+"""Non-validating SQL lexer.
+
+The lexer converts a SQL string into a flat list of :class:`Token` objects.
+It never rejects input: unknown characters become ``UNKNOWN`` tokens, unknown
+words become identifiers.  This mirrors the behaviour of ``sqlparse`` that
+the paper relies on for dialect tolerance (§4.1).
+"""
+from __future__ import annotations
+
+import re
+
+from .keywords import (
+    ALL_KEYWORDS,
+    COMPARISON_OPERATORS,
+    COMPOUND_KEYWORDS,
+    DATATYPE_KEYWORDS,
+    DDL_KEYWORDS,
+    DML_KEYWORDS,
+    OPERATORS,
+)
+from .tokens import Token, TokenType
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_LINE_COMMENT_RE = re.compile(r"--[^\n]*|#[^\n]*")
+_BLOCK_COMMENT_RE = re.compile(r"/\*.*?\*/", re.DOTALL)
+_NUMBER_RE = re.compile(r"\d+(\.\d+)?([eE][+-]?\d+)?|\.\d+([eE][+-]?\d+)?")
+_NAME_RE = re.compile(r"[A-Za-z_][A-Za-z0-9_$]*")
+_STRING_RE = re.compile(r"'(?:[^']|'')*'")
+_DOLLAR_STRING_RE = re.compile(r"\$([A-Za-z_]*)\$.*?\$\1\$", re.DOTALL)
+_DOUBLE_QUOTED_RE = re.compile(r'"(?:[^"]|"")*"')
+_BACKTICK_QUOTED_RE = re.compile(r"`(?:[^`]|``)*`")
+_BRACKET_QUOTED_RE = re.compile(r"\[[^\]]*\]")
+_PLACEHOLDER_RE = re.compile(r"\?|%\(\w+\)s|%s|%d|:\w+|\$\d+|@\w+")
+
+
+class Lexer:
+    """Tokenizes SQL text.
+
+    The lexer is stateless; reuse one instance across statements.
+    """
+
+    def tokenize(self, sql: str) -> list[Token]:
+        """Tokenize ``sql`` into a flat token list (including whitespace)."""
+        tokens: list[Token] = []
+        pos = 0
+        length = len(sql)
+        while pos < length:
+            token = self._next_token(sql, pos)
+            tokens.append(token)
+            pos += len(token.value)
+        return self._fold_compound_keywords(tokens)
+
+    # ------------------------------------------------------------------
+    # single-token scanning
+    # ------------------------------------------------------------------
+    def _next_token(self, sql: str, pos: int) -> Token:
+        ch = sql[pos]
+
+        match = _WHITESPACE_RE.match(sql, pos)
+        if match:
+            return Token(TokenType.WHITESPACE, match.group(), pos)
+
+        if ch == "-" and sql.startswith("--", pos) or ch == "#":
+            match = _LINE_COMMENT_RE.match(sql, pos)
+            if match:
+                return Token(TokenType.COMMENT, match.group(), pos)
+
+        if ch == "/" and sql.startswith("/*", pos):
+            match = _BLOCK_COMMENT_RE.match(sql, pos)
+            if match:
+                return Token(TokenType.COMMENT, match.group(), pos)
+            # Unterminated block comment: consume the rest of the input.
+            return Token(TokenType.COMMENT, sql[pos:], pos)
+
+        if ch == "'":
+            match = _STRING_RE.match(sql, pos)
+            if match:
+                return Token(TokenType.STRING, match.group(), pos)
+            # Unterminated string literal: take the rest, stay non-validating.
+            return Token(TokenType.STRING, sql[pos:], pos)
+
+        if ch == "$":
+            match = _DOLLAR_STRING_RE.match(sql, pos)
+            if match:
+                return Token(TokenType.STRING, match.group(), pos)
+            match = _PLACEHOLDER_RE.match(sql, pos)
+            if match:
+                return Token(TokenType.PLACEHOLDER, match.group(), pos)
+
+        if ch == '"':
+            match = _DOUBLE_QUOTED_RE.match(sql, pos)
+            if match:
+                return Token(TokenType.QUOTED_NAME, match.group(), pos)
+
+        if ch == "`":
+            match = _BACKTICK_QUOTED_RE.match(sql, pos)
+            if match:
+                return Token(TokenType.QUOTED_NAME, match.group(), pos)
+
+        if ch == "[":
+            match = _BRACKET_QUOTED_RE.match(sql, pos)
+            if match:
+                return Token(TokenType.QUOTED_NAME, match.group(), pos)
+
+        if ch in "?%:@":
+            match = _PLACEHOLDER_RE.match(sql, pos)
+            if match:
+                return Token(TokenType.PLACEHOLDER, match.group(), pos)
+
+        if ch.isdigit() or (ch == "." and pos + 1 < len(sql) and sql[pos + 1].isdigit()):
+            match = _NUMBER_RE.match(sql, pos)
+            if match:
+                return Token(TokenType.NUMBER, match.group(), pos)
+
+        match = _NAME_RE.match(sql, pos)
+        if match:
+            word = match.group()
+            return Token(self._classify_word(word), word, pos)
+
+        for operator in COMPARISON_OPERATORS:
+            if sql.startswith(operator, pos):
+                return Token(TokenType.COMPARISON, operator, pos)
+
+        for operator in OPERATORS:
+            if sql.startswith(operator, pos):
+                if operator == "*":
+                    return Token(TokenType.WILDCARD, operator, pos)
+                return Token(TokenType.OPERATOR, operator, pos)
+
+        if ch in "(),;.":
+            return Token(TokenType.PUNCTUATION, ch, pos)
+
+        return Token(TokenType.UNKNOWN, ch, pos)
+
+    def _classify_word(self, word: str) -> TokenType:
+        upper = word.upper()
+        if upper in DML_KEYWORDS:
+            return TokenType.DML_KEYWORD
+        if upper in DDL_KEYWORDS:
+            return TokenType.DDL_KEYWORD
+        if upper in DATATYPE_KEYWORDS:
+            return TokenType.DATATYPE
+        if upper in ALL_KEYWORDS:
+            return TokenType.KEYWORD
+        return TokenType.NAME
+
+    # ------------------------------------------------------------------
+    # compound keyword folding
+    # ------------------------------------------------------------------
+    def _fold_compound_keywords(self, tokens: list[Token]) -> list[Token]:
+        """Fold multi-word phrases (``GROUP BY``, ``LEFT OUTER JOIN``) into
+        single keyword tokens so downstream rules can match them directly."""
+        meaningful_idx = [
+            i for i, t in enumerate(tokens) if not t.is_whitespace and not t.is_comment
+        ]
+        folded: list[Token] = []
+        skip_until = -1
+        position_of = {idx: n for n, idx in enumerate(meaningful_idx)}
+        for i, token in enumerate(tokens):
+            if i <= skip_until:
+                continue
+            if token.is_keyword and i in position_of:
+                phrase_end = self._match_compound(tokens, meaningful_idx, position_of[i])
+                if phrase_end is not None:
+                    phrase_tokens = tokens[i : phrase_end + 1]
+                    text = " ".join(
+                        t.value for t in phrase_tokens if not t.is_whitespace and not t.is_comment
+                    )
+                    folded.append(Token(TokenType.KEYWORD, text, token.position))
+                    skip_until = phrase_end
+                    continue
+            folded.append(token)
+        return folded
+
+    def _match_compound(
+        self, tokens: list[Token], meaningful_idx: list[int], start_meaningful: int
+    ) -> int | None:
+        """If a compound keyword phrase starts at the given meaningful index,
+        return the raw-token index of its last word (longest match wins)."""
+        best_end: int | None = None
+        best_len = 0
+        for phrase in COMPOUND_KEYWORDS:
+            if len(phrase) <= best_len:
+                continue
+            end = start_meaningful + len(phrase) - 1
+            if end >= len(meaningful_idx):
+                continue
+            candidate = [tokens[meaningful_idx[start_meaningful + k]] for k in range(len(phrase))]
+            if all(
+                c.is_keyword and c.normalized == phrase[k].upper() for k, c in enumerate(candidate)
+            ):
+                best_end = meaningful_idx[end]
+                best_len = len(phrase)
+        return best_end
+
+
+_DEFAULT_LEXER = Lexer()
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` using a shared default :class:`Lexer` instance."""
+    return _DEFAULT_LEXER.tokenize(sql)

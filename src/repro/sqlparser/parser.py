@@ -1,0 +1,165 @@
+"""Top-level parse API: SQL text -> list of parsed statements.
+
+``parse`` is the function the rest of the toolchain uses.  Each parsed
+statement bundles the raw text, the flat token stream, the grouped tree and
+the inferred statement type.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ast import Statement
+from .grouping import group_statement
+from .lexer import tokenize
+from .splitter import split_tokens
+from .tokens import Token, TokenStream, TokenType
+
+#: Statement types recognised by :func:`classify_statement`.
+STATEMENT_TYPES = (
+    "SELECT",
+    "INSERT",
+    "UPDATE",
+    "DELETE",
+    "CREATE_TABLE",
+    "CREATE_INDEX",
+    "CREATE_VIEW",
+    "CREATE_OTHER",
+    "ALTER_TABLE",
+    "DROP",
+    "TRUNCATE",
+    "MERGE",
+    "REPLACE",
+    "OTHER",
+    "EMPTY",
+)
+
+
+@dataclass
+class ParsedStatement:
+    """A single parsed SQL statement.
+
+    Attributes:
+        raw: original statement text (whitespace preserved).
+        tokens: flat token list including whitespace and comments.
+        tree: grouped parse tree.
+        statement_type: one of :data:`STATEMENT_TYPES`.
+        index: position of the statement within the parsed script.
+    """
+
+    raw: str
+    tokens: list[Token]
+    tree: Statement
+    statement_type: str
+    index: int = 0
+    source: str | None = None
+
+    @property
+    def stream(self) -> TokenStream:
+        return TokenStream(self.tokens)
+
+    def meaningful_tokens(self) -> list[Token]:
+        return [t for t in self.tokens if not t.is_whitespace and not t.is_comment]
+
+    @property
+    def is_ddl(self) -> bool:
+        return self.statement_type in (
+            "CREATE_TABLE",
+            "CREATE_INDEX",
+            "CREATE_VIEW",
+            "CREATE_OTHER",
+            "ALTER_TABLE",
+            "DROP",
+            "TRUNCATE",
+        )
+
+    @property
+    def is_dml(self) -> bool:
+        return self.statement_type in ("SELECT", "INSERT", "UPDATE", "DELETE", "MERGE", "REPLACE")
+
+    def __str__(self) -> str:
+        return self.raw
+
+
+def classify_statement(tokens: list[Token]) -> str:
+    """Infer the statement type from the first few meaningful tokens."""
+    meaningful = [t for t in tokens if not t.is_whitespace and not t.is_comment]
+    if not meaningful:
+        return "EMPTY"
+    # Skip a leading WITH ... CTE prelude by finding the first DML keyword.
+    first = meaningful[0]
+    if first.match(TokenType.KEYWORD, "WITH"):
+        for token in meaningful[1:]:
+            if token.ttype is TokenType.DML_KEYWORD:
+                first = token
+                break
+    head = first.normalized
+    if first.ttype is TokenType.DML_KEYWORD or head in ("INSERT INTO", "DELETE FROM"):
+        if head.startswith("INSERT"):
+            return "INSERT"
+        if head.startswith("DELETE"):
+            return "DELETE"
+        if head == "SELECT":
+            return "SELECT"
+        if head == "UPDATE":
+            return "UPDATE"
+        if head == "MERGE":
+            return "MERGE"
+        if head in ("REPLACE", "UPSERT"):
+            return "REPLACE"
+    if first.ttype is TokenType.DDL_KEYWORD:
+        second = meaningful[1].normalized if len(meaningful) > 1 else ""
+        third = meaningful[2].normalized if len(meaningful) > 2 else ""
+        if head == "CREATE":
+            qualifier = {second, third}
+            if "TABLE" in qualifier:
+                return "CREATE_TABLE"
+            if "INDEX" in qualifier or "UNIQUE" == second and "INDEX" in third:
+                return "CREATE_INDEX"
+            if "VIEW" in qualifier or "MATERIALIZED" in qualifier:
+                return "CREATE_VIEW"
+            return "CREATE_OTHER"
+        if head == "ALTER":
+            if second == "TABLE":
+                return "ALTER_TABLE"
+            return "OTHER"
+        if head == "DROP":
+            return "DROP"
+        if head == "TRUNCATE":
+            return "TRUNCATE"
+    return "OTHER"
+
+
+def parse_statement(sql: str, index: int = 0, source: str | None = None) -> ParsedStatement:
+    """Parse a single statement string."""
+    tokens = tokenize(sql)
+    statement_type = classify_statement(tokens)
+    tree = group_statement(tokens, statement_type=statement_type)
+    return ParsedStatement(
+        raw=sql,
+        tokens=tokens,
+        tree=tree,
+        statement_type=statement_type,
+        index=index,
+        source=source,
+    )
+
+
+def parse(sql: str, source: str | None = None) -> list[ParsedStatement]:
+    """Parse SQL text that may contain multiple ``;``-separated statements."""
+    all_tokens = tokenize(sql)
+    statements: list[ParsedStatement] = []
+    for i, stmt_tokens in enumerate(split_tokens(all_tokens)):
+        raw = "".join(t.value for t in stmt_tokens).strip()
+        statement_type = classify_statement(stmt_tokens)
+        tree = group_statement(stmt_tokens, statement_type=statement_type)
+        statements.append(
+            ParsedStatement(
+                raw=raw,
+                tokens=stmt_tokens,
+                tree=tree,
+                statement_type=statement_type,
+                index=i,
+                source=source,
+            )
+        )
+    return statements

@@ -1,0 +1,74 @@
+"""SQL serialization helpers.
+
+The query repair engine transforms parse trees and must turn them back into
+SQL text in the application's dialect (§6.1, "It then transforms the parse
+tree to a SQL string based on the dialect used by the application").
+"""
+from __future__ import annotations
+
+from .ast import Node
+from .dialects import Dialect, GENERIC
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+
+def to_sql(node: Node) -> str:
+    """Serialize a parse-tree node back to SQL text (loss-free)."""
+    return node.sql()
+
+
+def format_sql(sql: str, *, keyword_case: str = "upper", strip_comments: bool = False) -> str:
+    """Normalise whitespace and keyword casing of a SQL string.
+
+    This is a light-weight formatter used when presenting suggested fixes:
+    it never changes the statement structure.
+    """
+    tokens = tokenize(sql)
+    parts: list[str] = []
+    previous_meaningful: Token | None = None
+    for token in tokens:
+        if token.is_whitespace:
+            continue
+        if token.is_comment and strip_comments:
+            continue
+        text = token.value
+        if token.is_keyword:
+            text = text.upper() if keyword_case == "upper" else text.lower()
+        if _needs_space(previous_meaningful, token):
+            parts.append(" ")
+        parts.append(text)
+        previous_meaningful = token
+    return "".join(parts).strip()
+
+
+def _needs_space(previous: Token | None, current: Token) -> bool:
+    if previous is None:
+        return False
+    no_space_before = {",", ";", ")", "."}
+    no_space_after = {"(", "."}
+    if current.value in no_space_before:
+        return False
+    if previous.value in no_space_after:
+        return False
+    if current.value == "(" and (previous.ttype is TokenType.NAME):
+        return False  # function call
+    return True
+
+
+def quote_identifier(name: str, dialect: Dialect = GENERIC) -> str:
+    """Quote an identifier if it needs quoting in the given dialect."""
+    if name.isidentifier() and not name[0].isdigit():
+        return name
+    return dialect.quote_char + name + dialect.quote_close
+
+
+def quote_literal(value: object) -> str:
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    text = str(value).replace("'", "''")
+    return f"'{text}'"

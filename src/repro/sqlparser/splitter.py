@@ -1,0 +1,50 @@
+"""Statement splitting.
+
+Applications hand sqlcheck whole scripts or extracted query strings that may
+contain several statements separated by semicolons.  The splitter cuts the
+token stream on top-level semicolons while respecting strings, comments and
+nested parentheses, again without validating the SQL.
+"""
+from __future__ import annotations
+
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+
+def split_tokens(tokens: list[Token]) -> list[list[Token]]:
+    """Split a flat token list into one token list per statement."""
+    statements: list[list[Token]] = []
+    current: list[Token] = []
+    depth = 0
+    for token in tokens:
+        if token.ttype is TokenType.PUNCTUATION and token.value == "(":
+            depth += 1
+        elif token.ttype is TokenType.PUNCTUATION and token.value == ")":
+            depth = max(0, depth - 1)
+        if token.ttype is TokenType.PUNCTUATION and token.value == ";" and depth == 0:
+            current.append(token)
+            if _has_content(current):
+                statements.append(current)
+            current = []
+            continue
+        current.append(token)
+    if _has_content(current):
+        statements.append(current)
+    return statements
+
+
+def split(sql: str) -> list[str]:
+    """Split SQL text into individual statement strings.
+
+    Whitespace-only fragments are dropped; the trailing semicolon (when
+    present) is preserved so round-tripping the text is loss-free.
+    """
+    statements = split_tokens(tokenize(sql))
+    return ["".join(t.value for t in stmt).strip() for stmt in statements]
+
+
+def _has_content(tokens: list[Token]) -> bool:
+    return any(
+        not t.is_whitespace and not t.is_comment and not (t.ttype is TokenType.PUNCTUATION and t.value == ";")
+        for t in tokens
+    )

@@ -1,0 +1,171 @@
+"""Token model for the non-validating SQL lexer.
+
+The paper's ap-detect builds on ``sqlparse``, a non-validating SQL parser.
+That package is not available here, so this module (together with
+:mod:`repro.sqlparser.lexer` and :mod:`repro.sqlparser.grouping`) provides an
+equivalent substrate: a flat token stream with rich token types that the
+grouping pass later folds into a tree.
+"""
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class TokenType(enum.Enum):
+    """Lexical categories produced by :class:`repro.sqlparser.lexer.Lexer`."""
+
+    KEYWORD = "keyword"            # SELECT, FROM, WHERE, ...
+    DDL_KEYWORD = "ddl"            # CREATE, ALTER, DROP, TRUNCATE
+    DML_KEYWORD = "dml"            # INSERT, UPDATE, DELETE, SELECT, MERGE
+    DATATYPE = "datatype"          # INTEGER, VARCHAR, FLOAT, ...
+    NAME = "name"                  # identifiers (unquoted)
+    QUOTED_NAME = "quoted_name"    # "quoted" or `quoted` or [quoted] identifiers
+    STRING = "string"              # 'string literal'
+    NUMBER = "number"              # 42, 3.14, 1e9
+    OPERATOR = "operator"          # + - * / % || etc.
+    COMPARISON = "comparison"      # = != <> < > <= >= LIKE-free comparisons
+    WILDCARD = "wildcard"          # * used as a projection wildcard
+    PUNCTUATION = "punctuation"    # , ; ( ) .
+    WHITESPACE = "whitespace"
+    COMMENT = "comment"            # -- line and /* block */ comments
+    PLACEHOLDER = "placeholder"    # ?, %s, :name, $1
+    UNKNOWN = "unknown"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TokenType.{self.name}"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        ttype: lexical category.
+        value: the raw text exactly as it appeared in the statement.
+        position: character offset of the first character in the source.
+    """
+
+    ttype: TokenType
+    value: str
+    position: int = 0
+
+    @property
+    def normalized(self) -> str:
+        """Upper-cased value for keywords, raw value otherwise."""
+        if self.ttype in _NORMALIZED_TYPES:
+            return self.value.upper()
+        return self.value
+
+    @property
+    def is_whitespace(self) -> bool:
+        return self.ttype is TokenType.WHITESPACE
+
+    @property
+    def is_comment(self) -> bool:
+        return self.ttype is TokenType.COMMENT
+
+    @property
+    def is_keyword(self) -> bool:
+        return self.ttype in _KEYWORD_TYPES
+
+    @property
+    def is_identifier(self) -> bool:
+        return self.ttype in (TokenType.NAME, TokenType.QUOTED_NAME)
+
+    @property
+    def is_literal(self) -> bool:
+        return self.ttype in (TokenType.STRING, TokenType.NUMBER)
+
+    def match(self, ttype: TokenType, values: "str | tuple[str, ...] | None" = None) -> bool:
+        """Return True when the token has the given type and (optionally) value.
+
+        Value comparison is case-insensitive for keyword-like tokens.
+        """
+        if self.ttype is not ttype:
+            return False
+        if values is None:
+            return True
+        if isinstance(values, str):
+            values = (values,)
+        return self.normalized in tuple(v.upper() for v in values)
+
+    def unquoted(self) -> str:
+        """Identifier text with surrounding quote characters removed."""
+        value = self.value
+        if self.ttype is TokenType.QUOTED_NAME and len(value) >= 2:
+            if value[0] == "[" and value[-1] == "]":
+                return value[1:-1]
+            if value[0] == value[-1] and value[0] in ('"', "`"):
+                return value[1:-1].replace(value[0] * 2, value[0])
+        if self.ttype is TokenType.STRING and len(value) >= 2 and value[0] == value[-1] == "'":
+            return value[1:-1].replace("''", "'")
+        return value
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_KEYWORD_TYPES = frozenset(
+    {TokenType.KEYWORD, TokenType.DDL_KEYWORD, TokenType.DML_KEYWORD, TokenType.DATATYPE}
+)
+_NORMALIZED_TYPES = frozenset(
+    {
+        TokenType.KEYWORD,
+        TokenType.DDL_KEYWORD,
+        TokenType.DML_KEYWORD,
+        TokenType.DATATYPE,
+        TokenType.COMPARISON,
+        TokenType.OPERATOR,
+    }
+)
+
+
+@dataclass
+class TokenStream:
+    """A cursor over a list of tokens with convenience navigation.
+
+    The detection rules frequently need "next meaningful token" style lookups;
+    centralising them here keeps the rules terse and uniform.
+    """
+
+    tokens: list[Token] = field(default_factory=list)
+    index: int = 0
+
+    def __iter__(self):
+        return iter(self.tokens)
+
+    def __len__(self) -> int:
+        return len(self.tokens)
+
+    def __getitem__(self, item):
+        return self.tokens[item]
+
+    def meaningful(self) -> list[Token]:
+        """All tokens that are not whitespace or comments."""
+        return [t for t in self.tokens if not t.is_whitespace and not t.is_comment]
+
+    def next_meaningful(self, start: int) -> "tuple[int, Token] | tuple[None, None]":
+        """Index and token of the first meaningful token at or after ``start``."""
+        for idx in range(start, len(self.tokens)):
+            token = self.tokens[idx]
+            if not token.is_whitespace and not token.is_comment:
+                return idx, token
+        return None, None
+
+    def prev_meaningful(self, start: int) -> "tuple[int, Token] | tuple[None, None]":
+        """Index and token of the first meaningful token at or before ``start``."""
+        for idx in range(start, -1, -1):
+            token = self.tokens[idx]
+            if not token.is_whitespace and not token.is_comment:
+                return idx, token
+        return None, None
+
+    def find_keyword(self, *keywords: str, start: int = 0) -> "tuple[int, Token] | tuple[None, None]":
+        """Locate the first keyword token matching any of ``keywords``."""
+        wanted = tuple(k.upper() for k in keywords)
+        for idx in range(start, len(self.tokens)):
+            token = self.tokens[idx]
+            if token.is_keyword and token.normalized in wanted:
+                return idx, token
+        return None, None

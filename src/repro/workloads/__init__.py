@@ -1,0 +1,27 @@
+"""Workload and dataset generators used by the evaluation benchmarks.
+
+Every external artifact of the paper's evaluation (the GlobaLeaks deployment,
+the GitHub query corpus, the Django applications, the Kaggle databases, and
+the user study) is replaced by a deterministic synthetic generator here —
+see DESIGN.md §2 for the substitution rationale.
+"""
+from .github_corpus import CorpusStatement, GitHubCorpusGenerator, LabeledCorpus
+from .globaleaks import GlobaLeaksWorkload
+from .django_apps import DJANGO_APPLICATIONS, DjangoApplication, build_application_workload
+from .kaggle import KAGGLE_DATABASES, KaggleDatabaseSpec, build_kaggle_database
+from .userstudy import UserStudySimulator, UserStudyResult
+
+__all__ = [
+    "CorpusStatement",
+    "DJANGO_APPLICATIONS",
+    "DjangoApplication",
+    "GitHubCorpusGenerator",
+    "GlobaLeaksWorkload",
+    "KAGGLE_DATABASES",
+    "KaggleDatabaseSpec",
+    "LabeledCorpus",
+    "UserStudyResult",
+    "UserStudySimulator",
+    "build_application_workload",
+    "build_kaggle_database",
+]

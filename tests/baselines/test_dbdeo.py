@@ -1,0 +1,74 @@
+"""Unit tests for the dbdeo baseline detector."""
+from __future__ import annotations
+
+from repro.baselines import DBDeo
+from repro.baselines.dbdeo import DBDEO_ANTI_PATTERNS
+from repro.model import AntiPattern
+
+
+class TestDBDeo:
+    def test_supports_exactly_11_anti_pattern_types(self):
+        assert len(DBDEO_ANTI_PATTERNS) == 11
+
+    def test_no_primary_key(self):
+        assert AntiPattern.NO_PRIMARY_KEY in DBDeo().detect_types("CREATE TABLE t (a INT)")
+        assert AntiPattern.NO_PRIMARY_KEY not in DBDeo().detect_types(
+            "CREATE TABLE t (a INT PRIMARY KEY)"
+        )
+
+    def test_pattern_matching_includes_prefix_like_false_positive(self):
+        # dbdeo's regex flags every LIKE, even the index-friendly prefix form —
+        # this is one of the false-positive classes sqlcheck eliminates.
+        assert AntiPattern.PATTERN_MATCHING in DBDeo().detect_types(
+            "SELECT a FROM t WHERE a LIKE 'abc%'"
+        )
+
+    def test_rounding_errors_keyword_false_positive(self):
+        # a column merely named like a type keyword still triggers dbdeo
+        assert AntiPattern.ROUNDING_ERRORS in DBDeo().detect_types(
+            "SELECT float_precision FROM calibration"
+        )
+
+    def test_enumerated_types(self):
+        assert AntiPattern.ENUMERATED_TYPES in DBDeo().detect_types(
+            "CREATE TABLE t (s ENUM('a','b'))"
+        )
+
+    def test_clone_table(self):
+        assert AntiPattern.CLONE_TABLE in DBDeo().detect_types(
+            "CREATE TABLE logs_2020 (id INT PRIMARY KEY)"
+        )
+
+    def test_god_table_comma_heuristic_false_positive(self):
+        # dbdeo's comma-count heuristic also fires on wide multi-row INSERTs
+        wide_insert = "INSERT INTO t (a,b,c) VALUES " + ", ".join(f"({i},{i},{i})" for i in range(10))
+        create = "CREATE TABLE t (" + ", ".join(f"c{i} INT" for i in range(12)) + ")"
+        assert AntiPattern.GOD_TABLE in DBDeo().detect_types(create)
+        assert AntiPattern.GOD_TABLE not in DBDeo().detect_types(wide_insert)  # no CREATE keyword
+        assert AntiPattern.GOD_TABLE in DBDeo().detect_types("CREATE TABLE t AS " + wide_insert)
+
+    def test_adjacency_list(self):
+        assert AntiPattern.ADJACENCY_LIST in DBDeo().detect_types(
+            "CREATE TABLE emp (id INT, manager_id INT)"
+        )
+
+    def test_counts_and_detections(self):
+        detector = DBDeo()
+        sql = "CREATE TABLE a (x FLOAT); CREATE TABLE b (y FLOAT);"
+        counts = detector.counts(sql)
+        assert counts[AntiPattern.ROUNDING_ERRORS] == 2
+        detections = detector.detect(sql)
+        assert all(d.query for d in detections)
+
+    def test_accepts_list_of_statements(self):
+        types = DBDeo().detect_types(["CREATE TABLE t (a INT)", "SELECT a FROM t WHERE a LIKE '%x%'"])
+        assert AntiPattern.NO_PRIMARY_KEY in types
+        assert AntiPattern.PATTERN_MATCHING in types
+
+    def test_detects_fewer_types_than_sqlcheck(self):
+        """dbdeo misses whole anti-pattern families (wildcards, implicit columns…)."""
+        sql = "SELECT * FROM t; INSERT INTO t VALUES (1); SELECT a FROM t ORDER BY RAND();"
+        types = DBDeo().detect_types(sql)
+        assert AntiPattern.COLUMN_WILDCARD not in types
+        assert AntiPattern.IMPLICIT_COLUMNS not in types
+        assert AntiPattern.ORDERING_BY_RAND not in types

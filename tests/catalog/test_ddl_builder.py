@@ -1,0 +1,154 @@
+"""Unit tests for the DDL interpreter."""
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import DDLBuilder, build_schema
+
+
+class TestCreateTable:
+    def test_columns_and_types(self):
+        schema = build_schema(
+            "CREATE TABLE items (item_id INTEGER PRIMARY KEY, name VARCHAR(80) NOT NULL, "
+            "price DECIMAL(10,2) DEFAULT 0, active BOOLEAN)"
+        )
+        table = schema.get_table("items")
+        assert table.column_names == ["item_id", "name", "price", "active"]
+        assert table.get_column("name").sql_type.name == "VARCHAR"
+        assert table.get_column("name").sql_type.length == 80
+        assert not table.get_column("name").nullable
+        assert table.get_column("price").default == "0"
+        assert table.get_column("item_id").is_primary_key
+        assert table.primary_key_columns == ("item_id",)
+
+    def test_if_not_exists_and_quoting(self):
+        schema = build_schema('CREATE TABLE IF NOT EXISTS "My Table" (a INT)')
+        assert schema.has_table("My Table")
+
+    def test_table_level_primary_key(self):
+        schema = build_schema("CREATE TABLE link (a INT, b INT, PRIMARY KEY (a, b))")
+        assert schema.get_table("link").primary_key_columns == ("a", "b")
+
+    def test_table_level_foreign_key(self):
+        schema = build_schema(
+            "CREATE TABLE child (id INT PRIMARY KEY, parent_id INT, "
+            "FOREIGN KEY (parent_id) REFERENCES parent(id) ON DELETE CASCADE)"
+        )
+        fks = schema.get_table("child").all_foreign_keys()
+        assert len(fks) == 1
+        assert fks[0].referenced_table == "parent"
+        assert fks[0].referenced_columns == ("id",)
+        assert fks[0].on_delete == "CASCADE"
+
+    def test_inline_references(self):
+        schema = build_schema(
+            "CREATE TABLE h (u VARCHAR(10) REFERENCES Users(User_ID), t VARCHAR(10) REFERENCES Tenants(Tenant_ID))"
+        )
+        fks = schema.get_table("h").all_foreign_keys()
+        assert {fk.referenced_table for fk in fks} == {"Users", "Tenants"}
+
+    def test_inline_check_in(self):
+        schema = build_schema("CREATE TABLE u (role VARCHAR(4) CHECK (role IN ('a', 'b')))")
+        column = schema.get_table("u").get_column("role")
+        assert column.check_values == ("a", "b")
+        assert column.has_check
+
+    def test_unique_and_auto_increment(self):
+        schema = build_schema("CREATE TABLE t (id SERIAL PRIMARY KEY, email VARCHAR(50) UNIQUE)")
+        table = schema.get_table("t")
+        assert table.get_column("id").is_auto_increment
+        assert table.get_column("email").is_unique
+
+    def test_enum_column(self):
+        schema = build_schema("CREATE TABLE t (state ENUM('new','old'))")
+        assert schema.get_table("t").get_column("state").sql_type.enum_values == ("new", "old")
+
+    def test_unique_table_constraint_creates_index(self):
+        schema = build_schema("CREATE TABLE t (a INT, b INT, UNIQUE (a, b))")
+        table = schema.get_table("t")
+        assert table.uniques and table.uniques[0].columns == ("a", "b")
+        assert len(table.indexes) == 1
+
+
+class TestCreateIndex:
+    def test_basic_index(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT, b INT); CREATE INDEX idx_ab ON t (a, b);"
+        )
+        table = schema.get_table("t")
+        assert "idx_ab" in table.indexes
+        assert table.indexes["idx_ab"].columns == ("a", "b")
+        assert not table.indexes["idx_ab"].unique
+
+    def test_unique_index(self):
+        schema = build_schema("CREATE UNIQUE INDEX ux ON t (email)")
+        assert schema.get_table("t").indexes["ux"].unique
+
+    def test_index_on_unknown_table_creates_placeholder(self):
+        schema = build_schema("CREATE INDEX i ON ghosts (a)")
+        assert schema.has_table("ghosts")
+
+
+class TestAlterTable:
+    def test_add_column(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); ALTER TABLE t ADD COLUMN b VARCHAR(10) DEFAULT 'x';"
+        )
+        column = schema.get_table("t").get_column("b")
+        assert column is not None and column.sql_type.name == "VARCHAR"
+
+    def test_drop_column(self):
+        schema = build_schema("CREATE TABLE t (a INT, b INT); ALTER TABLE t DROP COLUMN b;")
+        assert not schema.get_table("t").has_column("b")
+
+    def test_add_check_constraint(self):
+        schema = build_schema(
+            "CREATE TABLE u (Role VARCHAR(4)); "
+            "ALTER TABLE u ADD CONSTRAINT role_chk CHECK (Role IN ('R1', 'R2'));"
+        )
+        table = schema.get_table("u")
+        assert table.checks and table.checks[0].in_values == ("R1", "R2")
+        assert table.get_column("Role").check_values == ("R1", "R2")
+
+    def test_drop_constraint(self):
+        schema = build_schema(
+            "CREATE TABLE u (Role VARCHAR(4)); "
+            "ALTER TABLE u ADD CONSTRAINT role_chk CHECK (Role IN ('R1')); "
+            "ALTER TABLE u DROP CONSTRAINT IF EXISTS role_chk;"
+        )
+        assert schema.get_table("u").checks == []
+
+    def test_add_foreign_key(self):
+        schema = build_schema(
+            "CREATE TABLE q (id INT PRIMARY KEY, tenant_id INT); "
+            "ALTER TABLE q ADD CONSTRAINT fk FOREIGN KEY (tenant_id) REFERENCES tenants(tenant_id);"
+        )
+        fks = schema.get_table("q").all_foreign_keys()
+        assert fks and fks[0].referenced_table == "tenants"
+
+    def test_add_primary_key(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); ALTER TABLE t ADD CONSTRAINT pk PRIMARY KEY (a);"
+        )
+        assert schema.get_table("t").primary_key_columns == ("a",)
+
+    def test_alter_unknown_table_creates_placeholder(self):
+        schema = build_schema("ALTER TABLE mystery ADD COLUMN a INT")
+        assert schema.has_table("mystery")
+
+
+class TestDrop:
+    def test_drop_table(self):
+        schema = build_schema("CREATE TABLE t (a INT); DROP TABLE t;")
+        assert not schema.has_table("t")
+
+    def test_drop_index(self):
+        schema = build_schema(
+            "CREATE TABLE t (a INT); CREATE INDEX i ON t (a); DROP INDEX i;"
+        )
+        assert "i" not in schema.get_table("t").indexes
+
+    def test_non_ddl_statements_are_ignored(self):
+        builder = DDLBuilder()
+        builder.build("SELECT * FROM t; INSERT INTO t VALUES (1);")
+        assert builder.schema.table_count == 0

@@ -1,0 +1,120 @@
+"""Unit tests for the schema catalog model."""
+from __future__ import annotations
+
+from repro.catalog import Column, ForeignKey, Index, Schema, Table, UniqueConstraint, parse_type
+
+
+def make_table() -> Table:
+    table = Table(name="Orders")
+    table.add_column(Column(name="Order_ID", sql_type=parse_type("INTEGER"), is_primary_key=True, nullable=False))
+    table.add_column(Column(name="Customer_ID", sql_type=parse_type("INTEGER")))
+    table.add_column(Column(name="Total", sql_type=parse_type("NUMERIC(10,2)")))
+    table.primary_key = ("Order_ID",)
+    return table
+
+
+class TestTable:
+    def test_column_access_is_case_insensitive(self):
+        table = make_table()
+        assert table.get_column("customer_id").name == "Customer_ID"
+        assert table.has_column("TOTAL")
+        assert table.get_column("missing") is None
+
+    def test_column_names_and_count(self):
+        table = make_table()
+        assert table.column_names == ["Order_ID", "Customer_ID", "Total"]
+        assert table.column_count == 3
+
+    def test_drop_column(self):
+        table = make_table()
+        table.drop_column("total")
+        assert not table.has_column("Total")
+
+    def test_primary_key_facts(self):
+        table = make_table()
+        assert table.has_primary_key
+        assert table.primary_key_columns == ("Order_ID",)
+        empty = Table(name="Nothing")
+        assert not empty.has_primary_key
+
+    def test_primary_key_from_column_flag(self):
+        table = Table(name="T")
+        table.add_column(Column(name="code", is_primary_key=True))
+        assert table.has_primary_key
+        assert table.primary_key_columns == ("code",)
+
+    def test_foreign_keys_include_inline_references(self):
+        table = make_table()
+        table.get_column("Customer_ID").references = ForeignKey(
+            columns=("Customer_ID",), referenced_table="Customers"
+        )
+        assert table.has_foreign_keys
+        assert len(table.all_foreign_keys()) == 1
+
+    def test_indexed_column_sets_and_lookup(self):
+        table = make_table()
+        table.add_index(Index(name="idx_customer", table="Orders", columns=("Customer_ID",)))
+        assert table.column_is_indexed("customer_id")
+        assert table.column_is_indexed("ORDER_ID")  # via the primary key
+        assert not table.column_is_indexed("Total")
+
+    def test_unique_constraint_counts_as_index(self):
+        table = make_table()
+        table.uniques.append(UniqueConstraint(columns=("Total",)))
+        assert table.column_is_indexed("total")
+
+    def test_index_covers(self):
+        index = Index(name="i", table="t", columns=("a", "b", "c"))
+        assert index.covers(["a"])
+        assert index.covers(["a", "b"])
+        assert index.covers(["b", "a"])
+        assert not index.covers(["d"])
+        assert index.is_multi_column
+
+    def test_column_domain_constraint(self):
+        column = Column(name="state", check_values=("a", "b"))
+        assert column.has_domain_constraint
+        assert not Column(name="free").has_domain_constraint
+        assert Column(name="role", sql_type=parse_type("ENUM('x')")).has_domain_constraint
+        assert Column(name="score", has_check=True).has_domain_constraint
+
+
+class TestSchema:
+    def test_add_get_drop(self):
+        schema = Schema()
+        schema.add_table(make_table())
+        assert schema.has_table("orders")
+        assert schema.get_table("ORDERS").name == "Orders"
+        assert schema.table_count == 1
+        schema.drop_table("orders")
+        assert not schema.has_table("orders")
+
+    def test_foreign_keys_to(self):
+        schema = Schema()
+        orders = make_table()
+        orders.foreign_keys.append(ForeignKey(columns=("Customer_ID",), referenced_table="Customers"))
+        schema.add_table(orders)
+        customers = Table(name="Customers")
+        schema.add_table(customers)
+        referencing = schema.foreign_keys_to("customers")
+        assert len(referencing) == 1
+        assert referencing[0][0] == "Orders"
+
+    def test_resolve_column_with_hints(self):
+        schema = Schema()
+        a = Table(name="A")
+        a.add_column(Column(name="name"))
+        b = Table(name="B")
+        b.add_column(Column(name="name"))
+        schema.add_table(a)
+        schema.add_table(b)
+        resolved = schema.resolve_column("name", hint_tables=["B"])
+        assert resolved[0].name == "B"
+        assert schema.resolve_column("missing") is None
+
+    def test_all_indexes(self):
+        schema = Schema()
+        table = make_table()
+        table.add_index(Index(name="idx1", table="Orders", columns=("Total",)))
+        schema.add_table(table)
+        assert [i.name for i in schema.all_indexes()] == ["idx1"]

@@ -1,0 +1,92 @@
+"""Unit tests for the SQL type system."""
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import SQLType, TypeFamily, infer_type_from_value, parse_type, value_has_timezone
+
+
+class TestParseType:
+    @pytest.mark.parametrize(
+        "text,name,family",
+        [
+            ("INTEGER", "INTEGER", TypeFamily.INTEGER),
+            ("int", "INT", TypeFamily.INTEGER),
+            ("BIGINT", "BIGINT", TypeFamily.INTEGER),
+            ("SERIAL", "SERIAL", TypeFamily.INTEGER),
+            ("FLOAT", "FLOAT", TypeFamily.APPROXIMATE_NUMERIC),
+            ("REAL", "REAL", TypeFamily.APPROXIMATE_NUMERIC),
+            ("DOUBLE PRECISION", "DOUBLE", TypeFamily.APPROXIMATE_NUMERIC),
+            ("DECIMAL(10,2)", "DECIMAL", TypeFamily.EXACT_NUMERIC),
+            ("NUMERIC", "NUMERIC", TypeFamily.EXACT_NUMERIC),
+            ("VARCHAR(30)", "VARCHAR", TypeFamily.TEXT),
+            ("TEXT", "TEXT", TypeFamily.TEXT),
+            ("BOOLEAN", "BOOLEAN", TypeFamily.BOOLEAN),
+            ("DATE", "DATE", TypeFamily.DATE),
+            ("TIMESTAMP", "TIMESTAMP", TypeFamily.DATETIME),
+            ("TIMESTAMPTZ", "TIMESTAMPTZ", TypeFamily.DATETIME),
+            ("UUID", "UUID", TypeFamily.UUID),
+            ("JSONB", "JSONB", TypeFamily.JSON),
+            ("ENUM('a','b')", "ENUM", TypeFamily.ENUM),
+            ("FROBNICATOR", "FROBNICATOR", TypeFamily.OTHER),
+        ],
+    )
+    def test_families(self, text, name, family):
+        parsed = parse_type(text)
+        assert parsed.name == name
+        assert parsed.family is family
+
+    def test_length_and_scale(self):
+        assert parse_type("VARCHAR(30)").length == 30
+        parsed = parse_type("DECIMAL(12, 4)")
+        assert parsed.length == 12 and parsed.scale == 4
+
+    def test_enum_values(self):
+        parsed = parse_type("ENUM('new', 'paid', 'void')")
+        assert parsed.enum_values == ("new", "paid", "void")
+        assert parsed.is_enum
+
+    def test_timezone_flags(self):
+        assert parse_type("TIMESTAMP WITH TIME ZONE").with_timezone
+        assert parse_type("TIMESTAMPTZ").with_timezone
+        assert not parse_type("TIMESTAMP").with_timezone
+        assert not parse_type("TIMESTAMP WITHOUT TIME ZONE").with_timezone
+
+    def test_predicates(self):
+        assert parse_type("FLOAT").is_approximate
+        assert parse_type("FLOAT").is_numeric
+        assert parse_type("VARCHAR(5)").is_textual
+        assert parse_type("DATE").is_temporal
+        assert not parse_type("TEXT").is_numeric
+
+    def test_empty_and_raw(self):
+        assert parse_type("").name == "UNKNOWN"
+        assert str(parse_type("varchar(10)")) == "varchar(10)"
+
+
+class TestInference:
+    @pytest.mark.parametrize(
+        "value,family",
+        [
+            (5, TypeFamily.INTEGER),
+            ("42", TypeFamily.INTEGER),
+            (3.5, TypeFamily.APPROXIMATE_NUMERIC),
+            ("3.14", TypeFamily.APPROXIMATE_NUMERIC),
+            (True, TypeFamily.BOOLEAN),
+            ("true", TypeFamily.BOOLEAN),
+            ("2020-05-01", TypeFamily.DATE),
+            ("2020-05-01 10:30:00", TypeFamily.DATETIME),
+            ("12:45:00", TypeFamily.TIME),
+            ("d9b2d63d-a233-4123-847a-7090c0bf66aa", TypeFamily.UUID),
+            ("hello world", TypeFamily.TEXT),
+            (None, TypeFamily.OTHER),
+        ],
+    )
+    def test_infer(self, value, family):
+        assert infer_type_from_value(value) is family
+
+    def test_timezone_detection(self):
+        assert value_has_timezone("2020-05-01 10:30:00+02:00")
+        assert value_has_timezone("2020-05-01T10:30:00Z")
+        assert not value_has_timezone("2020-05-01 10:30:00")
+        assert not value_has_timezone("not a date +02:00")

@@ -1,0 +1,235 @@
+"""Integration tests for the in-memory relational engine."""
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Database, EngineError, IntegrityError
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE Users (User_ID VARCHAR(10) PRIMARY KEY, Name VARCHAR(30), Role VARCHAR(10), Age INTEGER)"
+    )
+    database.execute(
+        "CREATE TABLE Orders (Order_ID INTEGER PRIMARY KEY, User_ID VARCHAR(10) REFERENCES Users(User_ID), "
+        "Total NUMERIC(10,2), Status VARCHAR(10))"
+    )
+    database.execute(
+        "INSERT INTO Users VALUES ('U1','Alice','admin',34), ('U2','Bob','member',28), ('U3','Cara','member',41)"
+    )
+    database.execute(
+        "INSERT INTO Orders (Order_ID, User_ID, Total, Status) VALUES "
+        "(1,'U1',10.50,'paid'), (2,'U1',20.00,'open'), (3,'U2',5.25,'paid')"
+    )
+    return database
+
+
+class TestDDL:
+    def test_create_table_registers_schema_and_storage(self, db):
+        assert db.get_table("users") is not None
+        assert db.schema.get_table("Users").primary_key_columns == ("User_ID",)
+
+    def test_primary_key_index_is_materialised(self, db):
+        assert db.get_table("users").index_on("User_ID") is not None
+
+    def test_create_index_backfills_existing_rows(self, db):
+        db.execute("CREATE INDEX idx_orders_status ON Orders (Status)")
+        index = db.get_table("orders").index_on("Status")
+        assert index is not None and len(index) == 3
+
+    def test_drop_table(self, db):
+        db.execute("DROP TABLE Orders")
+        assert db.get_table("orders") is None
+
+    def test_drop_index(self, db):
+        db.execute("CREATE INDEX idx_u_role ON Users (Role)")
+        db.execute("DROP INDEX idx_u_role")
+        assert db.get_table("users").index_on("Role") is None
+
+    def test_alter_table_drop_column_removes_data(self, db):
+        db.execute("ALTER TABLE Users DROP COLUMN Age")
+        rows = db.execute("SELECT * FROM Users").rows
+        assert all("Age" not in {k.split(".")[-1] for k in row} or row.get("Age") is None for row in rows)
+
+    def test_alter_table_add_check_validates_existing_rows(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("ALTER TABLE Users ADD CONSTRAINT role_chk CHECK (Role IN ('admin'))")
+
+    def test_truncate(self, db):
+        db.execute("TRUNCATE TABLE Orders")
+        assert db.execute("SELECT COUNT(*) FROM Orders").scalar() == 0
+
+    def test_unsupported_statement_raises(self, db):
+        with pytest.raises(EngineError):
+            db.execute("GRANT ALL ON Users TO alice")
+
+
+class TestInsert:
+    def test_multi_row_insert(self, db):
+        result = db.execute("INSERT INTO Users VALUES ('U4','Dan','member',22), ('U5','Eve','member',30)")
+        assert result.rowcount == 2
+        assert db.get_table("users").row_count == 5
+
+    def test_insert_with_column_list_fills_missing_with_null(self, db):
+        db.execute("INSERT INTO Users (User_ID, Name) VALUES ('U6','Finn')")
+        row = db.execute("SELECT * FROM Users WHERE User_ID = 'U6'").rows[0]
+        assert row["Role"] is None
+
+    def test_insert_coerces_types(self, db):
+        db.execute("INSERT INTO Orders (Order_ID, User_ID, Total, Status) VALUES (9,'U3','15.5','open')")
+        row = db.execute("SELECT Total FROM Orders WHERE Order_ID = 9").rows[0]
+        assert row["Total"] == pytest.approx(15.5)
+
+    def test_primary_key_violation(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO Users VALUES ('U1','Dup','member',10)")
+
+    def test_foreign_key_violation(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO Orders (Order_ID, User_ID, Total, Status) VALUES (10,'U99',1.0,'open')")
+
+    def test_not_null_violation(self, db):
+        db.execute("CREATE TABLE Strict (a INTEGER NOT NULL)")
+        with pytest.raises(IntegrityError):
+            db.insert_rows("Strict", [{"a": None}])
+
+    def test_check_constraint_enforced(self):
+        database = Database()
+        database.execute("CREATE TABLE T (Role VARCHAR(5) CHECK (Role IN ('R1','R2')))")
+        database.execute("INSERT INTO T (Role) VALUES ('R1')")
+        with pytest.raises(IntegrityError):
+            database.execute("INSERT INTO T (Role) VALUES ('R9')")
+
+
+class TestSelect:
+    def test_simple_filter(self, db):
+        result = db.execute("SELECT Name FROM Users WHERE Role = 'member'")
+        assert sorted(r["Name"] for r in result.rows) == ["Bob", "Cara"]
+
+    def test_projection_with_alias(self, db):
+        result = db.execute("SELECT Name AS who FROM Users WHERE User_ID = 'U1'")
+        assert result.rows[0]["who"] == "Alice"
+
+    def test_join_with_index(self, db):
+        result = db.execute(
+            "SELECT u.Name, o.Total FROM Orders o JOIN Users u ON o.User_ID = u.User_ID WHERE o.Status = 'paid'"
+        )
+        assert result.rowcount == 2
+
+    def test_left_join_keeps_unmatched_rows(self, db):
+        result = db.execute(
+            "SELECT u.Name, o.Order_ID FROM Users u LEFT JOIN Orders o ON o.User_ID = u.User_ID"
+        )
+        names = [row.get("Name") or row.get("u.Name") for row in result.rows]
+        assert "Cara" in names  # Cara has no orders but must appear
+
+    def test_aggregates(self, db):
+        assert db.execute("SELECT COUNT(*) FROM Orders").scalar() == 3
+        assert db.execute("SELECT SUM(Total) FROM Orders").scalar() == pytest.approx(35.75)
+        assert db.execute("SELECT MIN(Age) FROM Users").scalar() == 28
+        assert db.execute("SELECT MAX(Age) FROM Users").scalar() == 41
+        assert db.execute("SELECT AVG(Age) FROM Users").scalar() == pytest.approx(34.33, abs=0.01)
+
+    def test_group_by(self, db):
+        result = db.execute("SELECT Status, COUNT(*) AS n FROM Orders GROUP BY Status")
+        by_status = {row["Status"]: row["n"] for row in result.rows}
+        assert by_status == {"paid": 2, "open": 1}
+
+    def test_order_by_and_limit(self, db):
+        result = db.execute("SELECT Name FROM Users ORDER BY Age DESC LIMIT 2")
+        assert [r["Name"] for r in result.rows] == ["Cara", "Alice"]
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT Role FROM Users")
+        assert result.rowcount == 2
+
+    def test_like_predicate(self, db):
+        result = db.execute("SELECT Name FROM Users WHERE Name LIKE 'A%'")
+        assert result.rowcount == 1
+
+    def test_in_predicate(self, db):
+        result = db.execute("SELECT * FROM Users WHERE User_ID IN ('U1', 'U3')")
+        assert result.rowcount == 2
+
+    def test_unknown_table_raises(self, db):
+        with pytest.raises(Exception):
+            db.execute("SELECT * FROM Ghosts")
+
+    def test_cost_and_plan_reported(self, db):
+        result = db.execute("SELECT * FROM Users WHERE User_ID = 'U1'")
+        assert result.cost > 0
+        assert "scan" in result.plan or "index" in result.plan
+
+    def test_force_index_toggle(self, db):
+        db.execute("CREATE INDEX idx_users_role ON Users (Role)")
+        indexed = db.execute("SELECT * FROM Users WHERE Role = 'member'", force_index=True)
+        scanned = db.execute("SELECT * FROM Users WHERE Role = 'member'", force_index=False)
+        assert indexed.rowcount == scanned.rowcount == 2
+        assert "index_scan" in indexed.plan
+        assert "seq_scan" in scanned.plan
+
+
+class TestUpdateDelete:
+    def test_update_with_predicate(self, db):
+        result = db.execute("UPDATE Users SET Role = 'owner' WHERE User_ID = 'U1'")
+        assert result.rowcount == 1
+        assert db.execute("SELECT Role FROM Users WHERE User_ID = 'U1'").scalar() == "owner"
+
+    def test_update_all_rows(self, db):
+        assert db.execute("UPDATE Orders SET Status = 'done'").rowcount == 3
+
+    def test_update_maintains_indexes(self, db):
+        db.execute("CREATE INDEX idx_orders_status ON Orders (Status)")
+        db.execute("UPDATE Orders SET Status = 'done' WHERE Order_ID = 1")
+        result = db.execute("SELECT * FROM Orders WHERE Status = 'done'", force_index=True)
+        assert result.rowcount == 1
+
+    def test_update_expression_uses_old_value(self, db):
+        db.execute("UPDATE Orders SET Total = Total + 1 WHERE Order_ID = 3")
+        assert db.execute("SELECT Total FROM Orders WHERE Order_ID = 3").scalar() == pytest.approx(6.25)
+
+    def test_update_replace_function(self, db):
+        db.execute("CREATE TABLE T (v TEXT)")
+        db.execute("INSERT INTO T (v) VALUES ('a,b,c')")
+        db.execute("UPDATE T SET v = REPLACE(v, ',b', '')")
+        assert db.execute("SELECT v FROM T").scalar() == "a,c"
+
+    def test_delete_with_predicate(self, db):
+        assert db.execute("DELETE FROM Orders WHERE Status = 'paid'").rowcount == 2
+        assert db.execute("SELECT COUNT(*) FROM Orders").scalar() == 1
+
+    def test_delete_all(self, db):
+        db.execute("DELETE FROM Orders")
+        assert db.get_table("orders").row_count == 0
+
+
+class TestCostModel:
+    def test_more_indexes_make_writes_more_expensive(self):
+        database = Database()
+        database.execute("CREATE TABLE T (id INTEGER PRIMARY KEY, a INTEGER, b INTEGER, c INTEGER)")
+        database.insert_rows("T", [{"id": i, "a": i, "b": i, "c": i} for i in range(200)])
+        baseline = database.execute("UPDATE T SET a = a + 1 WHERE id = 5").cost
+        for column in ("a", "b", "c"):
+            database.execute(f"CREATE INDEX idx_{column} ON T ({column})")
+        with_indexes = database.execute("UPDATE T SET a = a + 1 WHERE id = 5").cost
+        assert with_indexes > baseline
+
+    def test_index_scan_cheaper_than_seq_scan_for_selective_predicate(self):
+        database = Database()
+        database.execute("CREATE TABLE T (id INTEGER PRIMARY KEY, v VARCHAR(10))")
+        database.insert_rows("T", [{"id": i, "v": f"v{i}"} for i in range(500)])
+        database.execute("CREATE INDEX idx_v ON T (v)")
+        indexed = database.execute("SELECT * FROM T WHERE v = 'v250'", force_index=True).cost
+        scanned = database.execute("SELECT * FROM T WHERE v = 'v250'", force_index=False).cost
+        assert indexed < scanned
+
+    def test_index_scan_more_expensive_on_low_cardinality_column(self):
+        database = Database()
+        database.execute("CREATE TABLE T (id INTEGER PRIMARY KEY, flag VARCHAR(3))")
+        database.insert_rows("T", [{"id": i, "flag": "on" if i % 2 else "off"} for i in range(400)])
+        database.execute("CREATE INDEX idx_flag ON T (flag)")
+        indexed = database.execute("SELECT * FROM T WHERE flag = 'on'", force_index=True).cost
+        scanned = database.execute("SELECT * FROM T WHERE flag = 'on'", force_index=False).cost
+        assert indexed > scanned

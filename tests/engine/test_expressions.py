@@ -1,0 +1,149 @@
+"""Unit tests for the expression parser/evaluator."""
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.expressions import ExpressionError, evaluate, parse_expression
+
+
+ROW = {
+    "id": 7,
+    "name": "Widget",
+    "price": 10.0,
+    "qty": 3,
+    "tag": None,
+    "u.User_ID": "U1",
+    "t.User_IDs": "U1,U2",
+}
+
+
+class TestLiteralsAndColumns:
+    def test_numeric_literals(self):
+        assert evaluate("1 + 2", {}) == 3
+        assert evaluate("2 * 3.5", {}) == 7.0
+
+    def test_string_literal(self):
+        assert evaluate("'it''s'", {}) == "it's"
+
+    def test_boolean_and_null_literals(self):
+        assert evaluate("TRUE", {}) is True
+        assert evaluate("NULL", {}) is None
+
+    def test_column_lookup(self):
+        assert evaluate("price", ROW) == 10.0
+
+    def test_qualified_column_lookup(self):
+        assert evaluate("u.User_ID", ROW) == "U1"
+
+    def test_case_insensitive_column_lookup(self):
+        assert evaluate("PRICE", ROW) == 10.0
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ExpressionError):
+            evaluate("missing_column", ROW)
+
+    def test_columns_reported(self):
+        expression = parse_expression("price * qty > 10 AND name = 'Widget'")
+        assert {"price", "qty", "name"} <= expression.columns()
+
+
+class TestOperators:
+    def test_comparisons(self):
+        assert evaluate("price > 5", ROW) is True
+        assert evaluate("price <= 5", ROW) is False
+        assert evaluate("name = 'Widget'", ROW) is True
+        assert evaluate("name != 'Widget'", ROW) is False
+
+    def test_arithmetic_precedence(self):
+        assert evaluate("1 + 2 * 3", {}) == 7
+        assert evaluate("(1 + 2) * 3", {}) == 9
+
+    def test_division_by_zero_is_null(self):
+        assert evaluate("1 / 0", {}) is None
+
+    def test_unary_minus(self):
+        assert evaluate("-price", ROW) == -10.0
+
+    def test_concat_operator(self):
+        assert evaluate("name || '!'", ROW) == "Widget!"
+        assert evaluate("tag || 'x'", ROW) is None
+
+    def test_null_comparison_is_unknown(self):
+        assert evaluate("tag = 'x'", ROW) is None
+
+
+class TestPredicates:
+    def test_and_or_not(self):
+        assert evaluate("price > 5 AND qty = 3", ROW) is True
+        assert evaluate("price > 50 OR qty = 3", ROW) is True
+        assert evaluate("NOT price > 50", ROW) is True
+
+    def test_three_valued_and(self):
+        assert evaluate("tag = 'x' AND price > 5", ROW) is None
+        assert evaluate("tag = 'x' AND price > 50", ROW) is False
+
+    def test_like(self):
+        assert evaluate("name LIKE 'Wid%'", ROW) is True
+        assert evaluate("name NOT LIKE '%zzz%'", ROW) is True
+        assert evaluate("name ILIKE 'widget'", ROW) is True
+
+    def test_regexp_with_concatenated_pattern(self):
+        assert evaluate("t.User_IDs REGEXP '[[:<:]]' || u.User_ID || '[[:>:]]'", ROW) is True
+
+    def test_in_list(self):
+        assert evaluate("qty IN (1, 2, 3)", ROW) is True
+        assert evaluate("qty NOT IN (1, 2)", ROW) is True
+        assert evaluate("tag IN ('a')", ROW) is None
+
+    def test_between(self):
+        assert evaluate("price BETWEEN 5 AND 15", ROW) is True
+        assert evaluate("price NOT BETWEEN 5 AND 15", ROW) is False
+
+    def test_is_null(self):
+        assert evaluate("tag IS NULL", ROW) is True
+        assert evaluate("tag IS NOT NULL", ROW) is False
+        assert evaluate("price IS NULL", ROW) is False
+
+    def test_is_true(self):
+        assert evaluate("TRUE IS TRUE", {}) is True
+
+
+class TestFunctions:
+    def test_replace(self):
+        assert evaluate("REPLACE('a,b,c', ',b', '')", {}) == "a,c"
+
+    def test_coalesce(self):
+        assert evaluate("COALESCE(tag, 'fallback')", ROW) == "fallback"
+        assert evaluate("COALESCE(name, 'fallback')", ROW) == "Widget"
+
+    def test_concat_function(self):
+        assert evaluate("CONCAT(name, '-', qty)", ROW) == "Widget-3"
+        assert evaluate("CONCAT(tag, 'x')", ROW) is None
+
+    def test_string_functions(self):
+        assert evaluate("LOWER(name)", ROW) == "widget"
+        assert evaluate("UPPER('ab')", {}) == "AB"
+        assert evaluate("LENGTH(name)", ROW) == 6
+        assert evaluate("SUBSTR(name, 1, 3)", ROW) == "Wid"
+
+    def test_numeric_functions(self):
+        assert evaluate("ABS(-3)", {}) == 3
+        assert evaluate("ROUND(3.456, 2)", {}) == pytest.approx(3.46)
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExpressionError):
+            evaluate("FROBNICATE(1)", {})
+
+
+class TestParserErrors:
+    def test_unbalanced_parenthesis(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("(1 + 2")
+
+    def test_empty_expression(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("")
+
+    def test_between_without_and(self):
+        with pytest.raises(ExpressionError):
+            parse_expression("a BETWEEN 1 OR 2")

@@ -1,0 +1,116 @@
+"""Unit tests for the storage layer (tables and secondary indexes)."""
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import Column, Index, Table, parse_type
+from repro.engine import Database, IntegrityError, SecondaryIndex
+from repro.engine.storage import StoredTable
+
+
+def make_stored_table() -> StoredTable:
+    definition = Table(name="Items")
+    definition.add_column(Column(name="Item_ID", sql_type=parse_type("INTEGER"), is_primary_key=True, nullable=False))
+    definition.add_column(Column(name="Name", sql_type=parse_type("VARCHAR(20)")))
+    definition.add_column(Column(name="Qty", sql_type=parse_type("INTEGER"), default="1"))
+    definition.primary_key = ("Item_ID",)
+    return StoredTable(definition=definition)
+
+
+class TestStoredTable:
+    def test_insert_applies_defaults_and_coercion(self):
+        table = make_stored_table()
+        row_id = table.insert({"Item_ID": "5", "Name": "Widget"})
+        stored = table.rows[row_id]
+        assert stored["Item_ID"] == 5
+        assert stored["Qty"] == 1
+
+    def test_insert_is_case_insensitive_on_column_names(self):
+        table = make_stored_table()
+        row_id = table.insert({"item_id": 1, "NAME": "x"})
+        assert table.rows[row_id]["Name"] == "x"
+
+    def test_duplicate_primary_key_rejected(self):
+        table = make_stored_table()
+        table.insert({"Item_ID": 1})
+        with pytest.raises(IntegrityError):
+            table.insert({"Item_ID": 1})
+
+    def test_null_primary_key_rejected(self):
+        table = make_stored_table()
+        with pytest.raises(IntegrityError):
+            table.insert({"Name": "x"})
+
+    def test_update_and_delete_maintain_indexes(self):
+        table = make_stored_table()
+        index = table.create_index(Index(name="idx_name", table="Items", columns=("Name",)))
+        a = table.insert({"Item_ID": 1, "Name": "alpha"})
+        b = table.insert({"Item_ID": 2, "Name": "beta"})
+        assert index.lookup(("alpha",)) == {a}
+        table.update_row(a, {"Name": "gamma"})
+        assert index.lookup(("alpha",)) == set()
+        assert index.lookup(("gamma",)) == {a}
+        table.delete_row(b)
+        assert index.lookup(("beta",)) == set()
+        assert table.row_count == 1
+
+    def test_validate_all_rows_counts(self):
+        table = make_stored_table()
+        table.insert({"Item_ID": 1})
+        table.insert({"Item_ID": 2})
+        assert table.validate_all_rows() == 2
+
+    def test_scan_and_all_rows(self):
+        table = make_stored_table()
+        table.insert({"Item_ID": 1})
+        assert len(list(table.scan())) == 1
+        assert len(table.all_rows()) == 1
+
+
+class TestSecondaryIndex:
+    def make_index(self, unique: bool = False) -> SecondaryIndex:
+        return SecondaryIndex(Index(name="i", table="t", columns=("a", "b"), unique=unique))
+
+    def test_multi_column_lookup(self):
+        index = self.make_index()
+        index.add(1, {"a": 1, "b": "x"})
+        index.add(2, {"a": 1, "b": "y"})
+        assert index.lookup((1, "x")) == {1}
+        assert index.lookup_leading(1) == {1, 2}
+        assert len(index) == 2
+
+    def test_unique_violation(self):
+        index = self.make_index(unique=True)
+        index.add(1, {"a": 1, "b": "x"})
+        with pytest.raises(IntegrityError):
+            index.add(2, {"a": 1, "b": "x"})
+
+    def test_remove_cleans_empty_buckets(self):
+        index = self.make_index()
+        index.add(1, {"a": 1, "b": "x"})
+        index.remove(1, {"a": 1, "b": "x"})
+        assert index.lookup((1, "x")) == set()
+        assert len(index) == 0
+
+    def test_float_and_int_keys_normalise(self):
+        index = SecondaryIndex(Index(name="i", table="t", columns=("a",)))
+        index.add(1, {"a": 5.0})
+        assert index.lookup((5,)) == {1}
+
+
+class TestForeignKeysAcrossTables:
+    def test_fk_lookup_uses_referenced_pk_index(self):
+        db = Database()
+        db.execute("CREATE TABLE Parent (p_id INTEGER PRIMARY KEY)")
+        db.execute("CREATE TABLE Child (c_id INTEGER PRIMARY KEY, p_id INTEGER REFERENCES Parent(p_id))")
+        db.insert_rows("Parent", [{"p_id": i} for i in range(10)])
+        db.insert_rows("Child", [{"c_id": i, "p_id": i % 10} for i in range(20)])
+        with pytest.raises(IntegrityError):
+            db.insert_rows("Child", [{"c_id": 99, "p_id": 42}])
+
+    def test_null_foreign_key_is_allowed(self):
+        db = Database()
+        db.execute("CREATE TABLE Parent (p_id INTEGER PRIMARY KEY)")
+        db.execute("CREATE TABLE Child (c_id INTEGER PRIMARY KEY, p_id INTEGER REFERENCES Parent(p_id))")
+        db.insert_rows("Child", [{"c_id": 1, "p_id": None}])
+        assert db.get_table("child").row_count == 1

@@ -1,0 +1,104 @@
+"""Unit tests for SQL value semantics."""
+from __future__ import annotations
+
+import pytest
+
+from repro.catalog import parse_type
+from repro.engine import values as V
+
+
+class TestNullHandling:
+    def test_is_null(self):
+        assert V.is_null(None)
+        assert V.is_null(V.NULL)
+        assert not V.is_null(0)
+        assert not V.is_null("")
+
+    def test_null_is_singleton_and_falsy(self):
+        assert V.SQLNull() is V.NULL
+        assert not V.NULL
+
+    def test_comparisons_with_null_are_unknown(self):
+        assert V.compare(None, 1) is None
+        assert V.equals(None, None) is None
+        assert V.like_match(None, "%x%") is None
+
+    def test_concat_propagates_null(self):
+        assert V.concat("a", None, "b") is None
+        assert V.concat("a", "b") == "ab"
+
+
+class TestCoercion:
+    def test_integer(self):
+        assert V.coerce("42", parse_type("INTEGER")) == 42
+
+    def test_float_finite_precision(self):
+        stored = V.coerce(0.1 + 0.2, parse_type("FLOAT"))
+        assert stored == pytest.approx(0.3, abs=1e-6)
+
+    def test_decimal_scale(self):
+        assert V.coerce(10.005, parse_type("DECIMAL(10,2)")) == pytest.approx(10.0, abs=0.01)
+
+    def test_boolean_from_strings(self):
+        assert V.coerce("true", parse_type("BOOLEAN")) is True
+        assert V.coerce("f", parse_type("BOOLEAN")) is False
+
+    def test_varchar_truncates_to_length(self):
+        assert V.coerce("abcdefgh", parse_type("VARCHAR(3)")) == "abc"
+
+    def test_invalid_coercion_keeps_value(self):
+        assert V.coerce("not a number", parse_type("INTEGER")) == "not a number"
+
+    def test_null_passthrough(self):
+        assert V.coerce(None, parse_type("INTEGER")) is None
+
+
+class TestComparison:
+    def test_numeric_comparison(self):
+        assert V.compare(1, 2) == -1
+        assert V.compare(3, 2) == 1
+        assert V.compare(2, 2) == 0
+
+    def test_numeric_string_alignment(self):
+        assert V.equals("5", 5) is True
+        assert V.compare("10", 9) == 1
+
+    def test_boolean_alignment(self):
+        assert V.equals(True, "true") is True
+        assert V.equals(False, 0) is True
+
+    def test_incomparable_types_fall_back_to_text(self):
+        assert V.compare("abc", 5) in (-1, 1)
+
+    def test_string_comparison(self):
+        assert V.compare("apple", "banana") == -1
+
+
+class TestPatternMatching:
+    def test_like_percent(self):
+        assert V.like_match("hello world", "%world") is True
+        assert V.like_match("hello world", "hello%") is True
+        assert V.like_match("hello", "%xyz%") is False
+
+    def test_like_underscore(self):
+        assert V.like_match("cat", "c_t") is True
+        assert V.like_match("cart", "c_t") is False
+
+    def test_like_escapes_regex_metacharacters(self):
+        assert V.like_match("a.b", "a.b") is True
+        assert V.like_match("axb", "a.b") is False
+
+    def test_ilike(self):
+        assert V.like_match("HELLO", "hello", case_insensitive=True) is True
+
+    def test_regexp_word_boundaries(self):
+        assert V.regexp_match("U1,U2", "[[:<:]]U1[[:>:]]") is True
+        assert V.regexp_match("U11,U2", "[[:<:]]U1[[:>:]]") is False
+
+    def test_regexp_invalid_pattern(self):
+        assert V.regexp_match("abc", "[unclosed") is False
+
+    def test_sql_repr(self):
+        assert V.sql_repr(None) == "NULL"
+        assert V.sql_repr(True) == "true"
+        assert V.sql_repr(7) == "7"

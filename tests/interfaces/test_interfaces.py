@@ -1,0 +1,153 @@
+"""Tests for the CLI, interactive shell, and REST interfaces."""
+from __future__ import annotations
+
+import io
+import json
+import urllib.request
+
+import pytest
+
+from repro.interfaces.cli import build_parser, render, run
+from repro.interfaces.rest import RestServer, catalog_response, handle_check_request
+from repro.interfaces.shell import SQLCheckShell
+
+
+class TestCLI:
+    def test_query_argument(self):
+        code, output = run(["--query", "SELECT * FROM t"])
+        assert code == 1  # anti-patterns found
+        assert "Column Wildcard" in output
+
+    def test_clean_query_exits_zero(self):
+        code, output = run(["--query", "SELECT a FROM t WHERE a = 1"])
+        assert code == 0
+        assert "0 anti-pattern" in output
+
+    def test_json_output(self):
+        code, output = run(["--query", "SELECT * FROM t", "--format", "json"])
+        payload = json.loads(output)
+        assert payload["detections"][0]["anti_pattern"] == "column_wildcard"
+
+    def test_file_input(self, tmp_path):
+        sql_file = tmp_path / "queries.sql"
+        sql_file.write_text("SELECT * FROM t; INSERT INTO t VALUES (1);")
+        code, output = run([str(sql_file)])
+        assert "Implicit Columns" in output
+
+    def test_stdin_input(self):
+        code, output = run([], stdin="SELECT * FROM t")
+        assert code == 1
+
+    def test_no_input_is_an_error(self):
+        code, output = run([], stdin="")
+        assert code == 2
+
+    def test_top_limits_output(self):
+        _, output = run(["--query", "SELECT * FROM a; SELECT * FROM b;", "--top", "1"])
+        assert output.count("Column Wildcard") == 1
+
+    def test_no_fixes_flag(self):
+        _, output = run(["--query", "SELECT * FROM t", "--no-fixes"])
+        assert "fix   :" not in output
+
+    def test_config_flag_accepted(self):
+        for config in ("C1", "C2"):
+            code, _ = run(["--query", "SELECT * FROM t", "--config", config])
+            assert code == 1
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.config == "C1"
+        assert args.format == "text"
+
+
+class TestShell:
+    def run_shell(self, commands: str) -> str:
+        out = io.StringIO()
+        shell = SQLCheckShell(stdin=io.StringIO(commands), stdout=out)
+        shell.cmdloop()
+        return out.getvalue()
+
+    def test_analyses_sql_statement(self):
+        output = self.run_shell("SELECT * FROM t\nquit\n")
+        assert "Column Wildcard" in output
+
+    def test_clean_statement(self):
+        output = self.run_shell("SELECT a FROM t WHERE a = 1\nquit\n")
+        assert "no anti-patterns detected" in output
+
+    def test_schema_command_provides_context(self):
+        commands = (
+            "schema CREATE TABLE A (a_id INTEGER PRIMARY KEY)\n"
+            "schema CREATE TABLE B (b_id INTEGER PRIMARY KEY, a_id INTEGER)\n"
+            "SELECT b.b_id FROM B b JOIN A a ON a.a_id = b.a_id\n"
+            "quit\n"
+        )
+        output = self.run_shell(commands)
+        assert "No Foreign Key" in output
+
+    def test_history_and_reset(self):
+        output = self.run_shell("SELECT * FROM t\nhistory\nreset\nhistory\nquit\n")
+        assert "SELECT * FROM t" in output
+        assert "context cleared" in output
+
+
+class TestRestLogic:
+    def test_check_request_success(self):
+        status, body = handle_check_request({"query": "SELECT * FROM t"})
+        assert status == 200
+        assert body["detections"][0]["anti_pattern"] == "column_wildcard"
+
+    def test_check_request_missing_query(self):
+        status, body = handle_check_request({})
+        assert status == 400
+        assert "error" in body
+
+    def test_check_request_with_config(self):
+        status, body = handle_check_request({"query": "SELECT * FROM t", "config": "C2"})
+        assert status == 200
+
+    def test_catalog_response_lists_all_anti_patterns(self):
+        body = catalog_response()
+        assert len(body["anti_patterns"]) == 27
+
+
+class TestRestServer:
+    def test_end_to_end_http(self):
+        with RestServer(port=0) as server:
+            url = server.url
+            with urllib.request.urlopen(f"{url}/api/health", timeout=5) as response:
+                assert json.loads(response.read())["status"] == "ok"
+            request = urllib.request.Request(
+                f"{url}/api/check",
+                data=json.dumps({"query": "INSERT INTO Users VALUES (1,'foo')"}).encode(),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=5) as response:
+                payload = json.loads(response.read())
+            assert payload["detections"][0]["anti_pattern"] == "implicit_columns"
+            with urllib.request.urlopen(f"{url}/api/antipatterns", timeout=5) as response:
+                catalog = json.loads(response.read())
+            assert len(catalog["anti_patterns"]) == 27
+
+    def test_unknown_route_is_404(self):
+        with RestServer(port=0) as server:
+            try:
+                urllib.request.urlopen(f"{server.url}/nope", timeout=5)
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+            else:  # pragma: no cover
+                raise AssertionError("expected a 404")
+
+    def test_invalid_json_is_400(self):
+        with RestServer(port=0) as server:
+            request = urllib.request.Request(
+                f"{server.url}/api/check", data=b"not json", method="POST"
+            )
+            try:
+                urllib.request.urlopen(request, timeout=5)
+            except urllib.error.HTTPError as error:
+                assert error.code == 400
+            else:  # pragma: no cover
+                raise AssertionError("expected a 400")

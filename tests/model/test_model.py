@@ -1,0 +1,128 @@
+"""Unit tests for the anti-pattern model (catalog, detections, reports)."""
+from __future__ import annotations
+
+import pytest
+
+from repro.model import (
+    AntiPattern,
+    APCategory,
+    Detection,
+    DetectionReport,
+    Severity,
+    catalog_entry,
+    full_catalog,
+)
+
+
+class TestCatalog:
+    def test_every_anti_pattern_has_a_catalog_entry(self):
+        catalog = full_catalog()
+        for anti_pattern in AntiPattern:
+            assert anti_pattern in catalog
+
+    def test_table1_has_26_entries_plus_readable_password(self):
+        assert len(full_catalog()) == 27
+
+    def test_category_assignment_matches_table1(self):
+        assert catalog_entry(AntiPattern.MULTI_VALUED_ATTRIBUTE).category is APCategory.LOGICAL_DESIGN
+        assert catalog_entry(AntiPattern.CLONE_TABLE).category is APCategory.PHYSICAL_DESIGN
+        assert catalog_entry(AntiPattern.COLUMN_WILDCARD).category is APCategory.QUERY
+        assert catalog_entry(AntiPattern.MISSING_TIMEZONE).category is APCategory.DATA
+
+    def test_category_counts(self):
+        counts: dict[APCategory, int] = {}
+        for entry in full_catalog().values():
+            counts[entry.category] = counts.get(entry.category, 0) + 1
+        assert counts[APCategory.LOGICAL_DESIGN] == 7
+        assert counts[APCategory.PHYSICAL_DESIGN] == 6
+        assert counts[APCategory.QUERY] == 8  # 7 in Table 1 + Readable Password
+        assert counts[APCategory.DATA] == 6
+
+    def test_impact_profile_matches_table1_rows(self):
+        mva = catalog_entry(AntiPattern.MULTI_VALUED_ATTRIBUTE).impact
+        assert mva.performance and mva.maintainability and mva.data_integrity and mva.accuracy
+        assert mva.data_amplification == -1
+        npk = catalog_entry(AntiPattern.NO_PRIMARY_KEY).impact
+        assert npk.data_amplification == +1 and not npk.accuracy
+        rounding = catalog_entry(AntiPattern.ROUNDING_ERRORS).impact
+        assert rounding.accuracy and not rounding.performance
+
+    def test_display_name(self):
+        assert AntiPattern.MULTI_VALUED_ATTRIBUTE.display_name == "Multi Valued Attribute"
+
+
+class TestDetection:
+    def make(self, **kwargs) -> Detection:
+        defaults = dict(
+            anti_pattern=AntiPattern.COLUMN_WILDCARD,
+            message="m",
+            query="SELECT * FROM t",
+            query_index=3,
+            table="t",
+        )
+        defaults.update(kwargs)
+        return Detection(**defaults)
+
+    def test_category_and_display_name(self):
+        detection = self.make()
+        assert detection.category is APCategory.QUERY
+        assert detection.display_name == "Column Wildcard"
+
+    def test_key_is_case_insensitive(self):
+        a = self.make(table="Users", column="Name")
+        b = self.make(table="users", column="name")
+        assert a.key() == b.key()
+
+    def test_to_dict_round_trip_fields(self):
+        payload = self.make(confidence=0.875).to_dict()
+        assert payload["anti_pattern"] == "column_wildcard"
+        assert payload["category"] == "query"
+        assert payload["confidence"] == 0.875
+        assert payload["severity"] == "MEDIUM"
+
+    def test_severity_ordering(self):
+        assert Severity.LOW < Severity.HIGH
+        assert sorted([Severity.HIGH, Severity.LOW, Severity.MEDIUM]) == [
+            Severity.LOW,
+            Severity.MEDIUM,
+            Severity.HIGH,
+        ]
+
+
+class TestDetectionReport:
+    def build_report(self) -> DetectionReport:
+        return DetectionReport(
+            detections=[
+                Detection(anti_pattern=AntiPattern.COLUMN_WILDCARD, query_index=0, confidence=0.9),
+                Detection(anti_pattern=AntiPattern.COLUMN_WILDCARD, query_index=0, confidence=0.7),
+                Detection(anti_pattern=AntiPattern.NO_PRIMARY_KEY, query_index=1, table="t"),
+            ],
+            queries_analyzed=2,
+            tables_analyzed=1,
+        )
+
+    def test_len_and_iter(self):
+        report = self.build_report()
+        assert len(report) == 3
+        assert len(list(report)) == 3
+
+    def test_by_type_and_counts(self):
+        report = self.build_report()
+        assert report.counts()[AntiPattern.COLUMN_WILDCARD] == 2
+        assert report.types_detected() == {AntiPattern.COLUMN_WILDCARD, AntiPattern.NO_PRIMARY_KEY}
+
+    def test_filter(self):
+        report = self.build_report()
+        assert len(report.filter(AntiPattern.NO_PRIMARY_KEY)) == 1
+
+    def test_deduplicated_keeps_highest_confidence(self):
+        report = self.build_report()
+        deduplicated = report.deduplicated()
+        wildcards = [d for d in deduplicated if d.anti_pattern is AntiPattern.COLUMN_WILDCARD]
+        assert len(wildcards) == 1
+        assert wildcards[0].confidence == 0.9
+
+    def test_to_dict(self):
+        payload = self.build_report().to_dict()
+        assert payload["queries_analyzed"] == 2
+        assert len(payload["detections"]) == 3

@@ -1,0 +1,192 @@
+"""Unit tests for query and logical/physical design rules (intra-query)."""
+from __future__ import annotations
+
+import pytest
+
+from repro.detector import APDetector, DetectorConfig
+from repro.model import AntiPattern
+
+
+def detect_types(sql: str, **config) -> set[AntiPattern]:
+    detector = APDetector(DetectorConfig(**config))
+    return detector.detect(sql).types_detected()
+
+
+def detect(sql: str, **config):
+    return APDetector(DetectorConfig(**config)).detect(sql)
+
+
+class TestColumnWildcard:
+    def test_select_star_detected(self):
+        assert AntiPattern.COLUMN_WILDCARD in detect_types("SELECT * FROM t")
+
+    def test_qualified_star_detected(self):
+        assert AntiPattern.COLUMN_WILDCARD in detect_types("SELECT t.* FROM t")
+
+    def test_count_star_not_detected(self):
+        assert AntiPattern.COLUMN_WILDCARD not in detect_types("SELECT COUNT(*) FROM t")
+
+    def test_explicit_columns_not_detected(self):
+        assert AntiPattern.COLUMN_WILDCARD not in detect_types("SELECT a, b FROM t")
+
+
+class TestImplicitColumns:
+    def test_insert_without_columns(self):
+        assert AntiPattern.IMPLICIT_COLUMNS in detect_types("INSERT INTO t VALUES (1, 'x')")
+
+    def test_insert_with_columns_ok(self):
+        assert AntiPattern.IMPLICIT_COLUMNS not in detect_types("INSERT INTO t (a, b) VALUES (1, 'x')")
+
+
+class TestOrderingByRand:
+    def test_rand_detected(self):
+        assert AntiPattern.ORDERING_BY_RAND in detect_types("SELECT a FROM t ORDER BY RAND()")
+
+    def test_random_detected(self):
+        assert AntiPattern.ORDERING_BY_RAND in detect_types("SELECT a FROM t ORDER BY RANDOM() LIMIT 1")
+
+    def test_regular_order_not_detected(self):
+        assert AntiPattern.ORDERING_BY_RAND not in detect_types("SELECT a FROM t ORDER BY a DESC")
+
+
+class TestPatternMatching:
+    def test_leading_wildcard_detected(self):
+        assert AntiPattern.PATTERN_MATCHING in detect_types("SELECT a FROM t WHERE a LIKE '%x%'")
+
+    def test_regexp_detected(self):
+        assert AntiPattern.PATTERN_MATCHING in detect_types("SELECT a FROM t WHERE a REGEXP 'x.*y'")
+
+    def test_prefix_like_is_not_an_anti_pattern(self):
+        assert AntiPattern.PATTERN_MATCHING not in detect_types("SELECT a FROM t WHERE a LIKE 'abc%'")
+
+
+class TestDistinctAndJoin:
+    def test_distinct_with_join(self):
+        sql = "SELECT DISTINCT a.x FROM a JOIN b ON a.id = b.id"
+        assert AntiPattern.DISTINCT_AND_JOIN in detect_types(sql)
+
+    def test_distinct_without_join_ok(self):
+        assert AntiPattern.DISTINCT_AND_JOIN not in detect_types("SELECT DISTINCT x FROM a")
+
+
+class TestTooManyJoins:
+    def test_many_joins_detected(self):
+        joins = " ".join(f"JOIN t{i} ON t{i}.k = t{i-1}.k" for i in range(1, 7))
+        assert AntiPattern.TOO_MANY_JOINS in detect_types(f"SELECT * FROM t0 {joins}")
+
+    def test_few_joins_ok(self):
+        sql = "SELECT * FROM a JOIN b ON a.k = b.k JOIN c ON c.k = b.k"
+        assert AntiPattern.TOO_MANY_JOINS not in detect_types(sql)
+
+    def test_threshold_is_configurable(self):
+        from repro.rules import Thresholds
+
+        sql = "SELECT * FROM a JOIN b ON a.k = b.k JOIN c ON c.k = b.k"
+        types = detect_types(sql, thresholds=Thresholds(too_many_joins=2))
+        assert AntiPattern.TOO_MANY_JOINS in types
+
+
+class TestConcatenateNulls:
+    def test_concat_detected(self):
+        assert AntiPattern.CONCATENATE_NULLS in detect_types("SELECT first || ' ' || last FROM t")
+
+    def test_no_concat_ok(self):
+        assert AntiPattern.CONCATENATE_NULLS not in detect_types("SELECT first FROM t")
+
+    def test_not_null_schema_suppresses(self):
+        sql = (
+            "CREATE TABLE t (first VARCHAR(10) NOT NULL, last VARCHAR(10) NOT NULL);"
+            "SELECT first || last FROM t;"
+        )
+        assert AntiPattern.CONCATENATE_NULLS not in detect_types(sql)
+
+
+class TestReadablePassword:
+    def test_literal_password_comparison(self):
+        assert AntiPattern.READABLE_PASSWORD in detect_types(
+            "SELECT id FROM users WHERE password = 'hunter2'"
+        )
+
+    def test_hashed_literal_not_detected(self):
+        assert AntiPattern.READABLE_PASSWORD not in detect_types(
+            "SELECT id FROM users WHERE password = '5f4dcc3b5aa765d61d8327deb882cf99'"
+        )
+
+    def test_plain_schema_column(self):
+        assert AntiPattern.READABLE_PASSWORD in detect_types(
+            "CREATE TABLE users (id INT PRIMARY KEY, password VARCHAR(50))"
+        )
+
+
+class TestSchemaRules:
+    def test_no_primary_key(self):
+        assert AntiPattern.NO_PRIMARY_KEY in detect_types("CREATE TABLE t (a INT, b INT)")
+        assert AntiPattern.NO_PRIMARY_KEY not in detect_types("CREATE TABLE t (a INT PRIMARY KEY)")
+
+    def test_no_primary_key_fixed_by_later_alter(self):
+        sql = "CREATE TABLE t (a INT); ALTER TABLE t ADD CONSTRAINT pk PRIMARY KEY (a);"
+        assert AntiPattern.NO_PRIMARY_KEY not in detect_types(sql)
+
+    def test_generic_primary_key(self):
+        assert AntiPattern.GENERIC_PRIMARY_KEY in detect_types(
+            "CREATE TABLE t (id INTEGER PRIMARY KEY, name VARCHAR(10))"
+        )
+        assert AntiPattern.GENERIC_PRIMARY_KEY not in detect_types(
+            "CREATE TABLE t (order_id INTEGER PRIMARY KEY, name VARCHAR(10))"
+        )
+
+    def test_god_table(self):
+        columns = ", ".join(f"c{i} INT" for i in range(15))
+        assert AntiPattern.GOD_TABLE in detect_types(f"CREATE TABLE t (id INT PRIMARY KEY, {columns})")
+        assert AntiPattern.GOD_TABLE not in detect_types("CREATE TABLE t (a INT, b INT, c INT)")
+
+    def test_rounding_errors(self):
+        assert AntiPattern.ROUNDING_ERRORS in detect_types("CREATE TABLE t (price FLOAT)")
+        assert AntiPattern.ROUNDING_ERRORS not in detect_types("CREATE TABLE t (price NUMERIC(10,2))")
+
+    def test_enumerated_types_enum(self):
+        assert AntiPattern.ENUMERATED_TYPES in detect_types("CREATE TABLE t (state ENUM('a','b'))")
+
+    def test_enumerated_types_check_in(self):
+        assert AntiPattern.ENUMERATED_TYPES in detect_types(
+            "ALTER TABLE u ADD CONSTRAINT c CHECK (Role IN ('R1','R2'))"
+        )
+
+    def test_adjacency_list_self_reference(self):
+        assert AntiPattern.ADJACENCY_LIST in detect_types(
+            "CREATE TABLE emp (id INT PRIMARY KEY, manager_id INT REFERENCES emp(id))"
+        )
+
+    def test_data_in_metadata_numbered_columns(self):
+        assert AntiPattern.DATA_IN_METADATA in detect_types(
+            "CREATE TABLE t (id INT PRIMARY KEY, tag1 VARCHAR(5), tag2 VARCHAR(5), tag3 VARCHAR(5))"
+        )
+
+    def test_data_in_metadata_year_table(self):
+        assert AntiPattern.DATA_IN_METADATA in detect_types(
+            "CREATE TABLE sales_2019 (sale_id INT PRIMARY KEY)"
+        )
+
+    def test_clone_table_requires_context_siblings(self):
+        sql = (
+            "CREATE TABLE log_1 (entry_id INT PRIMARY KEY);"
+            "CREATE TABLE log_2 (entry_id INT PRIMARY KEY);"
+        )
+        assert AntiPattern.CLONE_TABLE in detect_types(sql)
+        # a single numbered table is not enough once context is available
+        assert AntiPattern.CLONE_TABLE not in detect_types("CREATE TABLE log_1 (entry_id INT PRIMARY KEY)")
+
+    def test_external_data_storage(self):
+        assert AntiPattern.EXTERNAL_DATA_STORAGE in detect_types(
+            "CREATE TABLE docs (doc_id INT PRIMARY KEY, file_path VARCHAR(255))"
+        )
+
+    def test_multi_valued_attribute_query(self):
+        assert AntiPattern.MULTI_VALUED_ATTRIBUTE in detect_types(
+            "SELECT * FROM t WHERE user_ids LIKE '%U1%'"
+        )
+
+    def test_multi_valued_attribute_ddl(self):
+        assert AntiPattern.MULTI_VALUED_ATTRIBUTE in detect_types(
+            "CREATE TABLE t (t_id INT PRIMARY KEY, member_ids TEXT)"
+        )

@@ -1,0 +1,182 @@
+"""Unit tests for the statement annotation layer."""
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlparser import ColumnReference, annotate, parse_statement
+
+
+class TestTables:
+    def test_single_table(self):
+        a = annotate("SELECT * FROM Users")
+        assert [t.name for t in a.tables] == ["Users"]
+
+    def test_table_alias_with_as(self):
+        a = annotate("SELECT * FROM Users AS u")
+        assert a.tables[0].alias == "u"
+        assert a.tables[0].effective_alias == "u"
+
+    def test_table_alias_bare(self):
+        a = annotate("SELECT * FROM Users u WHERE u.id = 1")
+        assert a.tables[0].alias == "u"
+
+    def test_multiple_tables_comma_join(self):
+        a = annotate("SELECT * FROM a, b, c WHERE a.x = b.x")
+        assert [t.name for t in a.tables] == ["a", "b", "c"]
+
+    def test_join_tables_collected(self):
+        a = annotate("SELECT * FROM a JOIN b ON a.x = b.x LEFT JOIN c ON c.y = a.y")
+        assert [t.name for t in a.all_tables] == ["a", "b", "c"]
+        assert a.join_count == 2
+
+    def test_alias_map_resolution(self):
+        a = annotate("SELECT * FROM Users u JOIN Orders o ON o.user_id = u.id")
+        assert a.resolve_qualifier("u") == "Users"
+        assert a.resolve_qualifier("o") == "Orders"
+        assert a.resolve_qualifier("unknown") == "unknown"
+        assert a.resolve_qualifier(None) is None
+
+    def test_update_target_table(self):
+        a = annotate("UPDATE Users SET name = 'x' WHERE id = 1")
+        assert [t.name for t in a.tables] == ["Users"]
+
+    def test_insert_target_table(self):
+        a = annotate("INSERT INTO Users (id, name) VALUES (1, 'x')")
+        assert [t.name for t in a.tables] == ["Users"]
+
+    def test_delete_target_table(self):
+        a = annotate("DELETE FROM Users WHERE id = 1")
+        assert [t.name for t in a.tables] == ["Users"]
+
+    def test_ddl_target_table(self):
+        a = annotate("CREATE TABLE Users (id INT)")
+        assert [t.name for t in a.tables] == ["Users"]
+
+    def test_create_index_target_table(self):
+        a = annotate("CREATE INDEX idx_name ON Users (name)")
+        assert [t.name for t in a.tables] == ["Users"]
+
+
+class TestSelectClause:
+    def test_wildcard_detection(self):
+        assert annotate("SELECT * FROM t").has_select_wildcard
+        assert annotate("SELECT t.* FROM t").has_select_wildcard
+        assert not annotate("SELECT a, b FROM t").has_select_wildcard
+
+    def test_select_items_split(self):
+        a = annotate("SELECT a, b AS bee, COUNT(c) FROM t")
+        assert len(a.select_items) == 3
+
+    def test_select_columns_qualified(self):
+        a = annotate("SELECT u.name, o.total FROM Users u JOIN Orders o ON o.uid = u.id")
+        assert ColumnReference("name", "u") in a.select_columns
+        assert ColumnReference("total", "o") in a.select_columns
+
+    def test_distinct_flag(self):
+        assert annotate("SELECT DISTINCT a FROM t").is_distinct
+        assert not annotate("SELECT a FROM t").is_distinct
+
+    def test_count_wildcard_is_not_projection_wildcard(self):
+        # COUNT(*) inside a function should not be flagged the same way as SELECT *
+        a = annotate("SELECT COUNT(*) FROM t")
+        # The wildcard appears inside a parenthesis, still in the select clause;
+        # the rule layer distinguishes them, the annotation just records items.
+        assert len(a.select_items) == 1
+
+
+class TestPredicates:
+    def test_simple_equality(self):
+        a = annotate("SELECT * FROM t WHERE status = 'active'")
+        p = a.predicates[0]
+        assert p.column.name == "status"
+        assert p.operator == "="
+        assert p.value == "'active'"
+
+    def test_like_predicate(self):
+        a = annotate("SELECT * FROM t WHERE name LIKE '%foo%'")
+        assert a.pattern_predicates
+        assert a.pattern_predicates[0].value == "'%foo%'"
+
+    def test_join_condition_predicate(self):
+        a = annotate("SELECT * FROM a JOIN b ON a.x = b.y")
+        join_preds = [p for p in a.predicates if p.clause == "on"]
+        assert join_preds and join_preds[0].is_column_comparison
+
+    def test_is_null_predicate(self):
+        a = annotate("SELECT * FROM t WHERE deleted_at IS NULL")
+        operators = {p.operator for p in a.predicates}
+        assert "IS" in operators
+
+    def test_in_predicate(self):
+        a = annotate("SELECT * FROM t WHERE id IN (1, 2, 3)")
+        operators = {p.operator for p in a.predicates}
+        assert "IN" in operators
+
+    def test_multiple_predicates(self):
+        a = annotate("SELECT * FROM t WHERE a = 1 AND b > 2 AND c LIKE 'x%'")
+        assert len(a.predicates) == 3
+
+
+class TestOtherClauses:
+    def test_group_by_columns(self):
+        a = annotate("SELECT dept, COUNT(*) FROM emp GROUP BY dept")
+        assert [c.name for c in a.group_by_columns] == ["dept"]
+
+    def test_order_by_rand_detection(self):
+        assert annotate("SELECT * FROM t ORDER BY RAND()").uses_random_ordering
+        assert annotate("SELECT * FROM t ORDER BY RANDOM()").uses_random_ordering
+        assert not annotate("SELECT * FROM t ORDER BY name").uses_random_ordering
+
+    def test_limit_extraction(self):
+        assert annotate("SELECT * FROM t LIMIT 25").limit == 25
+        assert annotate("SELECT * FROM t").limit is None
+
+    def test_update_assignments(self):
+        a = annotate("UPDATE t SET a = 1, b = 'x' WHERE id = 3")
+        assert ("a", "1") in a.update_assignments
+        assert ("b", "'x'") in a.update_assignments
+
+    def test_insert_with_column_list(self):
+        a = annotate("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert a.insert_columns == ["a", "b"]
+
+    def test_insert_without_column_list(self):
+        a = annotate("INSERT INTO t VALUES (1, 2)")
+        assert a.insert_columns is None
+
+    def test_insert_multi_row_values(self):
+        a = annotate("INSERT INTO t (a) VALUES (1), (2), (3)")
+        assert a.insert_values_rows == 3
+
+    def test_functions_collected(self):
+        a = annotate("SELECT COALESCE(a, b), COUNT(*) FROM t")
+        assert {"COALESCE", "COUNT"} <= a.functions
+
+    def test_string_literals_collected(self):
+        a = annotate("SELECT * FROM t WHERE a = 'x' AND b = 'y,z'")
+        assert a.string_literals == ["x", "y,z"]
+
+    def test_concat_operator_flag(self):
+        assert annotate("SELECT first || ' ' || last FROM t").uses_concat_operator
+        assert not annotate("SELECT first FROM t").uses_concat_operator
+
+    def test_referenced_columns_cover_all_clauses(self):
+        a = annotate(
+            "SELECT u.name FROM Users u WHERE u.active = true GROUP BY u.name ORDER BY u.name"
+        )
+        names = {c.name for c in a.referenced_columns()}
+        assert {"name", "active"} <= names
+
+
+class TestAnnotationInputs:
+    def test_accepts_parsed_statement(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert annotate(stmt).statement_type == "SELECT"
+
+    def test_accepts_raw_string(self):
+        assert annotate("SELECT * FROM t").statement_type == "SELECT"
+
+    def test_empty_statement(self):
+        a = annotate("")
+        assert a.tables == []
+        assert a.predicates == []

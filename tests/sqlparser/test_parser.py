@@ -1,0 +1,135 @@
+"""Unit tests for statement splitting, classification, and grouping."""
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlparser import (
+    Comparison,
+    Function,
+    Identifier,
+    Parenthesis,
+    Where,
+    classify_statement,
+    parse,
+    parse_statement,
+    split,
+    tokenize,
+)
+
+
+class TestSplitter:
+    def test_split_two_statements(self):
+        parts = split("SELECT 1; SELECT 2;")
+        assert len(parts) == 2
+        assert parts[0].startswith("SELECT 1")
+
+    def test_semicolon_inside_string_is_not_a_separator(self):
+        parts = split("SELECT 'a;b'; SELECT 2")
+        assert len(parts) == 2
+
+    def test_trailing_semicolon_only(self):
+        assert split("SELECT 1;") == ["SELECT 1;"]
+
+    def test_empty_input(self):
+        assert split("") == []
+        assert split(" ;  ; ") == []
+
+    def test_split_preserves_statement_text(self):
+        sql = "INSERT INTO t VALUES (1, 'a;b');\nUPDATE t SET x = 2"
+        parts = split(sql)
+        assert "INSERT INTO t VALUES (1, 'a;b');" == parts[0]
+        assert parts[1] == "UPDATE t SET x = 2"
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("SELECT * FROM t", "SELECT"),
+            ("select 1", "SELECT"),
+            ("INSERT INTO t VALUES (1)", "INSERT"),
+            ("UPDATE t SET a = 1", "UPDATE"),
+            ("DELETE FROM t WHERE a = 1", "DELETE"),
+            ("CREATE TABLE t (a INT)", "CREATE_TABLE"),
+            ("CREATE TABLE IF NOT EXISTS t (a INT)", "CREATE_TABLE"),
+            ("CREATE INDEX i ON t (a)", "CREATE_INDEX"),
+            ("CREATE UNIQUE INDEX i ON t (a)", "CREATE_INDEX"),
+            ("CREATE VIEW v AS SELECT 1", "CREATE_VIEW"),
+            ("ALTER TABLE t ADD COLUMN b INT", "ALTER_TABLE"),
+            ("DROP TABLE t", "DROP"),
+            ("TRUNCATE TABLE t", "TRUNCATE"),
+            ("WITH cte AS (SELECT 1) SELECT * FROM cte", "SELECT"),
+            ("EXPLAIN SELECT 1", "OTHER"),
+            ("", "EMPTY"),
+            ("-- just a comment", "EMPTY"),
+        ],
+    )
+    def test_statement_types(self, sql, expected):
+        assert classify_statement(tokenize(sql)) == expected
+
+    def test_parsed_statement_flags(self):
+        assert parse_statement("SELECT 1").is_dml
+        assert not parse_statement("SELECT 1").is_ddl
+        assert parse_statement("CREATE TABLE t (a INT)").is_ddl
+        assert not parse_statement("CREATE TABLE t (a INT)").is_dml
+
+
+class TestParse:
+    def test_parse_returns_one_entry_per_statement(self):
+        statements = parse("SELECT 1; UPDATE t SET a = 2;")
+        assert [s.statement_type for s in statements] == ["SELECT", "UPDATE"]
+        assert [s.index for s in statements] == [0, 1]
+
+    def test_parse_records_source(self):
+        statements = parse("SELECT 1", source="app.py")
+        assert statements[0].source == "app.py"
+
+    def test_raw_text_is_preserved(self):
+        raw = "SELECT   a,b   FROM t"
+        assert parse(raw)[0].raw == raw
+
+    def test_meaningful_tokens_skips_whitespace(self):
+        stmt = parse_statement("SELECT  a  FROM  t")
+        assert [t.value for t in stmt.meaningful_tokens()] == ["SELECT", "a", "FROM", "t"]
+
+
+class TestGrouping:
+    def test_where_group_present(self):
+        tree = parse_statement("SELECT * FROM t WHERE a = 1 ORDER BY b").tree
+        wheres = list(tree.find_all(Where))
+        assert len(wheres) == 1
+        assert "ORDER BY" not in wheres[0].sql().upper()
+
+    def test_parenthesis_grouping_nested(self):
+        tree = parse_statement("SELECT * FROM t WHERE a IN (SELECT b FROM (SELECT 1) x)").tree
+        parens = list(tree.find_all(Parenthesis))
+        assert len(parens) == 2
+
+    def test_function_grouping(self):
+        tree = parse_statement("SELECT COUNT(id), MAX(price) FROM t").tree
+        functions = {f.name for f in tree.find_all(Function)}
+        assert {"COUNT", "MAX"} <= functions
+
+    def test_comparison_grouping(self):
+        tree = parse_statement("SELECT * FROM a JOIN b ON a.x = b.y").tree
+        comparisons = list(tree.find_all(Comparison))
+        assert len(comparisons) == 1
+        assert comparisons[0].operator == "="
+
+    def test_identifier_alias_via_as(self):
+        tree = parse_statement("SELECT * FROM Users AS u").tree
+        identifiers = [i for i in tree.find_all(Identifier) if i.name == "Users"]
+        assert identifiers and identifiers[0].alias == "u"
+
+    def test_identifier_dotted_parts(self):
+        tree = parse_statement("SELECT t.col FROM t").tree
+        dotted = [i for i in tree.find_all(Identifier) if i.qualifier == "t"]
+        assert dotted and dotted[0].name == "col"
+
+    def test_unbalanced_parentheses_do_not_crash(self):
+        tree = parse_statement("SELECT ( a FROM t").tree
+        assert tree.sql() == "SELECT ( a FROM t"
+
+    def test_statement_sql_round_trip(self):
+        sql = "SELECT a, b FROM t WHERE a = 1 AND b LIKE '%x%'"
+        assert parse_statement(sql).tree.sql() == sql

@@ -1,0 +1,96 @@
+"""Tests for SQL serialization helpers and dialect descriptors."""
+from __future__ import annotations
+
+import pytest
+
+from repro.sqlparser import (
+    DIALECTS,
+    TokenStream,
+    format_sql,
+    get_dialect,
+    parse_statement,
+    quote_identifier,
+    quote_literal,
+    to_sql,
+    tokenize,
+)
+
+
+class TestFormatSql:
+    def test_uppercases_keywords(self):
+        assert format_sql("select a from t where a = 1") == "SELECT a FROM t WHERE a = 1"
+
+    def test_lowercase_mode(self):
+        assert format_sql("SELECT A FROM T", keyword_case="lower") == "select A from T"
+
+    def test_normalises_whitespace(self):
+        assert format_sql("select   a ,  b\nfrom t") == "SELECT a, b FROM t"
+
+    def test_strip_comments(self):
+        formatted = format_sql("SELECT a -- trailing\nFROM t", strip_comments=True)
+        assert "--" not in formatted
+        assert formatted == "SELECT a FROM t"
+
+    def test_function_calls_keep_tight_parentheses(self):
+        # function names are identifiers, so their case is preserved
+        assert format_sql("select count( * ) from t") == "SELECT count(*) FROM t"
+
+    def test_to_sql_round_trip(self):
+        statement = parse_statement("SELECT a, b FROM t WHERE a = 1")
+        assert to_sql(statement.tree) == "SELECT a, b FROM t WHERE a = 1"
+
+
+class TestQuoting:
+    def test_plain_identifier_not_quoted(self):
+        assert quote_identifier("users") == "users"
+
+    def test_identifier_with_space_is_quoted(self):
+        assert quote_identifier("my table") == '"my table"'
+
+    def test_identifier_quoting_respects_dialect(self):
+        assert quote_identifier("my table", get_dialect("sqlserver")) == "[my table]"
+        assert quote_identifier("my table", get_dialect("mysql")) == "`my table`"
+
+    def test_literal_quoting(self):
+        assert quote_literal(None) == "NULL"
+        assert quote_literal(True) == "TRUE"
+        assert quote_literal(7) == "7"
+        assert quote_literal("it's") == "'it''s'"
+
+
+class TestDialects:
+    def test_known_dialects_present(self):
+        assert {"generic", "postgresql", "mysql", "sqlite", "sqlserver"} <= set(DIALECTS)
+
+    def test_lookup_is_case_insensitive_and_falls_back(self):
+        assert get_dialect("MySQL").name == "mysql"
+        assert get_dialect("no-such-dbms").name == "generic"
+        assert get_dialect(None).name == "generic"
+
+    def test_dialect_facts(self):
+        assert get_dialect("mysql").random_function == "RAND()"
+        assert get_dialect("postgresql").supports_enum_type
+        assert not get_dialect("sqlite").supports_enum_type
+
+
+class TestTokenStream:
+    def test_meaningful_and_navigation(self):
+        stream = TokenStream(tokenize("SELECT  a FROM t"))
+        meaningful = stream.meaningful()
+        assert [t.value for t in meaningful] == ["SELECT", "a", "FROM", "t"]
+        index, token = stream.next_meaningful(1)
+        assert token.value == "a"
+        index, token = stream.prev_meaningful(len(stream) - 1)
+        assert token.value == "t"
+
+    def test_find_keyword(self):
+        stream = TokenStream(tokenize("SELECT a FROM t WHERE a = 1"))
+        index, token = stream.find_keyword("WHERE")
+        assert token.value == "WHERE"
+        missing = stream.find_keyword("HAVING")
+        assert missing == (None, None)
+
+    def test_len_and_getitem(self):
+        stream = TokenStream(tokenize("SELECT 1"))
+        assert len(stream) == 3
+        assert stream[0].value == "SELECT"

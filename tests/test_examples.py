@@ -1,0 +1,28 @@
+"""Smoke tests: every example script must run end-to-end."""
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the repository must ship at least three runnable examples"
+    assert (EXAMPLES_DIR / "quickstart.py") in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must print something useful"

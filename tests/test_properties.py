@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+These cover the substrate layers whose correctness everything else depends
+on: the lexer's losslessness, the statement splitter, SQL value semantics,
+the expression evaluator, the profiler, the engine's storage invariants, and
+the ranking model's monotonicity.
+"""
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.catalog import parse_type
+from repro.engine import Database, values as V
+from repro.engine.expressions import evaluate
+from repro.model import AntiPattern, Detection
+from repro.profiler.column_profile import profile_column
+from repro.ranking import APMetrics, APRanker, C1
+from repro.ranking.config import normalise_amplification, normalise_performance
+from repro.sqlparser import parse, split, tokenize
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+identifier = st.text(alphabet=string.ascii_letters + "_", min_size=1, max_size=12).filter(
+    lambda s: not s[0].isdigit()
+)
+literal_text = st.text(
+    alphabet=string.ascii_letters + string.digits + " _-,.@", min_size=0, max_size=20
+)
+sql_fragment = st.text(
+    alphabet=string.ascii_letters + string.digits + " _,.()*'=<>%;-\n\t",
+    min_size=0,
+    max_size=120,
+)
+
+
+class TestLexerProperties:
+    @given(sql_fragment)
+    @settings(max_examples=200, suppress_health_check=[HealthCheck.too_slow])
+    def test_tokenization_is_lossless(self, sql):
+        assert "".join(t.value for t in tokenize(sql)) == sql
+
+    @given(sql_fragment)
+    @settings(max_examples=100)
+    def test_tokenization_never_crashes_and_positions_monotonic(self, sql):
+        tokens = tokenize(sql)
+        positions = [t.position for t in tokens]
+        assert positions == sorted(positions)
+
+    @given(st.lists(identifier, min_size=1, max_size=5))
+    def test_select_round_trip(self, columns):
+        sql = "SELECT " + ", ".join(columns) + " FROM some_table"
+        statements = parse(sql)
+        assert len(statements) == 1
+        assert statements[0].tree.sql() == sql
+
+    @given(st.lists(literal_text, min_size=1, max_size=4))
+    def test_split_ignores_semicolons_inside_strings(self, values):
+        literals = ", ".join("'" + v.replace("'", "") + ";'" for v in values)
+        sql = f"INSERT INTO t (c) VALUES ({literals}); SELECT 1"
+        assert len(split(sql)) == 2
+
+
+class TestValueProperties:
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_compare_is_antisymmetric(self, a, b):
+        assert V.compare(a, b) == -(V.compare(b, a) or 0) if a != b else V.compare(a, b) == 0
+
+    @given(st.text(max_size=30))
+    def test_equals_is_reflexive_for_non_null(self, value):
+        assert V.equals(value, value) is True
+
+    @given(st.text(max_size=20), st.text(max_size=20))
+    def test_concat_matches_python_concatenation(self, a, b):
+        assert V.concat(a, b) == a + b
+
+    @given(st.text(alphabet=string.ascii_letters + string.digits, max_size=20))
+    def test_like_full_wildcard_matches_everything(self, value):
+        assert V.like_match(value, "%") is True
+
+    @given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=20))
+    def test_like_exact_match(self, value):
+        assert V.like_match(value, value) is True
+
+    @given(st.text(alphabet=string.ascii_letters, min_size=1, max_size=30))
+    def test_varchar_coercion_respects_length(self, value):
+        stored = V.coerce(value, parse_type("VARCHAR(10)"))
+        assert len(stored) <= 10
+        assert value.startswith(stored)
+
+
+class TestExpressionProperties:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_arithmetic_matches_python(self, a, b):
+        assert evaluate(f"{a} + {b}", {}) == a + b
+        assert evaluate(f"{a} - {b}", {}) == a - b
+        assert evaluate(f"{a} * {b}", {}) == a * b
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_comparison_matches_python(self, a, b):
+        assert evaluate(f"{a} > {b}", {}) == (a > b)
+        assert evaluate(f"{a} = {b}", {}) == (a == b)
+
+    @given(st.integers(-100, 100), st.integers(-100, 100), st.integers(-100, 100))
+    def test_between_equivalence(self, value, low, high):
+        row = {"v": value}
+        expected = low <= value <= high
+        assert bool(evaluate(f"v BETWEEN {low} AND {high}", row)) == expected
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=8), st.integers(-50, 50))
+    def test_in_list_equivalence(self, options, value):
+        row = {"v": value}
+        expression = "v IN (" + ", ".join(str(o) for o in options) + ")"
+        assert bool(evaluate(expression, row)) == (value in options)
+
+
+class TestProfilerProperties:
+    @given(st.lists(st.one_of(st.none(), st.integers(-1000, 1000)), min_size=1, max_size=200))
+    def test_profile_counts_are_consistent(self, values):
+        profile = profile_column("c", values)
+        assert profile.values_sampled == len(values)
+        assert profile.null_count + profile.non_null_count == len(values)
+        assert 0 <= profile.null_fraction <= 1
+        assert profile.distinct_count <= max(1, profile.non_null_count)
+        assert 0 <= profile.distinct_ratio <= 1
+        assert 0 <= profile.most_common_fraction <= 1
+
+    @given(st.lists(st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8),
+                    min_size=5, max_size=100))
+    def test_most_common_value_is_actually_most_common(self, values):
+        profile = profile_column("c", values)
+        counts = {v: values.count(v) for v in set(values)}
+        assert counts[profile.most_common_value] == max(counts.values())
+
+
+class TestEngineProperties:
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(st.lists(st.tuples(st.integers(0, 10**6), st.text(alphabet=string.ascii_letters, max_size=10)),
+                    min_size=1, max_size=40, unique_by=lambda t: t[0]))
+    def test_insert_then_count_and_lookup(self, rows):
+        db = Database()
+        db.execute("CREATE TABLE T (k INTEGER PRIMARY KEY, v VARCHAR(20))")
+        db.insert_rows("T", [{"k": k, "v": v} for k, v in rows])
+        assert db.execute("SELECT COUNT(*) FROM T").scalar() == len(rows)
+        key, value = rows[0]
+        result = db.execute(f"SELECT v FROM T WHERE k = {key}")
+        assert result.rowcount == 1
+        assert result.rows[0]["v"] == value[:20]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=50))
+    def test_sum_matches_python(self, numbers):
+        db = Database()
+        db.execute("CREATE TABLE N (pos INTEGER PRIMARY KEY, n INTEGER)")
+        db.insert_rows("N", [{"pos": i, "n": n} for i, n in enumerate(numbers)])
+        assert db.execute("SELECT SUM(n) FROM N").scalar() == pytest.approx(sum(numbers))
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 10**4), min_size=2, max_size=40, unique=True))
+    def test_index_and_scan_agree(self, keys):
+        db = Database()
+        db.execute("CREATE TABLE T (k INTEGER PRIMARY KEY, grp INTEGER)")
+        db.insert_rows("T", [{"k": k, "grp": k % 5} for k in keys])
+        db.execute("CREATE INDEX idx_grp ON T (grp)")
+        query = "SELECT k FROM T WHERE grp = 3"
+        indexed = {r["k"] for r in db.execute(query, force_index=True).rows}
+        scanned = {r["k"] for r in db.execute(query, force_index=False).rows}
+        assert indexed == scanned
+
+
+class TestRankingProperties:
+    @given(st.floats(0, 100), st.floats(0, 100))
+    def test_normalisation_is_monotone_and_bounded(self, a, b):
+        low, high = sorted((a, b))
+        assert 0.0 <= normalise_performance(low) <= normalise_performance(high) <= 1.0
+        assert 0.0 <= normalise_amplification(low) <= normalise_amplification(high) <= 1.0
+
+    @given(
+        st.floats(0, 50), st.floats(0, 50), st.floats(0, 10), st.floats(0, 10),
+        st.booleans(), st.booleans(),
+    )
+    def test_score_is_bounded_by_total_weight(self, rp, wp, m, da, di, a):
+        metrics = APMetrics(
+            read_performance=rp, write_performance=wp, maintainability=m,
+            data_amplification=da, data_integrity=int(di), accuracy=int(a),
+        )
+        score = APRanker(C1).score_metrics(metrics)
+        assert 0.0 <= score <= C1.total_weight() + 1e-9
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    def test_detection_score_monotone_in_confidence(self, c1, c2):
+        low, high = sorted((c1, c2))
+        ranker = APRanker()
+        low_score = ranker.score_detection(
+            Detection(anti_pattern=AntiPattern.MULTI_VALUED_ATTRIBUTE, confidence=low)
+        )
+        high_score = ranker.score_detection(
+            Detection(anti_pattern=AntiPattern.MULTI_VALUED_ATTRIBUTE, confidence=high)
+        )
+        assert low_score <= high_score + 1e-12
