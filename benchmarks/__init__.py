@@ -1,0 +1,6 @@
+"""Benchmark harness package.
+
+Making ``benchmarks`` a package lets ``python -m pytest`` collect the
+benchmark modules from the repository root: their ``from ._helpers import``
+relative imports need a known parent package.
+"""

@@ -18,8 +18,9 @@ Quickstart::
         print(detection.display_name, "-", detection.message)
 """
 from .core.finder import find_anti_patterns
-from .core.sqlcheck import SQLCheck, SQLCheckOptions, SQLCheckReport
+from .core.sqlcheck import BatchReport, SQLCheck, SQLCheckOptions, SQLCheckReport
 from .detector.detector import APDetector, DetectorConfig
+from .detector.pipeline import PipelineStats
 from .engine.database import Database
 from .fixer.fix import Fix, FixKind
 from .fixer.repair_engine import APFixer, QueryRepairEngine
@@ -38,6 +39,7 @@ __all__ = [
     "APFixer",
     "APRanker",
     "AntiPattern",
+    "BatchReport",
     "C1",
     "C2",
     "Database",
@@ -46,6 +48,7 @@ __all__ = [
     "DetectorConfig",
     "Fix",
     "FixKind",
+    "PipelineStats",
     "QueryRepairEngine",
     "RankedDetection",
     "RankingConfig",

@@ -4,20 +4,40 @@
 anti-patterns, ap-rank orders them by estimated impact, and ap-fix produces
 one suggested fix per detection.  The optional "upload to the online AP
 repository" step of the paper's workflow is modelled as a local JSON export.
+
+Corpus-scale additions: every run records per-stage timings in a
+:class:`PipelineStats`, and :meth:`SQLCheck.check_many` fans independent
+corpora (repositories, applications, files) out over a process pool —
+each corpus is an independent application context, so per-corpus results
+are identical to running :meth:`check` on it directly.
 """
 from __future__ import annotations
 
 import json
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from ..context.application_context import ApplicationContext
 from ..context.builder import ContextBuilder
 from ..detector.detector import APDetector, DetectorConfig
+from ..detector.pipeline import (
+    MIN_PARALLEL_STATEMENTS,
+    MODE_PROCESS_POOL,
+    REASON_EXECUTOR_ERROR,
+    REASON_SINGLE_CORPUS,
+    REASON_SINGLE_CPU,
+    REASON_SMALL_INPUT,
+    PipelineStats,
+    resolve_workers,
+    serial_mode,
+)
 from ..fixer.fix import Fix
 from ..fixer.repair_engine import APFixer, QueryRepairEngine
 from ..model.antipatterns import AntiPattern
-from ..model.detection import Detection, DetectionReport
+from ..model.detection import DetectionReport
 from ..ranking.config import C1, RankingConfig
 from ..ranking.metrics import APMetrics
 from ..ranking.ranker import APRanker, RankedDetection
@@ -43,6 +63,10 @@ class SQLCheckReport:
     fixes: list[Fix] = field(default_factory=list)
     queries_analyzed: int = 0
     tables_analyzed: int = 0
+    stats: PipelineStats | None = None
+    _fix_index: "dict[int, Fix] | None" = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.detections)
@@ -50,20 +74,37 @@ class SQLCheckReport:
     def __iter__(self):
         return iter(self.detections)
 
+    def __getstate__(self) -> dict:
+        # The fix index keys on object identity, which does not survive
+        # pickling (process-pool workers ship reports back to the parent).
+        state = self.__dict__.copy()
+        state["_fix_index"] = None
+        return state
+
     def anti_patterns(self) -> list[AntiPattern]:
         return [entry.anti_pattern for entry in self.detections]
 
-    def counts(self) -> dict[AntiPattern, int]:
-        counts: dict[AntiPattern, int] = {}
-        for entry in self.detections:
-            counts[entry.anti_pattern] = counts.get(entry.anti_pattern, 0) + 1
-        return counts
+    def counts(self) -> "Counter[AntiPattern]":
+        return Counter(entry.anti_pattern for entry in self.detections)
 
     def fix_for(self, ranked: RankedDetection) -> Fix | None:
-        for fix in self.fixes:
-            if fix.detection is ranked.detection:
-                return fix
-        return None
+        """O(1) lookup of the fix for a ranked detection.
+
+        Assumes ``fixes`` is not replaced element-wise after the first
+        lookup: the identity index rebuilds on a miss or a length change,
+        but a same-length in-place swap of a Fix for the *same* detection
+        would return the stale object.  Reports are built once by
+        ``check_context`` and not mutated, so this does not arise in the
+        toolchain itself.
+        """
+        if self._fix_index is None or len(self._fix_index) != len(self.fixes):
+            self._fix_index = {id(fix.detection): fix for fix in self.fixes}
+        fix = self._fix_index.get(id(ranked.detection))
+        if fix is None and self.fixes:
+            # The fixes list may have been mutated in place; rebuild once.
+            self._fix_index = {id(fix.detection): fix for fix in self.fixes}
+            fix = self._fix_index.get(id(ranked.detection))
+        return fix
 
     def to_dict(self) -> dict:
         return {
@@ -74,6 +115,7 @@ class SQLCheckReport:
                 for entry in self.detections
             ],
             "fixes": [fix.to_dict() for fix in self.fixes],
+            "stats": self.stats.to_dict() if self.stats is not None else None,
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -84,6 +126,58 @@ class SQLCheckReport:
         detections to the online AP repository in the paper's workflow)."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(self.to_json())
+
+
+@dataclass
+class BatchReport:
+    """The output of :meth:`SQLCheck.check_many`: one report per corpus."""
+
+    reports: dict[str, SQLCheckReport] = field(default_factory=dict)
+    stats: PipelineStats = field(default_factory=PipelineStats)
+
+    def __len__(self) -> int:
+        return sum(len(report) for report in self.reports.values())
+
+    def __iter__(self):
+        """Iterate ranked detections across all corpora (matching ``len``);
+        use ``.reports`` for per-corpus access."""
+        for report in self.reports.values():
+            yield from report
+
+    def report_for(self, source: str) -> SQLCheckReport | None:
+        return self.reports.get(source)
+
+    def counts(self) -> "Counter[AntiPattern]":
+        total: "Counter[AntiPattern]" = Counter()
+        for report in self.reports.values():
+            total.update(report.counts())
+        return total
+
+    def to_dict(self) -> dict:
+        return {
+            "corpora": {source: report.to_dict() for source, report in self.reports.items()},
+            "stats": self.stats.to_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# process-pool plumbing for check_many: each worker process builds the
+# toolchain once (warm caches persist across the corpora it is handed).
+# ----------------------------------------------------------------------
+_WORKER_TOOLCHAIN: "SQLCheck | None" = None
+
+
+def _batch_worker_init(
+    options: SQLCheckOptions, registry: RuleRegistry, repair_engine: QueryRepairEngine
+) -> None:
+    global _WORKER_TOOLCHAIN
+    _WORKER_TOOLCHAIN = SQLCheck(options, registry=registry, repair_engine=repair_engine)
+
+
+def _batch_worker_check(item: "tuple[str, Sequence[str] | str]") -> "tuple[str, SQLCheckReport]":
+    source, queries = item
+    assert _WORKER_TOOLCHAIN is not None
+    return source, _WORKER_TOOLCHAIN.check(queries, source=source)
 
 
 class SQLCheck:
@@ -97,12 +191,17 @@ class SQLCheck:
         repair_engine: QueryRepairEngine | None = None,
     ):
         self.options = options or SQLCheckOptions()
-        self.detector = APDetector(self.options.detector, registry=registry or default_registry())
+        self.registry = registry or default_registry()
+        self.repair_engine = repair_engine or QueryRepairEngine()
+        self.detector = APDetector(self.options.detector, registry=self.registry)
         self.ranker = APRanker(self.options.ranking, metrics=self.options.metrics)
-        self.fixer = APFixer(repair_engine or QueryRepairEngine())
+        self.fixer = APFixer(self.repair_engine)
+        # Share the detector's annotation cache so check() and detect() hit
+        # the same parsed-statement templates.
         self._builder = ContextBuilder(
             sample_size=self.options.detector.sample_size,
             dialect=self.options.detector.dialect,
+            annotation_cache=self.detector.annotation_cache,
         )
 
     # ------------------------------------------------------------------
@@ -115,20 +214,137 @@ class SQLCheck:
         source: str | None = None,
     ) -> SQLCheckReport:
         """Run the full pipeline over queries and an optional database."""
-        context = self._builder.build(queries, database=database, source=source)
-        return self.check_context(context)
+        stats = PipelineStats()
+        start = time.perf_counter()
+        cache = self.detector.annotation_cache
+        hits0 = cache.stats.hits if cache is not None else 0
+        misses0 = cache.stats.misses if cache is not None else 0
+        context = self._builder.build(queries, database=database, source=source, stats=stats)
+        if cache is not None:
+            stats.annotation_cache_hits = cache.stats.hits - hits0
+            stats.annotation_cache_misses = cache.stats.misses - misses0
+        report = self.check_context(context, stats=stats)
+        stats.total_seconds = time.perf_counter() - start
+        return report
 
-    def check_context(self, context: ApplicationContext) -> SQLCheckReport:
+    def check_context(
+        self, context: ApplicationContext, stats: PipelineStats | None = None
+    ) -> SQLCheckReport:
         """Run the full pipeline over a pre-built application context."""
-        report = self.detector.detect_in_context(context)
-        ranked = self.ranker.rank(report)
+        stats = stats if stats is not None else PipelineStats()
+        t0 = time.perf_counter()
+        detection_report = self.detector.detect_in_context(context, stats=stats)
+        stats.detect_seconds += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        ranked = self.ranker.rank(detection_report)
+        stats.rank_seconds += time.perf_counter() - t0
+        t0 = time.perf_counter()
         fixes = self.fixer.fix(ranked, context) if self.options.suggest_fixes else []
+        stats.fix_seconds += time.perf_counter() - t0
+        stats.statements = detection_report.queries_analyzed
+        if stats.total_seconds == 0.0:
+            stats.total_seconds = (
+                stats.parse_seconds
+                + stats.context_seconds
+                + stats.detect_seconds
+                + stats.rank_seconds
+                + stats.fix_seconds
+            )
         return SQLCheckReport(
             detections=ranked,
             fixes=fixes,
-            queries_analyzed=report.queries_analyzed,
-            tables_analyzed=report.tables_analyzed,
+            queries_analyzed=detection_report.queries_analyzed,
+            tables_analyzed=detection_report.tables_analyzed,
+            stats=stats,
         )
+
+    def check_many(
+        self,
+        corpora: "Mapping[str, Sequence[str] | str] | Iterable[tuple[str, Sequence[str] | str]]",
+        *,
+        workers: int | None = None,
+    ) -> BatchReport:
+        """Run the full pipeline over many independent corpora.
+
+        ``corpora`` maps a source label (repository, application, file) to
+        its statements.  Each corpus is an independent application context
+        (inter-query rules never see across corpus boundaries), so corpora
+        fan out over a process pool when enough work and CPUs are available;
+        otherwise they run serially in-process, sharing this toolchain's
+        warm caches.  Per-corpus reports are identical to calling
+        :meth:`check` directly.  Duplicate source labels are kept as
+        distinct corpora under suffixed keys (``label#2``, ...).
+        """
+        items = self._unique_labels(
+            list(corpora.items() if isinstance(corpora, Mapping) else corpora)
+        )
+        requested = workers if workers is not None else self.options.detector.workers
+        effective = resolve_workers(requested)
+        # A string corpus may hold many ;-separated statements (the CLI hands
+        # whole files through) — estimate, don't count it as one.
+        total_statements = sum(
+            queries.count(";") + 1 if isinstance(queries, str) else len(queries)
+            for _, queries in items
+        )
+        batch = BatchReport()
+        batch.stats.workers = effective
+        batch.stats.corpora = len(items)
+        start = time.perf_counter()
+        if effective > 1 and len(items) > 1 and total_statements >= MIN_PARALLEL_STATEMENTS:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(effective, len(items)),
+                    initializer=_batch_worker_init,
+                    initargs=(self.options, self.registry, self.repair_engine),
+                ) as pool:
+                    for source, report in pool.map(_batch_worker_check, items):
+                        batch.reports[source] = report
+                batch.stats.parallel_mode = MODE_PROCESS_POOL
+                # Worker stage times ran concurrently; their merged sum is
+                # CPU-aggregate, not wall-clock.
+                batch.stats.stage_semantics = "cpu-aggregate"
+            except Exception:
+                batch.reports.clear()
+                self._check_many_serial(items, batch)
+                batch.stats.workers = 1
+                batch.stats.parallel_mode = serial_mode(requested, REASON_EXECUTOR_ERROR)
+        else:
+            self._check_many_serial(items, batch)
+            batch.stats.workers = 1
+            if effective <= 1:
+                reason = REASON_SINGLE_CPU
+            elif len(items) <= 1:
+                reason = REASON_SINGLE_CORPUS
+            else:
+                reason = REASON_SMALL_INPUT
+            batch.stats.parallel_mode = serial_mode(requested, reason)
+        for report in batch.reports.values():
+            if report.stats is not None:
+                batch.stats.merge(report.stats)
+        batch.stats.total_seconds = time.perf_counter() - start
+        return batch
+
+    @staticmethod
+    def _unique_labels(
+        items: "list[tuple[str, Sequence[str] | str]]",
+    ) -> "list[tuple[str, Sequence[str] | str]]":
+        """Suffix colliding source labels so no corpus is silently dropped."""
+        seen: set[str] = set()
+        unique: "list[tuple[str, Sequence[str] | str]]" = []
+        for label, queries in items:
+            key, attempt = label, 1
+            while key in seen:
+                attempt += 1
+                key = f"{label}#{attempt}"
+            seen.add(key)
+            unique.append((key, queries))
+        return unique
+
+    def _check_many_serial(
+        self, items: "list[tuple[str, Sequence[str] | str]]", batch: BatchReport
+    ) -> None:
+        for source, queries in items:
+            batch.reports[source] = self.check(queries, source=source)
 
     def detect(self, queries: "Sequence[str] | str" = (), database: Any | None = None) -> DetectionReport:
         """Detection only (no ranking or fixes)."""

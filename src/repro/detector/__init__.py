@@ -1,4 +1,5 @@
 """ap-detect: the anti-pattern detection component."""
 from .detector import APDetector, DetectorConfig
+from .pipeline import PipelineStats
 
-__all__ = ["APDetector", "DetectorConfig"]
+__all__ = ["APDetector", "DetectorConfig", "PipelineStats"]

@@ -5,11 +5,21 @@ database, applies the registered query rules to every statement
 (intra-query and — when enabled — inter-query detection), applies the data
 rules to every profiled table, filters out low-confidence findings, and
 returns a :class:`DetectionReport`.
+
+Corpus-scale additions: statement-level results are memoized per
+``(fingerprint, registry version, thresholds, workload signature)`` so the
+literal-only duplication that dominates real corpora is detected once and
+replayed cheaply, and :meth:`detect_batch` runs the parse stage over a
+process pool and reports per-stage timings in a :class:`PipelineStats`.
 """
 from __future__ import annotations
 
+import dataclasses
+import hashlib
+import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Sequence
+from typing import Any, Iterator, Sequence
 
 from ..context.application_context import ApplicationContext
 from ..context.builder import ContextBuilder
@@ -17,8 +27,15 @@ from ..model.detection import Detection, DetectionReport
 from ..rules.base import RuleContext
 from ..rules.registry import RuleRegistry, default_registry
 from ..rules.thresholds import Thresholds
-from ..sqlparser import ParsedStatement, QueryAnnotation
+from ..sqlparser import AnnotationCache, ParsedStatement, QueryAnnotation
 from ..sqlparser.dialects import Dialect
+from .pipeline import (
+    DEFAULT_CHUNK_SIZE,
+    MODE_PROCESS_POOL,
+    PipelineStats,
+    parallel_annotate,
+    resolve_workers,
+)
 
 
 @dataclass
@@ -30,6 +47,10 @@ class DetectorConfig:
     §4.2 (data analysis).  ``confidence_threshold`` drops detections whose
     confidence a contextual rule has lowered — this is the mechanism that
     removes false positives when more context is available.
+
+    ``enable_cache`` / ``cache_size`` control the annotation cache and the
+    per-statement detection memo; ``workers`` is the default fan-out of
+    :meth:`APDetector.detect_batch`.
     """
 
     enable_inter_query: bool = True
@@ -39,6 +60,9 @@ class DetectorConfig:
     thresholds: Thresholds = field(default_factory=Thresholds)
     dialect: "Dialect | str | None" = None
     sample_size: int = 1000
+    enable_cache: bool = True
+    cache_size: int = 4096
+    workers: int = 1
 
 
 class APDetector:
@@ -48,12 +72,26 @@ class APDetector:
         self,
         config: DetectorConfig | None = None,
         registry: RuleRegistry | None = None,
+        *,
+        annotation_cache: AnnotationCache | None = None,
     ):
         self.config = config or DetectorConfig()
         self.registry = registry or default_registry()
+        if annotation_cache is not None:
+            self.annotation_cache: AnnotationCache | None = annotation_cache
+        elif self.config.enable_cache:
+            self.annotation_cache = AnnotationCache(maxsize=self.config.cache_size)
+        else:
+            self.annotation_cache = None
         self._builder = ContextBuilder(
-            sample_size=self.config.sample_size, dialect=self.config.dialect
+            sample_size=self.config.sample_size,
+            dialect=self.config.dialect,
+            annotation_cache=self.annotation_cache,
         )
+        # (workload signature, statement fingerprint, raw) -> detection templates
+        self._memo: "OrderedDict[tuple, list[Detection]]" = OrderedDict()
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     # ------------------------------------------------------------------
     # public API
@@ -68,36 +106,213 @@ class APDetector:
         context = self._builder.build(queries, database=database, source=source)
         return self.detect_in_context(context)
 
-    def detect_in_context(self, context: ApplicationContext) -> DetectionReport:
+    def detect_in_context(
+        self, context: ApplicationContext, stats: PipelineStats | None = None
+    ) -> DetectionReport:
         """Run detection over a pre-built application context."""
-        rule_context = RuleContext(
-            application=context,
-            thresholds=self.config.thresholds,
-            use_inter_query=self.config.enable_inter_query,
-            use_data=self.config.enable_data,
-        )
-        detections: list[Detection] = []
-        # Query analysis (Algorithm 2): rules chosen by statement type.
-        for annotation in context.queries:
-            for rule in self.registry.rules_for_statement(annotation.statement_type):
-                if rule.requires_context and not self.config.enable_inter_query:
-                    continue
-                if not rule.applies_to(annotation):
-                    continue
-                detections.extend(rule.check(annotation, rule_context))
-        # Data analysis (Algorithm 3): rules applied to every profiled table.
-        if self.config.enable_data and context.has_data:
-            for profile in context.profiles.values():
-                for rule in self.registry.data_rules:
-                    detections.extend(rule.check_table(profile, rule_context))
-        kept = [
-            d for d in detections if d.confidence >= self.config.confidence_threshold
-        ]
+        detections = list(self._iter_detections(context, stats=stats))
         report = DetectionReport(
-            detections=kept,
+            detections=detections,
             queries_analyzed=len(context.queries),
             tables_analyzed=len(context.profiles) or context.schema.table_count,
         )
         if self.config.deduplicate:
             report.detections = report.deduplicated()
         return report
+
+    def detect_batch(
+        self,
+        queries: "Sequence[str]",
+        *,
+        workers: int | None = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        source: str | None = None,
+    ) -> "tuple[DetectionReport, PipelineStats]":
+        """Corpus-scale detection over a flat statement list.
+
+        The parse + annotate stage fans out over a process pool when enough
+        statements and CPUs are available (falling back to the serial,
+        cache-accelerated path otherwise); detection then streams through
+        the shared context so inter-query rules see the whole workload.
+        Returns the report together with per-stage :class:`PipelineStats`.
+        """
+        requested = workers if workers is not None else self.config.workers
+        # stats.workers reports what actually ran; the parallel_mode string
+        # explains any downgrade from the requested fan-out.
+        stats = PipelineStats(workers=resolve_workers(requested))
+        start = time.perf_counter()
+        queries = list(queries)
+        cache = self.annotation_cache
+        cache_hits0 = cache.stats.hits if cache is not None else 0
+        cache_miss0 = cache.stats.misses if cache is not None else 0
+
+        t0 = time.perf_counter()
+        annotations, chunks, mode = parallel_annotate(
+            queries,
+            workers=requested,
+            source=source,
+            chunk_size=chunk_size,
+            serial_fallback=lambda batch: self._builder._annotate_queries(list(batch), source),
+        )
+        stats.parse_seconds = time.perf_counter() - t0
+        if mode != MODE_PROCESS_POOL:
+            stats.workers = 1
+        t0 = time.perf_counter()
+        context = ApplicationContext(
+            queries=annotations,
+            schema=self._builder._build_schema(annotations, None),
+            profiles={},
+            database=None,
+            dialect=self._builder.dialect,
+            source=source,
+        )
+        stats.context_seconds = time.perf_counter() - t0
+        stats.chunks = chunks
+        stats.parallel_mode = mode
+
+        t0 = time.perf_counter()
+        report = self.detect_in_context(context, stats=stats)
+        stats.detect_seconds = time.perf_counter() - t0
+
+        stats.statements = len(context.queries)
+        stats.total_seconds = time.perf_counter() - start
+        if cache is not None:
+            stats.annotation_cache_hits += cache.stats.hits - cache_hits0
+            stats.annotation_cache_misses += cache.stats.misses - cache_miss0
+        return report, stats
+
+    def stream(
+        self,
+        queries: "Sequence[str | ParsedStatement | QueryAnnotation] | str" = (),
+        source: str | None = None,
+    ) -> Iterator[Detection]:
+        """Stream detections as statements are analysed (no deduplication)."""
+        context = self._builder.build(queries, source=source)
+        yield from self._iter_detections(context)
+
+    # ------------------------------------------------------------------
+    # detection core (streaming)
+    # ------------------------------------------------------------------
+    def _iter_detections(
+        self, context: ApplicationContext, stats: PipelineStats | None = None
+    ) -> Iterator[Detection]:
+        """Yield kept detections statement by statement, then table by table.
+
+        Query-analysis results are replayed from the memo when the same
+        statement was already analysed under an identical workload signature,
+        registry version, and thresholds.
+        """
+        rule_context = RuleContext(
+            application=context,
+            thresholds=self.config.thresholds,
+            use_inter_query=self.config.enable_inter_query,
+            use_data=self.config.enable_data,
+        )
+        memo_scope = self._memo_scope(context)
+        threshold = self.config.confidence_threshold
+        # Query analysis (Algorithm 2): rules chosen by statement type.
+        for annotation in context.queries:
+            for detection in self._detect_statement(annotation, rule_context, memo_scope, stats):
+                if detection.confidence >= threshold:
+                    yield detection
+        # Data analysis (Algorithm 3): rules applied to every profiled table.
+        if self.config.enable_data and context.has_data:
+            for profile in context.profiles.values():
+                for rule in self.registry.data_rules:
+                    for detection in rule.check_table(profile, rule_context):
+                        if detection.confidence >= threshold:
+                            yield detection
+
+    def _detect_statement(
+        self,
+        annotation: QueryAnnotation,
+        rule_context: RuleContext,
+        memo_scope: "bytes | None",
+        stats: PipelineStats | None,
+    ) -> list[Detection]:
+        statement = annotation.statement
+        key = None
+        if memo_scope is not None and statement is not None:
+            key = (memo_scope, statement.fingerprint, annotation.raw)
+            cached = self._memo.get(key)
+            if cached is not None:
+                self._memo.move_to_end(key)
+                self._memo_hits += 1
+                if stats is not None:
+                    stats.memo_hits += 1
+                return [self._replay(d, annotation) for d in cached]
+            self._memo_misses += 1
+            if stats is not None:
+                stats.memo_misses += 1
+        detections: list[Detection] = []
+        for rule in self.registry.rules_for_statement(annotation.statement_type):
+            if rule.requires_context and not self.config.enable_inter_query:
+                continue
+            if not rule.applies_to(annotation):
+                continue
+            detections.extend(rule.check(annotation, rule_context))
+        if key is not None:
+            # Store pristine copies: report detections are mutated downstream
+            # (ap-rank fills in scores) and must not pollute the memo.
+            self._memo[key] = [
+                dataclasses.replace(d, metadata=dict(d.metadata)) for d in detections
+            ]
+            while len(self._memo) > self.config.cache_size:
+                self._memo.popitem(last=False)
+        return detections
+
+    @staticmethod
+    def _replay(template: Detection, annotation: QueryAnnotation) -> Detection:
+        """Clone a memoized detection, rebound to the current occurrence."""
+        statement = annotation.statement
+        return dataclasses.replace(
+            template,
+            query_index=statement.index if statement is not None else template.query_index,
+            source=statement.source if statement is not None else template.source,
+            metadata=dict(template.metadata),
+        )
+
+    # ------------------------------------------------------------------
+    # memo scoping
+    # ------------------------------------------------------------------
+    def _memo_scope(self, context: ApplicationContext) -> "bytes | None":
+        """Signature under which per-statement results are reusable.
+
+        Statement-level results depend on the rule set, the thresholds, the
+        analysis flags, and — through inter-query rules — on the whole
+        workload.  The scope hashes all of these; contexts backed by a live
+        database or data profiles are never memoized (data refreshes would
+        not be observable in the key).
+        """
+        if not self.config.enable_cache:
+            return None
+        if context.database is not None or context.profiles:
+            return None
+        digest = hashlib.blake2b(digest_size=16)
+        digest.update(repr(self.registry.cache_token).encode())
+        digest.update(repr(dataclasses.astuple(self.config.thresholds)).encode())
+        digest.update(
+            f"{self.config.enable_inter_query}|{self.config.enable_data}|"
+            f"{getattr(context.dialect, 'name', context.dialect)}".encode()
+        )
+        for annotation in context.queries:
+            digest.update(annotation.raw.encode("utf-8", "replace"))
+            digest.update(b"\x00")
+        return digest.digest()
+
+    # ------------------------------------------------------------------
+    # cache maintenance
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop the detection memo and the annotation cache."""
+        self._memo.clear()
+        if self.annotation_cache is not None:
+            self.annotation_cache.clear()
+
+    @property
+    def memo_info(self) -> dict:
+        return {
+            "entries": len(self._memo),
+            "hits": self._memo_hits,
+            "misses": self._memo_misses,
+        }

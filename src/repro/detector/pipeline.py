@@ -1,0 +1,219 @@
+"""Corpus-scale batch pipeline: chunking, parallel parsing, stage timing.
+
+The evaluation workloads run ap-detect over hundreds of thousands of
+statements (§8.1's GitHub corpus).  This module provides the throughput
+machinery shared by :meth:`APDetector.detect_batch` and
+:meth:`SQLCheck.check_many`:
+
+* :class:`PipelineStats` — per-stage wall-clock timings (``parse``,
+  ``detect``, ``rank``, ``fix``), cache hit rates, and worker/chunk counts,
+  surfaced through the CLI (``--stats``), the REST API, and the workload
+  drivers;
+* :func:`chunked` — deterministic statement chunking;
+* :func:`parallel_annotate` — fan-out of cold parses over a
+  ``concurrent.futures`` process pool, falling back to the serial
+  (cache-accelerated) path for small inputs, single-CPU machines, or any
+  executor failure.
+"""
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from ..sqlparser import QueryAnnotation, annotate, parse
+
+T = TypeVar("T")
+
+#: Below this many statements the process-pool fan-out is never worth the
+#: spawn + pickle overhead; the serial path is used instead.
+MIN_PARALLEL_STATEMENTS = 64
+
+#: Default number of statements handed to one worker task.
+DEFAULT_CHUNK_SIZE = 256
+
+#: ``PipelineStats.parallel_mode`` vocabulary — shared by every batch entry
+#: point (detect_batch, check_many) so the surfaced strings cannot diverge.
+MODE_SERIAL = "serial"
+MODE_PROCESS_POOL = "process-pool"
+REASON_SINGLE_CPU = "single-cpu"
+REASON_SMALL_INPUT = "small-input"
+REASON_SINGLE_CORPUS = "single-corpus"
+REASON_EXECUTOR_ERROR = "executor-error"
+
+
+def serial_mode(requested_workers: int, reason: str) -> str:
+    """Mode string for a run that stayed serial: plain ``serial`` when serial
+    was requested, ``serial-fallback:<reason>`` when a fan-out downgraded."""
+    return MODE_SERIAL if requested_workers <= 1 else f"serial-fallback:{reason}"
+
+
+@dataclass
+class PipelineStats:
+    """Per-stage timing and cache accounting for one pipeline run.
+
+    ``total_seconds`` is always wall-clock.  Stage seconds are wall-clock
+    too, except after a process-pool ``check_many`` merge, where they are
+    summed across concurrently-running workers (CPU-aggregate) and can
+    therefore exceed ``total_seconds`` — ``stage_semantics`` records which
+    interpretation applies.
+    """
+
+    statements: int = 0
+    parse_seconds: float = 0.0
+    context_seconds: float = 0.0
+    detect_seconds: float = 0.0
+    rank_seconds: float = 0.0
+    fix_seconds: float = 0.0
+    total_seconds: float = 0.0
+    workers: int = 1
+    chunks: int = 1
+    parallel_mode: str = "serial"
+    annotation_cache_hits: int = 0
+    annotation_cache_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    corpora: int = 1
+    stage_semantics: str = "wall-clock"
+
+    @property
+    def statements_per_second(self) -> float:
+        if self.total_seconds <= 0:
+            return 0.0
+        return self.statements / self.total_seconds
+
+    @property
+    def annotation_cache_hit_rate(self) -> float:
+        lookups = self.annotation_cache_hits + self.annotation_cache_misses
+        return self.annotation_cache_hits / lookups if lookups else 0.0
+
+    @property
+    def memo_hit_rate(self) -> float:
+        lookups = self.memo_hits + self.memo_misses
+        return self.memo_hits / lookups if lookups else 0.0
+
+    def merge(self, other: "PipelineStats") -> "PipelineStats":
+        """Accumulate another run's stats into this one (stage times add;
+        worker/chunk counts take the maximum; totals are the caller's)."""
+        self.statements += other.statements
+        self.parse_seconds += other.parse_seconds
+        self.context_seconds += other.context_seconds
+        self.detect_seconds += other.detect_seconds
+        self.rank_seconds += other.rank_seconds
+        self.fix_seconds += other.fix_seconds
+        self.workers = max(self.workers, other.workers)
+        self.chunks = max(self.chunks, other.chunks)
+        self.annotation_cache_hits += other.annotation_cache_hits
+        self.annotation_cache_misses += other.annotation_cache_misses
+        self.memo_hits += other.memo_hits
+        self.memo_misses += other.memo_misses
+        return self
+
+    def to_dict(self) -> dict:
+        return {
+            "statements": self.statements,
+            "statements_per_second": round(self.statements_per_second, 2),
+            "stages": {
+                "parse": round(self.parse_seconds, 6),
+                "context": round(self.context_seconds, 6),
+                "detect": round(self.detect_seconds, 6),
+                "rank": round(self.rank_seconds, 6),
+                "fix": round(self.fix_seconds, 6),
+            },
+            "total_seconds": round(self.total_seconds, 6),
+            "stage_semantics": self.stage_semantics,
+            "workers": self.workers,
+            "chunks": self.chunks,
+            "parallel_mode": self.parallel_mode,
+            "corpora": self.corpora,
+            "annotation_cache": {
+                "hits": self.annotation_cache_hits,
+                "misses": self.annotation_cache_misses,
+                "hit_rate": round(self.annotation_cache_hit_rate, 4),
+            },
+            "detection_memo": {
+                "hits": self.memo_hits,
+                "misses": self.memo_misses,
+                "hit_rate": round(self.memo_hit_rate, 4),
+            },
+        }
+
+
+def chunked(items: Sequence[T], size: int) -> list[Sequence[T]]:
+    """Split ``items`` into consecutive chunks of at most ``size``."""
+    if size <= 0:
+        raise ValueError("chunk size must be positive")
+    return [items[i : i + size] for i in range(0, len(items), size)]
+
+
+def resolve_workers(requested: int) -> int:
+    """Clamp a requested worker count to the CPUs actually available.
+
+    Oversubscribing a CPU-bound parse stage only adds scheduling and pickle
+    overhead, so a single-CPU container always degrades to the serial path.
+    """
+    if requested <= 1:
+        return 1
+    try:
+        available = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        available = os.cpu_count() or 1
+    return max(1, min(requested, available))
+
+
+def _annotate_chunk(payload: "tuple[Sequence[str], str | None]") -> list[QueryAnnotation]:
+    """Process-pool worker: parse + annotate one chunk of SQL strings.
+
+    Statement indexes are chunk-local; the parent rebinds them after the
+    gather so results are identical to the serial path.
+    """
+    sqls, source = payload
+    annotations: list[QueryAnnotation] = []
+    for sql in sqls:
+        for statement in parse(sql, source=source):
+            annotations.append(annotate(statement))
+    return annotations
+
+
+def parallel_annotate(
+    queries: Sequence[str],
+    *,
+    workers: int,
+    source: str | None = None,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    serial_fallback: "Callable[[Sequence[str]], list[QueryAnnotation]] | None" = None,
+) -> "tuple[list[QueryAnnotation], int, str]":
+    """Annotate a statement list, fanning cold parses over a process pool.
+
+    Returns ``(annotations, chunks, mode)`` where ``mode`` records the path
+    taken (``process-pool`` or one of the serial fallbacks).  Statement
+    indexes are rebound to corpus order, so the output is identical to the
+    serial path regardless of chunking.
+    """
+    effective = resolve_workers(workers)
+    serial = serial_fallback or (lambda batch: _annotate_chunk((batch, source)))
+    if effective <= 1 or len(queries) < MIN_PARALLEL_STATEMENTS:
+        reason = REASON_SINGLE_CPU if workers > 1 and effective <= 1 else REASON_SMALL_INPUT
+        annotations = serial(queries)
+        _rebind_indexes(annotations)
+        return annotations, 1, serial_mode(workers, reason)
+    # Never hand one worker the whole input: cap the chunk size so the work
+    # actually spreads across the pool.
+    chunk_size = max(1, min(chunk_size, -(-len(queries) // effective)))
+    chunks = chunked(queries, chunk_size)
+    try:
+        with ProcessPoolExecutor(max_workers=effective) as pool:
+            results = list(pool.map(_annotate_chunk, [(chunk, source) for chunk in chunks]))
+    except Exception:  # pool unavailable (sandboxing, pickling) -> stay correct
+        annotations = serial(queries)
+        _rebind_indexes(annotations)
+        return annotations, 1, serial_mode(workers, REASON_EXECUTOR_ERROR)
+    annotations = [annotation for result in results for annotation in result]
+    _rebind_indexes(annotations)
+    return annotations, len(chunks), MODE_PROCESS_POOL
+
+
+def _rebind_indexes(annotations: Iterable[QueryAnnotation]) -> None:
+    for index, annotation in enumerate(annotations):
+        annotation.statement.index = index

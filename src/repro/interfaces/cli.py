@@ -32,6 +32,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-inter-query", action="store_true", help="disable inter-query analysis")
     parser.add_argument("--no-fixes", action="store_true", help="do not generate fixes")
     parser.add_argument("--min-confidence", type=float, default=0.5, help="confidence threshold")
+    parser.add_argument(
+        "--batch",
+        action="store_true",
+        help="analyse each input file as an independent corpus (batch pipeline; "
+        "inter-query analysis no longer crosses file boundaries, so detections "
+        "can differ from the default joined analysis)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for --batch mode (parallelism only; never "
+        "changes results)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print per-stage pipeline timings and cache hit rates"
+    )
     return parser
 
 
@@ -43,10 +60,11 @@ def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple
     """
     parser = build_parser()
     args = parser.parse_args(argv)
-    sql_parts: list[str] = []
+    file_contents: list[tuple[str, str]] = []
     for path in args.files:
         with open(path, "r", encoding="utf-8") as handle:
-            sql_parts.append(handle.read())
+            file_contents.append((path, handle.read()))
+    sql_parts: list[str] = [content for _, content in file_contents]
     sql_parts.extend(args.query)
     if not sql_parts:
         text = stdin if stdin is not None else sys.stdin.read()
@@ -61,22 +79,47 @@ def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple
             enable_inter_query=not args.no_inter_query,
             confidence_threshold=args.min_confidence,
             dialect=args.dialect,
+            workers=args.workers,
         ),
         ranking=ranking,
         suggest_fixes=not args.no_fixes,
     )
     toolchain = SQLCheck(options)
+    if args.batch and file_contents and not args.query:
+        # Batch pipeline: each file becomes its own independent corpus —
+        # inter-query context no longer crosses file boundaries (check_many
+        # keeps a path given twice as a distinct, suffixed corpus).
+        batch = toolchain.check_many(file_contents, workers=args.workers)
+        output = render_batch(batch, fmt=args.format, top=args.top, stats=args.stats)
+        return (1 if len(batch) else 0), output
+    if args.batch:
+        reason = (
+            "--query cannot be combined with batched files"
+            if file_contents
+            else "only file inputs can be batched"
+        )
+        print(
+            f"sqlcheck: --batch ignored ({reason}); running the default joined analysis",
+            file=sys.stderr,
+        )
+    if args.workers > 1:
+        print(
+            "sqlcheck: --workers only applies to --batch mode; running serially",
+            file=sys.stderr,
+        )
     report = toolchain.check("\n".join(sql_parts))
-    output = render(report, fmt=args.format, top=args.top)
+    output = render(report, fmt=args.format, top=args.top, stats=args.stats)
     return (1 if len(report) else 0), output
 
 
-def render(report: SQLCheckReport, *, fmt: str = "text", top: int = 0) -> str:
+def render(report: SQLCheckReport, *, fmt: str = "text", top: int = 0, stats: bool = False) -> str:
     """Render a report as text or JSON."""
     if fmt == "json":
         payload = report.to_dict()
         if top:
             payload["detections"] = payload["detections"][:top]
+        if not stats:
+            payload.pop("stats", None)
         return json.dumps(payload, indent=2, default=str)
     lines: list[str] = []
     entries = report.detections[:top] if top else report.detections
@@ -104,7 +147,56 @@ def render(report: SQLCheckReport, *, fmt: str = "text", top: int = 0) -> str:
                 lines.append(f"            {statement.splitlines()[0]}" + (" …" if "\n" in statement else ""))
             if fix.rewritten_query:
                 lines.append(f"            rewrite -> {fix.rewritten_query}")
+    if stats and report.stats is not None:
+        lines.extend(_stats_lines(report.stats))
     return "\n".join(lines)
+
+
+def _stats_lines(stats) -> list[str]:
+    """Human-readable pipeline stats block."""
+    payload = stats.to_dict()
+    stages = payload["stages"]
+    lines = ["", "pipeline stats:"]
+    lines.append(
+        "    stages: "
+        + "  ".join(f"{name} {seconds * 1000:.1f}ms" for name, seconds in stages.items())
+    )
+    lines.append(
+        f"    throughput: {payload['statements']} statement(s) in "
+        f"{payload['total_seconds']:.3f}s ({payload['statements_per_second']:.0f} stmt/s, "
+        f"{payload['parallel_mode']}, {payload['workers']} worker(s))"
+    )
+    lines.append(
+        f"    caches: annotation {payload['annotation_cache']['hits']}/"
+        f"{payload['annotation_cache']['hits'] + payload['annotation_cache']['misses']} hits, "
+        f"detection memo {payload['detection_memo']['hits']}/"
+        f"{payload['detection_memo']['hits'] + payload['detection_memo']['misses']} hits"
+    )
+    return lines
+
+
+def render_batch(batch, *, fmt: str = "text", top: int = 0, stats: bool = False) -> str:
+    """Render a :class:`BatchReport` (one section per corpus)."""
+    if fmt == "json":
+        payload = batch.to_dict()
+        for corpus_payload in payload["corpora"].values():
+            if top:
+                corpus_payload["detections"] = corpus_payload["detections"][:top]
+            if not stats:
+                corpus_payload.pop("stats", None)
+        if not stats:
+            payload.pop("stats", None)
+        return json.dumps(payload, indent=2, default=str)
+    sections: list[str] = [
+        f"sqlcheck: {len(batch)} anti-pattern(s) across {len(batch.reports)} corpora"
+    ]
+    for source, report in batch.reports.items():
+        sections.append("")
+        sections.append(f"--- {source} ---")
+        sections.append(render(report, fmt="text", top=top))
+    if stats:
+        sections.extend(_stats_lines(batch.stats))
+    return "\n".join(sections)
 
 
 def main(argv: Sequence[str] | None = None) -> int:

@@ -5,7 +5,11 @@ through Flask.  Flask is unavailable offline, so the same contract is served
 by the standard library's ``http.server``:
 
 * ``POST /api/check``  — body ``{"query": "...", "config": "C1"|"C2"}``,
-  returns the ranked detections and fixes as JSON;
+  returns the ranked detections and fixes as JSON (including per-stage
+  pipeline timings under ``"stats"``);
+* ``POST /api/check_batch`` — body ``{"corpora": {"name": "sql..."},
+  "workers": N}``, runs the parallel batch pipeline over independent
+  corpora and returns one report per corpus plus aggregate stats;
 * ``GET  /api/antipatterns`` — the supported anti-pattern catalog;
 * ``GET  /api/health`` — liveness probe.
 
@@ -33,6 +37,27 @@ def handle_check_request(payload: dict) -> tuple[int, dict]:
     toolchain = SQLCheck(SQLCheckOptions(ranking=ranking))
     report = toolchain.check(query)
     return 200, report.to_dict()
+
+
+def handle_check_batch_request(payload: dict) -> tuple[int, dict]:
+    """Process the body of ``POST /api/check_batch`` and return (status, response)."""
+    corpora = payload.get("corpora")
+    if not isinstance(corpora, dict) or not corpora:
+        return 400, {"error": "the request body must contain a non-empty 'corpora' object"}
+    for name, queries in corpora.items():
+        if not isinstance(queries, str) and not (
+            isinstance(queries, list) and all(isinstance(q, str) for q in queries)
+        ):
+            return 400, {"error": f"corpus {name!r} must be a SQL string or a list of SQL strings"}
+    try:
+        workers = int(payload.get("workers", 1))
+    except (TypeError, ValueError):
+        return 400, {"error": "'workers' must be an integer"}
+    config_name = str(payload.get("config", "C1")).upper()
+    ranking = C2 if config_name == "C2" else C1
+    toolchain = SQLCheck(SQLCheckOptions(ranking=ranking))
+    batch = toolchain.check_many(corpora, workers=workers)
+    return 200, batch.to_dict()
 
 
 def catalog_response() -> dict:
@@ -73,7 +98,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(404, {"error": f"unknown path {self.path}"})
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
-        if self.path != "/api/check":
+        handlers = {
+            "/api/check": handle_check_request,
+            "/api/check_batch": handle_check_batch_request,
+        }
+        handler = handlers.get(self.path)
+        if handler is None:
             self._send(404, {"error": f"unknown path {self.path}"})
             return
         length = int(self.headers.get("Content-Length", 0))
@@ -83,7 +113,7 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError:
             self._send(400, {"error": "request body is not valid JSON"})
             return
-        status, body = handle_check_request(payload)
+        status, body = handler(payload)
         self._send(status, body)
 
 

@@ -8,6 +8,7 @@ existing ones.
 """
 from __future__ import annotations
 
+import itertools
 from typing import Iterable, Iterator
 
 from ..model.antipatterns import AntiPattern
@@ -56,11 +57,28 @@ from .query_rules import (
 
 
 class RuleRegistry:
-    """Holds the active query rules and data rules."""
+    """Holds the active query rules and data rules.
+
+    Dispatch by statement type is served from a precomputed index instead of
+    a per-call scan: corpus-scale detection calls ``rules_for_statement``
+    once per statement, so the O(rules) comprehension the seed used becomes
+    a dict lookup.  The index is versioned — every mutation
+    (``register`` / ``unregister`` / ``disable_anti_pattern``) bumps
+    :attr:`version` and invalidates it, which also invalidates any detection
+    memo keyed on the version.
+    """
+
+    _uid_counter = itertools.count(1)
 
     def __init__(self, rules: Iterable[Rule] = ()):
         self._query_rules: list[QueryRule] = []
         self._data_rules: list[DataRule] = []
+        self._version = 0
+        # Distinguishes registry *instances*: two registries can share a
+        # version counter value while holding different rules, so memo
+        # scopes must key on (uid, version), not version alone.
+        self._uid = next(RuleRegistry._uid_counter)
+        self._dispatch: dict[str, tuple[QueryRule, ...]] = {}
         for rule in rules:
             self.register(rule)
 
@@ -75,17 +93,34 @@ class RuleRegistry:
             self._data_rules.append(rule)
         else:
             raise TypeError(f"{type(rule).__name__} is neither a QueryRule nor a DataRule")
+        self._invalidate()
         return rule
 
     def unregister(self, name: str) -> None:
         """Remove every rule whose name matches ``name``."""
         self._query_rules = [r for r in self._query_rules if r.name != name]
         self._data_rules = [r for r in self._data_rules if r.name != name]
+        self._invalidate()
 
     def disable_anti_pattern(self, anti_pattern: AntiPattern) -> None:
         """Remove every rule detecting the given anti-pattern."""
         self._query_rules = [r for r in self._query_rules if r.anti_pattern is not anti_pattern]
         self._data_rules = [r for r in self._data_rules if r.anti_pattern is not anti_pattern]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._version += 1
+        self._dispatch.clear()
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every registry mutation."""
+        return self._version
+
+    @property
+    def cache_token(self) -> "tuple[int, int]":
+        """Identity token for caches: unique per instance and per mutation."""
+        return (self._uid, self._version)
 
     # ------------------------------------------------------------------
     # access
@@ -98,14 +133,17 @@ class RuleRegistry:
     def data_rules(self) -> list[DataRule]:
         return list(self._data_rules)
 
-    def rules_for_statement(self, statement_type: str) -> list[QueryRule]:
+    def rules_for_statement(self, statement_type: str) -> tuple[QueryRule, ...]:
         """Query rules applicable to a statement type (Algorithm 2's
-        ``RulesForQuery``)."""
-        return [
-            rule
-            for rule in self._query_rules
-            if not rule.statement_types or statement_type in rule.statement_types
-        ]
+        ``RulesForQuery``), served from the dispatch index."""
+        cached = self._dispatch.get(statement_type)
+        if cached is None:
+            cached = self._dispatch[statement_type] = tuple(
+                rule
+                for rule in self._query_rules
+                if not rule.statement_types or statement_type in rule.statement_types
+            )
+        return cached
 
     def anti_patterns_covered(self) -> set[AntiPattern]:
         return {r.anti_pattern for r in self._query_rules} | {

@@ -28,6 +28,7 @@ from .ast import (
     Where,
 )
 from .dialects import DIALECTS, Dialect, get_dialect
+from .fingerprint import AnnotationCache, CacheStats, canonicalize, fingerprint
 from .lexer import Lexer, tokenize
 from .parser import STATEMENT_TYPES, ParsedStatement, classify_statement, parse, parse_statement
 from .serializer import format_sql, quote_identifier, quote_literal, to_sql
@@ -35,6 +36,8 @@ from .splitter import split, split_tokens
 from .tokens import Token, TokenStream, TokenType
 
 __all__ = [
+    "AnnotationCache",
+    "CacheStats",
     "ColumnReference",
     "Comparison",
     "DIALECTS",
@@ -60,7 +63,9 @@ __all__ = [
     "TokenType",
     "Where",
     "annotate",
+    "canonicalize",
     "classify_statement",
+    "fingerprint",
     "format_sql",
     "get_dialect",
     "parse",

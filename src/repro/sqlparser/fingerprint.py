@@ -1,0 +1,196 @@
+"""Statement fingerprinting and the annotation cache.
+
+Real query corpora (the paper's 174k-statement GitHub corpus, ORM-generated
+web-application workloads) are dominated by *literal-only duplication*: the
+same statement template executed over and over with different constants.
+This module canonicalizes a statement into a stable **fingerprint** — the
+same idea as ``pg_stat_statements``' queryid — so the toolchain can detect a
+template once and replay the result cheaply:
+
+* :func:`canonicalize` — keywords upper-cased, literals replaced by ``?``,
+  whitespace and comments collapsed;
+* :func:`fingerprint` — a short stable hash of the canonical form;
+* :class:`AnnotationCache` — an LRU cache from fingerprint to parsed
+  statement + annotation, used by the context builder to skip re-parsing.
+
+Correctness note: two statements may share a fingerprint while differing in
+rule-relevant literal content (``LIKE 'INV-2020%'`` is index-friendly,
+``LIKE '%offer%'`` is the Pattern Matching anti-pattern).  The fingerprint is
+therefore used as the *bucket* key, and every cache hit additionally verifies
+the exact raw text, so cached results are byte-identical to cold-path
+results by construction.
+"""
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .lexer import tokenize
+from .tokens import Token, TokenType
+
+#: Literal-like token types normalized to a placeholder in the canonical form.
+_LITERAL_TYPES = frozenset({TokenType.STRING, TokenType.NUMBER, TokenType.PLACEHOLDER})
+
+#: Token types whose text is upper-cased in the canonical form.
+_CASEFOLD_TYPES = frozenset(
+    {
+        TokenType.KEYWORD,
+        TokenType.DDL_KEYWORD,
+        TokenType.DML_KEYWORD,
+        TokenType.DATATYPE,
+        TokenType.NAME,
+        TokenType.COMPARISON,
+        TokenType.OPERATOR,
+    }
+)
+
+#: Maximum number of exact-text variants kept per fingerprint bucket.
+_VARIANTS_PER_BUCKET = 8
+
+
+def canonicalize_tokens(tokens: Iterable[Token]) -> str:
+    """Canonical text of an already-tokenized statement."""
+    parts: list[str] = []
+    for token in tokens:
+        if token.is_whitespace or token.is_comment:
+            continue
+        if token.ttype in _LITERAL_TYPES:
+            parts.append("?")
+        elif token.ttype in _CASEFOLD_TYPES:
+            parts.append(token.value.upper())
+        else:
+            parts.append(token.value)
+    return " ".join(parts)
+
+
+def canonicalize(sql: "str | Iterable[Token]") -> str:
+    """Canonicalize a statement: upper-cased keywords and identifiers,
+    literals normalized to ``?``, whitespace collapsed, comments dropped."""
+    if isinstance(sql, str):
+        return canonicalize_tokens(tokenize(sql))
+    return canonicalize_tokens(sql)
+
+
+def fingerprint(sql: "str | Iterable[Token]") -> str:
+    """Stable 16-hex-digit fingerprint of a statement's canonical form."""
+    canonical = canonicalize(sql)
+    return hashlib.blake2b(canonical.encode("utf-8"), digest_size=8).hexdigest()
+
+
+def combine_fingerprints(fingerprints: Iterable[str]) -> str:
+    """Fingerprint of a multi-statement script from its statements'
+    fingerprints (avoids re-tokenizing the combined text)."""
+    digest = hashlib.blake2b(digest_size=8)
+    for fp in fingerprints:
+        digest.update(fp.encode("ascii"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters exposed through :class:`PipelineStats`."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class _Entry:
+    """One exact-text variant stored under a fingerprint bucket."""
+
+    raw: str
+    value: object
+
+
+@dataclass
+class AnnotationCache:
+    """LRU cache: fingerprint -> parsed statement + annotation.
+
+    The cache is value-agnostic (the context builder stores lists of
+    ``(ParsedStatement, QueryAnnotation)`` pairs) so it can also back other
+    per-statement memos.  Lookups verify the exact raw text inside the
+    fingerprint bucket, keeping hits byte-identical to the cold path.
+    """
+
+    maxsize: int = 2048
+    stats: CacheStats = field(default_factory=CacheStats)
+    _buckets: "OrderedDict[str, list[_Entry]]" = field(default_factory=OrderedDict)
+    # raw text -> fingerprint, so lookups never tokenize: a miss must stay
+    # cheaper than the parse it precedes.
+    _raw_index: dict = field(default_factory=dict, repr=False)
+    _size: int = field(default=0, repr=False)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def get(self, raw: str, *, fp: str | None = None) -> object | None:
+        """Return the cached value for ``raw`` or None (LRU touch on hit)."""
+        fp = fp if fp is not None else self._raw_index.get(raw)
+        bucket = self._buckets.get(fp) if fp is not None else None
+        if bucket is not None:
+            for entry in bucket:
+                if entry.raw == raw:
+                    self._buckets.move_to_end(fp)
+                    self.stats.hits += 1
+                    return entry.value
+        self.stats.misses += 1
+        return None
+
+    def put(self, raw: str, value: object, *, fp: str | None = None) -> str:
+        """Store ``value`` under ``raw``; returns the fingerprint used.
+
+        Pass ``fp`` when the statement is already tokenized (e.g. from
+        ``ParsedStatement.fingerprint``) to avoid re-tokenizing ``raw``.
+        """
+        fp = fp if fp is not None else fingerprint(raw)
+        bucket = self._buckets.get(fp)
+        if bucket is None:
+            bucket = self._buckets[fp] = []
+        else:
+            self._buckets.move_to_end(fp)
+        for entry in bucket:
+            if entry.raw == raw:
+                entry.value = value
+                return fp
+        bucket.append(_Entry(raw=raw, value=value))
+        self._raw_index[raw] = fp
+        self._size += 1
+        if len(bucket) > _VARIANTS_PER_BUCKET:
+            dropped = bucket.pop(0)
+            self._raw_index.pop(dropped.raw, None)
+            self._size -= 1
+            self.stats.evictions += 1
+        # maxsize bounds total cached entries, not buckets: literal-variant
+        # heavy corpora can hold several entries per fingerprint.
+        while self._size > self.maxsize and self._buckets:
+            _, evicted = self._buckets.popitem(last=False)
+            for dropped in evicted:
+                self._raw_index.pop(dropped.raw, None)
+            self._size -= len(evicted)
+            self.stats.evictions += len(evicted)
+        return fp
+
+    def clear(self) -> None:
+        self._buckets.clear()
+        self._raw_index.clear()
+        self._size = 0

@@ -52,10 +52,20 @@ class ParsedStatement:
     statement_type: str
     index: int = 0
     source: str | None = None
+    _fingerprint: str | None = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def stream(self) -> TokenStream:
         return TokenStream(self.tokens)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable fingerprint of the statement's canonical form (cached)."""
+        if self._fingerprint is None:
+            from .fingerprint import fingerprint as _fp
+
+            self._fingerprint = _fp(self.tokens)
+        return self._fingerprint
 
     def meaningful_tokens(self) -> list[Token]:
         return [t for t in self.tokens if not t.is_whitespace and not t.is_comment]

@@ -5,7 +5,13 @@ the GitHub query corpus, the Django applications, the Kaggle databases, and
 the user study) is replaced by a deterministic synthetic generator here —
 see DESIGN.md §2 for the substitution rationale.
 """
-from .github_corpus import CorpusStatement, GitHubCorpusGenerator, LabeledCorpus
+from .github_corpus import (
+    CorpusStatement,
+    GitHubCorpusGenerator,
+    LabeledCorpus,
+    analyze_corpus,
+    with_duplicates,
+)
 from .globaleaks import GlobaLeaksWorkload
 from .django_apps import DJANGO_APPLICATIONS, DjangoApplication, build_application_workload
 from .kaggle import KAGGLE_DATABASES, KaggleDatabaseSpec, build_kaggle_database
@@ -22,6 +28,8 @@ __all__ = [
     "LabeledCorpus",
     "UserStudyResult",
     "UserStudySimulator",
+    "analyze_corpus",
     "build_application_workload",
     "build_kaggle_database",
+    "with_duplicates",
 ]

@@ -17,10 +17,16 @@ the behaviour the paper reports.
 """
 from __future__ import annotations
 
+import math
 import random
+from collections import Counter
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
 
 from ..model.antipatterns import AntiPattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.sqlcheck import BatchReport, SQLCheckOptions
 
 
 @dataclass
@@ -63,15 +69,71 @@ class LabeledCorpus:
     def all_sql(self) -> list[str]:
         return [s.sql for s in self.statements]
 
-    def label_counts(self) -> dict[AntiPattern, int]:
-        counts: dict[AntiPattern, int] = {}
+    def iter_sql(self) -> Iterator[str]:
+        """Stream statement texts without materializing a list."""
         for statement in self.statements:
-            for label in statement.labels:
-                counts[label] = counts.get(label, 0) + 1
+            yield statement.sql
+
+    def corpora(self) -> dict[str, list[str]]:
+        """Per-repository statement lists, ready for ``SQLCheck.check_many``."""
+        grouped: dict[str, list[str]] = {}
+        for statement in self.statements:
+            grouped.setdefault(statement.repo, []).append(statement.sql)
+        return grouped
+
+    def label_counts(self) -> "Counter[AntiPattern]":
+        counts: "Counter[AntiPattern]" = Counter()
+        for statement in self.statements:
+            counts.update(statement.labels)
         return counts
 
     def statements_labeled(self, anti_pattern: AntiPattern) -> list[CorpusStatement]:
         return [s for s in self.statements if anti_pattern in s.labels]
+
+
+def with_duplicates(
+    corpus: LabeledCorpus, fraction: float = 0.4, seed: int = 2020
+) -> LabeledCorpus:
+    """Pad a corpus with exact duplicates until ``fraction`` of it is duplicated.
+
+    Real corpora are dominated by literal-identical statement repetition
+    (ORM-generated queries, copy-pasted migrations); this models that
+    skew deterministically so cache-sensitive throughput experiments have a
+    realistic duplicate-heavy input.  Duplicates keep their originating
+    repository, preserving per-repo context semantics.
+    """
+    if not 0 <= fraction < 1:
+        raise ValueError("fraction must be in [0, 1)")
+    rng = random.Random(seed)
+    statements = list(corpus.statements)
+    if not statements or fraction == 0:
+        return LabeledCorpus(statements=statements)
+    target_total = math.ceil(len(statements) / (1 - fraction))
+    duplicates = [
+        CorpusStatement(sql=s.sql, labels=set(s.labels), repo=s.repo)
+        for s in (rng.choice(statements) for _ in range(target_total - len(statements)))
+    ]
+    combined = statements + duplicates
+    rng.shuffle(combined)
+    return LabeledCorpus(statements=combined)
+
+
+def analyze_corpus(
+    corpus: LabeledCorpus,
+    *,
+    workers: int = 1,
+    options: "SQLCheckOptions | None" = None,
+) -> "BatchReport":
+    """Run the full sqlcheck batch pipeline over a labelled corpus.
+
+    Each repository becomes one independent corpus of ``check_many``; the
+    returned :class:`BatchReport` carries per-repo reports plus aggregate
+    :class:`PipelineStats` (stage timings, cache hit rates, throughput).
+    """
+    from ..core.sqlcheck import SQLCheck, SQLCheckOptions
+
+    toolchain = SQLCheck(options or SQLCheckOptions())
+    return toolchain.check_many(corpus.corpora(), workers=workers)
 
 
 class GitHubCorpusGenerator:
