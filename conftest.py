@@ -1,0 +1,24 @@
+"""Repo-level pytest configuration.
+
+Registers the golden-corpus regeneration flag (options must live in the
+rootdir conftest to be visible from any test selection) and makes ``src``
+importable even when ``PYTHONPATH`` is not set.
+"""
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/conformance/golden/*.jsonl from the current rules "
+        "instead of comparing against them",
+    )

@@ -298,7 +298,11 @@ class DDLBuilder:
             self.schema.add_table(table)
         text = " ".join(t.value for t in tokens)
         upper = text.upper()
-        if " ADD CONSTRAINT" in upper or re.search(r"\bADD\s+CHECK\b", upper):
+        # Constraint additions, named (ADD CONSTRAINT x PRIMARY KEY ...) or
+        # anonymous (ADD PRIMARY KEY ... / ADD FOREIGN KEY ... / ADD CHECK ...).
+        if " ADD CONSTRAINT" in upper or re.search(
+            r"\bADD\s+(CHECK|PRIMARY\s+KEY|FOREIGN\s+KEY|UNIQUE)\b", upper
+        ):
             name_match = re.search(r"ADD\s+CONSTRAINT\s+(\w+)", text, re.IGNORECASE)
             name = name_match.group(1) if name_match else None
             column, in_values = self._parse_check_expression(text)

@@ -215,10 +215,10 @@ class SQLCheck:
     ) -> SQLCheckReport:
         """Run the full pipeline over queries and an optional database."""
         stats = PipelineStats()
-        start = time.perf_counter()
         cache = self.detector.annotation_cache
         hits0 = cache.stats.hits if cache is not None else 0
         misses0 = cache.stats.misses if cache is not None else 0
+        start = time.perf_counter()
         context = self._builder.build(queries, database=database, source=source, stats=stats)
         if cache is not None:
             stats.annotation_cache_hits = cache.stats.hits - hits0
@@ -232,24 +232,21 @@ class SQLCheck:
     ) -> SQLCheckReport:
         """Run the full pipeline over a pre-built application context."""
         stats = stats if stats is not None else PipelineStats()
+        # Shared boundary timestamps: detect + rank + fix equals the elapsed
+        # wall-clock exactly, keeping total ≡ sum of stages (the accounting
+        # invariant the conformance oracle checks).
         t0 = time.perf_counter()
         detection_report = self.detector.detect_in_context(context, stats=stats)
-        stats.detect_seconds += time.perf_counter() - t0
-        t0 = time.perf_counter()
+        t1 = time.perf_counter()
+        stats.detect_seconds += t1 - t0
         ranked = self.ranker.rank(detection_report)
-        stats.rank_seconds += time.perf_counter() - t0
-        t0 = time.perf_counter()
+        t2 = time.perf_counter()
+        stats.rank_seconds += t2 - t1
         fixes = self.fixer.fix(ranked, context) if self.options.suggest_fixes else []
-        stats.fix_seconds += time.perf_counter() - t0
+        stats.fix_seconds += time.perf_counter() - t2
         stats.statements = detection_report.queries_analyzed
         if stats.total_seconds == 0.0:
-            stats.total_seconds = (
-                stats.parse_seconds
-                + stats.context_seconds
-                + stats.detect_seconds
-                + stats.rank_seconds
-                + stats.fix_seconds
-            )
+            stats.total_seconds = stats.stage_seconds_sum()
         return SQLCheckReport(
             detections=ranked,
             fixes=fixes,

@@ -140,13 +140,16 @@ class APDetector:
         # stats.workers reports what actually ran; the parallel_mode string
         # explains any downgrade from the requested fan-out.
         stats = PipelineStats(workers=resolve_workers(requested))
-        start = time.perf_counter()
         queries = list(queries)
         cache = self.annotation_cache
         cache_hits0 = cache.stats.hits if cache is not None else 0
         cache_miss0 = cache.stats.misses if cache is not None else 0
 
-        t0 = time.perf_counter()
+        # Stage boundaries share one timestamp each so every moment between
+        # start and t3 lands in exactly one stage: total ≡ sum of stages
+        # (the accounting invariant the conformance oracle checks) on the
+        # pool path and on every serial fallback alike.
+        start = time.perf_counter()
         annotations, chunks, mode = parallel_annotate(
             queries,
             workers=requested,
@@ -154,10 +157,10 @@ class APDetector:
             chunk_size=chunk_size,
             serial_fallback=lambda batch: self._builder._annotate_queries(list(batch), source),
         )
-        stats.parse_seconds = time.perf_counter() - t0
+        t1 = time.perf_counter()
+        stats.parse_seconds = t1 - start
         if mode != MODE_PROCESS_POOL:
             stats.workers = 1
-        t0 = time.perf_counter()
         context = ApplicationContext(
             queries=annotations,
             schema=self._builder._build_schema(annotations, None),
@@ -166,16 +169,17 @@ class APDetector:
             dialect=self._builder.dialect,
             source=source,
         )
-        stats.context_seconds = time.perf_counter() - t0
+        t2 = time.perf_counter()
+        stats.context_seconds = t2 - t1
         stats.chunks = chunks
         stats.parallel_mode = mode
 
-        t0 = time.perf_counter()
         report = self.detect_in_context(context, stats=stats)
-        stats.detect_seconds = time.perf_counter() - t0
+        t3 = time.perf_counter()
+        stats.detect_seconds = t3 - t2
 
         stats.statements = len(context.queries)
-        stats.total_seconds = time.perf_counter() - start
+        stats.total_seconds = t3 - start
         if cache is not None:
             stats.annotation_cache_hits += cache.stats.hits - cache_hits0
             stats.annotation_cache_misses += cache.stats.misses - cache_miss0
@@ -202,6 +206,10 @@ class APDetector:
         statement was already analysed under an identical workload signature,
         registry version, and thresholds.
         """
+        # A rule that mutated its statement_types in place would be served
+        # stale from the dispatch index (and from the memo keyed on the
+        # registry version) — fail loudly once per run instead.
+        self.registry.check_integrity()
         rule_context = RuleContext(
             application=context,
             thresholds=self.config.thresholds,

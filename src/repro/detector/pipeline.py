@@ -77,6 +77,23 @@ class PipelineStats:
     corpora: int = 1
     stage_semantics: str = "wall-clock"
 
+    def stage_seconds_sum(self) -> float:
+        """Sum of the five stage timings.
+
+        On wall-clock runs every moment between the pipeline's first and
+        last boundary timestamp is attributed to exactly one stage, so this
+        equals ``total_seconds`` up to the glue between timing scopes — the
+        invariant the stats-accounting oracle enforces
+        (:func:`repro.testkit.oracles.check_stats_accounting`).
+        """
+        return (
+            self.parse_seconds
+            + self.context_seconds
+            + self.detect_seconds
+            + self.rank_seconds
+            + self.fix_seconds
+        )
+
     @property
     def statements_per_second(self) -> float:
         if self.total_seconds <= 0:

@@ -5,6 +5,10 @@
 with their suggested fixes.  ``--format json`` emits the machine-readable
 report; ``--no-inter-query`` / ``--no-fixes`` expose the ablation switches
 used in the evaluation.
+
+``sqlcheck selftest`` runs the conformance testkit — per-rule planted
+examples, the golden corpus, and the differential oracles — against a
+seeded fuzzed corpus or any SQL files given on the command line.
 """
 from __future__ import annotations
 
@@ -52,12 +56,69 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_selftest_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sqlcheck selftest",
+        description="Run the conformance testkit (rule examples, golden corpus, "
+        "differential oracles) against a fuzzed or user-supplied corpus.",
+    )
+    parser.add_argument(
+        "files", nargs="*",
+        help="SQL corpora for the differential oracle (seeded fuzzed corpus when empty)",
+    )
+    parser.add_argument("--seed", type=int, default=2020, help="fuzzing seed (reproducible)")
+    parser.add_argument(
+        "--statements", type=int, default=250,
+        help="approximate fuzzed corpus size when no files are given",
+    )
+    parser.add_argument("--workers", type=int, default=2, help="workers for the batch oracle")
+    parser.add_argument(
+        "--update-golden", action="store_true",
+        help="regenerate tests/conformance/golden/*.jsonl from the current rules",
+    )
+    parser.add_argument("--golden-dir", default=None, help="override the golden corpus directory")
+    parser.add_argument("--format", choices=("text", "json"), default="text", help="output format")
+    return parser
+
+
+def run_selftest_command(argv: Sequence[str]) -> tuple[int, str]:
+    """``sqlcheck selftest``: run the conformance suite, return (code, output)."""
+    from ..sqlparser import split
+    from ..testkit.selftest import run_selftest
+
+    args = build_selftest_parser().parse_args(list(argv))
+    corpus = None
+    if args.files:
+        corpus = []
+        for path in args.files:
+            with open(path, "r", encoding="utf-8") as handle:
+                corpus.extend(split(handle.read()))
+    result = run_selftest(
+        corpus,
+        seed=args.seed,
+        statements=args.statements,
+        workers=args.workers,
+        update_golden=args.update_golden,
+        golden_dir=args.golden_dir,
+    )
+    if args.format == "json":
+        output = json.dumps(result.to_dict(), indent=2, default=str)
+    else:
+        output = "\n".join(result.summary_lines())
+    return (0 if result.ok else 1), output
+
+
 def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple[int, str]:
     """Run the CLI and return (exit code, rendered output).
 
     ``stdin`` can be supplied directly for tests; otherwise the process stdin
     is read when no files or --query arguments are given.
     """
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv[:1] == ["selftest"]:
+        return run_selftest_command(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     file_contents: list[tuple[str, str]] = []

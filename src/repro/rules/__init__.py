@@ -9,16 +9,20 @@ Rules come in two flavours mirroring Algorithms 2 and 3 of the paper:
 All rules are registered in a :class:`RuleRegistry`; sqlcheck is extensible
 by registering additional rules that implement the same interface.
 """
-from .base import DataRule, QueryRule, Rule, RuleContext
-from .registry import RuleRegistry, default_registry
+from .base import DataRule, QueryRule, Rule, RuleContext, RuleExample, control, planted
+from .registry import RegistryIntegrityError, RuleRegistry, default_registry
 from .thresholds import Thresholds
 
 __all__ = [
     "DataRule",
     "QueryRule",
+    "RegistryIntegrityError",
     "Rule",
     "RuleContext",
+    "RuleExample",
     "RuleRegistry",
     "Thresholds",
+    "control",
     "default_registry",
+    "planted",
 ]

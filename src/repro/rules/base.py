@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Mapping, Sequence
 
 from ..context.application_context import ApplicationContext
 from ..model.antipatterns import AntiPattern
@@ -19,6 +19,66 @@ from ..model.detection import Detection, Severity
 from ..profiler.profiler import TableProfile
 from ..sqlparser import QueryAnnotation
 from .thresholds import Thresholds
+
+
+#: RuleExample kinds.
+EXAMPLE_POSITIVE = "positive"
+EXAMPLE_CONTROL = "control"
+
+
+@dataclass(frozen=True)
+class RuleExample:
+    """A conformance scenario for one rule.
+
+    ``statements`` is the SQL workload to analyse; ``rows`` optionally loads
+    data into an engine database (table name → row dicts) so data rules can
+    profile it.  A ``positive`` example must make its rule fire; a
+    ``control`` is a clean counterpart the rule must stay silent on (other
+    rules may still fire — controls are per-rule, not globally clean).
+    """
+
+    kind: str
+    statements: "tuple[str, ...]"
+    rows: "tuple[tuple[str, tuple[Mapping, ...]], ...]" = ()
+    note: str = ""
+
+    @property
+    def is_positive(self) -> bool:
+        return self.kind == EXAMPLE_POSITIVE
+
+    @property
+    def needs_database(self) -> bool:
+        return bool(self.rows)
+
+    @property
+    def sql(self) -> str:
+        return ";\n".join(self.statements)
+
+
+def _freeze_rows(
+    rows: "Mapping[str, Sequence[Mapping]] | None",
+) -> "tuple[tuple[str, tuple[Mapping, ...]], ...]":
+    if not rows:
+        return ()
+    return tuple((table, tuple(table_rows)) for table, table_rows in rows.items())
+
+
+def planted(
+    *statements: str,
+    rows: "Mapping[str, Sequence[Mapping]] | None" = None,
+    note: str = "",
+) -> RuleExample:
+    """A planted-positive example: the rule must detect it."""
+    return RuleExample(EXAMPLE_POSITIVE, tuple(statements), _freeze_rows(rows), note)
+
+
+def control(
+    *statements: str,
+    rows: "Mapping[str, Sequence[Mapping]] | None" = None,
+    note: str = "",
+) -> RuleExample:
+    """A clean-control example: the rule must stay silent."""
+    return RuleExample(EXAMPLE_CONTROL, tuple(statements), _freeze_rows(rows), note)
 
 
 @dataclass
@@ -63,6 +123,16 @@ class Rule(abc.ABC):
     def __init__(self) -> None:
         if not self.name:
             self.name = type(self).__name__
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        """Conformance scenarios for this rule.
+
+        Every registered rule ships at least one planted positive and one
+        clean control; the conformance suite (``tests/conformance``) runs
+        them through the full detector and locks the results into the golden
+        corpus.
+        """
+        return ()
 
     def make_detection(
         self,

@@ -15,7 +15,7 @@ from ..model.antipatterns import AntiPattern
 from ..model.detection import Detection, Severity
 from ..profiler.inference import detect_derived_pair
 from ..profiler.profiler import TableProfile
-from .base import DataRule, RuleContext
+from .base import DataRule, RuleContext, RuleExample, control, planted
 
 _BOUNDED_COLUMN_RE = re.compile(
     r"(rating|score|status|grade|level|priority|severity|stars|rank|category|type|state)$",
@@ -28,6 +28,23 @@ class MissingTimezoneRule(DataRule):
 
     anti_pattern = AntiPattern.MISSING_TIMEZONE
     severity = Severity.LOW
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        rows = [
+            {"visit_id": i, "visited_at": f"2020-03-{1 + i % 27:02d} 10:00:00"}
+            for i in range(20)
+        ]
+        return (
+            planted(
+                "CREATE TABLE visits (visit_id INTEGER PRIMARY KEY, visited_at TIMESTAMP)",
+                rows={"visits": rows},
+            ),
+            control(
+                "CREATE TABLE visits (visit_id INTEGER PRIMARY KEY,"
+                " visited_at TIMESTAMP WITH TIME ZONE)",
+                rows={"visits": rows},
+            ),
+        )
 
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         detections = []
@@ -69,6 +86,25 @@ class IncorrectDataTypeRule(DataRule):
 
     anti_pattern = AntiPattern.INCORRECT_DATA_TYPE
     severity = Severity.MEDIUM
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        ddl = "CREATE TABLE census (entry_id INTEGER PRIMARY KEY, population TEXT)"
+        return (
+            planted(
+                ddl,
+                rows={"census": [{"entry_id": i, "population": str(1000 + i)} for i in range(20)]},
+                note="a TEXT column holding integers",
+            ),
+            control(
+                ddl,
+                rows={
+                    "census": [
+                        {"entry_id": i, "population": f"about {1000 + i} residents"}
+                        for i in range(20)
+                    ]
+                },
+            ),
+        )
 
     _COMPATIBLE: dict[TypeFamily, set[TypeFamily]] = {
         TypeFamily.TEXT: {TypeFamily.TEXT},
@@ -139,6 +175,30 @@ class DenormalizedTableRule(DataRule):
     anti_pattern = AntiPattern.DENORMALIZED_TABLE
     severity = Severity.MEDIUM
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        orgs = ["Global Widgets Incorporated", "Acme Corporation"]
+        return (
+            planted(
+                "CREATE TABLE invoices (invoice_id INTEGER PRIMARY KEY,"
+                " organisation VARCHAR(80))",
+                rows={
+                    "invoices": [
+                        {"invoice_id": i, "organisation": orgs[0] if i % 3 else orgs[1]}
+                        for i in range(60)
+                    ]
+                },
+            ),
+            control(
+                "CREATE TABLE invoices (invoice_id INTEGER PRIMARY KEY, memo VARCHAR(80))",
+                rows={
+                    "invoices": [
+                        {"invoice_id": i, "memo": f"invoice memo number {i:04d}"}
+                        for i in range(60)
+                    ]
+                },
+            ),
+        )
+
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         detections = []
         thresholds = context.thresholds
@@ -189,6 +249,33 @@ class InformationDuplicationRule(DataRule):
 
     anti_pattern = AntiPattern.INFORMATION_DUPLICATION
     severity = Severity.LOW
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE people (person_id INTEGER PRIMARY KEY,"
+                " birth_date DATE, age INTEGER)",
+                rows={
+                    "people": [
+                        {"person_id": i, "birth_date": f"{1960 + i % 40}-01-01",
+                         "age": 2020 - (1960 + i % 40)}
+                        for i in range(40)
+                    ]
+                },
+                note="age is derivable from birth_date",
+            ),
+            control(
+                "CREATE TABLE people (person_id INTEGER PRIMARY KEY,"
+                " birth_date DATE, shoe_size INTEGER)",
+                rows={
+                    "people": [
+                        {"person_id": i, "birth_date": f"{1960 + i % 40}-01-01",
+                         "shoe_size": 36 + (i * 7) % 12}
+                        for i in range(40)
+                    ]
+                },
+            ),
+        )
 
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         detections = []
@@ -247,6 +334,26 @@ class RedundantColumnRule(DataRule):
     anti_pattern = AntiPattern.REDUNDANT_COLUMN
     severity = Severity.LOW
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE sessions (session_id INTEGER PRIMARY KEY, locale VARCHAR(10))",
+                rows={
+                    "sessions": [{"session_id": i, "locale": "en-us"} for i in range(40)]
+                },
+                note="a constant column carries no information",
+            ),
+            control(
+                "CREATE TABLE sessions (session_id INTEGER PRIMARY KEY, locale VARCHAR(10))",
+                rows={
+                    "sessions": [
+                        {"session_id": i, "locale": ["en-us", "fr-fr", "de-de"][i % 3]}
+                        for i in range(40)
+                    ]
+                },
+            ),
+        )
+
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         detections = []
         thresholds = context.thresholds
@@ -289,6 +396,20 @@ class NoDomainConstraintRule(DataRule):
 
     anti_pattern = AntiPattern.NO_DOMAIN_CONSTRAINT
     severity = Severity.LOW
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE reviews (review_id INTEGER PRIMARY KEY, rating INTEGER)",
+                rows={"reviews": [{"review_id": i, "rating": 1 + i % 5} for i in range(40)]},
+                note="a 1-5 rating with no CHECK constraint",
+            ),
+            control(
+                "CREATE TABLE reviews (review_id INTEGER PRIMARY KEY, wordcount INTEGER)",
+                rows={"reviews": [{"review_id": i, "wordcount": 40 + i * 13} for i in range(40)]},
+                note="an unbounded measure needs no domain constraint",
+            ),
+        )
 
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         detections = []
@@ -354,6 +475,30 @@ class DataInMetadataDataRule(DataRule):
 
     _NUMBERED_RE = re.compile(r"^(?P<prefix>[A-Za-z_]+?)_?(?P<number>\d+)$")
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE metrics (metric_id INTEGER PRIMARY KEY, sample_1 INTEGER,"
+                " sample_2 INTEGER, sample_3 INTEGER)",
+                rows={
+                    "metrics": [
+                        {"metric_id": i, "sample_1": i, "sample_2": i * 2, "sample_3": i * 3}
+                        for i in range(10)
+                    ]
+                },
+            ),
+            control(
+                "CREATE TABLE metrics (metric_id INTEGER PRIMARY KEY, low INTEGER,"
+                " mid INTEGER, high INTEGER)",
+                rows={
+                    "metrics": [
+                        {"metric_id": i, "low": i, "mid": i * 2, "high": i * 3}
+                        for i in range(10)
+                    ]
+                },
+            ),
+        )
+
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         detections: list[Detection] = []
         groups: dict[str, list[str]] = {}
@@ -396,6 +541,18 @@ class GenericPrimaryKeyDataRule(DataRule):
 
     anti_pattern = AntiPattern.GENERIC_PRIMARY_KEY
     severity = Severity.LOW
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE gadgets (id INTEGER PRIMARY KEY, label VARCHAR(40))",
+                rows={"gadgets": [{"id": i, "label": f"G{i}"} for i in range(10)]},
+            ),
+            control(
+                "CREATE TABLE gadgets (gadget_id INTEGER PRIMARY KEY, label VARCHAR(40))",
+                rows={"gadgets": [{"gadget_id": i, "label": f"G{i}"} for i in range(10)]},
+            ),
+        )
 
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         if profile.definition is None:

@@ -12,7 +12,7 @@ from ..model.antipatterns import AntiPattern
 from ..model.detection import Detection, Severity
 from ..profiler.profiler import TableProfile
 from ..sqlparser import QueryAnnotation
-from .base import DataRule, QueryRule, RuleContext
+from .base import DataRule, QueryRule, RuleContext, RuleExample, control, planted
 
 _ID_LIST_COLUMN_RE = re.compile(r"(_ids?$|_list$|_csv$|ids$)", re.IGNORECASE)
 _GENERIC_PK_NAMES = {"id", "pk", "key", "row_id", "rowid"}
@@ -37,6 +37,14 @@ class MultiValuedAttributeRule(QueryRule):
     statement_types = ("SELECT", "INSERT", "UPDATE", "DELETE", "CREATE_TABLE")
 
     _LIST_LITERAL_RE = re.compile(r"^\s*[\w.@-]+\s*([,;|]\s*[\w.@-]+\s*){1,}$")
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("SELECT tenant_id FROM tenants WHERE user_ids LIKE '%U102%'"),
+            planted("UPDATE tenants SET user_ids = 'U1,U2,U3' WHERE tenant_id = 4"),
+            control("SELECT tenant_id FROM tenants WHERE zone = 'Z1'"),
+            control("UPDATE tenants SET zone = 'Z2' WHERE tenant_id = 4"),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         detections: list[Detection] = []
@@ -197,6 +205,28 @@ class MultiValuedAttributeDataRule(DataRule):
     anti_pattern = AntiPattern.MULTI_VALUED_ATTRIBUTE
     severity = Severity.HIGH
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE tenants (tenant_id VARCHAR(8) PRIMARY KEY, user_ids TEXT)",
+                rows={
+                    "tenants": [
+                        {"tenant_id": f"T{i}", "user_ids": f"U{i},U{i + 1},U{i + 2}"}
+                        for i in range(20)
+                    ]
+                },
+            ),
+            control(
+                "CREATE TABLE places (place_id INTEGER PRIMARY KEY, address VARCHAR(100))",
+                rows={
+                    "places": [
+                        {"place_id": i, "address": f"{i} Main Street Springfield"}
+                        for i in range(20)
+                    ]
+                },
+            ),
+        )
+
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         detections = []
         for column_profile in profile.columns.values():
@@ -233,6 +263,20 @@ class NoPrimaryKeyRule(QueryRule):
     severity = Severity.HIGH
     statement_types = ("CREATE_TABLE",)
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("CREATE TABLE logs (message TEXT, created_at TIMESTAMP WITH TIME ZONE)"),
+            control(
+                "CREATE TABLE logs (log_id INTEGER PRIMARY KEY, message TEXT,"
+                " created_at TIMESTAMP WITH TIME ZONE)"
+            ),
+            control(
+                "CREATE TABLE logs (log_id INTEGER, message TEXT)",
+                "ALTER TABLE logs ADD PRIMARY KEY (log_id)",
+                note="a later ALTER TABLE adds the key (inter-query refinement)",
+            ),
+        )
+
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         raw_upper = annotation.raw.upper()
         if "PRIMARY KEY" in raw_upper:
@@ -263,6 +307,18 @@ class NoPrimaryKeyDataRule(DataRule):
     anti_pattern = AntiPattern.NO_PRIMARY_KEY
     severity = Severity.HIGH
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE readings (sensor VARCHAR(10), value INTEGER)",
+                rows={"readings": [{"sensor": f"S{i}", "value": i} for i in range(10)]},
+            ),
+            control(
+                "CREATE TABLE readings (reading_id INTEGER PRIMARY KEY, value INTEGER)",
+                rows={"readings": [{"reading_id": i, "value": i} for i in range(10)]},
+            ),
+        )
+
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         if profile.definition is None or profile.definition.has_primary_key:
             return []
@@ -288,6 +344,28 @@ class NoForeignKeyRule(QueryRule):
     severity = Severity.HIGH
     statement_types = ("SELECT", "UPDATE", "DELETE")
     requires_context = True
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        ddl_tenant = "CREATE TABLE tenant (tenant_id INTEGER PRIMARY KEY, zone VARCHAR(10))"
+        join = (
+            "SELECT q.name FROM questionnaire q"
+            " JOIN tenant t ON t.tenant_id = q.tenant_id"
+        )
+        return (
+            planted(
+                ddl_tenant,
+                "CREATE TABLE questionnaire (q_id INTEGER PRIMARY KEY,"
+                " tenant_id INTEGER, name VARCHAR(30))",
+                join,
+                note="the paper's Example 3",
+            ),
+            control(
+                ddl_tenant,
+                "CREATE TABLE questionnaire (q_id INTEGER PRIMARY KEY,"
+                " tenant_id INTEGER REFERENCES tenant(tenant_id), name VARCHAR(30))",
+                join,
+            ),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         if not context.schema_available:
@@ -358,6 +436,14 @@ class GenericPrimaryKeyRule(QueryRule):
     severity = Severity.LOW
     statement_types = ("CREATE_TABLE",)
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("CREATE TABLE products (id INTEGER PRIMARY KEY, label VARCHAR(40))"),
+            planted("CREATE TABLE products (label VARCHAR(40), code INTEGER, PRIMARY KEY (id))",
+                    note="table-level constraint form"),
+            control("CREATE TABLE products (product_id INTEGER PRIMARY KEY, label VARCHAR(40))"),
+        )
+
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         table_name = annotation.tables[0].name if annotation.tables else None
         raw = annotation.raw
@@ -395,6 +481,23 @@ class DataInMetadataRule(QueryRule):
     anti_pattern = AntiPattern.DATA_IN_METADATA
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE",)
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE surveys (survey_id INTEGER PRIMARY KEY, answer_1 TEXT,"
+                " answer_2 TEXT, answer_3 TEXT)",
+                note="numbered column group",
+            ),
+            planted(
+                "CREATE TABLE revenue_2019 (entry_id INTEGER PRIMARY KEY, amount NUMERIC(10,2))",
+                note="value-bearing table name",
+            ),
+            control(
+                "CREATE TABLE surveys (survey_id INTEGER PRIMARY KEY, question TEXT,"
+                " answer TEXT, score INTEGER)"
+            ),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         detections = []
@@ -456,6 +559,23 @@ class AdjacencyListRule(QueryRule):
     anti_pattern = AntiPattern.ADJACENCY_LIST
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE", "ALTER_TABLE", "SELECT")
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE comments (comment_id INTEGER PRIMARY KEY, body TEXT,"
+                " parent_id INTEGER REFERENCES comments(comment_id))",
+                note="self-referencing foreign key",
+            ),
+            planted(
+                "CREATE TABLE staff (staff_id INTEGER PRIMARY KEY, manager_id INTEGER)",
+                note="parent-pointer column name",
+            ),
+            control(
+                "CREATE TABLE comments (comment_id INTEGER PRIMARY KEY, body TEXT,"
+                " article_id INTEGER REFERENCES articles(article_id))"
+            ),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         detections = []
@@ -522,6 +642,14 @@ class GodTableRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE",)
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        wide = ", ".join(f"attr_{chr(ord('a') + i)} VARCHAR(20)" for i in range(11))
+        return (
+            planted(f"CREATE TABLE everything (thing_id INTEGER PRIMARY KEY, {wide})"),
+            control("CREATE TABLE things (thing_id INTEGER PRIMARY KEY, label VARCHAR(20),"
+                    " made_on DATE)"),
+        )
+
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         table_name = annotation.tables[0].name if annotation.tables else None
         columns = DataInMetadataRule._created_columns(DataInMetadataRule(), annotation, context)
@@ -549,6 +677,20 @@ class CloneTableRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE",)
     requires_context = True
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE archive_1 (entry_id INTEGER PRIMARY KEY, payload TEXT)",
+                "CREATE TABLE archive_2 (entry_id INTEGER PRIMARY KEY, payload TEXT)",
+                note="two <base>_<n> siblings cross the clone threshold",
+            ),
+            control("CREATE TABLE archive (entry_id INTEGER PRIMARY KEY, payload TEXT)"),
+            control(
+                "CREATE TABLE archive_1 (entry_id INTEGER PRIMARY KEY, payload TEXT)",
+                note="a single suffixed table is not yet a clone family",
+            ),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         table_name = annotation.tables[0].name if annotation.tables else None

@@ -14,7 +14,7 @@ from ..model.antipatterns import AntiPattern
 from ..model.detection import Detection, Severity
 from ..profiler.profiler import TableProfile
 from ..sqlparser import QueryAnnotation
-from .base import DataRule, QueryRule, RuleContext
+from .base import DataRule, QueryRule, RuleContext, RuleExample, control, planted
 
 _MONEY_COLUMN_RE = re.compile(
     r"(price|amount|total|cost|balance|salary|fee|rate|tax|revenue|payment)", re.IGNORECASE
@@ -33,6 +33,15 @@ class RoundingErrorsRule(QueryRule):
     anti_pattern = AntiPattern.ROUNDING_ERRORS
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE", "ALTER_TABLE")
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("CREATE TABLE payments (payment_id INTEGER PRIMARY KEY, amount FLOAT)"),
+            planted("CREATE TABLE payments (payment_id INTEGER PRIMARY KEY,"
+                    " balance DOUBLE PRECISION)"),
+            control("CREATE TABLE payments (payment_id INTEGER PRIMARY KEY,"
+                    " amount NUMERIC(10,2))"),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         detections: list[Detection] = []
@@ -68,6 +77,15 @@ class EnumeratedTypesRule(QueryRule):
     anti_pattern = AntiPattern.ENUMERATED_TYPES
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE", "ALTER_TABLE")
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("CREATE TABLE members (member_id INTEGER PRIMARY KEY,"
+                    " status ENUM('active', 'banned'))"),
+            planted("CREATE TABLE members (member_id INTEGER PRIMARY KEY,"
+                    " tier VARCHAR(8) CHECK (tier IN ('gold', 'silver')))"),
+            control("CREATE TABLE members (member_id INTEGER PRIMARY KEY, tier VARCHAR(8))"),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         detections: list[Detection] = []
@@ -114,6 +132,19 @@ class EnumeratedTypesDataRule(DataRule):
 
     anti_pattern = AntiPattern.ENUMERATED_TYPES
     severity = Severity.LOW
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE users (user_id INTEGER PRIMARY KEY, role VARCHAR(8))",
+                rows={"users": [{"user_id": i, "role": f"R{1 + i % 3}"} for i in range(200)]},
+                note="3 distinct values across 200 rows behave like an enum",
+            ),
+            control(
+                "CREATE TABLE users (user_id INTEGER PRIMARY KEY, nickname VARCHAR(24))",
+                rows={"users": [{"user_id": i, "nickname": f"user_{i:04d}"} for i in range(200)]},
+            ),
+        )
 
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         detections = []
@@ -168,6 +199,16 @@ class ExternalDataStorageRule(QueryRule):
     anti_pattern = AntiPattern.EXTERNAL_DATA_STORAGE
     severity = Severity.LOW
     statement_types = ("CREATE_TABLE", "INSERT", "UPDATE")
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("CREATE TABLE documents (doc_id INTEGER PRIMARY KEY,"
+                    " file_path VARCHAR(255))"),
+            planted("INSERT INTO documents (doc_id, file_path) VALUES"
+                    " (1, '/var/uploads/report.pdf')"),
+            control("CREATE TABLE documents (doc_id INTEGER PRIMARY KEY, title VARCHAR(255))"),
+            control("INSERT INTO documents (doc_id, title) VALUES (1, 'Quarterly report')"),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         detections: list[Detection] = []
@@ -230,6 +271,28 @@ class ExternalDataStorageDataRule(DataRule):
     anti_pattern = AntiPattern.EXTERNAL_DATA_STORAGE
     severity = Severity.LOW
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "CREATE TABLE uploads (upload_id INTEGER PRIMARY KEY, location VARCHAR(255))",
+                rows={
+                    "uploads": [
+                        {"upload_id": i, "location": f"/srv/files/batch_{i}/img_{i}.png"}
+                        for i in range(20)
+                    ]
+                },
+            ),
+            control(
+                "CREATE TABLE uploads (upload_id INTEGER PRIMARY KEY, caption VARCHAR(255))",
+                rows={
+                    "uploads": [
+                        {"upload_id": i, "caption": f"holiday snapshot number {i}"}
+                        for i in range(20)
+                    ]
+                },
+            ),
+        )
+
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         detections = []
         for column_profile in profile.columns.values():
@@ -258,6 +321,29 @@ class IndexOveruseRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("CREATE_INDEX",)
     requires_context = True
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        ddl = "CREATE TABLE events (event_id INTEGER PRIMARY KEY, kind VARCHAR(10), venue VARCHAR(10))"
+        return (
+            planted(
+                ddl,
+                "CREATE INDEX idx_venue ON events (venue)",
+                "SELECT event_id FROM events WHERE kind = 'expo'",
+                note="idx_venue is never used by the workload",
+            ),
+            planted(
+                ddl,
+                "CREATE INDEX idx_kind_venue ON events (kind, venue)",
+                "CREATE INDEX idx_kind ON events (kind)",
+                "SELECT event_id FROM events WHERE kind = 'expo'",
+                note="single-column index covered by a multi-column one",
+            ),
+            control(
+                ddl,
+                "CREATE INDEX idx_kind ON events (kind)",
+                "SELECT event_id FROM events WHERE kind = 'expo'",
+            ),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         if not context.schema_available:
@@ -355,6 +441,17 @@ class IndexUnderuseRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("SELECT", "UPDATE", "DELETE")
     requires_context = True
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        ddl = ("CREATE TABLE books (book_id INTEGER PRIMARY KEY, genre VARCHAR(20),"
+               " price NUMERIC(6,2))")
+        query = "SELECT book_id FROM books WHERE genre = 'scifi'"
+        return (
+            planted(ddl, query),
+            control(ddl, "CREATE INDEX idx_genre ON books (genre)", query),
+            control(ddl, "SELECT book_id FROM books WHERE book_id = 9",
+                    note="primary-key lookups are already indexed"),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         if not context.schema_available:

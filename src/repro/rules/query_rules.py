@@ -10,7 +10,7 @@ import re
 from ..model.antipatterns import AntiPattern
 from ..model.detection import Detection, Severity
 from ..sqlparser import QueryAnnotation
-from .base import QueryRule, RuleContext
+from .base import QueryRule, RuleContext, RuleExample, control, planted
 
 _PASSWORD_COLUMN_RE = re.compile(r"\b(password|passwd|pwd)\b", re.IGNORECASE)
 _HASH_LITERAL_RE = re.compile(r"^[0-9a-fA-F]{32,128}$|^\$2[aby]?\$")
@@ -23,6 +23,15 @@ class ColumnWildcardRule(QueryRule):
     anti_pattern = AntiPattern.COLUMN_WILDCARD
     severity = Severity.LOW
     statement_types = ("SELECT",)
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("SELECT * FROM orders WHERE order_id = 7"),
+            planted("SELECT o.* FROM orders o JOIN customers c ON o.customer_id = c.customer_id",
+                    note="qualified wildcard"),
+            control("SELECT order_id, total FROM orders WHERE order_id = 7"),
+            control("SELECT COUNT(*) FROM orders", note="aggregate wildcard is not a projection"),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         if not annotation.has_select_wildcard:
@@ -58,6 +67,12 @@ class ImplicitColumnsRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("INSERT",)
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("INSERT INTO users VALUES (1, 'ada', 'ada@example.com')"),
+            control("INSERT INTO users (user_id, name, email) VALUES (1, 'ada', 'ada@example.com')"),
+        )
+
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         if annotation.insert_columns is not None:
             return []
@@ -89,6 +104,13 @@ class OrderingByRandRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("SELECT",)
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("SELECT title FROM articles ORDER BY RAND() LIMIT 1"),
+            planted("SELECT title FROM articles ORDER BY RANDOM() LIMIT 1"),
+            control("SELECT title FROM articles ORDER BY published_at DESC LIMIT 1"),
+        )
+
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         if not annotation.uses_random_ordering:
             return []
@@ -113,6 +135,15 @@ class PatternMatchingRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("SELECT", "UPDATE", "DELETE")
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("SELECT name FROM products WHERE name LIKE '%widget'"),
+            planted("SELECT name FROM products WHERE sku REGEXP '[0-9]+X'"),
+            control("SELECT name FROM products WHERE name LIKE 'widget%'",
+                    note="prefix patterns can use an index"),
+            control("SELECT name FROM products WHERE sku = 'A-100'"),
+        )
+
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         detections: list[Detection] = []
         for predicate in annotation.pattern_predicates:
@@ -134,7 +165,7 @@ class PatternMatchingRule(QueryRule):
                         "cannot use an index "
                         + ("because regular-expression matching scans every row."
                            if regex_style
-                           else "because the pattern starts with a wildcard."),
+                           else "because the pattern starts with a wildcard.")
                     ),
                     query=annotation,
                     table=table,
@@ -152,6 +183,18 @@ class ConcatenateNullsRule(QueryRule):
     anti_pattern = AntiPattern.CONCATENATE_NULLS
     severity = Severity.LOW
     statement_types = ("SELECT", "UPDATE", "INSERT")
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("SELECT first_name || ' ' || last_name FROM employees"),
+            control(
+                "CREATE TABLE employees (emp_id INTEGER PRIMARY KEY,"
+                " first_name VARCHAR(40) NOT NULL, last_name VARCHAR(40) NOT NULL)",
+                "SELECT first_name || ' ' || last_name FROM employees",
+                note="NOT NULL operands cannot produce a NULL concatenation",
+            ),
+            control("SELECT salary + bonus FROM employees"),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         if not annotation.uses_concat_operator:
@@ -200,6 +243,16 @@ class DistinctAndJoinRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("SELECT",)
 
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted(
+                "SELECT DISTINCT a.name FROM authors a"
+                " JOIN books b ON a.author_id = b.author_id"
+            ),
+            control("SELECT DISTINCT name FROM authors"),
+            control("SELECT a.name FROM authors a JOIN books b ON a.author_id = b.author_id"),
+        )
+
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         if not annotation.is_distinct or annotation.join_count == 0:
             return []
@@ -224,6 +277,15 @@ class TooManyJoinsRule(QueryRule):
     anti_pattern = AntiPattern.TOO_MANY_JOINS
     severity = Severity.MEDIUM
     statement_types = ("SELECT", "UPDATE", "DELETE")
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        joins = " ".join(
+            f"JOIN t{i} ON t{i - 1}.k{i - 1} = t{i}.k{i - 1}" for i in range(1, 7)
+        )
+        return (
+            planted(f"SELECT t0.k0 FROM t0 {joins}"),
+            control("SELECT t0.k0 FROM t0 JOIN t1 ON t0.k0 = t1.k0"),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         threshold = context.thresholds.too_many_joins
@@ -253,6 +315,18 @@ class ReadablePasswordRule(QueryRule):
     anti_pattern = AntiPattern.READABLE_PASSWORD
     severity = Severity.HIGH
     statement_types = ("SELECT", "INSERT", "UPDATE", "CREATE_TABLE")
+
+    def examples(self) -> "tuple[RuleExample, ...]":
+        return (
+            planted("SELECT account_id FROM accounts WHERE password = 'hunter2'"),
+            planted("CREATE TABLE accounts (account_id INTEGER PRIMARY KEY, password VARCHAR(64))"),
+            control(
+                "SELECT account_id FROM accounts WHERE password = "
+                "'5f4dcc3b5aa765d61d8327deb882cf992416a91c1cbe4a2c0b7a4ecfa0e45b01'",
+                note="a hash-shaped literal is not a plain-text password",
+            ),
+            control("SELECT account_id FROM accounts WHERE username = 'ada'"),
+        )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         raw = annotation.raw

@@ -56,6 +56,17 @@ from .query_rules import (
 )
 
 
+class RegistryIntegrityError(RuntimeError):
+    """A registered rule mutated its dispatch metadata in place.
+
+    The statement-type index is built from each rule's ``statement_types``
+    *at registration time*; mutating the attribute afterwards would leave
+    the rule silently missing from (or wrongly present in) dispatch.  The
+    registry refuses to serve from a stale index — unregister the rule and
+    re-register it (or register a fresh instance) instead.
+    """
+
+
 class RuleRegistry:
     """Holds the active query rules and data rules.
 
@@ -79,6 +90,9 @@ class RuleRegistry:
         # scopes must key on (uid, version), not version alone.
         self._uid = next(RuleRegistry._uid_counter)
         self._dispatch: dict[str, tuple[QueryRule, ...]] = {}
+        # statement_types snapshots taken at registration; serving dispatch
+        # against a drifted rule raises instead of returning stale results.
+        self._declared_types: "dict[int, tuple[str, ...]]" = {}
         for rule in rules:
             self.register(rule)
 
@@ -89,6 +103,7 @@ class RuleRegistry:
         """Register a rule instance (returns it, so it can be used as a decorator helper)."""
         if isinstance(rule, QueryRule):
             self._query_rules.append(rule)
+            self._declared_types[id(rule)] = tuple(rule.statement_types)
         elif isinstance(rule, DataRule):
             self._data_rules.append(rule)
         else:
@@ -111,6 +126,35 @@ class RuleRegistry:
     def _invalidate(self) -> None:
         self._version += 1
         self._dispatch.clear()
+        self._declared_types = {
+            id(rule): self._declared_types.get(id(rule), tuple(rule.statement_types))
+            for rule in self._query_rules
+        }
+
+    def check_integrity(self) -> None:
+        """Raise :class:`RegistryIntegrityError` if any registered query
+        rule's ``statement_types`` no longer matches its registration-time
+        snapshot (in-place mutation the dispatch index cannot observe)."""
+        for rule in self._query_rules:
+            declared = self._declared_types.get(id(rule))
+            current = tuple(rule.statement_types)
+            if declared is not None and current != declared:
+                raise RegistryIntegrityError(
+                    f"rule {rule.name!r} mutated statement_types after registration "
+                    f"(registered {declared!r}, now {current!r}); the dispatch index "
+                    "would serve stale results — unregister and re-register the rule "
+                    "instead of mutating it in place"
+                )
+
+    def _dispatch_is_fresh(self) -> bool:
+        """O(rules) identity scan: true when every rule still carries the
+        exact ``statement_types`` object snapshotted at registration (the
+        common case — no tuple construction, no value comparison)."""
+        declared = self._declared_types
+        for rule in self._query_rules:
+            if declared.get(id(rule)) is not rule.statement_types:
+                return False
+        return True
 
     @property
     def version(self) -> int:
@@ -136,6 +180,20 @@ class RuleRegistry:
     def rules_for_statement(self, statement_type: str) -> tuple[QueryRule, ...]:
         """Query rules applicable to a statement type (Algorithm 2's
         ``RulesForQuery``), served from the dispatch index."""
+        if not self._dispatch_is_fresh():
+            # A rule rebound its statement_types: raise on real drift; if the
+            # new object is value-equal (no drift), refresh the identity
+            # snapshots so the fast path resumes.  A non-tuple declaration
+            # keeps its value snapshot and simply stays on the slow path.
+            self.check_integrity()
+            self._declared_types = {
+                id(rule): (
+                    rule.statement_types
+                    if isinstance(rule.statement_types, tuple)
+                    else tuple(rule.statement_types)
+                )
+                for rule in self._query_rules
+            }
         cached = self._dispatch.get(statement_type)
         if cached is None:
             cached = self._dispatch[statement_type] = tuple(

@@ -1,0 +1,54 @@
+"""Conformance testkit: the test-infrastructure subsystem.
+
+SQLCheck's claims rest on detecting, ranking, and fixing anti-patterns
+correctly over messy corpora; this package is the mechanical safety net
+behind those claims:
+
+* :mod:`repro.testkit.conformance` — runs each rule's declared
+  :meth:`~repro.rules.base.Rule.examples` through the full detector and
+  checks planted positives fire while clean controls stay silent;
+* :mod:`repro.testkit.generator` — a seeded grammar-based SQL generator
+  emitting statements with *known* planted anti-patterns plus clean
+  controls, for fuzzing the detect→rank→fix pipeline at corpus scale;
+* :mod:`repro.testkit.golden` — the golden-corpus snapshot format
+  (``tests/conformance/golden/*.jsonl``) with an update path;
+* :mod:`repro.testkit.oracles` — differential oracles: cold vs. warm-cache
+  vs. batch equivalence, detector vs. dbdeo agreement, fixer round-trips,
+  and pipeline-stats accounting;
+* :mod:`repro.testkit.coverage` — a dependency-free line-coverage tracer
+  used to enforce the rules-package coverage floor;
+* :mod:`repro.testkit.selftest` — the ``sqlcheck selftest`` entry point
+  tying all of the above together.
+"""
+from .conformance import ConformanceFailure, example_report, run_rule_examples
+from .generator import CorpusGenerator, GeneratedStatement
+from .golden import golden_entries, load_golden, diff_golden, write_golden
+from .oracles import (
+    OracleFailure,
+    check_cold_warm_batch,
+    check_dbdeo_agreement,
+    check_fixer_round_trip,
+    check_stats_accounting,
+    detection_bytes,
+)
+from .selftest import SelftestResult, run_selftest
+
+__all__ = [
+    "ConformanceFailure",
+    "CorpusGenerator",
+    "GeneratedStatement",
+    "OracleFailure",
+    "SelftestResult",
+    "check_cold_warm_batch",
+    "check_dbdeo_agreement",
+    "check_fixer_round_trip",
+    "check_stats_accounting",
+    "detection_bytes",
+    "diff_golden",
+    "example_report",
+    "golden_entries",
+    "load_golden",
+    "run_rule_examples",
+    "run_selftest",
+    "write_golden",
+]

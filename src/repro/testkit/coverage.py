@@ -1,0 +1,120 @@
+"""Minimal line-coverage tracer (no external coverage dependency).
+
+The conformance suite enforces a coverage floor over ``repro.rules``
+without assuming ``pytest-cov``/``coverage`` are installed: executable
+lines are taken from the code objects of the functions and methods a
+module defines (import-time lines — class statements, constants — are
+excluded, since the modules are already imported before measurement), and
+executed lines are recorded with :func:`sys.settrace` while a callback
+runs.
+"""
+from __future__ import annotations
+
+import sys
+import types
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+
+@dataclass
+class CoverageResult:
+    """Executed vs. executable line sets per file."""
+
+    executable: "dict[str, set[int]]" = field(default_factory=dict)
+    executed: "dict[str, set[int]]" = field(default_factory=dict)
+
+    def counts(self) -> "dict[str, tuple[int, int]]":
+        return {
+            path: (len(self.executed.get(path, set()) & lines), len(lines))
+            for path, lines in self.executable.items()
+        }
+
+    @property
+    def percent(self) -> float:
+        covered = sum(hit for hit, _ in self.counts().values())
+        total = sum(total for _, total in self.counts().values())
+        return 100.0 * covered / total if total else 100.0
+
+    def uncovered(self) -> "dict[str, list[int]]":
+        return {
+            path: sorted(lines - self.executed.get(path, set()))
+            for path, lines in self.executable.items()
+            if lines - self.executed.get(path, set())
+        }
+
+
+def _function_code_objects(module: types.ModuleType) -> "Iterable[types.CodeType]":
+    """Code objects of every function/method (incl. nested) the module defines."""
+    seen: set[int] = set()
+    stack: list[types.CodeType] = []
+    for value in vars(module).values():
+        if isinstance(value, types.FunctionType) and value.__module__ == module.__name__:
+            stack.append(value.__code__)
+        elif isinstance(value, type) and value.__module__ == module.__name__:
+            for attribute in vars(value).values():
+                function = getattr(attribute, "__func__", attribute)
+                if isinstance(function, types.FunctionType):
+                    stack.append(function.__code__)
+                elif isinstance(attribute, property):
+                    for accessor in (attribute.fget, attribute.fset, attribute.fdel):
+                        if isinstance(accessor, types.FunctionType):
+                            stack.append(accessor.__code__)
+    while stack:
+        code = stack.pop()
+        if id(code) in seen:
+            continue
+        seen.add(id(code))
+        yield code
+        for const in code.co_consts:
+            if isinstance(const, types.CodeType):
+                stack.append(const)
+
+
+def executable_lines(module: types.ModuleType) -> "set[int]":
+    """Line numbers of the module's runtime-callable code.
+
+    Code objects compiled elsewhere (dataclass-generated ``__init__``
+    methods, inherited functions) are excluded — their line numbers belong
+    to other files.
+    """
+    lines: set[int] = set()
+    for code in _function_code_objects(module):
+        if code.co_filename != getattr(module, "__file__", code.co_filename):
+            continue
+        lines.add(code.co_firstlineno)
+        for _, _, line in code.co_lines():
+            if line is not None:
+                lines.add(line)
+    return lines
+
+
+def measure(
+    action: "Callable[[], object]", modules: "Iterable[types.ModuleType]"
+) -> CoverageResult:
+    """Run ``action`` under the tracer, measuring the given modules."""
+    result = CoverageResult()
+    files: "dict[str, str]" = {}
+    for module in modules:
+        path = getattr(module, "__file__", None)
+        if path:
+            files[path] = module.__name__
+            result.executable[path] = executable_lines(module)
+            result.executed.setdefault(path, set())
+
+    def tracer(frame, event, arg):  # noqa: ANN001 - sys.settrace signature
+        filename = frame.f_code.co_filename
+        if filename not in files:
+            return None
+        if event == "call":
+            result.executed[filename].add(frame.f_code.co_firstlineno)
+        elif event == "line":
+            result.executed[filename].add(frame.f_lineno)
+        return tracer
+
+    previous = sys.gettrace()
+    sys.settrace(tracer)
+    try:
+        action()
+    finally:
+        sys.settrace(previous)
+    return result

@@ -1,0 +1,150 @@
+"""Golden anti-pattern corpus: snapshot format, loader, and update path.
+
+Each registered rule's :meth:`~repro.rules.base.Rule.examples` are run
+through the real detector and the rule's own detections are frozen as one
+JSON line per example in ``tests/conformance/golden/<module>.jsonl``
+(grouped by the rule module: ``query_rules``, ``logical_design``,
+``physical_design``, ``data_rules``).  The conformance suite recomputes
+the entries and fails on any drift; regeneration is explicit:
+
+* ``pytest tests/conformance --update-golden``, or
+* ``sqlcheck selftest --update-golden``.
+
+Only fields that describe the rule's verdict are locked (anti-pattern,
+rule, mode, confidence, table/column attribution, message) so unrelated
+pipeline changes — ranking, fixes, stats — never churn the corpus.
+"""
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..detector.detector import DetectorConfig
+from ..rules.registry import RuleRegistry, default_registry
+from .conformance import example_report, rule_detections
+
+#: Golden files are keyed by the defining module's basename.
+GOLDEN_SUFFIX = ".jsonl"
+
+
+def _category(rule) -> str:
+    return type(rule).__module__.rsplit(".", 1)[-1]
+
+
+def _canonical_detection(detection) -> dict:
+    return {
+        "anti_pattern": detection.anti_pattern.value,
+        "rule": detection.rule,
+        "detection_mode": detection.detection_mode,
+        "confidence": round(detection.confidence, 3),
+        "table": detection.table,
+        "column": detection.column,
+        "query_index": detection.query_index,
+        "message": detection.message,
+    }
+
+
+def golden_entries(
+    registry: RuleRegistry | None = None,
+    *,
+    config: DetectorConfig | None = None,
+) -> "list[dict]":
+    """Recompute the golden corpus from the registered rules' examples."""
+    registry = registry or default_registry()
+    entries: list[dict] = []
+    for rule in registry:
+        for index, example in enumerate(rule.examples()):
+            report = example_report(example, registry=registry, config=config)
+            fired = rule_detections(report, rule)
+            entries.append(
+                {
+                    "category": _category(rule),
+                    "rule": rule.name,
+                    "example": index,
+                    "kind": example.kind,
+                    "statements": list(example.statements),
+                    "has_data": example.needs_database,
+                    "note": example.note,
+                    "detections": sorted(
+                        (_canonical_detection(d) for d in fired),
+                        key=lambda d: (d["query_index"] is None, d["query_index"] or 0,
+                                       d["table"] or "", d["column"] or "", d["message"]),
+                    ),
+                }
+            )
+    entries.sort(key=lambda e: (e["category"], e["rule"], e["example"]))
+    return entries
+
+
+def _is_golden_file(path: Path) -> bool:
+    """True when the file's first line is a golden entry we wrote — the
+    stale-file cleanup must never delete unrelated ``.jsonl`` files from a
+    user-supplied directory."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline().strip()
+        entry = json.loads(first) if first else {}
+    except (OSError, json.JSONDecodeError):
+        return False
+    return isinstance(entry, dict) and {"rule", "kind", "detections"} <= entry.keys()
+
+
+def write_golden(golden_dir: "str | Path", entries: "list[dict]") -> "list[Path]":
+    """Write entries as per-category JSONL files; returns the paths written.
+
+    Golden files of categories that no longer exist are removed; files that
+    do not look like golden snapshots are left untouched.
+    """
+    golden_dir = Path(golden_dir)
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    by_category: "dict[str, list[dict]]" = {}
+    for entry in entries:
+        by_category.setdefault(entry["category"], []).append(entry)
+    written: list[Path] = []
+    for stale in golden_dir.glob(f"*{GOLDEN_SUFFIX}"):
+        if stale.stem not in by_category and _is_golden_file(stale):
+            stale.unlink()
+    for category, group in sorted(by_category.items()):
+        path = golden_dir / f"{category}{GOLDEN_SUFFIX}"
+        with open(path, "w", encoding="utf-8") as handle:
+            for entry in group:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        written.append(path)
+    return written
+
+
+def load_golden(golden_dir: "str | Path") -> "list[dict]":
+    """Load every stored golden entry (empty when the directory is missing)."""
+    golden_dir = Path(golden_dir)
+    entries: list[dict] = []
+    if not golden_dir.is_dir():
+        return entries
+    for path in sorted(golden_dir.glob(f"*{GOLDEN_SUFFIX}")):
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+    entries.sort(key=lambda e: (e["category"], e["rule"], e["example"]))
+    return entries
+
+
+def diff_golden(current: "list[dict]", stored: "list[dict]") -> "list[str]":
+    """Human-readable differences between recomputed and stored entries."""
+    stored_by_key = {(e["rule"], e["example"]): e for e in stored}
+    current_by_key = {(e["rule"], e["example"]): e for e in current}
+    problems: list[str] = []
+    for key in sorted(stored_by_key.keys() - current_by_key.keys()):
+        problems.append(f"{key[0]}[{key[1]}]: stored golden entry no longer produced")
+    for key in sorted(current_by_key.keys() - stored_by_key.keys()):
+        problems.append(f"{key[0]}[{key[1]}]: new example has no stored golden entry")
+    for key in sorted(current_by_key.keys() & stored_by_key.keys()):
+        new, old = current_by_key[key], stored_by_key[key]
+        if new == old:
+            continue
+        fields = [f for f in sorted(new.keys() | old.keys()) if new.get(f) != old.get(f)]
+        problems.append(
+            f"{key[0]}[{key[1]}]: drift in {', '.join(fields)} "
+            f"(rerun with --update-golden if intentional)"
+        )
+    return problems

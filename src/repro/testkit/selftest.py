@@ -1,0 +1,163 @@
+"""``sqlcheck selftest``: run the conformance suite against any corpus.
+
+Ties the testkit together into one entry point usable from the CLI or as a
+library call: per-rule conformance examples, golden-corpus comparison (or
+regeneration with ``update_golden=True``), the cold/warm/batch differential
+oracle over a fuzzed (or user-supplied) corpus, detector-vs-dbdeo
+agreement, and the fixer round-trip oracle.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from ..detector.detector import DetectorConfig
+from .conformance import ConformanceFailure, failures_from_entries
+from .generator import CorpusGenerator
+from .golden import diff_golden, golden_entries, load_golden, write_golden
+from .oracles import (
+    OracleFailure,
+    check_cold_warm_batch,
+    check_dbdeo_agreement,
+    check_fixer_round_trip,
+)
+
+#: Default golden-corpus location (repo checkout layout); resolves to
+#: ``tests/conformance/golden`` next to ``src/``.
+DEFAULT_GOLDEN_DIR = Path(__file__).resolve().parents[3] / "tests" / "conformance" / "golden"
+
+
+@dataclass
+class SelftestResult:
+    """Outcome of one conformance run."""
+
+    seed: int
+    corpus_statements: int = 0
+    examples_run: int = 0
+    golden_entries: int = 0
+    golden_updated: bool = False
+    golden_skipped: bool = False
+    rewrites_checked: int = 0
+    conformance_failures: "list[ConformanceFailure]" = field(default_factory=list)
+    golden_mismatches: "list[str]" = field(default_factory=list)
+    oracle_failures: "list[OracleFailure]" = field(default_factory=list)
+    dbdeo_agreement: "dict[str, float]" = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not (self.conformance_failures or self.golden_mismatches or self.oracle_failures)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "seed": self.seed,
+            "corpus_statements": self.corpus_statements,
+            "examples_run": self.examples_run,
+            "golden_entries": self.golden_entries,
+            "golden_updated": self.golden_updated,
+            "golden_skipped": self.golden_skipped,
+            "rewrites_checked": self.rewrites_checked,
+            "conformance_failures": [str(f) for f in self.conformance_failures],
+            "golden_mismatches": list(self.golden_mismatches),
+            "oracle_failures": [str(f) for f in self.oracle_failures],
+            "dbdeo_agreement": dict(self.dbdeo_agreement),
+        }
+
+    def summary_lines(self) -> "list[str]":
+        lines = [
+            f"selftest: {'OK' if self.ok else 'FAILED'} (seed {self.seed})",
+            f"    conformance: {self.examples_run} example(s), "
+            f"{len(self.conformance_failures)} failure(s)",
+        ]
+        if self.golden_skipped:
+            lines.append("    golden corpus: skipped (no golden directory)")
+        elif self.golden_updated:
+            lines.append(f"    golden corpus: regenerated {self.golden_entries} entries")
+        else:
+            lines.append(
+                f"    golden corpus: {self.golden_entries} entries, "
+                f"{len(self.golden_mismatches)} mismatch(es)"
+            )
+        lines.append(
+            f"    differential oracles: {self.corpus_statements} fuzzed statement(s), "
+            f"{self.rewrites_checked} rewrite(s), {len(self.oracle_failures)} failure(s)"
+        )
+        if self.dbdeo_agreement:
+            agreed = sum(1 for rate in self.dbdeo_agreement.values() if rate == 1.0)
+            lines.append(
+                f"    dbdeo agreement: {agreed}/{len(self.dbdeo_agreement)} "
+                "shared anti-patterns fully agreed"
+            )
+        for failure in self.conformance_failures:
+            lines.append(f"    FAIL {failure}")
+        for mismatch in self.golden_mismatches:
+            lines.append(f"    FAIL golden: {mismatch}")
+        for failure in self.oracle_failures:
+            lines.append(f"    FAIL {failure}")
+        return lines
+
+
+def run_selftest(
+    corpus: "Sequence[str] | None" = None,
+    *,
+    seed: int = 2020,
+    statements: int = 250,
+    workers: int = 2,
+    update_golden: bool = False,
+    golden_dir: "str | Path | None" = None,
+    config: DetectorConfig | None = None,
+) -> SelftestResult:
+    """Run the full conformance suite; see module docstring.
+
+    ``corpus`` supplies the statements for the differential oracle; when
+    omitted a seeded fuzzed corpus of roughly ``statements`` statement
+    groups is generated.
+    """
+    result = SelftestResult(seed=seed)
+
+    # 1. per-rule conformance examples — computed once; the same entries
+    #    carry both the planted/control verdicts and the golden snapshot.
+    current = golden_entries(config=config)
+    result.conformance_failures, result.examples_run = failures_from_entries(current)
+    result.golden_entries = len(current)
+
+    # 2. golden corpus.  Only a repo checkout has a resolvable default
+    #    golden directory; refuse to regenerate into a guessed location
+    #    (e.g. inside site-packages for an installed package).
+    if golden_dir is not None:
+        golden_path = Path(golden_dir)
+    elif DEFAULT_GOLDEN_DIR.parent.is_dir():
+        golden_path = DEFAULT_GOLDEN_DIR
+    else:
+        golden_path = None
+    if update_golden:
+        if golden_path is None:
+            raise ValueError(
+                "cannot locate the golden corpus directory outside a repo "
+                "checkout; pass golden_dir (CLI: --golden-dir) explicitly"
+            )
+        write_golden(golden_path, current)
+        result.golden_updated = True
+    elif golden_path is not None and golden_path.is_dir():
+        result.golden_mismatches = diff_golden(current, load_golden(golden_path))
+    else:
+        result.golden_skipped = True
+
+    # 3. cold/warm/batch differential oracle over the fuzzed or given corpus
+    if corpus is None:
+        corpus = CorpusGenerator(seed).corpus_sql(statements)
+    corpus = list(corpus)
+    result.corpus_statements = len(corpus)
+    result.oracle_failures.extend(
+        check_cold_warm_batch(corpus, config=config, workers=workers)
+    )
+
+    # 4. detector vs. dbdeo agreement on the shared subset
+    dbdeo_failures, result.dbdeo_agreement = check_dbdeo_agreement(seed=seed, config=config)
+    result.oracle_failures.extend(dbdeo_failures)
+
+    # 5. fixer round trip on planted statements
+    fixer_failures, result.rewrites_checked = check_fixer_round_trip(seed=seed)
+    result.oracle_failures.extend(fixer_failures)
+    return result

@@ -1,0 +1,18 @@
+"""Fixtures for the conformance suite."""
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="session")
+def update_golden(request) -> bool:
+    return bool(request.config.getoption("--update-golden"))
+
+
+@pytest.fixture(scope="session")
+def golden_dir() -> Path:
+    return GOLDEN_DIR

@@ -1,0 +1,84 @@
+"""Golden anti-pattern corpus: every rule's planted/control contract.
+
+The golden files under ``tests/conformance/golden/`` lock each rule's
+verdict on its declared examples; regenerate intentionally with
+
+    pytest tests/conformance --update-golden
+"""
+from __future__ import annotations
+
+from repro.rules import default_registry
+from repro.testkit import diff_golden, golden_entries, load_golden, run_rule_examples, write_golden
+
+
+def test_every_rule_declares_examples():
+    """Acceptance: ≥1 planted-positive and ≥1 clean-control per rule."""
+    for rule in default_registry():
+        examples = rule.examples()
+        assert any(e.is_positive for e in examples), f"{rule.name} has no planted positive"
+        assert any(not e.is_positive for e in examples), f"{rule.name} has no clean control"
+
+
+def test_positives_fire_and_controls_stay_silent():
+    failures, examples_run = run_rule_examples()
+    assert examples_run >= 2 * len(default_registry())
+    assert not failures, "\n".join(str(f) for f in failures)
+
+
+def test_golden_corpus_matches(update_golden, golden_dir):
+    current = golden_entries()
+    if update_golden:
+        write_golden(golden_dir, current)
+        return
+    stored = load_golden(golden_dir)
+    assert stored, (
+        f"no golden corpus found in {golden_dir}; generate it with "
+        "`pytest tests/conformance --update-golden`"
+    )
+    mismatches = diff_golden(current, stored)
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_stored_golden_covers_every_registered_rule(golden_dir):
+    """The stored files themselves satisfy the per-rule coverage floor."""
+    stored = load_golden(golden_dir)
+    by_rule: dict[str, set[str]] = {}
+    for entry in stored:
+        by_rule.setdefault(entry["rule"], set()).add(entry["kind"])
+    for rule in default_registry():
+        kinds = by_rule.get(rule.name, set())
+        assert "positive" in kinds, f"{rule.name} has no stored planted-positive golden case"
+        assert "control" in kinds, f"{rule.name} has no stored clean-control golden case"
+
+
+def test_golden_entries_are_deterministic():
+    assert golden_entries() == golden_entries()
+
+
+def test_write_golden_prunes_only_its_own_stale_files(tmp_path):
+    import json
+
+    foreign = tmp_path / "results.jsonl"
+    foreign.write_text('{"not": "a golden file"}\n')
+    stale = tmp_path / "old_rules.jsonl"
+    stale.write_text(json.dumps({"rule": "Gone", "kind": "positive", "detections": [],
+                                 "category": "old_rules", "example": 0, "statements": []}) + "\n")
+    entry = {"category": "query_rules", "rule": "X", "example": 0, "kind": "positive",
+             "statements": ["SELECT 1"], "has_data": False, "note": "", "detections": []}
+    write_golden(tmp_path, [entry])
+    assert foreign.exists(), "unrelated .jsonl files must never be deleted"
+    assert not stale.exists(), "stale golden categories should be pruned"
+    assert (tmp_path / "query_rules.jsonl").exists()
+
+
+def test_update_golden_refuses_unresolvable_directory(monkeypatch):
+    import pytest
+
+    from repro.testkit import selftest as selftest_module
+
+    monkeypatch.setattr(
+        selftest_module, "DEFAULT_GOLDEN_DIR",
+        selftest_module.DEFAULT_GOLDEN_DIR / "does" / "not" / "exist",
+    )
+    with pytest.raises(ValueError, match="golden"):
+        selftest_module.run_selftest(["SELECT 1"], update_golden=True, statements=1)

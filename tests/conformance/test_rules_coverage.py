@@ -1,0 +1,38 @@
+"""Coverage floor over ``repro.rules`` (dependency-free tracer).
+
+Running the conformance examples plus a fuzzed corpus must execute at
+least 70% of the runtime-callable lines in the rules package — the floor
+that keeps new rules from landing without conformance examples.
+"""
+from __future__ import annotations
+
+from repro.detector.detector import APDetector, DetectorConfig
+from repro.rules import base, data_rules, logical_design, physical_design, query_rules, registry
+from repro.testkit import CorpusGenerator, run_rule_examples
+from repro.testkit.coverage import measure
+
+RULE_MODULES = (base, data_rules, logical_design, physical_design, query_rules, registry)
+COVERAGE_FLOOR = 70.0
+
+
+def _exercise_rules():
+    failures, _ = run_rule_examples()
+    assert not failures
+    APDetector(DetectorConfig()).detect(CorpusGenerator(11).corpus_sql(150))
+
+
+def test_rules_package_coverage_floor():
+    result = measure(_exercise_rules, RULE_MODULES)
+    assert result.percent >= COVERAGE_FLOOR, (
+        f"rules coverage {result.percent:.1f}% fell below the {COVERAGE_FLOOR:.0f}% floor; "
+        f"uncovered lines: { {k.rsplit('/', 1)[-1]: v[:12] for k, v in result.uncovered().items()} }"
+    )
+
+
+def test_tracer_reports_sane_line_sets():
+    result = measure(_exercise_rules, RULE_MODULES)
+    counts = result.counts()
+    assert len(counts) == len(RULE_MODULES)
+    for path, (hit, total) in counts.items():
+        assert 0 <= hit <= total, path
+        assert total > 0, f"no executable lines found in {path}"

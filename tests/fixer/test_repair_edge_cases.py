@@ -1,0 +1,96 @@
+"""Edge cases for the repair engine: empty input, multi-statement scripts,
+and fixes whose detections reference columns absent from the catalog."""
+from __future__ import annotations
+
+from repro.context import build_context
+from repro.core import SQLCheck
+from repro.fixer import APFixer, FixKind, QueryRepairEngine
+from repro.model import AntiPattern, Detection
+
+
+class TestEmptyInput:
+    def test_empty_string_pipeline(self):
+        report = SQLCheck().check("")
+        assert len(report) == 0
+        assert report.fixes == []
+        assert report.queries_analyzed == 0
+
+    def test_whitespace_and_semicolons_only(self):
+        report = SQLCheck().check("   ;\n ; \t;")
+        assert len(report) == 0
+        assert report.fixes == []
+
+    def test_repair_of_detection_with_empty_query(self):
+        engine = QueryRepairEngine()
+        detection = Detection(anti_pattern=AntiPattern.IMPLICIT_COLUMNS, query="")
+        fix = engine.repair(detection, build_context())
+        assert fix.kind is FixKind.TEXTUAL
+        assert fix.detection is detection
+        assert fix.explanation
+
+    def test_fixer_over_empty_detection_list(self):
+        assert APFixer().fix([]) == []
+
+
+class TestMultiStatementInput:
+    SQL = (
+        "CREATE TABLE users (name VARCHAR(40), email VARCHAR(80));"
+        "INSERT INTO users VALUES ('ada', 'ada@example.com');"
+        "SELECT * FROM users ORDER BY RANDOM();"
+    )
+
+    def test_every_detection_gets_exactly_one_fix(self):
+        report = SQLCheck().check(self.SQL)
+        assert len(report.fixes) == len(report.detections)
+        for entry in report.detections:
+            fix = report.fix_for(entry)
+            assert fix is not None
+            assert fix.detection is entry.detection
+
+    def test_fixes_preserve_rank_order(self):
+        report = SQLCheck().check(self.SQL)
+        assert [f.detection for f in report.fixes] == [e.detection for e in report.detections]
+
+    def test_insert_rewrite_uses_schema_from_sibling_statement(self):
+        report = SQLCheck().check(self.SQL)
+        implicit = [
+            f for f in report.fixes
+            if f.detection.anti_pattern is AntiPattern.IMPLICIT_COLUMNS
+        ]
+        assert implicit and implicit[0].kind is FixKind.REWRITE
+        assert "(name, email)" in implicit[0].rewritten_query
+
+
+class TestAbsentCatalogColumns:
+    """Detections naming tables/columns the catalog has never seen."""
+
+    def test_implicit_columns_without_schema_falls_back_to_textual(self):
+        report = SQLCheck().check("INSERT INTO phantom VALUES (1, 2)")
+        fixes = [f for f in report.fixes if f.detection.anti_pattern is AntiPattern.IMPLICIT_COLUMNS]
+        assert fixes and fixes[0].kind is FixKind.TEXTUAL
+        assert fixes[0].rewritten_query is None
+
+    def test_wildcard_fix_without_schema_does_not_invent_columns(self):
+        report = SQLCheck().check("SELECT * FROM phantom")
+        fixes = [f for f in report.fixes if f.detection.anti_pattern is AntiPattern.COLUMN_WILDCARD]
+        assert fixes
+        assert fixes[0].rewritten_query is None or "*" not in fixes[0].rewritten_query
+
+    def test_mva_fix_with_unknown_table_and_column(self):
+        engine = QueryRepairEngine()
+        detection = Detection(
+            anti_pattern=AntiPattern.MULTI_VALUED_ATTRIBUTE,
+            query="SELECT ghost_key FROM ghosts WHERE tag_ids LIKE '%7%'",
+            table="ghosts",
+            column="tag_ids",
+        )
+        fix = engine.repair(detection, build_context())
+        assert fix.statements, "schema-level fix should still propose an intersection table"
+        assert "ghosts" in fix.statements[0]
+
+    def test_detection_with_no_table_or_column_gets_textual_guidance(self):
+        engine = QueryRepairEngine()
+        detection = Detection(anti_pattern=AntiPattern.MULTI_VALUED_ATTRIBUTE, query="")
+        fix = engine.repair(detection, build_context())
+        assert fix.kind is FixKind.TEXTUAL
+        assert fix.explanation

@@ -132,3 +132,56 @@ class TestMetricEstimator:
         estimator.record_measurement(AntiPattern.INDEX_OVERUSE, kind="update", with_ap=2.0, without_ap=1.0)
         assert estimator.observed(AntiPattern.INDEX_OVERUSE)["write"] == [2.0]
         assert estimator.observed(AntiPattern.INDEX_OVERUSE)["read"] == []
+
+
+class TestTieBreakingDeterminism:
+    """Same corpus, two runs, identical ordering — ties between detections
+    with equal scores must break deterministically, including when the
+    second run is served from the detection memo (PR 1's replay path)."""
+
+    def _corpus(self) -> list[str]:
+        # Duplicated statements produce score ties both within and across
+        # anti-pattern types.
+        base = [
+            "SELECT * FROM orders WHERE order_id = 1",
+            "SELECT * FROM tickets WHERE ticket_id = 2",
+            "SELECT title FROM articles ORDER BY RANDOM()",
+            "SELECT name FROM users WHERE name LIKE '%son'",
+            "INSERT INTO users VALUES (1, 'a')",
+        ]
+        return base * 3
+
+    @staticmethod
+    def _ordering(report):
+        return [
+            (e.rank, e.detection.anti_pattern, e.detection.query_index,
+             round(e.score, 9), e.detection.rule)
+            for e in report.detections
+        ]
+
+    def test_same_toolchain_memo_replay_preserves_ordering(self):
+        from repro.core import SQLCheck
+
+        toolchain = SQLCheck()
+        first = self._ordering(toolchain.check(self._corpus()))
+        replay = self._ordering(toolchain.check(self._corpus()))
+        assert toolchain.detector.memo_info["hits"] > 0, "second run should replay the memo"
+        assert first == replay
+
+    def test_fresh_toolchains_agree(self):
+        from repro.core import SQLCheck
+
+        first = self._ordering(SQLCheck().check(self._corpus()))
+        second = self._ordering(SQLCheck().check(self._corpus()))
+        assert first == second
+
+    def test_rank_is_stable_for_tied_scores(self):
+        detections = [
+            Detection(anti_pattern=AntiPattern.COLUMN_WILDCARD, query=f"q{i}", query_index=i)
+            for i in range(6)
+        ]
+        ranked_twice = [APRanker(C1).rank(list(detections)) for _ in range(2)]
+        orders = [[(r.rank, r.detection.query_index) for r in ranked] for ranked in ranked_twice]
+        assert orders[0] == orders[1]
+        # stable sort: tied detections keep their input (statement) order
+        assert [idx for _, idx in orders[0]] == sorted(idx for _, idx in orders[0])
