@@ -28,6 +28,8 @@ from .model.antipatterns import AntiPattern, APCategory
 from .model.detection import Detection, DetectionReport, Severity
 from .ranking.config import C1, C2, RankingConfig
 from .ranking.ranker import APRanker, RankedDetection
+from .reporting import render_batch_report, render_report, to_sarif
+from .rules.base import RuleDoc
 from .rules.registry import RuleRegistry, default_registry
 from .rules.thresholds import Thresholds
 
@@ -52,6 +54,7 @@ __all__ = [
     "QueryRepairEngine",
     "RankedDetection",
     "RankingConfig",
+    "RuleDoc",
     "RuleRegistry",
     "SQLCheck",
     "SQLCheckOptions",
@@ -60,5 +63,8 @@ __all__ = [
     "Thresholds",
     "default_registry",
     "find_anti_patterns",
+    "render_batch_report",
+    "render_report",
+    "to_sarif",
     "__version__",
 ]

@@ -103,8 +103,15 @@ class ContextBuilder:
         queries: "Sequence[str | ParsedStatement | QueryAnnotation] | str",
         source: str | None = None,
     ) -> ApplicationContext:
-        """Add more queries to an existing context (incremental analysis)."""
-        additional = self._annotate_queries(queries, source)
+        """Add more queries to an existing context (incremental analysis).
+
+        New statements continue the context's numbering, so ``query_index``
+        (and the per-statement report labels built from it) stays unique
+        across the extended workload.
+        """
+        additional = self._annotate_queries(
+            queries, source, start_index=len(context.queries)
+        )
         context.queries.extend(additional)
         ddl = [a.statement for a in additional if a.statement is not None and a.statement.is_ddl]
         if ddl and context.database is None:
@@ -118,24 +125,41 @@ class ContextBuilder:
         self,
         queries: "Sequence[str | ParsedStatement | QueryAnnotation] | str",
         source: str | None,
+        *,
+        start_index: int = 0,
     ) -> list[QueryAnnotation]:
-        annotations: list[QueryAnnotation] = []
-        # (statement, annotation-or-None) pairs in workload order; cache hits
-        # arrive pre-annotated, everything else is annotated below.
-        pending: "list[tuple[ParsedStatement, QueryAnnotation | None]]" = []
+        """Annotate a workload, preserving input order and indexing every
+        statement by its workload position (from ``start_index``, so
+        :meth:`extend` continues an existing context's numbering).
+
+        Positions (offset/line/length) are cleared only on statements we
+        parsed from *list elements* of strings: those were parsed one by
+        one, so their offsets are element-relative, not positions in any
+        containing file (the pool path clears them the same way in
+        ``pipeline._rebind_indexes``).  A single text parsed as one script
+        keeps its valid anchors, and caller-supplied ParsedStatement /
+        QueryAnnotation objects keep whatever positions the caller parsed.
+        """
+        # (statement, annotation-or-None, clear-positions) triples in
+        # workload order; cache hits and passthrough annotations arrive
+        # pre-annotated, everything else is annotated below.
+        pending: "list[tuple[ParsedStatement | None, QueryAnnotation | None, bool]]" = []
         if isinstance(queries, str):
-            pending.extend(self._parse_text(queries, source))
+            pending.extend((s, a, False) for s, a in self._parse_text(queries, source))
         else:
             for query in queries:
                 if isinstance(query, QueryAnnotation):
-                    annotations.append(query)
+                    pending.append((query.statement, query, False))
                 elif isinstance(query, ParsedStatement):
-                    pending.append((query, None))
+                    pending.append((query, None, False))
                 else:
-                    pending.extend(self._parse_text(query, source))
-        offset = len(annotations)
-        for index, (statement, annotation) in enumerate(pending):
-            statement.index = index + offset
+                    pending.extend((s, a, True) for s, a in self._parse_text(query, source))
+        annotations: list[QueryAnnotation] = []
+        for index, (statement, annotation, clear_positions) in enumerate(pending):
+            if statement is not None:
+                statement.index = start_index + index
+                if clear_positions:
+                    statement.clear_position()
             annotations.append(annotation if annotation is not None else annotate(statement))
         return annotations
 
@@ -163,7 +187,9 @@ class ContextBuilder:
             else:
                 fp = combine_fingerprints(s.fingerprint for s in statements)
             cache.put(text, templates, fp=fp)
-            return templates
+            # Fall through to the rebind loop: callers mutate the returned
+            # statements (index rebinding, position clearing), and cached
+            # templates must stay pristine for future occurrences.
         rebound = []
         for template_statement, template_annotation in templates:
             statement = copy.copy(template_statement)

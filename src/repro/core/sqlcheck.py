@@ -47,7 +47,19 @@ from ..rules.thresholds import Thresholds
 
 @dataclass
 class SQLCheckOptions:
-    """End-to-end configuration of the toolchain."""
+    """End-to-end configuration of the toolchain.
+
+    Attributes:
+        detector: the ap-detect configuration (:class:`DetectorConfig`) —
+            analysis stages, confidence threshold, dialect, cache and
+            worker knobs.
+        ranking: the ap-rank configuration; ``C1`` (default) and ``C2``
+            are the two configurations evaluated in Figure 7a.
+        metrics: optional per-anti-pattern metric overrides for the
+            ranking model.
+        suggest_fixes: run ap-fix over the ranked detections (disable to
+            reproduce the detection-only ablations).
+    """
 
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     ranking: RankingConfig = C1
@@ -57,7 +69,24 @@ class SQLCheckOptions:
 
 @dataclass
 class SQLCheckReport:
-    """The output of one sqlcheck run: ranked detections and their fixes."""
+    """The output of one sqlcheck run: ranked detections and their fixes.
+
+    Iterating the report yields :class:`~repro.ranking.ranker.RankedDetection`
+    entries in rank order; ``len(report)`` is the detection count.  Use
+    :meth:`fix_for` to find the fix attached to a ranked entry,
+    :meth:`to_dict` / :meth:`to_json` for the machine-readable form, and
+    :func:`repro.reporting.render_report` to render the report as
+    Markdown, HTML, or SARIF 2.1.0.
+
+    Attributes:
+        detections: ranked detections, highest impact first.
+        fixes: one suggested :class:`~repro.fixer.fix.Fix` per detection
+            the repair engine could handle (empty when fixes are disabled).
+        queries_analyzed: number of statements the detector analysed.
+        tables_analyzed: number of tables profiled or seen in the schema.
+        stats: per-stage :class:`~repro.detector.pipeline.PipelineStats`
+            (parse/context/detect/rank/fix timings, cache hit rates).
+    """
 
     detections: list[RankedDetection] = field(default_factory=list)
     fixes: list[Fix] = field(default_factory=list)
@@ -181,7 +210,29 @@ def _batch_worker_check(item: "tuple[str, Sequence[str] | str]") -> "tuple[str, 
 
 
 class SQLCheck:
-    """The end-to-end toolchain: detect, rank, and fix anti-patterns."""
+    """The end-to-end toolchain: detect, rank, and fix anti-patterns.
+
+    The three paper components run in sequence over a shared application
+    context: ap-detect (:class:`~repro.detector.detector.APDetector`),
+    ap-rank (:class:`~repro.ranking.ranker.APRanker`), and ap-fix
+    (:class:`~repro.fixer.repair_engine.APFixer`).
+
+    Entry points:
+
+    * :meth:`check` — one corpus (SQL text or statement list, optionally a
+      live database) → :class:`SQLCheckReport`;
+    * :meth:`check_many` — many independent corpora → :class:`BatchReport`,
+      fanned out over a process pool when workers and CPUs allow;
+    * :meth:`check_context` — run over a pre-built
+      :class:`~repro.context.application_context.ApplicationContext`;
+    * :meth:`detect` — detection only, skipping ranking and fixes.
+
+    Example::
+
+        report = SQLCheck().check("SELECT * FROM t", source="app.sql")
+        for entry in report:
+            print(entry.rank, entry.detection.display_name)
+    """
 
     def __init__(
         self,

@@ -51,6 +51,19 @@ class DetectorConfig:
     ``enable_cache`` / ``cache_size`` control the annotation cache and the
     per-statement detection memo; ``workers`` is the default fan-out of
     :meth:`APDetector.detect_batch`.
+
+    Attributes:
+        enable_inter_query: apply contextual (whole-workload) refinements.
+        enable_data: run data rules over profiled tables.
+        confidence_threshold: drop detections below this confidence.
+        deduplicate: collapse duplicate (AP, statement, table, column)
+            findings, keeping the highest confidence.
+        thresholds: the rule thresholds (join counts, column counts, …).
+        dialect: SQL dialect hint (``postgresql``, ``mysql``, ``sqlite``).
+        sample_size: rows sampled per table by the data profiler.
+        enable_cache: annotation cache + detection memo on/off.
+        cache_size: LRU capacity (entries) of both caches.
+        workers: default process fan-out of the batch APIs.
     """
 
     enable_inter_query: bool = True
@@ -66,7 +79,22 @@ class DetectorConfig:
 
 
 class APDetector:
-    """Finds anti-patterns in a workload (Algorithm 1)."""
+    """Finds anti-patterns in a workload (Algorithm 1).
+
+    Entry points: :meth:`detect` (queries + optional live database →
+    :class:`~repro.model.detection.DetectionReport`), :meth:`detect_batch`
+    (flat statement list with process-pool parse fan-out and
+    :class:`~repro.detector.pipeline.PipelineStats`), :meth:`stream`
+    (yield detections as statements are analysed), and
+    :meth:`detect_in_context` for a pre-built application context.
+
+    Caching: an :class:`~repro.sqlparser.AnnotationCache` keyed by
+    statement fingerprint skips re-parsing duplicates, and a detection
+    memo keyed by ``(fingerprint, registry version, thresholds, workload
+    signature)`` replays rule results with statement index/offset/source
+    rebound to each occurrence.  Observability: :attr:`memo_info`,
+    ``annotation_cache.stats``, :meth:`clear_caches`.
+    """
 
     def __init__(
         self,
@@ -271,12 +299,21 @@ class APDetector:
 
     @staticmethod
     def _replay(template: Detection, annotation: QueryAnnotation) -> Detection:
-        """Clone a memoized detection, rebound to the current occurrence."""
+        """Clone a memoized detection, rebound to the current occurrence.
+
+        The call site only memoizes when ``annotation.statement`` is set, so
+        the statement is always available to rebind from.
+        """
         statement = annotation.statement
         return dataclasses.replace(
             template,
-            query_index=statement.index if statement is not None else template.query_index,
-            source=statement.source if statement is not None else template.source,
+            query_index=statement.index,
+            statement_offset=statement.offset,
+            statement_line=statement.line,
+            statement_length=statement.length,
+            statement_end_line=statement.end_line,
+            statement_text_exact=statement.span_matches_raw,
+            source=statement.source,
             metadata=dict(template.metadata),
         )
 

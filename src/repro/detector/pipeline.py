@@ -234,3 +234,8 @@ def parallel_annotate(
 def _rebind_indexes(annotations: Iterable[QueryAnnotation]) -> None:
     for index, annotation in enumerate(annotations):
         annotation.statement.index = index
+        # Batch inputs are flat statement lists: each element was parsed on
+        # its own, so its offset/line are element-relative, not positions in
+        # any containing file — clear them (ContextBuilder does the same for
+        # its list inputs) so every batch path stays byte-identical.
+        annotation.statement.clear_position()

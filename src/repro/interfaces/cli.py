@@ -9,6 +9,13 @@ used in the evaluation.
 ``sqlcheck selftest`` runs the conformance testkit — per-rule planted
 examples, the golden corpus, and the differential oracles — against a
 seeded fuzzed corpus or any SQL files given on the command line.
+
+``sqlcheck docs`` generates the per-rule reference (``docs/rules/``) from
+each rule's :class:`~repro.rules.base.RuleDoc` and ``examples()``;
+``sqlcheck docs --check`` fails when the on-disk reference is missing or
+stale.  ``--format markdown|html|sarif`` renders any check as an
+explainable report (SARIF 2.1.0 surfaces findings as native CI
+annotations).
 """
 from __future__ import annotations
 
@@ -20,6 +27,15 @@ from typing import Sequence
 from ..core.sqlcheck import SQLCheck, SQLCheckOptions, SQLCheckReport
 from ..detector.detector import DetectorConfig
 from ..ranking.config import C1, C2, RankingConfig
+from ..reporting import (
+    ALL_FORMATS,
+    RICH_FORMATS,
+    check_reference,
+    render_batch_report,
+    render_report,
+    write_reference,
+)
+from ..rules.registry import default_registry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,7 +45,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("files", nargs="*", help="SQL files to analyse (reads stdin when empty)")
     parser.add_argument("-q", "--query", action="append", default=[], help="analyse a literal SQL statement")
-    parser.add_argument("--format", choices=("text", "json"), default="text", help="output format")
+    parser.add_argument(
+        "--format",
+        choices=ALL_FORMATS,
+        default="text",
+        help="output format (markdown/html render explainable reports; sarif "
+        "emits a SARIF 2.1.0 log for CI annotation)",
+    )
     parser.add_argument("--config", choices=("C1", "C2"), default="C1", help="ranking configuration (Figure 7a)")
     parser.add_argument("--dialect", default=None, help="SQL dialect hint (postgresql, mysql, sqlite, ...)")
     parser.add_argument("--top", type=int, default=0, help="only print the N highest-impact detections")
@@ -81,6 +103,51 @@ def build_selftest_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_docs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sqlcheck docs",
+        description="Generate (or verify) the per-rule reference documentation "
+        "from each registered rule's RuleDoc metadata and examples().",
+    )
+    parser.add_argument(
+        "--out", default="docs/rules",
+        help="directory the reference pages are written to (default: docs/rules)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="verify the on-disk reference is in sync instead of writing; "
+        "exit 1 listing every missing, stale, or orphaned page",
+    )
+    parser.add_argument("--format", choices=("text", "json"), default="text", help="output format")
+    return parser
+
+
+def run_docs_command(argv: Sequence[str]) -> tuple[int, str]:
+    """``sqlcheck docs``: generate or verify the rule reference."""
+    args = build_docs_parser().parse_args(list(argv))
+    registry = default_registry()
+    if args.check:
+        problems = check_reference(args.out, registry)
+        if args.format == "json":
+            output = json.dumps({"ok": not problems, "problems": problems}, indent=2)
+        elif problems:
+            output = "\n".join(
+                [f"sqlcheck docs --check: {len(problems)} problem(s) in {args.out}"] + problems
+            )
+        else:
+            output = f"sqlcheck docs --check: {args.out} is in sync ({len(registry)} rules)"
+        return (1 if problems else 0), output
+    written = write_reference(args.out, registry)
+    if args.format == "json":
+        output = json.dumps({"written": [str(path) for path in written]}, indent=2)
+    else:
+        output = (
+            f"sqlcheck docs: wrote {len(written)} page(s) to {args.out} "
+            f"({len(registry)} rules + index)"
+        )
+    return 0, output
+
+
 def run_selftest_command(argv: Sequence[str]) -> tuple[int, str]:
     """``sqlcheck selftest``: run the conformance suite, return (code, output)."""
     from ..sqlparser import split
@@ -119,6 +186,8 @@ def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple
     argv = list(argv)
     if argv[:1] == ["selftest"]:
         return run_selftest_command(argv[1:])
+    if argv[:1] == ["docs"]:
+        return run_docs_command(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     file_contents: list[tuple[str, str]] = []
@@ -133,6 +202,8 @@ def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple
             sql_parts.append(text)
     if not sql_parts:
         return 2, "error: no SQL to analyse (pass files, --query, or pipe SQL on stdin)"
+    if args.top < 0:
+        return 2, "error: --top must be a non-negative number of findings"
 
     ranking: RankingConfig = C1 if args.config == "C1" else C2
     options = SQLCheckOptions(
@@ -146,12 +217,21 @@ def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple
         suggest_fixes=not args.no_fixes,
     )
     toolchain = SQLCheck(options)
+    if args.format == "sarif" and args.top:
+        print(
+            "sqlcheck: --top does not apply to sarif output (consumers filter on "
+            "level/rank); emitting all findings",
+            file=sys.stderr,
+        )
     if args.batch and file_contents and not args.query:
         # Batch pipeline: each file becomes its own independent corpus —
         # inter-query context no longer crosses file boundaries (check_many
         # keeps a path given twice as a distinct, suffixed corpus).
         batch = toolchain.check_many(file_contents, workers=args.workers)
-        output = render_batch(batch, fmt=args.format, top=args.top, stats=args.stats)
+        output = render_batch(
+            batch, fmt=args.format, top=args.top, stats=args.stats,
+            registry=toolchain.registry,
+        )
         return (1 if len(batch) else 0), output
     if args.batch:
         reason = (
@@ -168,13 +248,43 @@ def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple
             "sqlcheck: --workers only applies to --batch mode; running serially",
             file=sys.stderr,
         )
-    report = toolchain.check("\n".join(sql_parts))
-    output = render(report, fmt=args.format, top=args.top, stats=args.stats)
+    # Label the run with the file name only when it is unambiguous (one file,
+    # no literal --query statements mixed in).
+    source = args.files[0] if len(file_contents) == 1 and not args.query else None
+    # A single input is analysed as one script, so statement offsets/lines
+    # anchor into the original text.  Several inputs (files / --query
+    # values) are passed as a list: each part parses independently — a part
+    # without a trailing ";" can no longer merge into the next — and their
+    # positions are marked unknown rather than computed against a joined
+    # text no consumer has (use --batch for per-file reports and anchors).
+    queries = sql_parts[0] if len(sql_parts) == 1 else sql_parts
+    report = toolchain.check(queries, source=source)
+    output = render(
+        report, fmt=args.format, top=args.top, stats=args.stats,
+        registry=toolchain.registry, source=source,
+    )
     return (1 if len(report) else 0), output
 
 
-def render(report: SQLCheckReport, *, fmt: str = "text", top: int = 0, stats: bool = False) -> str:
-    """Render a report as text or JSON."""
+def render(
+    report: SQLCheckReport,
+    *,
+    fmt: str = "text",
+    top: int = 0,
+    stats: bool = False,
+    registry: "RuleRegistry | None" = None,
+    source: "str | None" = None,
+) -> str:
+    """Render a report as text, JSON, or a rich format (markdown/html/sarif).
+
+    ``top`` truncates the text/json/markdown/html findings list; SARIF
+    always carries the full result set (consumers filter on level/rank
+    themselves).
+    """
+    if fmt in RICH_FORMATS:
+        return render_report(
+            report, fmt, registry=registry, source=source, include_stats=stats, top=top
+        )
     if fmt == "json":
         payload = report.to_dict()
         if top:
@@ -236,8 +346,19 @@ def _stats_lines(stats) -> list[str]:
     return lines
 
 
-def render_batch(batch, *, fmt: str = "text", top: int = 0, stats: bool = False) -> str:
+def render_batch(
+    batch,
+    *,
+    fmt: str = "text",
+    top: int = 0,
+    stats: bool = False,
+    registry: "RuleRegistry | None" = None,
+) -> str:
     """Render a :class:`BatchReport` (one section per corpus)."""
+    if fmt in RICH_FORMATS:
+        return render_batch_report(
+            batch, fmt, registry=registry, include_stats=stats, top=top
+        )
     if fmt == "json":
         payload = batch.to_dict()
         for corpus_payload in payload["corpora"].values():

@@ -4,12 +4,16 @@ The paper exposes ``POST /api/check`` with a JSON body ``{"query": "..."}``
 through Flask.  Flask is unavailable offline, so the same contract is served
 by the standard library's ``http.server``:
 
-* ``POST /api/check``  — body ``{"query": "...", "config": "C1"|"C2"}``,
-  returns the ranked detections and fixes as JSON (including per-stage
-  pipeline timings under ``"stats"``);
+* ``POST /api/check``  — body ``{"query": "...", "config": "C1"|"C2",
+  "format": "json"|"markdown"|"html"|"sarif"}``; the default ``json``
+  returns the ranked detections and fixes (including per-stage pipeline
+  timings under ``"stats"``), ``sarif`` returns a SARIF 2.1.0 log object,
+  and ``markdown``/``html`` return ``{"format": ..., "content": ...}``
+  with the rendered explainable report;
 * ``POST /api/check_batch`` — body ``{"corpora": {"name": "sql..."},
-  "workers": N}``, runs the parallel batch pipeline over independent
-  corpora and returns one report per corpus plus aggregate stats;
+  "workers": N, "format": ...}``, runs the parallel batch pipeline over
+  independent corpora and returns one report per corpus plus aggregate
+  stats (same ``format`` values as ``/api/check``);
 * ``GET  /api/antipatterns`` — the supported anti-pattern catalog;
 * ``GET  /api/health`` — liveness probe.
 
@@ -25,6 +29,36 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from ..core.sqlcheck import SQLCheck, SQLCheckOptions
 from ..model.antipatterns import full_catalog
 from ..ranking.config import C1, C2
+from ..reporting import (
+    RICH_FORMATS,
+    build_document,
+    build_documents,
+    render_html,
+    render_markdown,
+    to_sarif,
+)
+
+#: ``format`` values accepted by the check routes: plain JSON (default)
+#: plus every rich reporting format — one source of truth with the CLI.
+_FORMATS = ("json",) + RICH_FORMATS
+
+
+def _parse_format(payload: dict) -> "tuple[str, dict | None]":
+    """Validate the optional ``format`` field; returns (format, error)."""
+    fmt = str(payload.get("format", "json")).lower()
+    if fmt not in _FORMATS:
+        return fmt, {"error": f"unknown format {fmt!r} (expected one of {list(_FORMATS)})"}
+    return fmt, None
+
+
+def _formatted_response(documents, fmt: str, registry) -> dict:
+    """Render documents per rich ``fmt``: SARIF is itself JSON and is
+    returned as the body; markdown/html are wrapped in a ``content``
+    envelope."""
+    if fmt == "sarif":
+        return to_sarif(documents, registry=registry)
+    renderer = render_markdown if fmt == "markdown" else render_html
+    return {"format": fmt, "content": renderer(documents)}
 
 
 def handle_check_request(payload: dict) -> tuple[int, dict]:
@@ -32,11 +66,17 @@ def handle_check_request(payload: dict) -> tuple[int, dict]:
     query = payload.get("query")
     if not query or not isinstance(query, str):
         return 400, {"error": "the request body must contain a non-empty 'query' string"}
+    fmt, error = _parse_format(payload)
+    if error is not None:
+        return 400, error
     config_name = str(payload.get("config", "C1")).upper()
     ranking = C2 if config_name == "C2" else C1
     toolchain = SQLCheck(SQLCheckOptions(ranking=ranking))
     report = toolchain.check(query)
-    return 200, report.to_dict()
+    if fmt == "json":
+        return 200, report.to_dict()
+    document = build_document(report, registry=toolchain.registry, source="request")
+    return 200, _formatted_response(document, fmt, toolchain.registry)
 
 
 def handle_check_batch_request(payload: dict) -> tuple[int, dict]:
@@ -53,11 +93,17 @@ def handle_check_batch_request(payload: dict) -> tuple[int, dict]:
         workers = int(payload.get("workers", 1))
     except (TypeError, ValueError):
         return 400, {"error": "'workers' must be an integer"}
+    fmt, error = _parse_format(payload)
+    if error is not None:
+        return 400, error
     config_name = str(payload.get("config", "C1")).upper()
     ranking = C2 if config_name == "C2" else C1
     toolchain = SQLCheck(SQLCheckOptions(ranking=ranking))
     batch = toolchain.check_many(corpora, workers=workers)
-    return 200, batch.to_dict()
+    if fmt == "json":
+        return 200, batch.to_dict()
+    documents = build_documents(batch, registry=toolchain.registry)
+    return 200, _formatted_response(documents, fmt, toolchain.registry)
 
 
 def catalog_response() -> dict:

@@ -27,6 +27,19 @@ class Detection:
         message: human-readable explanation tailored to the occurrence.
         query: the offending SQL statement text (empty for pure data APs).
         query_index: index of the statement in the workload, if applicable.
+        statement_offset: character offset of the statement within the
+            analysed text (``None`` for data-analysis findings); SARIF and
+            the other report emitters use it to anchor annotations.
+        statement_line: 1-based line of the statement within the analysed
+            text, when known.
+        statement_length: character length of the statement's meaningful
+            token span starting at ``statement_offset``, when known.
+        statement_end_line: 1-based line on which that span ends, when
+            known (≥ ``statement_line``).
+        statement_text_exact: True when ``query`` is byte-identical to the
+            analysed text's span at ``statement_offset`` (lexer
+            normalisation can make them differ); emitters only quote
+            ``query`` as the span's content when True.
         table: the table involved, when known.
         column: the column involved, when known.
         source: provenance label (file name, application name, database name).
@@ -45,6 +58,11 @@ class Detection:
     message: str = ""
     query: str = ""
     query_index: int | None = None
+    statement_offset: int | None = None
+    statement_line: int | None = None
+    statement_length: int | None = None
+    statement_end_line: int | None = None
+    statement_text_exact: bool | None = None
     table: str | None = None
     column: str | None = None
     source: str | None = None
@@ -81,6 +99,11 @@ class Detection:
             "message": self.message,
             "query": self.query,
             "query_index": self.query_index,
+            "statement_offset": self.statement_offset,
+            "statement_line": self.statement_line,
+            "statement_length": self.statement_length,
+            "statement_end_line": self.statement_end_line,
+            "statement_text_exact": self.statement_text_exact,
             "table": self.table,
             "column": self.column,
             "source": self.source,

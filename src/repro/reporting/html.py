@@ -1,0 +1,131 @@
+"""HTML report emitter.
+
+Produces a self-contained HTML page (inline CSS, no external assets — the
+REST API serves it directly and CI systems archive it as a build artifact).
+All dynamic content is HTML-escaped.
+"""
+from __future__ import annotations
+
+import html
+from typing import Iterable
+
+from .model import Finding, ReportDocument
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif; margin: 2rem auto;
+       max-width: 60rem; padding: 0 1rem; color: #1f2328; line-height: 1.5; }
+h1, h2 { border-bottom: 1px solid #d1d9e0; padding-bottom: .3rem; }
+table { border-collapse: collapse; width: 100%; margin: 1rem 0; }
+th, td { border: 1px solid #d1d9e0; padding: .4rem .6rem; text-align: left; }
+th { background: #f6f8fa; }
+pre { background: #f6f8fa; padding: .8rem; border-radius: 6px; overflow-x: auto; }
+code { background: #f6f8fa; padding: .1rem .3rem; border-radius: 4px; }
+.finding { border: 1px solid #d1d9e0; border-radius: 6px; padding: 1rem; margin: 1rem 0; }
+.sev-high { border-left: 4px solid #cf222e; }
+.sev-medium { border-left: 4px solid #bf8700; }
+.sev-low { border-left: 4px solid #0969da; }
+.meta { color: #59636e; font-size: .9rem; }
+.cite { color: #59636e; font-style: italic; font-size: .9rem; }
+"""
+
+
+def _e(text: object) -> str:
+    return html.escape(str(text), quote=True)
+
+
+def _finding_html(finding: Finding) -> "list[str]":
+    detection = finding.detection
+    doc = finding.doc
+    parts = [
+        f'<div class="finding sev-{finding.severity.lower()}">',
+        f"<h3>{finding.rank}. {_e(doc.title)}</h3>",
+        '<p class="meta">'
+        f"{_e(detection.display_name)} &middot; rule "
+        f"<code>{_e(detection.rule or detection.anti_pattern.value)}</code>"
+        f" &middot; {_e(finding.severity.title())} severity"
+        f" &middot; confidence {detection.confidence:.2f}"
+        f" &middot; score {finding.score:.3f}"
+        f" &middot; {_e(finding.location_label)}</p>",
+    ]
+    if detection.query:
+        parts.append(f"<pre><code>{_e(detection.query.strip())}</code></pre>")
+    if finding.target:
+        parts.append(f"<p><strong>Target:</strong> <code>{_e(finding.target)}</code></p>")
+    parts.append(f"<p>{_e(detection.message)}</p>")
+    parts.append(f"<p><strong>Why it hurts.</strong> {_e(doc.why_it_hurts)}</p>")
+    parts.append(f"<p><strong>How to fix it.</strong> {_e(doc.fix)}</p>")
+    if finding.fix is not None:
+        parts.append(f"<p><strong>Suggested fix.</strong> {_e(finding.fix.explanation)}</p>")
+        statements = finding.fix_statements()
+        if statements:
+            joined = ";\n".join(statements)
+            parts.append(f"<pre><code>{_e(joined)}</code></pre>")
+    if doc.paper_section:
+        parts.append(f'<p class="cite">Source: {_e(doc.paper_section)}.</p>')
+    parts.append("</div>")
+    return parts
+
+
+def _document_html(document: ReportDocument, *, tag: str = "h1") -> "list[str]":
+    shown = (
+        f" Showing the top {len(document.findings)} by impact."
+        if document.is_truncated
+        else ""
+    )
+    parts = [
+        f"<{tag}>SQLCheck report &mdash; <code>{_e(document.source)}</code></{tag}>",
+        f"<p><strong>{document.total_findings} anti-pattern(s)</strong> in "
+        f"{document.queries_analyzed} statement(s), "
+        f"{document.tables_analyzed} table(s) analysed.{shown}</p>",
+    ]
+    if not document.findings:
+        parts.append("<p>No anti-patterns detected.</p>")
+        parts.extend(_stats_html(document))
+        return parts
+    parts.append("<table><tr><th>#</th><th>Anti-pattern</th><th>Rule</th>"
+                 "<th>Severity</th><th>Confidence</th><th>Where</th></tr>")
+    for finding in document.findings:
+        detection = finding.detection
+        parts.append(
+            f"<tr><td>{finding.rank}</td><td>{_e(detection.display_name)}</td>"
+            f"<td><code>{_e(detection.rule or detection.anti_pattern.value)}</code></td>"
+            f"<td>{_e(finding.severity.title())}</td>"
+            f"<td>{detection.confidence:.2f}</td>"
+            f"<td>{_e(finding.location_label)}</td></tr>"
+        )
+    parts.append("</table>")
+    for finding in document.findings:
+        parts.extend(_finding_html(finding))
+    parts.extend(_stats_html(document))
+    return parts
+
+
+def _stats_html(document: ReportDocument) -> "list[str]":
+    if not document.stats:
+        return []
+    stages = document.stats.get("stages", {})
+    timings = ", ".join(
+        f"{_e(name)} {seconds * 1000:.1f} ms" for name, seconds in stages.items()
+    )
+    return [f'<h4>Pipeline stats</h4>\n<p class="meta">{timings}</p>']
+
+
+def render_html(documents: "ReportDocument | Iterable[ReportDocument]") -> str:
+    """Render one document (or several corpus documents) as a full HTML page."""
+    docs = [documents] if isinstance(documents, ReportDocument) else list(documents)
+    body: "list[str]" = []
+    if len(docs) == 1:
+        body.extend(_document_html(docs[0]))
+    else:
+        total = sum(doc.total_findings for doc in docs)
+        body.append("<h1>SQLCheck batch report</h1>")
+        body.append(f"<p><strong>{total} anti-pattern(s)</strong> across {len(docs)} corpora.</p>")
+        for doc in docs:
+            body.extend(_document_html(doc, tag="h2"))
+    return (
+        "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+        "<title>SQLCheck report</title>\n"
+        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        + "\n".join(body)
+        + "\n</body>\n</html>\n"
+    )

@@ -1,0 +1,161 @@
+"""Markdown report emitter.
+
+Renders :class:`~repro.reporting.model.ReportDocument` objects into a
+GitHub-flavoured Markdown report: a summary table followed by one
+explainable section per finding (offending SQL, why it hurts, how to fix
+it, the concrete suggested fix, and the paper citation).
+"""
+from __future__ import annotations
+
+import re
+from typing import Iterable, Sequence
+
+from .model import Finding, ReportDocument
+
+
+#: ASCII punctuation that can open live Markdown constructs (links, images,
+#: emphasis, raw HTML) when it reaches the report through analysed SQL —
+#: e.g. a hostile table name inside a rule message.
+_INLINE_ESCAPE = re.compile(r"([\\`*_{}\[\]<>!|])")
+
+
+def _escape_inline(text: str) -> str:
+    """Backslash-escape SQL-derived prose so it renders as plain text."""
+    return _INLINE_ESCAPE.sub(r"\\\1", text)
+
+
+def _escape_cell(text: str) -> str:
+    """Make a string safe inside a Markdown table cell."""
+    return _escape_inline(text).replace("\n", " ")
+
+
+def _code_span(text: str) -> str:
+    """Inline code span whose delimiter outruns any backtick in the content
+    (same break-out threat as :func:`_sql_block`, CommonMark §6.1)."""
+    longest = max((len(run) for run in re.findall(r"`+", text)), default=0)
+    if not longest:
+        return f"`{text}`"
+    delim = "`" * (longest + 1)
+    return f"{delim} {text} {delim}"
+
+
+def _sql_block(sql: str) -> str:
+    """Fence SQL so its content cannot break out of the code block.
+
+    A backtick run inside the SQL (e.g. in a string literal) would close a
+    plain ``` fence early and inject live Markdown into the report — the
+    fence must be longer than any run in the content (CommonMark).
+    """
+    text = sql.strip()
+    longest = max((len(run) for run in re.findall(r"`+", text)), default=0)
+    fence = "`" * max(3, longest + 1)
+    return f"{fence}sql\n{text}\n{fence}"
+
+
+def _summary_table(findings: Sequence[Finding]) -> "list[str]":
+    lines = [
+        "| # | Anti-pattern | Rule | Severity | Confidence | Where |",
+        "|---|--------------|------|----------|------------|-------|",
+    ]
+    for finding in findings:
+        detection = finding.detection
+        lines.append(
+            "| {rank} | {ap} | `{rule}` | {sev} | {conf:.2f} | {where} |".format(
+                rank=finding.rank,
+                ap=_escape_cell(detection.display_name),
+                rule=detection.rule or "?",
+                sev=finding.severity.title(),
+                conf=detection.confidence,
+                where=_escape_cell(finding.location_label),
+            )
+        )
+    return lines
+
+
+def _finding_section(finding: Finding) -> "list[str]":
+    detection = finding.detection
+    doc = finding.doc
+    lines = [
+        f"### {finding.rank}. {doc.title}",
+        "",
+        f"*{detection.display_name}* · rule `{detection.rule or detection.anti_pattern.value}` · "
+        f"{finding.severity.title()} severity · confidence {detection.confidence:.2f} · "
+        f"score {finding.score:.3f} · {detection.detection_mode.replace('_', '-')} analysis",
+        "",
+    ]
+    if detection.query:
+        lines.extend([_sql_block(detection.query), ""])
+    if finding.target:
+        lines.extend([f"**Target:** {_code_span(finding.target)}", ""])
+    # message and fix explanations embed SQL-derived identifiers — escape
+    # them; the RuleDoc prose is first-party and keeps its formatting.
+    lines.extend([_escape_inline(detection.message), ""])
+    lines.extend([f"**Why it hurts.** {doc.why_it_hurts}", ""])
+    lines.extend([f"**How to fix it.** {doc.fix}", ""])
+    if finding.fix is not None:
+        lines.append(f"**Suggested fix.** {_escape_inline(finding.fix.explanation)}")
+        lines.append("")
+        statements = finding.fix_statements()
+        if statements:
+            lines.extend([_sql_block(";\n".join(statements)), ""])
+    if doc.paper_section:
+        lines.extend([f"*Source: {doc.paper_section}.*", ""])
+    return lines
+
+
+def _document_lines(document: ReportDocument, *, heading_level: int = 1) -> "list[str]":
+    heading = "#" * heading_level
+    summary = (
+        f"**{document.total_findings} anti-pattern(s)** in "
+        f"{document.queries_analyzed} statement(s), "
+        f"{document.tables_analyzed} table(s) analysed."
+    )
+    if document.is_truncated:
+        summary += f" Showing the top {len(document.findings)} by impact."
+    lines = [
+        f"{heading} SQLCheck report — {_code_span(document.source)}",
+        "",
+        summary,
+        "",
+    ]
+    if not document.findings:
+        lines.extend(["No anti-patterns detected.", ""])
+        lines.extend(_stats_section(document))
+        return lines
+    lines.extend(_summary_table(document.findings))
+    lines.append("")
+    for finding in document.findings:
+        lines.extend(_finding_section(finding))
+    lines.extend(_stats_section(document))
+    return lines
+
+
+def _stats_section(document: ReportDocument) -> "list[str]":
+    if not document.stats:
+        return []
+    stages = document.stats.get("stages", {})
+    return [
+        "#### Pipeline stats",
+        "",
+        ", ".join(f"{name} {seconds * 1000:.1f} ms" for name, seconds in stages.items()),
+        "",
+    ]
+
+
+def render_markdown(documents: "ReportDocument | Iterable[ReportDocument]") -> str:
+    """Render one document (or several corpus documents) as Markdown."""
+    if isinstance(documents, ReportDocument):
+        return "\n".join(_document_lines(documents)).rstrip() + "\n"
+    docs = list(documents)
+    if len(docs) == 1:
+        return render_markdown(docs[0])
+    total = sum(doc.total_findings for doc in docs)
+    lines = [
+        "# SQLCheck batch report",
+        "",
+        f"**{total} anti-pattern(s)** across {len(docs)} corpora.",
+        "",
+    ]
+    for doc in docs:
+        lines.extend(_document_lines(doc, heading_level=2))
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,167 @@
+"""Report model: a renderer-independent view of a sqlcheck run.
+
+Every emitter (Markdown, HTML, SARIF) consumes the same normalised
+structure instead of poking at ``SQLCheckReport`` internals: a
+:class:`ReportDocument` per analysed corpus, each holding one
+:class:`Finding` per ranked detection with its fix and the firing rule's
+:class:`~repro.rules.base.RuleDoc` already resolved.  This is the layer
+that makes reports *explainable* — the emitters never have to know where
+the prose comes from.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.sqlcheck import BatchReport, SQLCheckReport
+from ..fixer.fix import Fix
+from ..model.detection import Detection
+from ..rules.base import RuleDoc
+from ..rules.registry import RuleRegistry, default_registry
+
+#: Report formats the toolchain can emit (CLI ``--format`` / REST ``format``).
+TEXT_FORMATS = ("text", "json")
+RICH_FORMATS = ("markdown", "html", "sarif")
+ALL_FORMATS = TEXT_FORMATS + RICH_FORMATS
+
+
+def _resolve_doc(detection: Detection, rules_by_name: "dict[str, object]") -> RuleDoc:
+    """Resolve the documentation explaining a detection.
+
+    Prefers the registered rule's declared :class:`RuleDoc`; when the rule
+    is no longer registered (or a different registry built the index) the
+    doc is synthesised from the anti-pattern catalog so reports never lose
+    their explanation entirely.
+    """
+    rule = rules_by_name.get(detection.rule)
+    if rule is not None:
+        return rule.documentation()
+    return RuleDoc.from_catalog(detection.anti_pattern)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One explainable finding: detection + rank + fix + documentation."""
+
+    rank: int
+    score: float
+    detection: Detection
+    doc: RuleDoc
+    fix: "Fix | None" = None
+
+    @property
+    def severity(self) -> str:
+        return self.detection.severity.name
+
+    @property
+    def target(self) -> "str | None":
+        """``table`` or ``table.column`` label, when the finding has one."""
+        if not self.detection.table:
+            return None
+        if self.detection.column:
+            return f"{self.detection.table}.{self.detection.column}"
+        return self.detection.table
+
+    def fix_statements(self) -> "list[str]":
+        """The fix's SQL, rewrite included (empty when there is no fix)."""
+        if self.fix is None:
+            return []
+        statements = list(self.fix.statements)
+        if self.fix.rewritten_query:
+            statements.append(self.fix.rewritten_query)
+        return statements
+
+    @property
+    def location_label(self) -> str:
+        """Human-oriented anchor: statement index or table/column target."""
+        if self.detection.query_index is not None:
+            label = f"statement {self.detection.query_index + 1}"
+            if self.detection.statement_line is not None:
+                label += f" (line {self.detection.statement_line})"
+            return label
+        return self.target or "workload"
+
+
+@dataclass
+class ReportDocument:
+    """Everything an emitter needs to render one corpus's report."""
+
+    source: str
+    findings: "list[Finding]" = field(default_factory=list)
+    queries_analyzed: int = 0
+    tables_analyzed: int = 0
+    stats: "dict | None" = None
+    #: the run's true finding count; stays at the original value when
+    #: ``truncate`` keeps only the top-N, so headers never understate it.
+    total_findings: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.total_findings:
+            self.total_findings = len(self.findings)
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    @property
+    def is_truncated(self) -> bool:
+        return len(self.findings) < self.total_findings
+
+    def truncate(self, top: int) -> "ReportDocument":
+        """Keep only the ``top`` highest-impact findings (total preserved).
+
+        Zero and negative values are no-ops — callers validate the sign,
+        and a negative slice must never silently drop from the tail.
+        """
+        if top > 0 and len(self.findings) > top:
+            self.findings = self.findings[:top]
+        return self
+
+
+def build_document(
+    report: SQLCheckReport,
+    *,
+    registry: "RuleRegistry | None" = None,
+    source: "str | None" = None,
+    include_stats: bool = False,
+) -> ReportDocument:
+    """Normalise one :class:`SQLCheckReport` into a :class:`ReportDocument`."""
+    registry = registry if registry is not None else default_registry()
+    # One name -> rule index per document build, not a registry scan per
+    # finding (corpus-scale reports carry thousands of findings).
+    rules_by_name = {rule.name: rule for rule in registry}
+    findings = [
+        Finding(
+            rank=entry.rank,
+            score=entry.score,
+            detection=entry.detection,
+            doc=_resolve_doc(entry.detection, rules_by_name),
+            fix=report.fix_for(entry),
+        )
+        for entry in report.detections
+    ]
+    inferred = source
+    if inferred is None:
+        for finding in findings:
+            if finding.detection.source:
+                inferred = finding.detection.source
+                break
+    return ReportDocument(
+        source=inferred or "<input>",
+        findings=findings,
+        queries_analyzed=report.queries_analyzed,
+        tables_analyzed=report.tables_analyzed,
+        stats=report.stats.to_dict() if include_stats and report.stats is not None else None,
+    )
+
+
+def build_documents(
+    batch: BatchReport,
+    *,
+    registry: "RuleRegistry | None" = None,
+    include_stats: bool = False,
+) -> "list[ReportDocument]":
+    """Normalise a :class:`BatchReport` into one document per corpus."""
+    registry = registry if registry is not None else default_registry()
+    return [
+        build_document(report, registry=registry, source=source, include_stats=include_stats)
+        for source, report in batch.reports.items()
+    ]

@@ -1,0 +1,198 @@
+"""SARIF 2.1.0 emitter.
+
+SARIF (Static Analysis Results Interchange Format, OASIS) is the lingua
+franca of CI code scanning: GitHub code scanning, GitLab SAST, and most
+editors render SARIF results as native inline annotations.  This emitter
+maps a sqlcheck run onto one SARIF ``run``:
+
+* every registered rule becomes a ``reportingDescriptor`` under
+  ``tool.driver.rules`` — id, title, problem statement, and a Markdown
+  ``help`` block generated from the rule's :class:`~repro.rules.base.RuleDoc`;
+* every ranked detection becomes a ``result`` pointing back into the
+  analysed artifact via ``physicalLocation`` (1-based ``startLine`` plus
+  ``charOffset``/``charLength`` from the statement offsets the parser
+  records) and, for schema/data findings, a ``logicalLocation`` naming the
+  table or column;
+* fixes travel in the result's property bag (sqlcheck's fixes are advisory
+  SQL, not byte-range text edits, so they do not map onto SARIF ``fixes``).
+
+Only properties in the SARIF 2.1.0 required set plus widely-supported
+optional ones are emitted; ``tests/conformance/test_rule_docs.py`` validates
+the required-property contract over the golden corpus.
+"""
+from __future__ import annotations
+
+import json
+from typing import Iterable
+from urllib.parse import quote
+
+from ..model.antipatterns import catalog_entry
+from ..model.detection import Severity
+from ..rules.registry import RuleRegistry, default_registry
+from .model import Finding, ReportDocument
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Detection severities → SARIF result levels.
+_LEVELS = {Severity.LOW: "note", Severity.MEDIUM: "warning", Severity.HIGH: "error"}
+
+
+def severity_level(severity: Severity) -> str:
+    """Map a detection severity onto a SARIF ``level``."""
+    return _LEVELS.get(severity, "warning")
+
+
+def rule_descriptor(rule) -> dict:
+    """The ``reportingDescriptor`` for one registered rule."""
+    doc = rule.documentation()
+    entry = catalog_entry(rule.anti_pattern)
+    return {
+        "id": rule.name,
+        "name": rule.name,
+        "shortDescription": {"text": doc.title},
+        "fullDescription": {"text": doc.problem},
+        "help": {"text": f"{doc.why_it_hurts}\n\nFix: {doc.fix}", "markdown": doc.help_markdown()},
+        "defaultConfiguration": {"level": severity_level(rule.severity)},
+        "properties": {
+            "anti_pattern": rule.anti_pattern.value,
+            "category": entry.category.value,
+            "paper_section": doc.paper_section,
+        },
+    }
+
+
+def _artifact_uri(document: ReportDocument, finding: Finding) -> str:
+    uri = finding.detection.source or document.source
+    # Placeholder labels like "<input>" are not URI-shaped; strip the angle
+    # brackets and percent-encode the rest (a literal '#' or '%' in a file
+    # name would otherwise be parsed as a fragment / escape by consumers).
+    return quote(uri.strip("<>"), safe="/") or "input"
+
+
+def _result(
+    finding: Finding, rule_index: "dict[str, int]", artifact_uri: str
+) -> dict:
+    detection = finding.detection
+    result: dict = {
+        "ruleId": detection.rule or detection.anti_pattern.value,
+        "level": severity_level(detection.severity),
+        "message": {"text": detection.message},
+        "properties": {
+            "anti_pattern": detection.anti_pattern.value,
+            "detection_mode": detection.detection_mode,
+            "confidence": round(detection.confidence, 3),
+            "rank": finding.rank,
+            "score": round(finding.score, 4),
+        },
+    }
+    index = rule_index.get(result["ruleId"])
+    if index is not None:
+        result["ruleIndex"] = index
+    location: dict = {
+        "physicalLocation": {"artifactLocation": {"uri": artifact_uri}}
+    }
+    if detection.query:
+        region: dict = {}
+        if detection.statement_line is not None:
+            region["startLine"] = max(1, detection.statement_line)
+            # endLine defaults to startLine when absent (spec §3.30); emit
+            # it for multi-line statements so the line-based and char-based
+            # addressing schemes describe the same range.
+            if (
+                detection.statement_end_line is not None
+                and detection.statement_end_line > detection.statement_line
+            ):
+                region["endLine"] = detection.statement_end_line
+        if detection.statement_offset is not None:
+            region["charOffset"] = max(0, detection.statement_offset)
+            # The raw statement text can include leading comments that sit
+            # *before* the offset; size the region with the recorded token
+            # span, never len(query), or it bleeds into the next statement.
+            if detection.statement_length is not None:
+                region["charLength"] = detection.statement_length
+        # SARIF 2.1.0 requires a region to carry at least one of
+        # startLine/charOffset/byteOffset; when the statement's position is
+        # unknown (list inputs, batch paths) omit the region entirely — a
+        # location with only an artifactLocation is valid, a snippet-only
+        # region is not.
+        if region:
+            # snippet.text must equal the region's content (spec 3.30.13).
+            # The parser records whether the raw text is byte-identical to
+            # the source span (lexer normalisation — folded compound
+            # keywords, stripped comments — can make them differ); when it
+            # is not, the snippet is omitted rather than emitted wrong.
+            if detection.statement_text_exact:
+                region["snippet"] = {"text": detection.query}
+            location["physicalLocation"]["region"] = region
+    if finding.target:
+        location["logicalLocations"] = [
+            {"name": finding.target, "kind": "member" if detection.column else "type"}
+        ]
+    result["locations"] = [location]
+    if finding.fix is not None:
+        result["properties"]["fix"] = {
+            "explanation": finding.fix.explanation,
+            "statements": list(finding.fix.statements),
+            "rewritten_query": finding.fix.rewritten_query,
+        }
+    return result
+
+
+def to_sarif(
+    documents: "ReportDocument | Iterable[ReportDocument]",
+    *,
+    registry: "RuleRegistry | None" = None,
+) -> dict:
+    """Build the SARIF 2.1.0 log object for one or more report documents."""
+    # Imported lazily: repro/__init__ imports this package before it defines
+    # __version__, so a module-level import would see a half-initialised repro.
+    from .. import __version__
+
+    docs = [documents] if isinstance(documents, ReportDocument) else list(documents)
+    registry = registry if registry is not None else default_registry()
+    rules = [rule_descriptor(rule) for rule in registry]
+    rule_index = {descriptor["id"]: i for i, descriptor in enumerate(rules)}
+    results: "list[dict]" = []
+    # Ordered URI dedup alongside result building: one _artifact_uri call
+    # per finding, O(1) membership.
+    uri_set: "dict[str, None]" = {}
+    for document in docs:
+        for finding in document.findings:
+            uri = _artifact_uri(document, finding)
+            uri_set[uri] = None
+            results.append(_result(finding, rule_index, uri))
+    uris = list(uri_set)
+    run: dict = {
+        "tool": {
+            "driver": {
+                "name": "sqlcheck",
+                "version": __version__,
+                "informationUri": "https://doi.org/10.1145/3318464.3389754",
+                "rules": rules,
+            }
+        },
+        "results": results,
+        "columnKind": "unicodeCodePoints",
+    }
+    if uris:
+        run["artifacts"] = [{"location": {"uri": uri}} for uri in uris]
+    # Pipeline timings requested with --stats travel in the run's property
+    # bag (SARIF has no first-class slot for profiling data).
+    stats = {doc.source: doc.stats for doc in docs if doc.stats}
+    if stats:
+        run["properties"] = {"pipeline_stats": stats}
+    return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]}
+
+
+def render_sarif(
+    documents: "ReportDocument | Iterable[ReportDocument]",
+    *,
+    registry: "RuleRegistry | None" = None,
+    indent: int = 2,
+) -> str:
+    """Serialise :func:`to_sarif` output as a JSON string."""
+    return json.dumps(to_sarif(documents, registry=registry), indent=indent)

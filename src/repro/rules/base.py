@@ -27,6 +27,94 @@ EXAMPLE_CONTROL = "control"
 
 
 @dataclass(frozen=True)
+class RuleDoc:
+    """Structured documentation for one rule.
+
+    The paper's central claim is that sqlcheck does not merely *flag*
+    anti-patterns but *explains* them — every finding carries why it hurts
+    and how to fix it (§1, §6).  ``RuleDoc`` is that knowledge as data:
+    the reporting subsystem (:mod:`repro.reporting`) renders it into the
+    Markdown/HTML/SARIF reports and into the generated rule reference
+    (``sqlcheck docs``), and the conformance suite fails any registered
+    rule whose documentation is missing or incomplete.
+
+    Attributes:
+        title: short human-readable headline (e.g. "Wildcard projection").
+        problem: one-paragraph statement of what the rule looks for.
+        why_it_hurts: the concrete consequences (performance,
+            maintainability, integrity, accuracy) of leaving it in place.
+        fix: actionable guidance for removing the anti-pattern.
+        paper_section: where the source paper discusses it (e.g.
+            "Table 1; §4.3").
+        references: optional further-reading URLs or citations.
+    """
+
+    title: str
+    problem: str
+    why_it_hurts: str
+    fix: str
+    paper_section: str = ""
+    references: "tuple[str, ...]" = ()
+
+    #: fields that must be non-empty for the documentation to count as
+    #: complete (checked by ``tests/conformance/test_rule_docs.py``).
+    REQUIRED_FIELDS = ("title", "problem", "why_it_hurts", "fix", "paper_section")
+
+    def missing_fields(self) -> "tuple[str, ...]":
+        """Names of required fields that are empty or whitespace-only."""
+        return tuple(
+            name for name in self.REQUIRED_FIELDS if not str(getattr(self, name)).strip()
+        )
+
+    @property
+    def is_complete(self) -> bool:
+        return not self.missing_fields()
+
+    def to_dict(self) -> dict:
+        return {
+            "title": self.title,
+            "problem": self.problem,
+            "why_it_hurts": self.why_it_hurts,
+            "fix": self.fix,
+            "paper_section": self.paper_section,
+            "references": list(self.references),
+        }
+
+    @classmethod
+    def from_catalog(
+        cls, anti_pattern: AntiPattern, *, why_it_hurts: "str | None" = None
+    ) -> "RuleDoc":
+        """Synthesise a doc from the Table 1 catalog entry.
+
+        The fallback for rules that declare no :class:`RuleDoc` (third-party
+        rules keep working in every report format); first-party rules are
+        required to declare theirs explicitly by the conformance suite.
+        """
+        from ..model.antipatterns import catalog_entry
+
+        entry = catalog_entry(anti_pattern)
+        return cls(
+            title=anti_pattern.display_name,
+            problem=entry.description,
+            why_it_hurts=(why_it_hurts or entry.description).strip(),
+            fix="See the anti-pattern catalog for remediation guidance.",
+            paper_section="Table 1",
+        )
+
+    def help_markdown(self) -> str:
+        """The doc as one Markdown block (used for SARIF ``help`` text)."""
+        parts = [
+            f"## {self.title}",
+            self.problem,
+            f"**Why it hurts.** {self.why_it_hurts}",
+            f"**Fix.** {self.fix}",
+        ]
+        if self.paper_section:
+            parts.append(f"*Source: {self.paper_section}.*")
+        return "\n\n".join(parts)
+
+
+@dataclass(frozen=True)
 class RuleExample:
     """A conformance scenario for one rule.
 
@@ -119,10 +207,21 @@ class Rule(abc.ABC):
     name: str = ""
     #: default severity attached to detections
     severity: Severity = Severity.MEDIUM
+    #: structured documentation rendered into reports and the rule
+    #: reference; every rule in the default registry declares one.
+    doc: "RuleDoc | None" = None
 
     def __init__(self) -> None:
         if not self.name:
             self.name = type(self).__name__
+
+    def documentation(self) -> RuleDoc:
+        """This rule's :class:`RuleDoc`, synthesised from the anti-pattern
+        catalog (:meth:`RuleDoc.from_catalog`) when the rule does not
+        declare one."""
+        if self.doc is not None:
+            return self.doc
+        return RuleDoc.from_catalog(self.anti_pattern, why_it_hurts=type(self).__doc__)
 
     def examples(self) -> "tuple[RuleExample, ...]":
         """Conformance scenarios for this rule.
@@ -146,12 +245,18 @@ class Rule(abc.ABC):
         metadata: dict | None = None,
     ) -> Detection:
         """Build a :class:`Detection` pre-filled with this rule's identity."""
+        statement = query.statement if query is not None else None
         return Detection(
             anti_pattern=self.anti_pattern,
             message=message,
             query=query.raw if query is not None else "",
-            query_index=query.statement.index if query is not None else None,
-            source=query.statement.source if query is not None else None,
+            query_index=statement.index if statement is not None else None,
+            statement_offset=statement.offset if statement is not None else None,
+            statement_line=statement.line if statement is not None else None,
+            statement_length=statement.length if statement is not None else None,
+            statement_end_line=statement.end_line if statement is not None else None,
+            statement_text_exact=statement.span_matches_raw if statement is not None else None,
+            source=statement.source if statement is not None else None,
             table=table,
             column=column,
             rule=self.name,

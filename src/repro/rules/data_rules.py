@@ -15,7 +15,7 @@ from ..model.antipatterns import AntiPattern
 from ..model.detection import Detection, Severity
 from ..profiler.inference import detect_derived_pair
 from ..profiler.profiler import TableProfile
-from .base import DataRule, RuleContext, RuleExample, control, planted
+from .base import DataRule, RuleContext, RuleDoc, RuleExample, control, planted
 
 _BOUNDED_COLUMN_RE = re.compile(
     r"(rating|score|status|grade|level|priority|severity|stars|rank|category|type|state)$",
@@ -28,6 +28,26 @@ class MissingTimezoneRule(DataRule):
 
     anti_pattern = AntiPattern.MISSING_TIMEZONE
     severity = Severity.LOW
+    doc = RuleDoc(
+        title="Missing timezone",
+        problem=(
+            "Date-time columns are stored without timezone information "
+            "(`TIMESTAMP` rather than `TIMESTAMP WITH TIME ZONE`), or the "
+            "profiled values themselves carry no offset."
+        ),
+        why_it_hurts=(
+            "Every reader must guess which zone the values mean; the guesses "
+            "disagree across services, daylight-saving transitions create "
+            "ambiguous or skipped local times, and cross-region comparisons "
+            "are silently wrong by whole hours."
+        ),
+        fix=(
+            "Store instants as `TIMESTAMP WITH TIME ZONE` (UTC internally) "
+            "and convert at the presentation layer; keep naive timestamps "
+            "only for genuinely zone-free concepts like opening hours."
+        ),
+        paper_section="Table 1 (Data APs); §4.2",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         rows = [
@@ -86,6 +106,26 @@ class IncorrectDataTypeRule(DataRule):
 
     anti_pattern = AntiPattern.INCORRECT_DATA_TYPE
     severity = Severity.MEDIUM
+    doc = RuleDoc(
+        title="Incorrect data type",
+        problem=(
+            "A column's actual values do not match its declared type — "
+            "numbers, dates, or booleans stored in a text column (or "
+            "numeric ids in a float column)."
+        ),
+        why_it_hurts=(
+            "Comparisons become lexicographic ('10' < '9'), every query "
+            "pays implicit casts that defeat indexes, invalid values "
+            "cannot be rejected by the type system, and storage is wider "
+            "than the honest type would be."
+        ),
+        fix=(
+            "Migrate the column to the type the data actually has "
+            "(`ALTER TABLE ... ALTER COLUMN ... TYPE ... USING ...`), "
+            "fixing the handful of non-conforming rows first."
+        ),
+        paper_section="Table 1 (Data APs); §4.2",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         ddl = "CREATE TABLE census (entry_id INTEGER PRIMARY KEY, population TEXT)"
@@ -174,6 +214,26 @@ class DenormalizedTableRule(DataRule):
 
     anti_pattern = AntiPattern.DENORMALIZED_TABLE
     severity = Severity.MEDIUM
+    doc = RuleDoc(
+        title="Denormalized table",
+        problem=(
+            "A non-key column repeats the same values across a large share "
+            "of rows — a sign that an entity (customer name, category "
+            "label) is embedded where a key should be."
+        ),
+        why_it_hurts=(
+            "The repeated value must be updated everywhere at once or the "
+            "copies drift apart (update anomalies); storage is amplified "
+            "by the duplication; and the embedded entity cannot be "
+            "extended with attributes of its own."
+        ),
+        fix=(
+            "Extract the repeated values into their own table and replace "
+            "the copies with a foreign key — unless the duplication is a "
+            "deliberate, documented read-optimisation."
+        ),
+        paper_section="Table 1 (Data APs); §4.2",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         orgs = ["Global Widgets Incorporated", "Acme Corporation"]
@@ -249,6 +309,25 @@ class InformationDuplicationRule(DataRule):
 
     anti_pattern = AntiPattern.INFORMATION_DUPLICATION
     severity = Severity.LOW
+    doc = RuleDoc(
+        title="Information duplication",
+        problem=(
+            "A column stores values derivable from another column in the "
+            "same row — `age` alongside `date_of_birth`, a `total` "
+            "alongside its parts."
+        ),
+        why_it_hurts=(
+            "Derived copies go stale the moment the source changes (ages "
+            "do not update themselves), and once the two disagree there "
+            "is no way to tell which one consumers trusted."
+        ),
+        fix=(
+            "Drop the derived column and compute it in queries, a view, or "
+            "a generated/computed column the database keeps consistent "
+            "automatically."
+        ),
+        paper_section="Table 1 (Data APs); §4.2",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -333,6 +412,26 @@ class RedundantColumnRule(DataRule):
 
     anti_pattern = AntiPattern.REDUNDANT_COLUMN
     severity = Severity.LOW
+    doc = RuleDoc(
+        title="Redundant column",
+        problem=(
+            "A column carries no information: every sampled value is NULL, "
+            "or every row holds the same constant (e.g. `locale = 'en-us'` "
+            "everywhere)."
+        ),
+        why_it_hurts=(
+            "The column widens every row and backup for nothing, misleads "
+            "readers into handling cases that never occur, and — for the "
+            "constant case — hides an application-level default inside "
+            "data where it cannot be audited."
+        ),
+        fix=(
+            "Drop the column; if the constant is meaningful, move it to "
+            "configuration or a DEFAULT and re-add the column only when a "
+            "second value actually appears."
+        ),
+        paper_section="Table 1 (Data APs); §4.2",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -396,6 +495,25 @@ class NoDomainConstraintRule(DataRule):
 
     anti_pattern = AntiPattern.NO_DOMAIN_CONSTRAINT
     severity = Severity.LOW
+    doc = RuleDoc(
+        title="Missing domain constraint",
+        problem=(
+            "Profiled values clearly live in a bounded domain (ratings "
+            "1–5, percentages 0–100, a small label set) but the schema "
+            "declares no CHECK or reference constraint enforcing it."
+        ),
+        why_it_hurts=(
+            "The first buggy writer inserts a 6-star rating or a negative "
+            "percentage and every aggregate built on the column is subtly "
+            "wrong; cleaning data after the fact is much harder than "
+            "rejecting it at write time."
+        ),
+        fix=(
+            "Add a `CHECK` constraint for numeric ranges or a reference "
+            "table for label sets, validating existing rows first."
+        ),
+        paper_section="Table 1 (Data APs); §4.2",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -472,6 +590,26 @@ class DataInMetadataDataRule(DataRule):
 
     anti_pattern = AntiPattern.DATA_IN_METADATA
     severity = Severity.MEDIUM
+    doc = RuleDoc(
+        title="Data in metadata (data analysis)",
+        problem=(
+            "A profiled schema shows numbered column groups or "
+            "value-bearing table names — application data encoded in "
+            "object names, discovered from the catalog rather than from "
+            "DDL text (the paper's Kaggle workload, §8.4)."
+        ),
+        why_it_hurts=(
+            "Growing the encoded dimension requires DDL, queries must "
+            "enumerate the whole family, and constraints cannot span it; "
+            "the data analysis variant catches schemas whose DDL was "
+            "never part of the analysed workload."
+        ),
+        fix=(
+            "Fold the encoded value into a proper column (discriminator "
+            "or child rows) and collapse the object family."
+        ),
+        paper_section="Table 1 (Logical Design APs); §4.2, §8.4",
+    )
 
     _NUMBERED_RE = re.compile(r"^(?P<prefix>[A-Za-z_]+?)_?(?P<number>\d+)$")
 
@@ -541,6 +679,24 @@ class GenericPrimaryKeyDataRule(DataRule):
 
     anti_pattern = AntiPattern.GENERIC_PRIMARY_KEY
     severity = Severity.LOW
+    doc = RuleDoc(
+        title="Generic primary key (data analysis)",
+        problem=(
+            "A profiled table's primary key is a generic `id` column — "
+            "found from the live catalog when only schemas and data, not "
+            "DDL text, are available (the paper's Kaggle workload)."
+        ),
+        why_it_hurts=(
+            "Joins collect ambiguous `id` columns that must be aliased "
+            "apart, and the natural key the surrogate displaced often "
+            "goes without the UNIQUE constraint it deserves."
+        ),
+        fix=(
+            "Rename the key after its entity (`user_id`) and constrain "
+            "the natural key where one exists."
+        ),
+        paper_section="Table 1 (Logical Design APs); §4.2, §8.4",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (

@@ -12,7 +12,7 @@ from ..model.antipatterns import AntiPattern
 from ..model.detection import Detection, Severity
 from ..profiler.profiler import TableProfile
 from ..sqlparser import QueryAnnotation
-from .base import DataRule, QueryRule, RuleContext, RuleExample, control, planted
+from .base import DataRule, QueryRule, RuleContext, RuleDoc, RuleExample, control, planted
 
 _ID_LIST_COLUMN_RE = re.compile(r"(_ids?$|_list$|_csv$|ids$)", re.IGNORECASE)
 _GENERIC_PK_NAMES = {"id", "pk", "key", "row_id", "rowid"}
@@ -35,6 +35,29 @@ class MultiValuedAttributeRule(QueryRule):
     anti_pattern = AntiPattern.MULTI_VALUED_ATTRIBUTE
     severity = Severity.HIGH
     statement_types = ("SELECT", "INSERT", "UPDATE", "DELETE", "CREATE_TABLE")
+    doc = RuleDoc(
+        title="Multi-valued attribute",
+        problem=(
+            "A single column stores a delimiter-separated list of values "
+            "(`user_ids = 'U1,U2,U3'`), violating first normal form. The "
+            "query-level signals are `LIKE '%id%'` membership probes, joins "
+            "built from string concatenation, and list-shaped literals in "
+            "INSERT/UPDATE statements."
+        ),
+        why_it_hurts=(
+            "Every membership test becomes an index-defeating substring "
+            "match, the database cannot enforce referential integrity over "
+            "the embedded ids, updates rewrite the whole list (lost-update "
+            "prone), and the delimiter itself becomes reserved syntax that "
+            "user data may collide with."
+        ),
+        fix=(
+            "Normalise: move the list into a child (junction) table with one "
+            "row per value and a foreign key back to the parent, then join "
+            "instead of pattern-matching."
+        ),
+        paper_section="Table 1 (Logical Design APs); Example 1, §4.2",
+    )
 
     _LIST_LITERAL_RE = re.compile(r"^\s*[\w.@-]+\s*([,;|]\s*[\w.@-]+\s*){1,}$")
 
@@ -204,6 +227,27 @@ class MultiValuedAttributeDataRule(DataRule):
 
     anti_pattern = AntiPattern.MULTI_VALUED_ATTRIBUTE
     severity = Severity.HIGH
+    doc = RuleDoc(
+        title="Multi-valued attribute (data analysis)",
+        problem=(
+            "Profiling shows a textual column whose sampled values are "
+            "predominantly delimiter-separated identifier lists — the stored "
+            "data itself violates first normal form, regardless of how the "
+            "queries read it."
+        ),
+        why_it_hurts=(
+            "The list structure is invisible to the database: no referential "
+            "integrity over the embedded ids, no index on individual values, "
+            "and every consumer re-implements (and disagrees on) the parsing. "
+            "Data analysis confirms the query-level suspicion or refutes it "
+            "when a large clean sample shows no lists (§4.2)."
+        ),
+        fix=(
+            "Split the list into a child table with one row per value; "
+            "backfill by parsing the existing column once, then drop it."
+        ),
+        paper_section="Table 1 (Logical Design APs); Example 1, §4.2",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -262,6 +306,23 @@ class NoPrimaryKeyRule(QueryRule):
     anti_pattern = AntiPattern.NO_PRIMARY_KEY
     severity = Severity.HIGH
     statement_types = ("CREATE_TABLE",)
+    doc = RuleDoc(
+        title="Missing primary key",
+        problem="A `CREATE TABLE` statement declares no primary key at all.",
+        why_it_hurts=(
+            "Without a key the database cannot prevent fully duplicate rows, "
+            "replication and ORMs lose their row identity, and every lookup "
+            "that should be a point read risks scanning. Deduplicating later "
+            "— after duplicates exist — is far more painful than declaring "
+            "the key up front."
+        ),
+        fix=(
+            "Declare a `PRIMARY KEY` on the natural identifier, or add a "
+            "surrogate key column when no natural one exists (name it after "
+            "the table, e.g. `order_id`, not a generic `id`)."
+        ),
+        paper_section="Table 1 (Logical Design APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -306,6 +367,24 @@ class NoPrimaryKeyDataRule(DataRule):
 
     anti_pattern = AntiPattern.NO_PRIMARY_KEY
     severity = Severity.HIGH
+    doc = RuleDoc(
+        title="Missing primary key (data analysis)",
+        problem=(
+            "A profiled table in the live database carries rows but its "
+            "schema declares no primary key — the DDL may be out of reach, "
+            "but the catalog shows the constraint is absent."
+        ),
+        why_it_hurts=(
+            "Duplicate rows can (and in practice do) accumulate unnoticed, "
+            "and downstream consumers that assume row identity — replication, "
+            "ORMs, incremental exports — silently misbehave."
+        ),
+        fix=(
+            "Identify a unique column combination from the data profile, "
+            "deduplicate, and declare the primary key (or add a surrogate)."
+        ),
+        paper_section="Table 1 (Logical Design APs); §4.2, §8.4",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -344,6 +423,26 @@ class NoForeignKeyRule(QueryRule):
     severity = Severity.HIGH
     statement_types = ("SELECT", "UPDATE", "DELETE")
     requires_context = True
+    doc = RuleDoc(
+        title="Missing foreign key",
+        problem=(
+            "The workload joins two tables on a column pair that no FOREIGN "
+            "KEY constraint covers. This is the paper's canonical "
+            "*inter-query* detection: it needs both tables' DDL and the JOIN "
+            "condition together to see the missing constraint."
+        ),
+        why_it_hurts=(
+            "Referential integrity is left to the application: orphaned rows "
+            "appear after partial failures, joins silently drop or duplicate "
+            "data, and the optimizer loses the constraint-derived facts it "
+            "could otherwise plan with."
+        ),
+        fix=(
+            "Declare `FOREIGN KEY (child_col) REFERENCES parent(col)` on the "
+            "joining columns (cleaning up existing orphans first)."
+        ),
+        paper_section="Table 1 (Logical Design APs); Example 3, §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         ddl_tenant = "CREATE TABLE tenant (tenant_id INTEGER PRIMARY KEY, zone VARCHAR(10))"
@@ -435,6 +534,25 @@ class GenericPrimaryKeyRule(QueryRule):
     anti_pattern = AntiPattern.GENERIC_PRIMARY_KEY
     severity = Severity.LOW
     statement_types = ("CREATE_TABLE",)
+    doc = RuleDoc(
+        title="Generic primary key",
+        problem=(
+            "Every table's primary key is a generic surrogate column named "
+            "`id`, instead of a name that says what it identifies."
+        ),
+        why_it_hurts=(
+            "Joins fill with ambiguous `id` columns that must be aliased "
+            "apart (`users.id = orders.user_id`?), `USING`/natural joins "
+            "become impossible, and a meaningful natural key that *should* "
+            "carry a UNIQUE constraint often goes unconstrained because the "
+            "surrogate absorbed the key role."
+        ),
+        fix=(
+            "Name the key after the entity (`user_id`, `order_id`) and keep "
+            "a UNIQUE constraint on the natural key when one exists."
+        ),
+        paper_section="Table 1 (Logical Design APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -481,6 +599,26 @@ class DataInMetadataRule(QueryRule):
     anti_pattern = AntiPattern.DATA_IN_METADATA
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE",)
+    doc = RuleDoc(
+        title="Data in metadata",
+        problem=(
+            "Application data is encoded in the *names* of schema objects: "
+            "numbered column groups (`tag1, tag2, tag3`) or value-bearing "
+            "table names (`sales_2019`, `sales_2020`)."
+        ),
+        why_it_hurts=(
+            "Each new value requires DDL instead of an INSERT, queries must "
+            "UNION or OR over the whole family (and be edited when it "
+            "grows), and constraints cannot span the encoded dimension — the "
+            "schema has become a hand-maintained index of the data."
+        ),
+        fix=(
+            "Move the encoded value into a column: one table with a "
+            "discriminator column, or one child row per formerly-numbered "
+            "column."
+        ),
+        paper_section="Table 1 (Logical Design APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -559,6 +697,26 @@ class AdjacencyListRule(QueryRule):
     anti_pattern = AntiPattern.ADJACENCY_LIST
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE", "ALTER_TABLE", "SELECT")
+    doc = RuleDoc(
+        title="Adjacency list",
+        problem=(
+            "A table models a hierarchy with a parent-pointer column that "
+            "references the same table (`parent_id REFERENCES comments`)."
+        ),
+        why_it_hurts=(
+            "Arbitrary-depth traversals need either recursive CTEs the "
+            "application may not use or one self-join per level; subtree "
+            "queries, moves, and deletes are O(depth) round-trips and the "
+            "pattern tempts unbounded self-join chains."
+        ),
+        fix=(
+            "For deep or frequently-traversed hierarchies use a path "
+            "enumeration, nested-set, or closure-table encoding; shallow "
+            "fixed-depth hierarchies may keep the pointer plus a recursive "
+            "CTE."
+        ),
+        paper_section="Table 1 (Logical Design APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -641,6 +799,26 @@ class GodTableRule(QueryRule):
     anti_pattern = AntiPattern.GOD_TABLE
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE",)
+    doc = RuleDoc(
+        title="God table",
+        problem=(
+            "A table declares more columns than the configured threshold "
+            "(`Thresholds.god_table_columns`) — it aggregates several "
+            "entities into one relation."
+        ),
+        why_it_hurts=(
+            "Wide rows drag every query through columns it does not need, "
+            "NULL-heavy optional groups waste space and hide which fields "
+            "belong together, lock contention concentrates on the single "
+            "hot table, and every feature migration rewrites it."
+        ),
+        fix=(
+            "Split cohesive column groups into their own tables (1:1 keyed "
+            "by the parent's primary key), keeping the hot, always-read "
+            "columns in the core table."
+        ),
+        paper_section="Table 1 (Logical Design APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         wide = ", ".join(f"attr_{chr(ord('a') + i)} VARCHAR(20)" for i in range(11))
@@ -677,6 +855,27 @@ class CloneTableRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE",)
     requires_context = True
+    doc = RuleDoc(
+        title="Clone tables",
+        problem=(
+            "The schema contains several structurally-similar tables named "
+            "`<base>_1`, `<base>_2`, … — a value (year, shard, tenant) "
+            "promoted into the table name. Detection is inter-query: the "
+            "family only appears when the whole schema is visible."
+        ),
+        why_it_hurts=(
+            "Queries that span the family must UNION every member and be "
+            "updated when a new clone appears; constraints and indexes "
+            "drift apart between members; cross-member integrity is "
+            "unenforceable."
+        ),
+        fix=(
+            "Merge the clones into one table with a discriminator column; "
+            "if the split was for scale, use the database's native "
+            "partitioning instead of name-level sharding."
+        ),
+        paper_section="Table 1 (Physical Design APs, Clone Tables); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (

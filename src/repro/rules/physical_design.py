@@ -14,7 +14,7 @@ from ..model.antipatterns import AntiPattern
 from ..model.detection import Detection, Severity
 from ..profiler.profiler import TableProfile
 from ..sqlparser import QueryAnnotation
-from .base import DataRule, QueryRule, RuleContext, RuleExample, control, planted
+from .base import DataRule, QueryRule, RuleContext, RuleDoc, RuleExample, control, planted
 
 _MONEY_COLUMN_RE = re.compile(
     r"(price|amount|total|cost|balance|salary|fee|rate|tax|revenue|payment)", re.IGNORECASE
@@ -33,6 +33,26 @@ class RoundingErrorsRule(QueryRule):
     anti_pattern = AntiPattern.ROUNDING_ERRORS
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE", "ALTER_TABLE")
+    doc = RuleDoc(
+        title="Rounding errors",
+        problem=(
+            "Fractional — often monetary — data is declared with an "
+            "approximate binary type (`FLOAT`, `REAL`, `DOUBLE`) instead of "
+            "an exact decimal type."
+        ),
+        why_it_hurts=(
+            "Binary floating point cannot represent most decimal fractions "
+            "exactly (0.1 + 0.2 ≠ 0.3): sums drift, equality comparisons "
+            "fail unpredictably, and accounting reconciliation breaks by "
+            "a cent at a time."
+        ),
+        fix=(
+            "Use `NUMERIC`/`DECIMAL(p, s)` for money and any value compared "
+            "for equality; reserve floats for genuinely approximate "
+            "measurements."
+        ),
+        paper_section="Table 1 (Physical Design APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -77,6 +97,26 @@ class EnumeratedTypesRule(QueryRule):
     anti_pattern = AntiPattern.ENUMERATED_TYPES
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE", "ALTER_TABLE")
+    doc = RuleDoc(
+        title="Enumerated types",
+        problem=(
+            "A column's domain is pinned in the schema with `ENUM`/`SET` or "
+            "a `CHECK (col IN (...))` constraint."
+        ),
+        why_it_hurts=(
+            "Extending the value set is a DDL migration (often a "
+            "table-rewriting one) instead of an INSERT; the allowed values "
+            "are invisible to the application without parsing the schema; "
+            "and the values cannot carry attributes (labels, ordering, "
+            "deprecation flags)."
+        ),
+        fix=(
+            "Move the domain into a small reference table and constrain the "
+            "column with a FOREIGN KEY to it — new values become rows, and "
+            "metadata about each value has a home."
+        ),
+        paper_section="Table 1 (Physical Design APs); Example 4, §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -132,6 +172,24 @@ class EnumeratedTypesDataRule(DataRule):
 
     anti_pattern = AntiPattern.ENUMERATED_TYPES
     severity = Severity.LOW
+    doc = RuleDoc(
+        title="Enumerated types (data analysis)",
+        problem=(
+            "Profiling shows a textual column with only a handful of "
+            "distinct values across a large sample — it behaves like an "
+            "enum even though the schema never declared one."
+        ),
+        why_it_hurts=(
+            "The implicit domain is enforced nowhere: a typo'd status value "
+            "slides straight in and every consumer hard-codes its own copy "
+            "of the value list, which then drifts."
+        ),
+        fix=(
+            "Promote the de-facto domain to a reference table (or at least "
+            "a CHECK constraint) so the database rejects stray values."
+        ),
+        paper_section="Table 1 (Physical Design APs); §4.2",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -199,6 +257,26 @@ class ExternalDataStorageRule(QueryRule):
     anti_pattern = AntiPattern.EXTERNAL_DATA_STORAGE
     severity = Severity.LOW
     statement_types = ("CREATE_TABLE", "INSERT", "UPDATE")
+    doc = RuleDoc(
+        title="External data storage",
+        problem=(
+            "The database stores *paths* to files (`/var/uploads/x.jpg`) "
+            "instead of the file contents themselves."
+        ),
+        why_it_hurts=(
+            "The files live outside every database guarantee: transactions "
+            "cannot cover them, backups and replicas silently omit them, a "
+            "DELETE leaves the file orphaned (or worse, the path dangling), "
+            "and access control forks into two systems."
+        ),
+        fix=(
+            "Either store the content in a BLOB column so transactions and "
+            "backups cover it, or — at scale — keep an object store as the "
+            "source of truth with integrity checks (content hash, presence "
+            "audits) in place of foreign keys."
+        ),
+        paper_section="Table 1 (Physical Design APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -270,6 +348,24 @@ class ExternalDataStorageDataRule(DataRule):
 
     anti_pattern = AntiPattern.EXTERNAL_DATA_STORAGE
     severity = Severity.LOW
+    doc = RuleDoc(
+        title="External data storage (data analysis)",
+        problem=(
+            "Profiling shows a column whose sampled values are "
+            "overwhelmingly filesystem paths — content kept outside the "
+            "database regardless of what the DDL intended."
+        ),
+        why_it_hurts=(
+            "Restores from backup produce dangling paths, replication "
+            "reaches only half the data, and nothing stops the files from "
+            "diverging from the rows that reference them."
+        ),
+        fix=(
+            "Migrate the content into BLOBs, or formalise the external "
+            "store with hashes and periodic existence audits."
+        ),
+        paper_section="Table 1 (Physical Design APs); §4.2",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -321,6 +417,27 @@ class IndexOveruseRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("CREATE_INDEX",)
     requires_context = True
+    doc = RuleDoc(
+        title="Index overuse",
+        problem=(
+            "The schema creates indexes the workload never uses, or several "
+            "redundant indexes over the same leading columns. Detection is "
+            "inter-query: the CREATE INDEX statements are judged against "
+            "every query in the workload."
+        ),
+        why_it_hurts=(
+            "Each index taxes every INSERT/UPDATE/DELETE with extra "
+            "maintenance writes and WAL volume, competes for buffer-pool "
+            "space, and widens the optimizer's search space — all for a "
+            "structure no query reads."
+        ),
+        fix=(
+            "Drop indexes no query's predicates or joins can use and merge "
+            "redundant prefixes into one composite index that serves them "
+            "all."
+        ),
+        paper_section="Table 1 (Physical Design APs); Example 5, §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         ddl = "CREATE TABLE events (event_id INTEGER PRIMARY KEY, kind VARCHAR(10), venue VARCHAR(10))"
@@ -441,6 +558,27 @@ class IndexUnderuseRule(QueryRule):
     severity = Severity.MEDIUM
     statement_types = ("SELECT", "UPDATE", "DELETE")
     requires_context = True
+    doc = RuleDoc(
+        title="Index underuse",
+        problem=(
+            "Queries filter or join repeatedly on columns that no index "
+            "covers. Detection is inter-query: predicate columns from the "
+            "whole workload are matched against the schema's declared "
+            "indexes."
+        ),
+        why_it_hurts=(
+            "Every selective lookup degrades into a full table scan; the "
+            "cost grows linearly with the table while the workload assumes "
+            "point-read latency, and the problem compounds silently as data "
+            "accumulates."
+        ),
+        fix=(
+            "Create indexes on the hot predicate and join columns "
+            "(composite, with the most selective equality column leading); "
+            "verify adoption with EXPLAIN."
+        ),
+        paper_section="Table 1 (Physical Design APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         ddl = ("CREATE TABLE books (book_id INTEGER PRIMARY KEY, genre VARCHAR(20),"

@@ -10,7 +10,7 @@ import re
 from ..model.antipatterns import AntiPattern
 from ..model.detection import Detection, Severity
 from ..sqlparser import QueryAnnotation
-from .base import QueryRule, RuleContext, RuleExample, control, planted
+from .base import QueryRule, RuleContext, RuleDoc, RuleExample, control, planted
 
 _PASSWORD_COLUMN_RE = re.compile(r"\b(password|passwd|pwd)\b", re.IGNORECASE)
 _HASH_LITERAL_RE = re.compile(r"^[0-9a-fA-F]{32,128}$|^\$2[aby]?\$")
@@ -23,6 +23,25 @@ class ColumnWildcardRule(QueryRule):
     anti_pattern = AntiPattern.COLUMN_WILDCARD
     severity = Severity.LOW
     statement_types = ("SELECT",)
+    doc = RuleDoc(
+        title="Column wildcard projection",
+        problem=(
+            "The query selects every column with `SELECT *` (or `alias.*`) "
+            "instead of naming the columns it actually uses."
+        ),
+        why_it_hurts=(
+            "Wildcard projections fetch columns the application never reads, "
+            "inflating network traffic and defeating covering indexes; worse, "
+            "the result's shape silently changes whenever the table's schema "
+            "evolves, so positional consumers break without any SQL error."
+        ),
+        fix=(
+            "List the needed columns explicitly in the projection. Aggregate "
+            "wildcards such as `COUNT(*)` are fine — they count rows, they do "
+            "not project columns."
+        ),
+        paper_section="Table 1 (Query APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -66,6 +85,25 @@ class ImplicitColumnsRule(QueryRule):
     anti_pattern = AntiPattern.IMPLICIT_COLUMNS
     severity = Severity.MEDIUM
     statement_types = ("INSERT",)
+    doc = RuleDoc(
+        title="Implicit column list in INSERT",
+        problem=(
+            "An `INSERT` statement relies on the table's column order instead "
+            "of naming its target columns (`INSERT INTO t VALUES (...)`)."
+        ),
+        why_it_hurts=(
+            "The statement binds values to columns purely by position: adding, "
+            "dropping, or reordering a column silently shifts every value into "
+            "the wrong column — a data-corruption bug that surfaces long after "
+            "the schema change that caused it."
+        ),
+        fix=(
+            "Name the target columns explicitly: "
+            "`INSERT INTO t (a, b, c) VALUES (...)`. When the schema is known, "
+            "the fixer fills the expected column list in from the catalog."
+        ),
+        paper_section="Table 1 (Query APs); Example 2, §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -103,6 +141,25 @@ class OrderingByRandRule(QueryRule):
     anti_pattern = AntiPattern.ORDERING_BY_RAND
     severity = Severity.MEDIUM
     statement_types = ("SELECT",)
+    doc = RuleDoc(
+        title="Ordering by RAND()",
+        problem=(
+            "The query shuffles or samples rows with `ORDER BY RAND()` / "
+            "`ORDER BY RANDOM()`."
+        ),
+        why_it_hurts=(
+            "The database must materialise and sort the *entire* result set "
+            "just to keep a handful of random rows; no index can help, so the "
+            "cost grows linearithmically with the table and the query becomes "
+            "a reliable production hot spot."
+        ),
+        fix=(
+            "Pick random rows by key instead: sample a random value from the "
+            "key range, use `TABLESAMPLE`, or pre-assign a random column and "
+            "index it."
+        ),
+        paper_section="Table 1 (Query APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -134,6 +191,26 @@ class PatternMatchingRule(QueryRule):
     anti_pattern = AntiPattern.PATTERN_MATCHING
     severity = Severity.MEDIUM
     statement_types = ("SELECT", "UPDATE", "DELETE")
+    doc = RuleDoc(
+        title="Index-defeating pattern matching",
+        problem=(
+            "A predicate matches strings with a regular expression (`REGEXP`, "
+            "`SIMILAR TO`, `GLOB`) or with a `LIKE` pattern that starts with a "
+            "wildcard (`LIKE '%...'`)."
+        ),
+        why_it_hurts=(
+            "Neither form can use a B-tree index: the engine falls back to a "
+            "full scan and evaluates the pattern against every row. Prefix "
+            "patterns (`LIKE 'abc%'`) are exempt — they translate into an "
+            "index range scan."
+        ),
+        fix=(
+            "Restructure the predicate so it anchors on a prefix, or move "
+            "free-text matching into a full-text index / search engine built "
+            "for it."
+        ),
+        paper_section="Table 1 (Query APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -183,6 +260,26 @@ class ConcatenateNullsRule(QueryRule):
     anti_pattern = AntiPattern.CONCATENATE_NULLS
     severity = Severity.LOW
     statement_types = ("SELECT", "UPDATE", "INSERT")
+    doc = RuleDoc(
+        title="Concatenating nullable columns",
+        problem=(
+            "The statement concatenates columns with `||` when any operand "
+            "may be NULL."
+        ),
+        why_it_hurts=(
+            "In standard SQL, `NULL || anything` is NULL: one missing middle "
+            "name silently wipes out the whole concatenated value. The bug is "
+            "data-dependent, so it passes tests on clean fixtures and "
+            "corrupts output in production. When the schema proves every "
+            "operand `NOT NULL`, the inter-query analysis suppresses the "
+            "finding."
+        ),
+        fix=(
+            "Wrap nullable operands in `COALESCE(col, '')` (or use a "
+            "NULL-safe concatenation function such as `CONCAT_WS`)."
+        ),
+        paper_section="Table 1 (Query APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -242,6 +339,24 @@ class DistinctAndJoinRule(QueryRule):
     anti_pattern = AntiPattern.DISTINCT_AND_JOIN
     severity = Severity.MEDIUM
     statement_types = ("SELECT",)
+    doc = RuleDoc(
+        title="DISTINCT papering over a JOIN",
+        problem=(
+            "The query combines `SELECT DISTINCT` with one or more joins, "
+            "usually to remove duplicate rows the join itself multiplied."
+        ),
+        why_it_hurts=(
+            "The engine first materialises the multiplied intermediate result "
+            "and then pays a sort or hash to deduplicate it — work that a "
+            "semi-join avoids entirely. The `DISTINCT` also hides the real "
+            "modelling question (which side of the join is one-to-many?)."
+        ),
+        fix=(
+            "Rewrite the existence test with `EXISTS` / `IN` (a semi-join), "
+            "or aggregate the many-side before joining."
+        ),
+        paper_section="Table 1 (Query APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (
@@ -277,6 +392,26 @@ class TooManyJoinsRule(QueryRule):
     anti_pattern = AntiPattern.TOO_MANY_JOINS
     severity = Severity.MEDIUM
     statement_types = ("SELECT", "UPDATE", "DELETE")
+    doc = RuleDoc(
+        title="Too many joins",
+        problem=(
+            "A single statement joins more tables than the configured "
+            "threshold (`Thresholds.too_many_joins`, default 5)."
+        ),
+        why_it_hurts=(
+            "Join-order search space grows factorially with the number of "
+            "relations, so the optimizer falls back to heuristics and picks "
+            "worse plans exactly when plans matter most; intermediate results "
+            "balloon and the query becomes impossible to reason about or "
+            "tune."
+        ),
+        fix=(
+            "Split the statement into smaller queries, pre-aggregate into "
+            "staging tables or materialised views, or denormalise the hottest "
+            "path deliberately."
+        ),
+        paper_section="Table 1 (Query APs); §4.1",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         joins = " ".join(
@@ -315,6 +450,27 @@ class ReadablePasswordRule(QueryRule):
     anti_pattern = AntiPattern.READABLE_PASSWORD
     severity = Severity.HIGH
     statement_types = ("SELECT", "INSERT", "UPDATE", "CREATE_TABLE")
+    doc = RuleDoc(
+        title="Readable passwords",
+        problem=(
+            "The workload stores or compares plain-text passwords: a literal "
+            "assigned to a `password`-like column, or a schema that declares "
+            "such a column as readable text."
+        ),
+        why_it_hurts=(
+            "Anyone with database, backup, or log access reads every user's "
+            "credential; a single injection or leaked dump becomes a "
+            "site-wide account compromise, amplified by password reuse across "
+            "services. Hash-shaped literals are exempt — they indicate the "
+            "application already hashes before the database."
+        ),
+        fix=(
+            "Hash passwords with a salted, slow algorithm (bcrypt, scrypt, "
+            "argon2) in the application layer and store only the digest; "
+            "compare digests, never literals."
+        ),
+        paper_section="Table 1 (Query APs, Readable Password); §8.1 Table 3",
+    )
 
     def examples(self) -> "tuple[RuleExample, ...]":
         return (

@@ -70,6 +70,14 @@ class RegistryIntegrityError(RuntimeError):
 class RuleRegistry:
     """Holds the active query rules and data rules.
 
+    Iterating a registry yields every registered rule (query rules first);
+    ``len(registry)`` counts them; :meth:`get` looks one up by name.
+    Mutate with :meth:`register` / :meth:`unregister` /
+    :meth:`disable_anti_pattern`.  Each rule carries its own conformance
+    ``examples()`` and :class:`~repro.rules.base.RuleDoc`, which the
+    reporting subsystem renders into reports and the generated rule
+    reference (``sqlcheck docs``).
+
     Dispatch by statement type is served from a precomputed index instead of
     a per-call scan: corpus-scale detection calls ``rules_for_statement``
     once per statement, so the O(rules) comprehension the seed used becomes
@@ -209,6 +217,7 @@ class RuleRegistry:
         }
 
     def get(self, name: str) -> Rule | None:
+        """The registered rule with the given name, or ``None``."""
         for rule in self:
             if rule.name == name:
                 return rule

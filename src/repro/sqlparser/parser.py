@@ -44,6 +44,10 @@ class ParsedStatement:
         tree: grouped parse tree.
         statement_type: one of :data:`STATEMENT_TYPES`.
         index: position of the statement within the parsed script.
+        offset: character offset of the statement within the parsed text
+            (``None`` when unknown).
+        line: 1-based line number of the statement within the parsed text
+            (``None`` when unknown).
     """
 
     raw: str
@@ -52,11 +56,47 @@ class ParsedStatement:
     statement_type: str
     index: int = 0
     source: str | None = None
+    #: character offset of the statement's first meaningful token within the
+    #: text handed to :func:`parse`.  ``None`` when the position within the
+    #: workload is unknown — statements parsed standalone, or handed in as a
+    #: list whose element boundaries within any containing file are unknown
+    #: (the batch paths clear positions at index-rebind time).
+    offset: "int | None" = None
+    #: 1-based line of that first token within the parsed text, or ``None``
+    #: when unknown.  Reports and the SARIF emitter use (offset, line) to
+    #: anchor findings to the input and omit the anchor when unknown.
+    line: "int | None" = None
+    #: character length of the span from the first to the last meaningful
+    #: token (``raw`` can be longer — it keeps leading comments — so a
+    #: region must not be sized with ``len(raw)``).  ``None`` when unknown.
+    length: "int | None" = None
+    #: 1-based line on which the meaningful span ends (≥ ``line``), or
+    #: ``None`` when unknown.
+    end_line: "int | None" = None
+    #: True when ``raw`` is byte-identical to the source span
+    #: ``text[offset:offset+length]`` — False when lexer normalisation
+    #: (compound-keyword folding, stripped comments) made them differ.
+    #: Emitters must only quote ``raw`` as the span's content when True.
+    span_matches_raw: "bool | None" = None
     _fingerprint: str | None = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def stream(self) -> TokenStream:
         return TokenStream(self.tokens)
+
+    def clear_position(self) -> None:
+        """Mark the statement's position within the workload as unknown.
+
+        The batch paths call this for statements parsed from list elements
+        (their offsets are element-relative, not positions in a containing
+        file); keeping the invariant in one place means a future position
+        field cannot be forgotten at one of the call sites.
+        """
+        self.offset = None
+        self.line = None
+        self.length = None
+        self.end_line = None
+        self.span_matches_raw = None
 
     @property
     def fingerprint(self) -> str:
@@ -155,13 +195,48 @@ def parse_statement(sql: str, index: int = 0, source: str | None = None) -> Pars
 
 
 def parse(sql: str, source: str | None = None) -> list[ParsedStatement]:
-    """Parse SQL text that may contain multiple ``;``-separated statements."""
+    """Parse SQL text that may contain multiple ``;``-separated statements.
+
+    Each statement records the character offset and 1-based line of its
+    first meaningful token within ``sql``, so downstream reports (SARIF in
+    particular) can point back into the original script.
+    """
     all_tokens = tokenize(sql)
+    last_token = all_tokens[-1] if all_tokens else None
     statements: list[ParsedStatement] = []
+    # Running newline counter: line numbers over one pass of the script
+    # instead of rescanning the prefix per statement (quadratic on the
+    # corpus-scale path otherwise).
+    line, scanned = 1, 0
     for i, stmt_tokens in enumerate(split_tokens(all_tokens)):
         raw = "".join(t.value for t in stmt_tokens).strip()
         statement_type = classify_statement(stmt_tokens)
         tree = group_statement(stmt_tokens, statement_type=statement_type)
+        meaningful = [t for t in stmt_tokens if not t.is_whitespace and not t.is_comment]
+        if meaningful:
+            offset = meaningful[0].position
+            # A token's source extent ends where the next token begins:
+            # folded compound keywords carry a normalised value ("NOT  NULL"
+            # becomes "NOT NULL"), so len(value) understates the consumed
+            # source.  The successor is searched within the chunk; a
+            # meaningful chunk-final token is either the script's last
+            # token (extent = len(sql)) or a one-char ";" (len is exact).
+            last = meaningful[-1]
+            j = len(stmt_tokens) - 1
+            while stmt_tokens[j] is not last:
+                j -= 1
+            if j + 1 < len(stmt_tokens):
+                end = stmt_tokens[j + 1].position
+            elif last is last_token:
+                end = len(sql)
+            else:
+                end = last.position + len(last.value)
+        else:
+            offset = stmt_tokens[0].position if stmt_tokens else 0
+            end = offset
+        if offset > scanned:
+            line += sql.count("\n", scanned, offset)
+            scanned = offset
         statements.append(
             ParsedStatement(
                 raw=raw,
@@ -170,6 +245,11 @@ def parse(sql: str, source: str | None = None) -> list[ParsedStatement]:
                 statement_type=statement_type,
                 index=i,
                 source=source,
+                offset=offset,
+                line=line,
+                length=end - offset,
+                end_line=line + sql.count("\n", offset, end),
+                span_matches_raw=sql[offset:end] == raw,
             )
         )
     return statements

@@ -35,6 +35,8 @@ class SelftestResult:
     seed: int
     corpus_statements: int = 0
     examples_run: int = 0
+    rules_documented: int = 0
+    doc_failures: "list[str]" = field(default_factory=list)
     golden_entries: int = 0
     golden_updated: bool = False
     golden_skipped: bool = False
@@ -46,7 +48,12 @@ class SelftestResult:
 
     @property
     def ok(self) -> bool:
-        return not (self.conformance_failures or self.golden_mismatches or self.oracle_failures)
+        return not (
+            self.conformance_failures
+            or self.golden_mismatches
+            or self.oracle_failures
+            or self.doc_failures
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -58,6 +65,8 @@ class SelftestResult:
             "golden_updated": self.golden_updated,
             "golden_skipped": self.golden_skipped,
             "rewrites_checked": self.rewrites_checked,
+            "rules_documented": self.rules_documented,
+            "doc_failures": list(self.doc_failures),
             "conformance_failures": [str(f) for f in self.conformance_failures],
             "golden_mismatches": list(self.golden_mismatches),
             "oracle_failures": [str(f) for f in self.oracle_failures],
@@ -69,6 +78,8 @@ class SelftestResult:
             f"selftest: {'OK' if self.ok else 'FAILED'} (seed {self.seed})",
             f"    conformance: {self.examples_run} example(s), "
             f"{len(self.conformance_failures)} failure(s)",
+            f"    rule docs: {self.rules_documented} documented rule(s), "
+            f"{len(self.doc_failures)} failure(s)",
         ]
         if self.golden_skipped:
             lines.append("    golden corpus: skipped (no golden directory)")
@@ -89,6 +100,8 @@ class SelftestResult:
                 f"    dbdeo agreement: {agreed}/{len(self.dbdeo_agreement)} "
                 "shared anti-patterns fully agreed"
             )
+        for failure in self.doc_failures:
+            lines.append(f"    FAIL docs: {failure}")
         for failure in self.conformance_failures:
             lines.append(f"    FAIL {failure}")
         for mismatch in self.golden_mismatches:
@@ -121,6 +134,20 @@ def run_selftest(
     current = golden_entries(config=config)
     result.conformance_failures, result.examples_run = failures_from_entries(current)
     result.golden_entries = len(current)
+
+    # 1b. documentation contract: every registered rule carries a complete
+    #     RuleDoc (the reporting subsystem renders it into every format).
+    from ..rules.registry import default_registry
+
+    for rule in default_registry():
+        if rule.doc is None:
+            result.doc_failures.append(f"{rule.name}: no RuleDoc declared")
+            continue
+        missing = rule.doc.missing_fields()
+        if missing:
+            result.doc_failures.append(f"{rule.name}: RuleDoc missing {', '.join(missing)}")
+        else:
+            result.rules_documented += 1
 
     # 2. golden corpus.  Only a repo checkout has a resolvable default
     #    golden directory; refuse to regenerate into a guessed location

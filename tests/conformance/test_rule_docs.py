@@ -1,0 +1,218 @@
+"""Documentation conformance: RuleDoc completeness, reference sync, SARIF
+required properties, and dead links.
+
+This is the CI gate that keeps the explainable-reports subsystem honest:
+
+* every registered rule declares a *complete* :class:`RuleDoc` (the
+  planted/control contract's documentation twin);
+* the committed rule reference (``docs/rules/``) is byte-identical to what
+  ``sqlcheck docs`` would generate — docs can never rot silently;
+* the SARIF emitter satisfies the SARIF 2.1.0 required-property set for
+  every finding the golden corpus produces;
+* no Markdown file under ``docs/`` (or the README) links to a missing
+  relative target.
+"""
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.reporting import GENERATED_MARKER, check_reference, to_sarif
+from repro.reporting.model import build_document
+from repro.reporting.reference import reference_pages, rule_page_name
+from repro.rules.base import RuleDoc
+from repro.rules.registry import default_registry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOCS_DIR = REPO_ROOT / "docs"
+RULES_DOCS_DIR = DOCS_DIR / "rules"
+
+#: Markdown inline links — [text](target); external and anchor links are
+#: filtered by the checker, not the pattern.
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+# ----------------------------------------------------------------------
+# RuleDoc completeness
+# ----------------------------------------------------------------------
+def test_every_registered_rule_declares_a_complete_ruledoc():
+    for rule in default_registry():
+        assert isinstance(rule.doc, RuleDoc), f"{rule.name} declares no RuleDoc"
+        missing = rule.doc.missing_fields()
+        assert not missing, f"{rule.name}'s RuleDoc is missing {', '.join(missing)}"
+
+
+def test_documentation_falls_back_to_the_catalog():
+    rule = next(iter(default_registry()))
+    declared = rule.documentation()
+    assert declared is rule.doc
+    try:
+        rule_cls = type(rule)
+        saved, rule_cls.doc = rule_cls.doc, None
+        synthesised = rule.documentation()
+        assert synthesised.title and synthesised.problem and synthesised.fix
+    finally:
+        rule_cls.doc = saved
+
+
+def test_ruledoc_help_markdown_contains_all_sections():
+    for rule in default_registry():
+        markdown = rule.doc.help_markdown()
+        assert rule.doc.title in markdown
+        assert "Why it hurts" in markdown
+        assert "Fix" in markdown
+
+
+# ----------------------------------------------------------------------
+# Generated reference sync (sqlcheck docs --check in CI)
+# ----------------------------------------------------------------------
+def test_rule_reference_is_in_sync_with_the_rules():
+    problems = check_reference(RULES_DOCS_DIR, default_registry())
+    assert not problems, (
+        "docs/rules is out of sync; regenerate with "
+        "`PYTHONPATH=src python -m repro.interfaces.cli docs`:\n" + "\n".join(problems)
+    )
+
+
+def test_reference_has_one_page_per_rule_with_both_example_kinds():
+    registry = default_registry()
+    pages = reference_pages(registry)
+    assert len(pages) == len(registry) + 1  # + index
+    for rule in registry:
+        page = pages[rule_page_name(rule)]
+        assert page.startswith(GENERATED_MARKER)
+        assert "### Anti-pattern (detected)" in page, rule.name
+        assert "### Clean counterpart (not detected)" in page, rule.name
+        # planted/control SQL is embedded verbatim
+        for example in rule.examples():
+            assert example.sql in page, f"{rule.name}: example SQL missing from its page"
+
+
+def test_docs_check_cli_passes_and_reports_drift(tmp_path):
+    from repro.interfaces.cli import run
+
+    code, output = run(["docs", "--check", "--out", str(RULES_DOCS_DIR)])
+    assert code == 0, output
+    # empty dir → every page is reported missing and the exit code is 1
+    code, output = run(["docs", "--check", "--out", str(tmp_path)])
+    assert code == 1
+    assert "missing" in output
+    # writing then checking round-trips
+    code, _ = run(["docs", "--out", str(tmp_path)])
+    assert code == 0
+    code, output = run(["docs", "--check", "--out", str(tmp_path)])
+    assert code == 0, output
+
+
+# ----------------------------------------------------------------------
+# SARIF 2.1.0 required-property validation over the golden corpus
+# ----------------------------------------------------------------------
+def _assert_valid_sarif(log: dict, registry) -> int:
+    """Check the SARIF 2.1.0 required-property set; returns the result count."""
+    assert log["version"] == "2.1.0"
+    assert log["$schema"].endswith("sarif-schema-2.1.0.json")
+    assert isinstance(log["runs"], list) and log["runs"]
+    counted = 0
+    for run in log["runs"]:
+        driver = run["tool"]["driver"]
+        assert driver["name"]
+        rule_ids = [descriptor["id"] for descriptor in driver["rules"]]
+        assert len(rule_ids) == len(set(rule_ids)), "duplicate rule ids in driver.rules"
+        for descriptor in driver["rules"]:
+            assert descriptor["id"]
+            assert descriptor["shortDescription"]["text"]
+            assert descriptor["fullDescription"]["text"]
+            assert descriptor["help"]["text"]
+            assert descriptor["defaultConfiguration"]["level"] in ("note", "warning", "error")
+        for result in run["results"]:
+            counted += 1
+            assert result["ruleId"] in rule_ids
+            assert result["message"]["text"]
+            assert result["level"] in ("note", "warning", "error")
+            if "ruleIndex" in result:
+                assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+            for location in result.get("locations", ()):
+                physical = location["physicalLocation"]
+                assert physical["artifactLocation"]["uri"]
+                region = physical.get("region")
+                if region is not None and "startLine" in region:
+                    assert region["startLine"] >= 1
+                if region is not None and "charOffset" in region:
+                    assert region["charOffset"] >= 0
+    return counted
+
+
+def test_sarif_output_is_valid_for_every_golden_corpus_finding():
+    """Acceptance: `--format sarif` validates against the SARIF 2.1.0
+    required-property set for every conformance golden corpus finding."""
+    from repro import SQLCheck
+    from repro.testkit.conformance import _build_database
+
+    toolchain = SQLCheck()
+    total_findings = 0
+    documents = []
+    for rule in toolchain.registry:
+        for index, example in enumerate(rule.examples()):
+            database = _build_database(example) if example.needs_database else None
+            report = toolchain.check(
+                list(example.statements),
+                database=database,
+                source=f"{rule.name}[{index}]",
+            )
+            documents.append(
+                build_document(
+                    report, registry=toolchain.registry, source=f"{rule.name}[{index}]"
+                )
+            )
+            total_findings += len(report)
+    log = to_sarif(documents, registry=toolchain.registry)
+    counted = _assert_valid_sarif(log, toolchain.registry)
+    assert counted == sum(len(doc) for doc in documents)
+    assert total_findings > 0 and counted > 0
+
+
+def test_sarif_statement_findings_carry_regions():
+    from repro import SQLCheck
+
+    toolchain = SQLCheck()
+    report = toolchain.check(
+        "CREATE TABLE t (a FLOAT);\nSELECT * FROM t ORDER BY RAND();", source="x.sql"
+    )
+    document = build_document(report, registry=toolchain.registry, source="x.sql")
+    log = to_sarif(document, registry=toolchain.registry)
+    results = log["runs"][0]["results"]
+    assert results
+    regions = [
+        result["locations"][0]["physicalLocation"].get("region")
+        for result in results
+        if result["locations"][0]["physicalLocation"].get("region")
+    ]
+    assert regions, "no statement-anchored SARIF regions emitted"
+    assert any(region.get("startLine") == 2 for region in regions), (
+        "second-line statement did not map to startLine 2"
+    )
+
+
+# ----------------------------------------------------------------------
+# Dead-link check over docs/ (and the README)
+# ----------------------------------------------------------------------
+def _relative_link_targets(path: Path):
+    for match in _LINK_RE.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target.split("#", 1)[0]
+
+
+@pytest.mark.parametrize(
+    "markdown_file",
+    sorted(DOCS_DIR.rglob("*.md")) + [REPO_ROOT / "README.md"],
+    ids=lambda p: str(p.relative_to(REPO_ROOT)),
+)
+def test_no_dead_relative_links(markdown_file: Path):
+    assert markdown_file.is_file()
+    for target in _relative_link_targets(markdown_file):
+        resolved = (markdown_file.parent / target).resolve()
+        assert resolved.exists(), f"{markdown_file}: dead link -> {target}"

@@ -1,0 +1,488 @@
+"""Reporting subsystem: report model, Markdown/HTML/SARIF emitters, and the
+format plumbing through the CLI and REST surfaces."""
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import SQLCheck
+from repro.interfaces.cli import run
+from repro.interfaces.rest import handle_check_batch_request, handle_check_request
+from repro.reporting import (
+    build_document,
+    build_documents,
+    render_batch_report,
+    render_html,
+    render_markdown,
+    render_report,
+    to_sarif,
+)
+
+SQL = "CREATE TABLE t (a FLOAT);\nSELECT * FROM t WHERE name LIKE '%x';"
+
+
+@pytest.fixture(scope="module")
+def toolchain():
+    return SQLCheck()
+
+
+@pytest.fixture(scope="module")
+def report(toolchain):
+    return toolchain.check(SQL, source="demo.sql")
+
+
+@pytest.fixture(scope="module")
+def document(toolchain, report):
+    return build_document(report, registry=toolchain.registry, source="demo.sql")
+
+
+# ----------------------------------------------------------------------
+# model
+# ----------------------------------------------------------------------
+def test_document_normalises_findings_with_docs_and_fixes(document, report):
+    assert document.source == "demo.sql"
+    assert len(document.findings) == len(report.detections)
+    for finding, entry in zip(document.findings, report.detections):
+        assert finding.rank == entry.rank
+        assert finding.detection is entry.detection
+        assert finding.doc.is_complete
+    assert any(finding.fix is not None for finding in document.findings)
+
+
+def test_location_label_prefers_statement_then_table(document):
+    labels = [finding.location_label for finding in document.findings]
+    assert any(label.startswith("statement ") for label in labels)
+
+
+def test_build_documents_covers_every_batch_corpus(toolchain):
+    batch = toolchain.check_many({"a.sql": SQL, "b.sql": "SELECT 1"})
+    documents = build_documents(batch, registry=toolchain.registry)
+    assert [doc.source for doc in documents] == ["a.sql", "b.sql"]
+
+
+def test_statement_offsets_recorded_on_detections(report):
+    offsets = {
+        entry.detection.query_index: (
+            entry.detection.statement_offset,
+            entry.detection.statement_line,
+        )
+        for entry in report.detections
+        if entry.detection.query_index is not None
+    }
+    assert offsets[0] == (0, 1)
+    index1_offset, index1_line = offsets[1]
+    assert index1_line == 2
+    assert index1_offset == SQL.index("SELECT")
+
+
+def test_list_inputs_carry_unknown_positions(toolchain):
+    # Elements of a statement list have no known position in any containing
+    # file; offsets must be None (not a misleading 0/line 1) on every path.
+    report = toolchain.check(["SELECT * FROM a", "SELECT * FROM b"])
+    assert report.detections
+    for entry in report.detections:
+        assert entry.detection.statement_offset is None
+        assert entry.detection.statement_line is None
+    log = to_sarif(
+        build_document(report, registry=toolchain.registry), registry=toolchain.registry
+    )
+    for result in log["runs"][0]["results"]:
+        # SARIF forbids a snippet-only region: when the position is unknown
+        # the region is omitted and the location is artifact-only.
+        assert "region" not in result["locations"][0]["physicalLocation"]
+
+
+def test_sarif_region_excludes_leading_comment_and_next_statement(toolchain):
+    sql = "-- warning\nSELECT * FROM t;\nSELECT id, name FROM u WHERE id LIKE '%x';"
+    report = toolchain.check(sql, source="c.sql")
+    log = to_sarif(
+        build_document(report, registry=toolchain.registry, source="c.sql"),
+        registry=toolchain.registry,
+    )
+    wildcard = next(
+        r for r in log["runs"][0]["results"] if r["ruleId"] == "ColumnWildcardRule"
+    )
+    region = wildcard["locations"][0]["physicalLocation"]["region"]
+    span = sql[region["charOffset"] : region["charOffset"] + region["charLength"]]
+    assert span == "SELECT * FROM t;"  # no comment prefix, no bleed into stmt 2
+    assert region["startLine"] == 2
+
+
+def test_sarif_artifact_uri_is_percent_encoded(toolchain):
+    report = toolchain.check("SELECT * FROM t", source="queries#50% done.sql")
+    log = to_sarif(
+        build_document(report, registry=toolchain.registry), registry=toolchain.registry
+    )
+    uri = log["runs"][0]["results"][0]["locations"][0]["physicalLocation"][
+        "artifactLocation"
+    ]["uri"]
+    assert "#" not in uri and " " not in uri
+    from urllib.parse import unquote
+
+    assert unquote(uri) == "queries#50% done.sql"
+
+
+def test_multiline_statement_emits_end_line(toolchain):
+    sql = "CREATE TABLE t (\n  a FLOAT,\n  b FLOAT\n);"
+    report = toolchain.check(sql, source="m.sql")
+    log = to_sarif(
+        build_document(report, registry=toolchain.registry, source="m.sql"),
+        registry=toolchain.registry,
+    )
+    regions = [
+        r["locations"][0]["physicalLocation"]["region"]
+        for r in log["runs"][0]["results"]
+    ]
+    assert any(rg.get("startLine") == 1 and rg.get("endLine") == 4 for rg in regions)
+
+
+def test_cli_multiple_queries_stay_separate_statements():
+    code, output = run(
+        ["--format", "json", "-q", "SELECT a FROM t WHERE x LIKE '%p'", "-q", "SELECT * FROM u"]
+    )
+    assert code == 1
+    payload = json.loads(output)
+    assert payload["queries_analyzed"] == 2
+    queries = {d["query"] for d in payload["detections"]}
+    assert all("\nSELECT" not in q for q in queries), "parts merged into one statement"
+
+
+def test_cli_query_ending_in_line_comment_still_terminates():
+    # A ';' inside a trailing line comment must not swallow the next part.
+    code, output = run(
+        ["--format", "json", "-q", "SELECT * FROM a -- legacy;", "-q", "SELECT id FROM b"]
+    )
+    assert code == 1
+    assert json.loads(output)["queries_analyzed"] == 2
+
+
+def test_cli_multi_input_sarif_has_no_synthetic_anchors(tmp_path):
+    a = tmp_path / "a.sql"
+    a.write_text("SELECT * FROM t")
+    b = tmp_path / "b.sql"
+    b.write_text("SELECT * FROM u")
+    # Joined (non-batch) multi-file runs have no real artifact to anchor
+    # into; regions must be omitted rather than computed on the joined text.
+    code, output = run(["--format", "sarif", str(a), str(b)])
+    assert code == 1
+    log = json.loads(output)
+    for result in log["runs"][0]["results"]:
+        assert "region" not in result["locations"][0]["physicalLocation"]
+
+
+def test_statement_length_covers_folded_compound_keywords():
+    # The lexer folds "NOT  NULL" into a token whose value is single-spaced;
+    # length must measure consumed source, not the normalised value.
+    from repro.sqlparser.parser import parse
+
+    sql = "ALTER TABLE t ALTER COLUMN c SET NOT  NULL"
+    statement = parse(sql)[0]
+    assert statement.length == len(sql)
+    two = parse("SELECT 1;\nSELECT 2;")
+    assert [s.length for s in two] == [9, 9]
+    assert [s.line for s in two] == [1, 2]
+
+
+def test_cached_templates_keep_positions_across_input_shapes(toolchain):
+    # A list-path run clears positions on its own copies only; the same
+    # statement text checked later as a script must still see real anchors.
+    sql = "SELECT * FROM cache_shape_t"
+    toolchain.check([sql, "SELECT 1 FROM dual"])
+    report = toolchain.check(sql)
+    detection = report.detections[0].detection
+    assert (detection.statement_offset, detection.statement_line) == (0, 1)
+
+
+def test_caller_parsed_statements_keep_their_positions(toolchain):
+    from repro.sqlparser import parse
+
+    sql = "SELECT 1;\nSELECT * FROM caller_parsed_t;"
+    statements = parse(sql)
+    saved = [(s.offset, s.line) for s in statements]
+    report = toolchain.check(statements)
+    assert [(s.offset, s.line) for s in statements] == saved  # caller objects untouched
+    wildcard = [
+        e.detection for e in report.detections if e.detection.rule == "ColumnWildcardRule"
+    ]
+    assert wildcard and wildcard[0].statement_line == 2
+
+
+def test_extend_continues_statement_numbering():
+    from repro.context.builder import ContextBuilder
+
+    builder = ContextBuilder()
+    context = builder.build("SELECT a FROM t; SELECT b FROM u")
+    builder.extend(context, "SELECT c FROM v")
+    assert [a.statement.index for a in context.queries] == [0, 1, 2]
+
+
+def test_mixed_list_inputs_keep_workload_order():
+    from repro.context.builder import ContextBuilder
+    from repro.sqlparser import annotate, parse_statement
+
+    builder = ContextBuilder()
+    pre_annotated = annotate(parse_statement("SELECT b FROM u"))
+    context = builder.build(["SELECT a FROM t", pre_annotated, "SELECT c FROM v"])
+    raws = [a.raw for a in context.queries]
+    assert raws == ["SELECT a FROM t", "SELECT b FROM u", "SELECT c FROM v"]
+    assert [a.statement.index for a in context.queries] == [0, 1, 2]
+
+
+def test_memo_replay_rebinds_offsets(toolchain):
+    # The same statement at a different position must carry its own offsets.
+    first = toolchain.check("SELECT * FROM t ORDER BY RAND();")
+    second = toolchain.check("SELECT 1;\nSELECT * FROM t ORDER BY RAND();")
+    wildcard = [
+        e.detection for e in second.detections if e.detection.rule == "ColumnWildcardRule"
+    ]
+    assert wildcard and wildcard[0].statement_line == 2
+    assert wildcard[0].statement_offset > 0
+    base = [e.detection for e in first.detections if e.detection.rule == "ColumnWildcardRule"]
+    assert base and base[0].statement_line == 1
+
+
+# ----------------------------------------------------------------------
+# emitters
+# ----------------------------------------------------------------------
+def test_markdown_report_is_explainable(document):
+    markdown = render_markdown(document)
+    assert "# SQLCheck report — `demo.sql`" in markdown
+    assert "| # | Anti-pattern | Rule |" in markdown
+    assert "**Why it hurts.**" in markdown
+    assert "**How to fix it.**" in markdown
+    assert "```sql" in markdown
+
+
+def test_markdown_fence_survives_backticks_in_sql(toolchain):
+    evil = "SELECT * FROM t WHERE note = '\n```\n# Injected heading\n```\n'"
+    report = toolchain.check(evil)
+    markdown = render_report(report, "markdown", registry=toolchain.registry)
+    # The block containing the hostile SQL opens with a 4-backtick fence, so
+    # the embedded ``` runs stay inert content inside it.
+    assert "````sql" in markdown
+    opened = markdown.split("````sql", 1)[1]
+    assert "# Injected heading" in opened.split("\n````", 1)[0]
+
+
+def test_markdown_escapes_sql_derived_prose(toolchain):
+    # PatternMatchingRule embeds the predicate's literal value in its
+    # message; a hostile value must not become a live Markdown image/link.
+    report = toolchain.check("SELECT name FROM t WHERE name LIKE '%![x](https://evil/px)'")
+    messages = [e.detection.message for e in report.detections]
+    assert any("![x]" in m for m in messages), "vector no longer reaches the message"
+    markdown = render_report(report, "markdown", registry=toolchain.registry)
+    prose = [
+        line for line in markdown.splitlines() if "evil" in line and not line.startswith("SELECT")
+    ]
+    assert prose and all("![x]" not in line for line in prose)
+    assert any("\\!\\[x\\]" in line for line in prose)
+
+
+def test_markdown_source_name_cannot_break_out_of_code_span(toolchain):
+    report = toolchain.check("SELECT * FROM t", source="evil`*injected*`.sql")
+    markdown = render_report(
+        report, "markdown", registry=toolchain.registry, source="evil`*injected*`.sql"
+    )
+    header = markdown.splitlines()[0]
+    assert "`` evil`*injected*`.sql ``" in header
+
+
+def test_sarif_carries_stats_in_run_properties(toolchain):
+    report = toolchain.check(SQL)
+    log = to_sarif(
+        build_document(report, registry=toolchain.registry, include_stats=True),
+        registry=toolchain.registry,
+    )
+    stats = log["runs"][0]["properties"]["pipeline_stats"]
+    assert list(stats.values())[0]["stages"]
+    plain = to_sarif(
+        build_document(report, registry=toolchain.registry), registry=toolchain.registry
+    )
+    assert "properties" not in plain["runs"][0]
+
+
+def test_markdown_batch_renders_one_section_per_corpus(toolchain):
+    batch = toolchain.check_many({"a.sql": SQL, "b.sql": SQL})
+    markdown = render_batch_report(batch, "markdown", registry=toolchain.registry)
+    assert "# SQLCheck batch report" in markdown
+    assert "## SQLCheck report — `a.sql`" in markdown
+    assert "## SQLCheck report — `b.sql`" in markdown
+
+
+def test_html_report_escapes_and_self_contains(toolchain):
+    evil = "SELECT * FROM t WHERE name = '<script>alert(1)</script>'"
+    report = toolchain.check(evil, source="evil.sql")
+    html_out = render_report(report, "html", registry=toolchain.registry, source="evil.sql")
+    assert html_out.startswith("<!DOCTYPE html>")
+    assert "<script>alert(1)</script>" not in html_out
+    assert "&lt;script&gt;" in html_out
+    assert "<style>" in html_out  # no external assets
+
+
+def test_html_report_includes_stats_when_requested(toolchain):
+    report = toolchain.check(SQL)
+    html_out = render_report(report, "html", registry=toolchain.registry, include_stats=True)
+    assert "Pipeline stats" in html_out
+    html_without = render_report(report, "html", registry=toolchain.registry)
+    assert "Pipeline stats" not in html_without
+
+
+def test_html_empty_report(toolchain):
+    report = toolchain.check("SELECT order_id FROM orders WHERE order_id = 1")
+    html_out = render_report(report, "html", registry=toolchain.registry)
+    assert "No anti-patterns detected." in html_out
+
+
+def test_clean_report_still_renders_requested_stats(toolchain):
+    report = toolchain.check("SELECT order_id FROM orders WHERE order_id = 1")
+    for fmt in ("markdown", "html"):
+        out = render_report(report, fmt, registry=toolchain.registry, include_stats=True)
+        assert "Pipeline stats" in out
+
+
+def test_sarif_round_trips_through_json(report, toolchain):
+    rendered = render_report(report, "sarif", registry=toolchain.registry, source="demo.sql")
+    log = json.loads(rendered)
+    run_obj = log["runs"][0]
+    assert run_obj["tool"]["driver"]["name"] == "sqlcheck"
+    assert len(run_obj["tool"]["driver"]["rules"]) == len(toolchain.registry)
+    assert all(result["message"]["text"] for result in run_obj["results"])
+
+
+def test_sarif_fix_travels_in_properties(document, toolchain):
+    log = to_sarif(document, registry=toolchain.registry)
+    fixes = [
+        result["properties"].get("fix")
+        for result in log["runs"][0]["results"]
+        if result["properties"].get("fix")
+    ]
+    assert fixes and all("explanation" in fix for fix in fixes)
+
+
+def test_unknown_format_raises(report, toolchain):
+    with pytest.raises(ValueError):
+        render_report(report, "pdf", registry=toolchain.registry)
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+def test_cli_markdown_format():
+    code, output = run(["--format", "markdown", "-q", "SELECT * FROM t"])
+    assert code == 1  # detections found
+    assert output.startswith("# SQLCheck report")
+    assert "**Why it hurts.**" in output
+
+
+def test_cli_top_truncates_markdown():
+    code, full = run(["--format", "markdown", "-q", "SELECT * FROM t WHERE a LIKE '%x'"])
+    code, truncated = run(
+        ["--format", "markdown", "--top", "1", "-q", "SELECT * FROM t WHERE a LIKE '%x'"]
+    )
+    assert code == 1
+    assert full.count("### ") > truncated.count("### ") == 1
+    # the header keeps the true count and flags the truncation
+    assert "**2 anti-pattern(s)**" in truncated
+    assert "Showing the top 1 by impact." in truncated
+
+
+def test_sarif_snippet_only_when_byte_identical_to_region(toolchain):
+    # Leading comment: raw is longer than the span -> snippet omitted.
+    # Folded compound keyword: same length, different text -> omitted too.
+    for sql in ("-- lead comment\nSELECT * FROM t;", "SELECT * FROM t GROUP\nBY a;"):
+        report = toolchain.check(sql, source="s.sql")
+        log = to_sarif(
+            build_document(report, registry=toolchain.registry, source="s.sql"),
+            registry=toolchain.registry,
+        )
+        for result in log["runs"][0]["results"]:
+            region = result["locations"][0]["physicalLocation"]["region"]
+            snippet = region.get("snippet", {}).get("text")
+            if snippet is not None:  # snippet must equal the region content
+                assert snippet == sql[region["charOffset"] : region["charOffset"] + region["charLength"]]
+            else:  # normalised raw: anchor kept, snippet dropped
+                assert region["charOffset"] == sql.index("SELECT")
+
+
+def test_cli_rejects_negative_top():
+    code, output = run(["--top", "-1", "-q", "SELECT * FROM t"])
+    assert code == 2
+    assert "--top" in output
+
+
+def test_cli_sarif_format_is_valid_json():
+    code, output = run(["--format", "sarif", "-q", "SELECT * FROM t"])
+    assert code == 1
+    log = json.loads(output)
+    assert log["version"] == "2.1.0"
+    assert log["runs"][0]["results"]
+
+
+def test_cli_html_format():
+    code, output = run(["--format", "html", "-q", "SELECT * FROM t"])
+    assert code == 1
+    assert output.startswith("<!DOCTYPE html>")
+
+
+def test_cli_batch_rich_format(tmp_path):
+    a = tmp_path / "a.sql"
+    a.write_text("SELECT * FROM t;")
+    b = tmp_path / "b.sql"
+    b.write_text("SELECT * FROM u;")
+    code, output = run(["--format", "markdown", "--batch", str(a), str(b)])
+    assert code == 1
+    assert "# SQLCheck batch report" in output
+    code, output = run(["--format", "sarif", "--batch", str(a), str(b)])
+    assert code == 1
+    log = json.loads(output)
+    uris = {artifact["location"]["uri"] for artifact in log["runs"][0]["artifacts"]}
+    assert uris == {str(a), str(b)}
+
+
+def test_cli_single_file_sets_source(tmp_path):
+    path = tmp_path / "one.sql"
+    path.write_text("SELECT * FROM t;")
+    code, output = run(["--format", "sarif", str(path)])
+    assert code == 1
+    log = json.loads(output)
+    location = log["runs"][0]["results"][0]["locations"][0]
+    assert location["physicalLocation"]["artifactLocation"]["uri"] == str(path)
+
+
+# ----------------------------------------------------------------------
+# REST plumbing
+# ----------------------------------------------------------------------
+def test_rest_check_format_sarif():
+    status, body = handle_check_request({"query": "SELECT * FROM t", "format": "sarif"})
+    assert status == 200
+    assert body["version"] == "2.1.0"
+    assert body["runs"][0]["results"]
+
+
+def test_rest_check_format_markdown_envelope():
+    status, body = handle_check_request({"query": "SELECT * FROM t", "format": "markdown"})
+    assert status == 200
+    assert body["format"] == "markdown"
+    assert body["content"].startswith("# SQLCheck report")
+
+
+def test_rest_check_unknown_format_is_400():
+    status, body = handle_check_request({"query": "SELECT 1", "format": "pdf"})
+    assert status == 400
+    assert "format" in body["error"]
+
+
+def test_rest_check_default_format_unchanged():
+    status, body = handle_check_request({"query": "SELECT * FROM t"})
+    assert status == 200
+    assert "detections" in body  # plain report dict, as before this PR
+
+
+def test_rest_batch_format_html():
+    status, body = handle_check_batch_request(
+        {"corpora": {"a": "SELECT * FROM t"}, "format": "html"}
+    )
+    assert status == 200
+    assert body["format"] == "html"
+    assert body["content"].startswith("<!DOCTYPE html>")
