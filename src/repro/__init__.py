@@ -23,6 +23,7 @@ from .detector.detector import APDetector, DetectorConfig
 from .detector.pipeline import PipelineStats
 from .engine.database import Database
 from .fixer.fix import Fix, FixKind
+from .ingest import LiveScanner, WorkloadLog, connect, read_workload_log, scan
 from .fixer.repair_engine import APFixer, QueryRepairEngine
 from .model.antipatterns import AntiPattern, APCategory
 from .model.detection import Detection, DetectionReport, Severity
@@ -50,6 +51,7 @@ __all__ = [
     "DetectorConfig",
     "Fix",
     "FixKind",
+    "LiveScanner",
     "PipelineStats",
     "QueryRepairEngine",
     "RankedDetection",
@@ -61,10 +63,14 @@ __all__ = [
     "SQLCheckReport",
     "Severity",
     "Thresholds",
+    "WorkloadLog",
+    "connect",
     "default_registry",
     "find_anti_patterns",
+    "read_workload_log",
     "render_batch_report",
     "render_report",
+    "scan",
     "to_sarif",
     "__version__",
 ]

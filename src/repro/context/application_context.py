@@ -56,6 +56,10 @@ class ApplicationContext:
     database: Any | None = None
     dialect: Dialect = GENERIC
     source: str | None = None
+    #: observed execution frequency per statement index (from a query log);
+    #: statements absent from the map count as executed once.  ap-rank
+    #: weights detection scores by these when present.
+    frequencies: dict[int, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # schema access
@@ -100,6 +104,12 @@ class ApplicationContext:
     @property
     def query_count(self) -> int:
         return len(self.queries)
+
+    def frequency_of(self, query_index: int | None) -> int:
+        """Observed execution count of a statement (1 when unknown)."""
+        if query_index is None:
+            return 1
+        return max(1, self.frequencies.get(query_index, 1))
 
     def queries_of_type(self, *statement_types: str) -> list[QueryAnnotation]:
         wanted = set(statement_types)

@@ -290,7 +290,11 @@ class SQLCheck:
         detection_report = self.detector.detect_in_context(context, stats=stats)
         t1 = time.perf_counter()
         stats.detect_seconds += t1 - t0
-        ranked = self.ranker.rank(detection_report)
+        # Real execution frequencies (live-source ingestion attaches them to
+        # the context) weight the ranking; absent a log every weight is 1.
+        ranked = self.ranker.rank(
+            detection_report, frequencies=context.frequencies or None
+        )
         t2 = time.perf_counter()
         stats.rank_seconds += t2 - t1
         fixes = self.fixer.fix(ranked, context) if self.options.suggest_fixes else []

@@ -1,0 +1,340 @@
+"""Database connectors: introspect a *live* database into the catalog.
+
+The paper's pipeline runs against a live application — Algorithm 1 builds
+the application context from the database's catalog and sampled tuples, not
+from DDL text.  A :class:`Connector` is that bridge: it introspects a
+running database into a :class:`~repro.catalog.schema.Schema` and hands the
+data analyser real rows to profile.
+
+Two connectors ship:
+
+* :class:`SQLiteConnector` — any SQLite database file (or open stdlib
+  ``sqlite3`` connection).  The catalog is rebuilt by feeding the CREATE
+  statements SQLite itself stores in ``sqlite_master`` through the same
+  :class:`~repro.catalog.ddl_builder.DDLBuilder` the offline path uses, so
+  a live scan and an offline scan of the same DDL agree byte-for-byte;
+  tables whose stored DDL the tolerant parser cannot use fall back to
+  ``PRAGMA table_info`` introspection.
+* :class:`EngineConnector` — the in-repo :class:`~repro.engine.Database`
+  (the PostgreSQL stand-in used by the benchmarks), so everything built on
+  connectors is exercisable without external files.
+
+Client/server engines (PostgreSQL, MySQL) need driver packages this
+offline environment does not ship; :func:`connect` recognises their URLs
+and raises a :class:`ConnectorError` that points at the query-log readers
+(``--log``) as the supported ingestion path for them.
+"""
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Any, Iterable
+
+from ..catalog.ddl_builder import DDLBuilder
+from ..catalog.schema import Column, Schema, Table
+from ..catalog.types import parse_type
+from ..profiler.profiler import DataProfiler, TableProfile
+
+
+class ConnectorError(Exception):
+    """Raised when a database URL cannot be served by any connector."""
+
+
+class ConnectedTable:
+    """Lazy, read-only stand-in for an engine ``StoredTable``.
+
+    Data rules reach the raw rows through
+    ``context.application.database.get_table(name).all_rows()``; this shim
+    serves that contract for any connector, fetching rows on first use.
+    """
+
+    def __init__(self, connector: "Connector", definition: Table):
+        self._connector = connector
+        self.definition = definition
+        self.name = definition.name
+        self._rows: "list[dict[str, Any]] | None" = None
+
+    def all_rows(self) -> "list[dict[str, Any]]":
+        if self._rows is None:
+            self._rows = self._connector.table_rows(self.name)
+        return self._rows
+
+    @property
+    def row_count(self) -> int:
+        return len(self.all_rows())
+
+
+class Connector:
+    """Read-only view of a live database: schema introspection + row access.
+
+    Subclasses implement :meth:`introspect_schema` and :meth:`table_rows`;
+    profiling, context assembly, and the engine-compatible ``get_table``
+    row access (used by the data rules) are shared.  ``dialect`` is the SQL
+    dialect hint handed to the parser for the workload that accompanies the
+    database.
+    """
+
+    #: provenance label (file path, engine name) used as the scan source.
+    name: str = "<database>"
+    dialect: "str | None" = None
+    _schema_cache: "Schema | None" = None
+    _table_cache: "dict[str, ConnectedTable] | None" = None
+
+    def introspect_schema(self) -> Schema:
+        raise NotImplementedError
+
+    def table_rows(self, table: str) -> "list[dict[str, Any]]":
+        raise NotImplementedError
+
+    def schema(self) -> Schema:
+        """The introspected catalog (computed once per connector)."""
+        if self._schema_cache is None:
+            self._schema_cache = self.introspect_schema()
+        return self._schema_cache
+
+    def refresh(self) -> Schema:
+        """Drop the cached catalog and rows, re-introspect (schema changes)."""
+        self._schema_cache = None
+        self._table_cache = None
+        return self.schema()
+
+    def get_table(self, name: str) -> "ConnectedTable | None":
+        """Engine-compatible row access for the data rules.
+
+        Tables are cached per connector so the rows behind one scan are
+        fetched at most once — the profiler and the data rules share them.
+        """
+        if self._table_cache is None:
+            self._table_cache = {}
+        cached = self._table_cache.get(name.lower())
+        if cached is not None:
+            return cached
+        definition = self.schema().get_table(name)
+        if definition is None:
+            return None
+        table = ConnectedTable(self, definition)
+        self._table_cache[name.lower()] = table
+        return table
+
+    def profiles(self, profiler: "DataProfiler | None" = None) -> "dict[str, TableProfile]":
+        """Profile every table exactly as the offline data analyser does.
+
+        Rows go through :meth:`get_table`'s cache, so the data rules
+        running later in the same scan reuse them instead of re-fetching.
+        """
+        profiler = profiler or DataProfiler()
+        schema = self.schema()
+        profiles: "dict[str, TableProfile]" = {}
+        for table in schema.tables.values():
+            stored = self.get_table(table.name)
+            rows = stored.all_rows() if stored is not None else []
+            profiles[table.name.lower()] = profiler.profile_rows(
+                table.name, rows, definition=table
+            )
+        return profiles
+
+    def close(self) -> None:  # pragma: no cover - default is a no-op
+        return
+
+    def __enter__(self) -> "Connector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class EngineConnector(Connector):
+    """Adapter over the in-repo :class:`~repro.engine.Database`."""
+
+    dialect = "postgresql"
+
+    def __init__(self, database: Any):
+        self.database = database
+        self.name = f"engine:{getattr(database, 'name', 'main')}"
+
+    def introspect_schema(self) -> Schema:
+        return self.database.schema
+
+    def table_rows(self, table: str) -> "list[dict[str, Any]]":
+        stored = self.database.get_table(table)
+        if stored is None:
+            return []
+        return stored.all_rows()
+
+    def get_table(self, name: str):
+        # The engine's own stored tables already satisfy the data-rule
+        # contract; hand them through so live and offline runs share rows.
+        return self.database.get_table(name)
+
+
+class SQLiteConnector(Connector):
+    """Connector over a SQLite database file / stdlib connection.
+
+    SQLite stores every object's original CREATE statement in
+    ``sqlite_master``; replaying those through :class:`DDLBuilder` yields a
+    catalog identical to parsing the same DDL offline (the round-trip the
+    conformance suite locks).  ``PRAGMA table_info`` fills in any table the
+    stored DDL did not produce.
+    """
+
+    dialect = "sqlite"
+
+    def __init__(self, database: "str | Path | sqlite3.Connection"):
+        if isinstance(database, sqlite3.Connection):
+            self._connection = database
+            self.name = "sqlite:<connection>"
+            self._owns_connection = False
+        else:
+            path = Path(database)
+            if not path.exists():
+                raise ConnectorError(f"SQLite database not found: {path}")
+            try:
+                self._connection = sqlite3.connect(str(path))
+            except sqlite3.Error as error:
+                # Directories and unreadable files pass the exists() check
+                # but fail to open — keep the clean-error contract.
+                raise ConnectorError(
+                    f"cannot open SQLite database {path}: {error}"
+                ) from error
+            self.name = str(path)
+            self._owns_connection = True
+        self._connection.row_factory = sqlite3.Row
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def master_entries(self) -> "list[tuple[str, str, str | None]]":
+        """(type, name, sql) rows of every user table and index, in
+        creation order."""
+        try:
+            cursor = self._connection.execute(
+                "SELECT type, name, sql FROM sqlite_master "
+                "WHERE type IN ('table', 'index') AND name NOT LIKE 'sqlite_%' "
+                "ORDER BY rowid"
+            )
+            return [(row["type"], row["name"], row["sql"]) for row in cursor.fetchall()]
+        except sqlite3.Error as error:
+            # Any existing path resolves to this connector, so a non-SQLite
+            # file lands here ("file is not a database") — surface it as the
+            # error type the CLI/REST surfaces report cleanly.
+            raise ConnectorError(
+                f"cannot read SQLite catalog from {self.name}: {error}"
+            ) from error
+
+    def introspect_schema(self) -> Schema:
+        builder = DDLBuilder()
+        for kind, name, sql in self.master_entries():
+            if sql:
+                builder.apply(sql)
+            if kind == "table" and builder.schema.get_table(name) is None:
+                self._pragma_table(builder.schema, name)
+        return builder.schema
+
+    def _pragma_table(self, schema: Schema, name: str) -> None:
+        """Fallback introspection through ``PRAGMA table_info`` for tables
+        whose stored DDL did not make it through the tolerant parser."""
+        table = Table(name=name)
+        pk: "list[tuple[int, str]]" = []
+        try:
+            info = self._connection.execute(
+                f"PRAGMA table_info({self._quote(name)})"
+            ).fetchall()
+        except sqlite3.Error as error:
+            raise ConnectorError(
+                f"cannot introspect table {name!r} in {self.name}: {error}"
+            ) from error
+        for row in info:
+            column = Column(
+                name=row["name"],
+                sql_type=parse_type(row["type"] or "TEXT"),
+                nullable=not row["notnull"],
+                default=row["dflt_value"],
+                is_primary_key=bool(row["pk"]),
+            )
+            table.add_column(column)
+            if row["pk"]:
+                pk.append((row["pk"], row["name"]))
+        if pk:
+            table.primary_key = tuple(name for _, name in sorted(pk))
+        if table.columns:
+            schema.add_table(table)
+
+    # ------------------------------------------------------------------
+    # data access
+    # ------------------------------------------------------------------
+    def table_rows(self, table: str) -> "list[dict[str, Any]]":
+        try:
+            cursor = self._connection.execute(f"SELECT * FROM {self._quote(table)}")
+        except sqlite3.Error as error:
+            raise ConnectorError(f"cannot read table {table!r}: {error}") from error
+        return [dict(row) for row in cursor.fetchall()]
+
+    @staticmethod
+    def _quote(identifier: str) -> str:
+        return '"' + identifier.replace('"', '""') + '"'
+
+    def close(self) -> None:
+        if self._owns_connection:
+            self._connection.close()
+
+
+#: URL schemes that name client/server engines whose drivers are not
+#: available offline — their workloads arrive through the log readers.
+_UNSUPPORTED_SCHEMES = ("postgres", "postgresql", "mysql", "mariadb", "mssql", "oracle")
+
+#: File suffixes treated as SQLite databases when no scheme is given.
+_SQLITE_SUFFIXES = (".db", ".sqlite", ".sqlite3", ".db3")
+
+
+def connect(target: "str | Path | sqlite3.Connection | Any") -> Connector:
+    """Open a connector for a database URL, file path, or live object.
+
+    Accepted targets:
+
+    * ``sqlite:///relative/path.db`` / ``sqlite:////abs/path.db`` URLs,
+      bare paths ending in ``.db``/``.sqlite``/``.sqlite3``/``.db3``, or an
+      open ``sqlite3.Connection``;
+    * an in-repo :class:`~repro.engine.Database` instance (or anything
+      already shaped like a :class:`Connector`);
+    * PostgreSQL / MySQL URLs raise :class:`ConnectorError` with the
+      supported alternative (their query logs via ``--log``).
+    """
+    if isinstance(target, Connector):
+        return target
+    if isinstance(target, sqlite3.Connection):
+        return SQLiteConnector(target)
+    # Duck-typed engine database: catalog schema + stored tables.
+    if hasattr(target, "schema") and hasattr(target, "tables") and hasattr(target, "get_table"):
+        return EngineConnector(target)
+    if isinstance(target, Path):
+        return SQLiteConnector(target)
+    if not isinstance(target, str):
+        raise ConnectorError(f"cannot build a connector for {target!r}")
+
+    url = target.strip()
+    scheme, _, rest = url.partition("://")
+    scheme = scheme.lower() if rest or url.startswith("sqlite:") else ""
+    # SQLAlchemy/Django-style driver qualifiers ("postgresql+psycopg2")
+    # still name the engine before the "+".
+    if scheme.partition("+")[0] in _UNSUPPORTED_SCHEMES:
+        raise ConnectorError(
+            f"no {scheme} driver is available in this environment; point "
+            "sqlcheck at the server's query log instead (--log FILE "
+            "--log-format postgres-csv|postgres|mysql) or export the schema "
+            "to a .sql file"
+        )
+    if scheme == "sqlite" or url.lower().startswith("sqlite:"):
+        path = rest if rest else url.split(":", 1)[1]
+        path = path.lstrip("/") if not path.startswith("//") else path[1:]
+        if path in (":memory:", ""):
+            raise ConnectorError(
+                "sqlite::memory: has no catalog to introspect; pass an open "
+                "sqlite3.Connection instead"
+            )
+        return SQLiteConnector(path)
+    if url.lower().endswith(_SQLITE_SUFFIXES) or Path(url).exists():
+        return SQLiteConnector(url)
+    raise ConnectorError(
+        f"cannot infer a database kind from {url!r} (expected a sqlite:/// "
+        f"URL or a path ending in {', '.join(_SQLITE_SUFFIXES)})"
+    )

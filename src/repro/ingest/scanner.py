@@ -1,0 +1,222 @@
+"""Workload-weighted scanning: live database + query log → ranked report.
+
+This is Algorithm 1 run against the inputs the paper actually evaluates —
+a live schema, stored data, and the executed workload — instead of offline
+SQL text:
+
+1. the workload log's *distinct* statements are annotated (query analysis);
+2. the connector introspects the live catalog and profiles sampled rows
+   (schema + data analysis), fully populating the
+   :class:`~repro.context.application_context.ApplicationContext`;
+3. detection runs over that context, and ap-rank weights every finding by
+   the statement's **real execution frequency** from the log.
+
+Equivalence contract: scanning a live database is the same computation as
+the offline path over equivalent inputs (the same DDL, rows, and
+statements) — the conformance suite's differential oracle holds the two
+byte-identical.  :func:`stream_scan` trades whole-workload context for a
+bounded memory footprint: the log is folded chunk-by-chunk and each chunk
+flows through the cached detection pipeline independently.
+"""
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from ..context.application_context import ApplicationContext
+from ..core.sqlcheck import SQLCheck, SQLCheckOptions, SQLCheckReport
+from ..detector.pipeline import PipelineStats
+from .connectors import Connector, ConnectorError, connect
+from .log_readers import read_workload_log
+from .workload_log import WorkloadLog, statement_key
+
+#: Default distinct-statement chunk size of :func:`stream_scan`.
+DEFAULT_STREAM_CHUNK = 512
+
+
+def assign_frequencies(context: ApplicationContext, log: WorkloadLog) -> ApplicationContext:
+    """Attach the log's execution frequencies to a built context.
+
+    Annotations are matched to log entries by whitespace-insensitive
+    statement text (:func:`~repro.ingest.workload_log.statement_key`);
+    statements the log never saw keep the default frequency of 1.
+    """
+    frequencies = log.frequencies()
+    for annotation in context.queries:
+        statement = annotation.statement
+        if statement is None:
+            continue
+        count = frequencies.get(statement_key(annotation.raw))
+        if count is not None and count > 1:
+            context.frequencies[statement.index] = count
+    return context
+
+
+def _coerce_workload(workload: Any, log_format: "str | None") -> "WorkloadLog | None":
+    """Accept a WorkloadLog, a log-file path, raw SQL text, or statements."""
+    if workload is None:
+        return None
+    if isinstance(workload, WorkloadLog):
+        return workload
+    if isinstance(workload, Path):
+        return read_workload_log(workload, log_format)
+    if isinstance(workload, str):
+        candidate = Path(workload)
+        if candidate.exists():
+            return read_workload_log(candidate, log_format)
+        return WorkloadLog.from_statements([workload])
+    return WorkloadLog.from_statements(workload)
+
+
+class LiveScanner:
+    """Scans live sources through a shared :class:`~repro.core.sqlcheck.SQLCheck`.
+
+    One scanner can serve many scans; the toolchain's annotation cache and
+    detection memo stay warm across them (the memo itself is bypassed for
+    database-backed contexts, where data refreshes must be observable).
+    """
+
+    def __init__(self, toolchain: "SQLCheck | None" = None, *,
+                 options: "SQLCheckOptions | None" = None):
+        self.toolchain = toolchain or SQLCheck(options)
+
+    def scan(
+        self,
+        database: "Any | None" = None,
+        workload: "WorkloadLog | str | Path | Iterable[str] | None" = None,
+        *,
+        log_format: "str | None" = None,
+        source: "str | None" = None,
+    ) -> SQLCheckReport:
+        """Run the full pipeline over a live database and/or a query log.
+
+        ``database`` is anything :func:`~repro.ingest.connectors.connect`
+        accepts (sqlite URL/path/connection, engine database, connector);
+        ``workload`` is a :class:`WorkloadLog`, a log-file path (parsed per
+        ``log_format``, auto-detected by default), SQL text, or an iterable
+        of statements.  At least one of the two must be given.
+        """
+        connector = connect(database) if database is not None else None
+        log = _coerce_workload(workload, log_format)
+        if connector is None and log is None:
+            raise ConnectorError("scan needs a database, a workload log, or both")
+
+        toolchain = self.toolchain
+        builder = toolchain._builder
+        stats = PipelineStats()
+        cache = toolchain.detector.annotation_cache
+        hits0 = cache.stats.hits if cache is not None else 0
+        misses0 = cache.stats.misses if cache is not None else 0
+        label = source or (log.source if log is not None else None) or (
+            connector.name if connector is not None else None
+        )
+        start = time.perf_counter()
+        statements = log.statements() if log is not None else []
+        context = builder.build(statements, source=label, stats=stats)
+        if connector is not None:
+            t_live = time.perf_counter()
+            live_schema = connector.schema()
+            # The live catalog is authoritative when connected (Algorithm 1
+            # prefers it over DDL found in the workload).
+            if live_schema.tables or not context.schema.tables:
+                context.schema = live_schema
+            context.profiles = connector.profiles(builder.profiler)
+            context.database = connector
+            stats.context_seconds += time.perf_counter() - t_live
+        if log is not None:
+            assign_frequencies(context, log)
+        if cache is not None:
+            stats.annotation_cache_hits = cache.stats.hits - hits0
+            stats.annotation_cache_misses = cache.stats.misses - misses0
+        report = toolchain.check_context(context, stats=stats)
+        stats.total_seconds = time.perf_counter() - start
+        return report
+
+    def stream(
+        self,
+        workload: "WorkloadLog | str | Path | Iterable[str]",
+        *,
+        log_format: "str | None" = None,
+        chunk_size: int = DEFAULT_STREAM_CHUNK,
+        source: "str | None" = None,
+    ) -> "Iterator[SQLCheckReport]":
+        """Scan a workload log in bounded-memory chunks.
+
+        At most ``chunk_size`` distinct statements are resident at a time;
+        each chunk runs through the cached detection pipeline (via the
+        batch path's context assembly) and yields its own report.
+        Inter-query context and frequency weights are chunk-local — the
+        memory bound is the trade-off, and corpus-scale logs whose
+        statements exceed main memory are the only reason to prefer this
+        over :meth:`scan`.
+        """
+        log = _coerce_workload(workload, log_format)
+        if log is None:
+            raise ConnectorError("stream needs a workload log")
+        label = source or log.source
+        for piece in log.slices(chunk_size):
+            stats = PipelineStats()
+            context = self.toolchain._builder.build(
+                piece.statements(), source=label, stats=stats
+            )
+            assign_frequencies(context, piece)
+            yield self.toolchain.check_context(context, stats=stats)
+
+    def stream_detect(
+        self,
+        workload: "WorkloadLog | str | Path | Iterable[str]",
+        *,
+        log_format: "str | None" = None,
+        chunk_size: int = DEFAULT_STREAM_CHUNK,
+        workers: "int | None" = None,
+        source: "str | None" = None,
+    ):
+        """Detection-only streaming through :meth:`APDetector.detect_batch`.
+
+        Yields ``(DetectionReport, PipelineStats)`` per chunk — the raw
+        corpus-scale path (no ranking or fixes), with the batch pipeline's
+        process-pool parse fan-out available via ``workers``.
+        """
+        log = _coerce_workload(workload, log_format)
+        if log is None:
+            raise ConnectorError("stream_detect needs a workload log")
+        label = source or log.source
+        for piece in log.slices(chunk_size):
+            yield self.toolchain.detector.detect_batch(
+                piece.statements(), workers=workers, source=label
+            )
+
+
+def scan(
+    database: "Any | None" = None,
+    workload: "WorkloadLog | str | Path | Iterable[str] | None" = None,
+    *,
+    log_format: "str | None" = None,
+    options: "SQLCheckOptions | None" = None,
+    source: "str | None" = None,
+) -> SQLCheckReport:
+    """One-shot convenience wrapper around :class:`LiveScanner`.
+
+    Example::
+
+        from repro.ingest import scan
+        report = scan("sqlite:///app.db", "postgres.csv", log_format="postgres-csv")
+    """
+    return LiveScanner(options=options).scan(
+        database, workload, log_format=log_format, source=source
+    )
+
+
+def stream_scan(
+    workload: "WorkloadLog | str | Path | Iterable[str]",
+    *,
+    log_format: "str | None" = None,
+    options: "SQLCheckOptions | None" = None,
+    chunk_size: int = DEFAULT_STREAM_CHUNK,
+    source: "str | None" = None,
+) -> "Iterator[SQLCheckReport]":
+    """Module-level form of :meth:`LiveScanner.stream`."""
+    return LiveScanner(options=options).stream(
+        workload, log_format=log_format, chunk_size=chunk_size, source=source
+    )

@@ -16,6 +16,12 @@ each rule's :class:`~repro.rules.base.RuleDoc` and ``examples()``;
 stale.  ``--format markdown|html|sarif`` renders any check as an
 explainable report (SARIF 2.1.0 surfaces findings as native CI
 annotations).
+
+``sqlcheck scan`` analyses a *live* application: ``--db`` introspects a
+database (SQLite URL/path) into the schema+data context, ``--log`` feeds a
+real query log (PostgreSQL csvlog/stderr, MySQL general log, SQLite trace,
+or plain SQL) whose execution frequencies weight the ranking.  Every
+``--format`` of the offline paths applies.
 """
 from __future__ import annotations
 
@@ -103,6 +109,104 @@ def build_selftest_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_scan_parser() -> argparse.ArgumentParser:
+    from ..ingest import LOG_FORMATS
+
+    parser = argparse.ArgumentParser(
+        prog="sqlcheck scan",
+        description="Scan a live database and/or a query log: the schema and "
+        "sampled rows populate the data context, and the log's real execution "
+        "frequencies weight the impact ranking.",
+    )
+    parser.add_argument(
+        "--db",
+        default=None,
+        help="database to introspect: a sqlite:/// URL, a .db/.sqlite path "
+        "(client/server engines are ingested via their query logs instead)",
+    )
+    parser.add_argument(
+        "--log",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="query-log file (repeatable; entries from several logs merge)",
+    )
+    parser.add_argument(
+        "--log-format",
+        choices=("auto",) + LOG_FORMATS,
+        default="auto",
+        help="log dialect (default: auto-detect per file)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=ALL_FORMATS,
+        default="text",
+        help="output format (as for plain sqlcheck)",
+    )
+    parser.add_argument("--config", choices=("C1", "C2"), default="C1", help="ranking configuration")
+    parser.add_argument("--dialect", default=None, help="SQL dialect hint (defaults to the connector's)")
+    parser.add_argument("--top", type=int, default=0, help="only print the N highest-impact detections")
+    parser.add_argument("--no-inter-query", action="store_true", help="disable inter-query analysis")
+    parser.add_argument("--no-fixes", action="store_true", help="do not generate fixes")
+    parser.add_argument("--min-confidence", type=float, default=0.5, help="confidence threshold")
+    parser.add_argument("--source", default=None, help="provenance label for the report")
+    parser.add_argument(
+        "--stats", action="store_true", help="print per-stage pipeline timings and cache hit rates"
+    )
+    return parser
+
+
+def run_scan_command(argv: Sequence[str]) -> tuple[int, str]:
+    """``sqlcheck scan``: live-source ingestion, return (code, output)."""
+    from ..ingest import (
+        ConnectorError,
+        LiveScanner,
+        LogFormatError,
+        WorkloadLog,
+        connect,
+        read_workload_log,
+    )
+
+    args = build_scan_parser().parse_args(list(argv))
+    if not args.db and not args.log:
+        return 2, "error: sqlcheck scan needs --db, --log, or both"
+    if args.top < 0:
+        return 2, "error: --top must be a non-negative number of findings"
+    log_format = None if args.log_format == "auto" else args.log_format
+    connector = None
+    try:
+        connector = connect(args.db) if args.db else None
+        workload: "WorkloadLog | None" = None
+        for path in args.log:
+            piece = read_workload_log(path, log_format)
+            workload = piece if workload is None else workload.merge(piece)
+        dialect = args.dialect or (connector.dialect if connector is not None else None)
+        options = SQLCheckOptions(
+            detector=DetectorConfig(
+                enable_inter_query=not args.no_inter_query,
+                confidence_threshold=args.min_confidence,
+                dialect=dialect,
+            ),
+            ranking=C1 if args.config == "C1" else C2,
+            suggest_fixes=not args.no_fixes,
+        )
+        scanner = LiveScanner(options=options)
+        source = args.source or (
+            args.db if args.db else (args.log[0] if len(args.log) == 1 else None)
+        )
+        report = scanner.scan(connector, workload, source=source)
+    except (ConnectorError, LogFormatError, OSError) as error:
+        return 2, f"error: {error}"
+    finally:
+        if connector is not None:
+            connector.close()
+    output = render(
+        report, fmt=args.format, top=args.top, stats=args.stats,
+        registry=scanner.toolchain.registry, source=source,
+    )
+    return (1 if len(report) else 0), output
+
+
 def build_docs_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="sqlcheck docs",
@@ -188,6 +292,8 @@ def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple
         return run_selftest_command(argv[1:])
     if argv[:1] == ["docs"]:
         return run_docs_command(argv[1:])
+    if argv[:1] == ["scan"]:
+        return run_scan_command(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     file_contents: list[tuple[str, str]] = []

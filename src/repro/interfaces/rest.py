@@ -14,6 +14,13 @@ by the standard library's ``http.server``:
   "workers": N, "format": ...}``, runs the parallel batch pipeline over
   independent corpora and returns one report per corpus plus aggregate
   stats (same ``format`` values as ``/api/check``);
+* ``POST /api/scan`` — live-source ingestion: body ``{"db": "sqlite:///...",
+  "log_text": "...", "log_format": "postgres-csv"|"postgres"|"mysql"|
+  "sqlite-trace"|"sql", "config": ..., "format": ...}``; the database (a
+  server-local path/URL) is introspected into the schema+data context and
+  the log's execution frequencies weight the ranking;
+* ``GET  /api/rules`` — the registered rule catalog with each rule's
+  structured :class:`~repro.rules.base.RuleDoc`;
 * ``GET  /api/antipatterns`` — the supported anti-pattern catalog;
 * ``GET  /api/health`` — liveness probe.
 
@@ -27,8 +34,10 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..core.sqlcheck import SQLCheck, SQLCheckOptions
-from ..model.antipatterns import full_catalog
+from ..detector.detector import DetectorConfig
+from ..model.antipatterns import catalog_entry, full_catalog
 from ..ranking.config import C1, C2
+from ..rules.registry import default_registry
 from ..reporting import (
     RICH_FORMATS,
     build_document,
@@ -106,6 +115,100 @@ def handle_check_batch_request(payload: dict) -> tuple[int, dict]:
     return 200, _formatted_response(documents, fmt, toolchain.registry)
 
 
+def handle_scan_request(payload: dict) -> tuple[int, dict]:
+    """Process the body of ``POST /api/scan`` and return (status, response)."""
+    from ..ingest import (
+        LOG_FORMATS,
+        ConnectorError,
+        LiveScanner,
+        LogFormatError,
+        WorkloadLog,
+        connect,
+        detect_log_format,
+        iter_log_records,
+    )
+
+    db = payload.get("db")
+    log_text = payload.get("log_text")
+    if not db and not log_text:
+        return 400, {"error": "the request body must contain 'db', 'log_text', or both"}
+    if db is not None and not isinstance(db, str):
+        return 400, {"error": "'db' must be a database URL or path string"}
+    if log_text is not None and not isinstance(log_text, str):
+        return 400, {"error": "'log_text' must be the log file content as a string"}
+    log_format = str(payload.get("log_format", "auto")).lower()
+    if log_format == "auto" and log_text:
+        # Same default as the CLI: sniff the content (the dummy name has no
+        # recognised extension, so only the sample decides).
+        log_format = detect_log_format("request.log", log_text)
+    if log_text and log_format not in LOG_FORMATS:
+        return 400, {
+            "error": f"unknown log format {log_format!r} (expected one of {list(LOG_FORMATS)})"
+        }
+    fmt, error = _parse_format(payload)
+    if error is not None:
+        return 400, error
+    config_name = str(payload.get("config", "C1")).upper()
+    ranking = C2 if config_name == "C2" else C1
+    connector = None
+    try:
+        connector = connect(db) if db else None
+        workload = None
+        if log_text:
+            workload = WorkloadLog.from_records(
+                iter_log_records(log_text.splitlines(True), log_format),
+                source="request",
+                log_format=log_format,
+            )
+        dialect = payload.get("dialect") or (
+            connector.dialect if connector is not None else None
+        )
+        scanner = LiveScanner(
+            options=SQLCheckOptions(
+                detector=DetectorConfig(dialect=dialect), ranking=ranking
+            )
+        )
+        report = scanner.scan(connector, workload, source=db or "request")
+    except (ConnectorError, LogFormatError) as error:
+        return 400, {"error": str(error)}
+    finally:
+        if connector is not None:
+            connector.close()
+    if fmt == "json":
+        body = report.to_dict()
+        if workload is not None:
+            body["workload"] = {
+                "distinct_statements": len(workload),
+                "total_statements": workload.total_statements,
+                "log_format": workload.log_format,
+            }
+        return 200, body
+    document = build_document(
+        report, registry=scanner.toolchain.registry, source=db or "request"
+    )
+    return 200, _formatted_response(document, fmt, scanner.toolchain.registry)
+
+
+def rules_response() -> dict:
+    """Response body of ``GET /api/rules``: the RuleDoc catalog as JSON."""
+    registry = default_registry()
+    return {
+        "rules": [
+            {
+                "name": rule.name,
+                "anti_pattern": rule.anti_pattern.value,
+                "category": catalog_entry(rule.anti_pattern).category.value,
+                "severity": rule.severity.name,
+                "kind": "data" if hasattr(rule, "check_table") else "query",
+                "statement_types": list(getattr(rule, "statement_types", ())),
+                "requires_context": bool(getattr(rule, "requires_context", False)),
+                "doc": rule.documentation().to_dict(),
+            }
+            for rule in registry
+        ]
+    }
+
+
 def catalog_response() -> dict:
     """Response body of ``GET /api/antipatterns``."""
     return {
@@ -140,6 +243,8 @@ class _Handler(BaseHTTPRequestHandler):
             self._send(200, {"status": "ok"})
         elif self.path == "/api/antipatterns":
             self._send(200, catalog_response())
+        elif self.path == "/api/rules":
+            self._send(200, rules_response())
         else:
             self._send(404, {"error": f"unknown path {self.path}"})
 
@@ -147,6 +252,7 @@ class _Handler(BaseHTTPRequestHandler):
         handlers = {
             "/api/check": handle_check_request,
             "/api/check_batch": handle_check_batch_request,
+            "/api/scan": handle_scan_request,
         }
         handler = handlers.get(self.path)
         if handler is None:
@@ -159,7 +265,12 @@ class _Handler(BaseHTTPRequestHandler):
         except json.JSONDecodeError:
             self._send(400, {"error": "request body is not valid JSON"})
             return
-        status, body = handler(payload)
+        try:
+            status, body = handler(payload)
+        except Exception as error:  # noqa: BLE001 - the thread must answer
+            # A handler bug must produce a JSON 500, not a silently killed
+            # request thread with no response on the wire.
+            status, body = 500, {"error": f"internal error: {error}"}
         self._send(status, body)
 
 

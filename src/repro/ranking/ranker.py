@@ -1,7 +1,16 @@
-"""ap-rank (§5.2): order detected anti-patterns by estimated impact."""
+"""ap-rank (§5.2): order detected anti-patterns by estimated impact.
+
+When a query log supplies real execution frequencies (live-source
+ingestion, :mod:`repro.ingest`), the intra-query score is additionally
+weighted by how often the offending statement actually runs: the paper's
+impact model measures cost *per execution*, so a wildcard projection
+executed 40 000 times a day outranks an identical one that ran twice.
+"""
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
+from typing import Mapping
 
 from ..model.antipatterns import AntiPattern
 from ..model.detection import Detection, DetectionReport
@@ -68,14 +77,46 @@ class APRanker:
         """Impact score of one detection (type score weighted by confidence)."""
         return self.score_anti_pattern(detection.anti_pattern) * detection.confidence
 
+    @staticmethod
+    def frequency_weight(frequency: "int | float | None") -> float:
+        """Workload weight of a statement executed ``frequency`` times.
+
+        Logarithmic (``1 + log2(f)``): execution counts in real logs span
+        orders of magnitude, and a linear weight would let one hot template
+        drown out every schema- and data-level finding.  ``f <= 1`` (or
+        unknown) weighs 1.0, so workloads without a log rank exactly as
+        before.
+        """
+        if frequency is None or frequency <= 1:
+            return 1.0
+        return 1.0 + math.log2(float(frequency))
+
     # ------------------------------------------------------------------
     # ranking
     # ------------------------------------------------------------------
-    def rank(self, report: "DetectionReport | list[Detection]") -> list[RankedDetection]:
-        """Rank every detection in decreasing order of estimated impact."""
+    def rank(
+        self,
+        report: "DetectionReport | list[Detection]",
+        *,
+        frequencies: "Mapping[int, int] | None" = None,
+    ) -> list[RankedDetection]:
+        """Rank every detection in decreasing order of estimated impact.
+
+        ``frequencies`` maps statement index → observed execution count
+        (from a query log); detections on unmapped statements — and
+        schema/data findings, which have no statement — keep weight 1.0.
+        """
         detections = list(report.detections if isinstance(report, DetectionReport) else report)
+        weights = frequencies or {}
         ranked = [
-            RankedDetection(detection=d, score=self.score_detection(d)) for d in detections
+            RankedDetection(
+                detection=d,
+                score=self.score_detection(d)
+                * self.frequency_weight(
+                    weights.get(d.query_index) if d.query_index is not None else None
+                ),
+            )
+            for d in detections
         ]
         ranked.sort(key=lambda r: (-r.score, r.detection.anti_pattern.value))
         for position, entry in enumerate(ranked, start=1):

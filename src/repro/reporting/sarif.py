@@ -13,8 +13,11 @@ maps a sqlcheck run onto one SARIF ``run``:
   ``charOffset``/``charLength`` from the statement offsets the parser
   records) and, for schema/data findings, a ``logicalLocation`` naming the
   table or column;
-* fixes travel in the result's property bag (sqlcheck's fixes are advisory
-  SQL, not byte-range text edits, so they do not map onto SARIF ``fixes``).
+* rewrite-kind fixes whose statement has a recorded offset become real
+  SARIF ``fixes`` — one ``replacement`` deleting the statement's byte range
+  and inserting the rewritten query — so SARIF-aware editors and CI bots
+  can apply them mechanically; every fix (rewrite or textual guidance)
+  additionally travels in the result's property bag.
 
 Only properties in the SARIF 2.1.0 required set plus widely-supported
 optional ones are emitted; ``tests/conformance/test_rule_docs.py`` validates
@@ -139,7 +142,43 @@ def _result(
             "statements": list(finding.fix.statements),
             "rewritten_query": finding.fix.rewritten_query,
         }
+        replacement = _fix_replacement(finding, artifact_uri)
+        if replacement is not None:
+            result["fixes"] = [replacement]
     return result
+
+
+def _fix_replacement(finding: Finding, artifact_uri: str) -> "dict | None":
+    """A SARIF ``fix`` object for a mechanically-applicable rewrite.
+
+    Only rewrite-kind fixes qualify, and only when the parser recorded the
+    statement's exact byte range (offset + token-span length): replacing a
+    range the raw text does not actually occupy would corrupt the artifact,
+    so anything positionless stays property-bag-only guidance.
+    """
+    fix = finding.fix
+    detection = finding.detection
+    if fix is None or not fix.is_rewrite or not fix.rewritten_query:
+        return None
+    if detection.statement_offset is None or detection.statement_length is None:
+        return None
+    return {
+        "description": {"text": fix.explanation or f"Rewrite: {detection.display_name}"},
+        "artifactChanges": [
+            {
+                "artifactLocation": {"uri": artifact_uri},
+                "replacements": [
+                    {
+                        "deletedRegion": {
+                            "charOffset": max(0, detection.statement_offset),
+                            "charLength": detection.statement_length,
+                        },
+                        "insertedContent": {"text": fix.rewritten_query},
+                    }
+                ],
+            }
+        ],
+    }
 
 
 def to_sarif(

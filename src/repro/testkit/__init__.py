@@ -14,7 +14,7 @@ behind those claims:
   (``tests/conformance/golden/*.jsonl``) with an update path;
 * :mod:`repro.testkit.oracles` — differential oracles: cold vs. warm-cache
   vs. batch equivalence, detector vs. dbdeo agreement, fixer round-trips,
-  and pipeline-stats accounting;
+  pipeline-stats accounting, and live-scan vs. offline equivalence;
 * :mod:`repro.testkit.coverage` — a dependency-free line-coverage tracer
   used to enforce the rules-package coverage floor;
 * :mod:`repro.testkit.selftest` — the ``sqlcheck selftest`` entry point
@@ -28,6 +28,7 @@ from .oracles import (
     check_cold_warm_batch,
     check_dbdeo_agreement,
     check_fixer_round_trip,
+    check_scan_equivalence,
     check_stats_accounting,
     detection_bytes,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "check_cold_warm_batch",
     "check_dbdeo_agreement",
     "check_fixer_round_trip",
+    "check_scan_equivalence",
     "check_stats_accounting",
     "detection_bytes",
     "diff_golden",

@@ -68,6 +68,7 @@ class CorpusGenerator:
             (AntiPattern.READABLE_PASSWORD, self._readable_password),
             (AntiPattern.CONCATENATE_NULLS, self._concatenate_nulls),
             (AntiPattern.MULTI_VALUED_ATTRIBUTE, self._multi_valued_attribute),
+            (AntiPattern.NO_FOREIGN_KEY, self._no_foreign_key),
             (AntiPattern.NO_PRIMARY_KEY, self._no_primary_key),
             (AntiPattern.GENERIC_PRIMARY_KEY, self._generic_primary_key),
             (AntiPattern.DATA_IN_METADATA, self._data_in_metadata),
@@ -239,6 +240,22 @@ class CorpusGenerator:
     # ------------------------------------------------------------------
     # planting recipes (logical / physical design DDL)
     # ------------------------------------------------------------------
+    def _no_foreign_key(self, rng: random.Random) -> list[str]:
+        """The paper's canonical inter-query planting (Example 3): both
+        tables' DDL plus a JOIN on a column pair no FOREIGN KEY covers —
+        the rule needs all three statements together to fire."""
+        parent = self._table(rng, fresh=True)
+        child = self._table(rng, fresh=True)
+        parent_pk = self._pk(parent)
+        return [
+            f"CREATE TABLE {parent} ({parent_pk} INTEGER PRIMARY KEY, "
+            "label VARCHAR(40) NOT NULL)",
+            f"CREATE TABLE {child} ({self._pk(child)} INTEGER PRIMARY KEY, "
+            f"{parent_pk} INTEGER, quantity INTEGER)",
+            f"SELECT c.quantity FROM {child} c "
+            f"JOIN {parent} p ON p.{parent_pk} = c.{parent_pk}",
+        ]
+
     def _no_primary_key(self, rng: random.Random) -> list[str]:
         table = self._table(rng, fresh=True)
         return [

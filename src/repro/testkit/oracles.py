@@ -13,7 +13,13 @@ Every oracle returns a list of :class:`OracleFailure` (empty = pass):
   both tools support, sqlcheck must fire, and the deliberately imprecise
   dbdeo baseline must agree on the obviously-planted instances;
 * :func:`check_fixer_round_trip` — every concrete rewrite the fixer emits
-  must re-parse and must no longer trigger the anti-pattern it fixed.
+  must re-parse and must no longer trigger the anti-pattern it fixed;
+* :func:`check_scan_equivalence` — live-source ingestion must be pure
+  plumbing: ``sqlcheck scan`` over a SQLite database built from given DDL +
+  rows, with a query log's frequencies, must produce detections
+  byte-identical to the offline path over the equivalent inputs (the same
+  DDL applied to the in-repo engine, the same rows, the same statements and
+  frequencies).
 """
 from __future__ import annotations
 
@@ -201,6 +207,94 @@ def check_dbdeo_agreement(
                 "dbdeo-agreement", anti_pattern.value,
                 f"dbdeo agreed on only {hits}/{total} obvious plantings"))
     return failures, agreement
+
+
+# ----------------------------------------------------------------------
+# live-scan vs. offline equivalence
+# ----------------------------------------------------------------------
+def check_scan_equivalence(
+    ddl: "Sequence[str]",
+    rows: "dict[str, list[dict]]",
+    workload,
+    *,
+    db_path,
+    options: "SQLCheckOptions | None" = None,
+) -> "list[OracleFailure]":
+    """Live ``sqlcheck scan`` ≡ offline DDL+rows+queries, byte for byte.
+
+    Builds a SQLite database at ``db_path`` *and* an in-repo engine
+    database from the same ``ddl`` and ``rows``, runs the live scanner
+    against the file and the offline context path against the engine — both
+    over ``workload`` (a :class:`~repro.ingest.workload_log.WorkloadLog`,
+    whose real frequencies weight the ranking on both sides) — and fails
+    unless detections and fixes serialise identically.
+    """
+    import sqlite3
+
+    from ..context.builder import ContextBuilder
+    from ..engine.database import Database
+    from ..ingest import LiveScanner, SQLiteConnector, assign_frequencies
+
+    failures: list[OracleFailure] = []
+    options = options or SQLCheckOptions()
+    label = str(db_path)
+
+    # Live side: a real SQLite file scanned through the connector.
+    connection = sqlite3.connect(str(db_path))
+    for statement in ddl:
+        connection.execute(statement)
+    for table, table_rows in rows.items():
+        for row in table_rows:
+            columns = ", ".join(row)
+            holes = ", ".join("?" for _ in row)
+            connection.execute(
+                f"INSERT INTO {table} ({columns}) VALUES ({holes})",
+                tuple(row.values()),
+            )
+    connection.commit()
+    connection.close()
+    live_toolchain = SQLCheck(options)
+    with SQLiteConnector(db_path) as connector:
+        live = LiveScanner(live_toolchain).scan(connector, workload, source=label)
+
+    # Offline side: the same inputs through the pre-ingestion pipeline.
+    engine = Database()
+    for statement in ddl:
+        engine.execute(statement)
+    for table, table_rows in rows.items():
+        engine.insert_rows(table, [dict(row) for row in table_rows])
+    offline_toolchain = SQLCheck(options)
+    context = offline_toolchain._builder.build(
+        workload.statements(), database=engine, source=label
+    )
+    assign_frequencies(context, workload)
+    offline = offline_toolchain.check_context(context)
+
+    live_bytes = json.dumps(
+        [d.detection.to_dict() for d in live], sort_keys=True, default=str
+    )
+    offline_bytes = json.dumps(
+        [d.detection.to_dict() for d in offline], sort_keys=True, default=str
+    )
+    if live_bytes != offline_bytes:
+        failures.append(OracleFailure(
+            "scan-equivalence", label,
+            "live sqlite scan detections differ from the offline DDL+rows path"))
+    if [round(d.score, 9) for d in live] != [round(d.score, 9) for d in offline]:
+        failures.append(OracleFailure(
+            "scan-equivalence", label,
+            "frequency-weighted scores differ between live and offline runs"))
+    live_fixes = json.dumps([f.to_dict() for f in live.fixes], sort_keys=True, default=str)
+    offline_fixes = json.dumps([f.to_dict() for f in offline.fixes], sort_keys=True, default=str)
+    if live_fixes != offline_fixes:
+        failures.append(OracleFailure(
+            "scan-equivalence", label,
+            "suggested fixes differ between live and offline runs"))
+    if live.queries_analyzed != offline.queries_analyzed:
+        failures.append(OracleFailure(
+            "scan-equivalence", label,
+            f"queries_analyzed {live.queries_analyzed} != {offline.queries_analyzed}"))
+    return failures
 
 
 # ----------------------------------------------------------------------

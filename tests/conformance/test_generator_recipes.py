@@ -1,0 +1,69 @@
+"""Generator planting recipes for context-dependent rules.
+
+NO_FOREIGN_KEY is the paper's canonical *inter-query* detection (Example
+3): the recipe must plant both tables' DDL and the uncovered JOIN in one
+group so the label stays sound in isolation — the invariant every
+fuzzed corpus relies on.  The golden lock below freezes the canonical
+seed's output so recipe drift is a deliberate act, not an accident.
+"""
+from __future__ import annotations
+
+from repro.detector.detector import APDetector, DetectorConfig
+from repro.model.antipatterns import AntiPattern
+from repro.testkit import CorpusGenerator
+
+#: Golden: the canonical seed's NO_FOREIGN_KEY planting, locked verbatim.
+GOLDEN_SEED = 2020
+GOLDEN_NO_FOREIGN_KEY_SQL = (
+    "CREATE TABLE events_1x (events_1x_key INTEGER PRIMARY KEY, "
+    "label VARCHAR(40) NOT NULL)",
+    "CREATE TABLE reviews_2x (reviews_2x_key INTEGER PRIMARY KEY, "
+    "events_1x_key INTEGER, quantity INTEGER)",
+    "SELECT c.quantity FROM reviews_2x c "
+    "JOIN events_1x p ON p.events_1x_key = c.events_1x_key",
+)
+
+
+def test_no_foreign_key_is_plantable():
+    generator = CorpusGenerator(GOLDEN_SEED)
+    assert AntiPattern.NO_FOREIGN_KEY in generator.plantable_anti_patterns()
+
+
+def test_no_foreign_key_golden_planting():
+    group = CorpusGenerator(GOLDEN_SEED).planted_statement(AntiPattern.NO_FOREIGN_KEY)
+    assert group.planted == (AntiPattern.NO_FOREIGN_KEY,)
+    assert group.sql == GOLDEN_NO_FOREIGN_KEY_SQL
+
+
+def test_no_foreign_key_label_is_sound_in_isolation():
+    """The planted group, analysed alone, fires the inter-query rule —
+    and adding the constraint (the control shape) silences it."""
+    detector = APDetector(DetectorConfig())
+    for seed in range(8):
+        group = CorpusGenerator(seed).planted_statement(AntiPattern.NO_FOREIGN_KEY)
+        detected = detector.detect(list(group.sql)).types_detected()
+        assert AntiPattern.NO_FOREIGN_KEY in detected, (seed, group.sql)
+
+
+def test_no_foreign_key_needs_inter_query_context():
+    """Sanity: with inter-query analysis disabled the planting must be
+    invisible — proving the recipe exercises the contextual path."""
+    group = CorpusGenerator(GOLDEN_SEED).planted_statement(AntiPattern.NO_FOREIGN_KEY)
+    intra_only = APDetector(DetectorConfig(enable_inter_query=False))
+    detected = intra_only.detect(list(group.sql)).types_detected()
+    assert AntiPattern.NO_FOREIGN_KEY not in detected
+
+
+def test_fixed_planting_is_silenced():
+    """Declaring the FK on the recipe's join columns removes the finding."""
+    group = CorpusGenerator(GOLDEN_SEED).planted_statement(AntiPattern.NO_FOREIGN_KEY)
+    parent_ddl, child_ddl, join = group.sql
+    fixed_child = child_ddl.replace(
+        "events_1x_key INTEGER,",
+        "events_1x_key INTEGER REFERENCES events_1x(events_1x_key),",
+    )
+    assert fixed_child != child_ddl
+    detected = APDetector(DetectorConfig()).detect(
+        [parent_ddl, fixed_child, join]
+    ).types_detected()
+    assert AntiPattern.NO_FOREIGN_KEY not in detected

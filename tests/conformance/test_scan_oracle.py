@@ -1,0 +1,201 @@
+"""Differential oracle: live-source scanning ≡ the offline pipeline.
+
+PR 4's acceptance contract: ``sqlcheck scan`` against a SQLite file and a
+sample PostgreSQL csvlog produces detections byte-identical to the
+equivalent offline inputs (the same DDL applied to the in-repo engine, the
+same rows, the same statements), with the ranker's weights taken from the
+log's *real* execution frequencies — and the same workload parsed from
+every supported log dialect normalizes to the same
+:class:`~repro.ingest.workload_log.WorkloadLog`.
+"""
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.core.sqlcheck import SQLCheck, SQLCheckOptions
+from repro.detector.detector import DetectorConfig
+from repro.ingest import (
+    WorkloadLog,
+    assign_frequencies,
+    iter_log_records,
+    read_workload_log,
+)
+from repro.interfaces.cli import run as cli_run
+from repro.engine.database import Database
+from repro.testkit import check_scan_equivalence
+
+DDL = [
+    "CREATE TABLE tenant (tenant_id INTEGER PRIMARY KEY, label VARCHAR(40) NOT NULL)",
+    "CREATE TABLE questionnaire (q_id INTEGER PRIMARY KEY, tenant_id INTEGER, "
+    "name VARCHAR(30))",
+    "CREATE TABLE readings (reading_id INTEGER PRIMARY KEY, amount FLOAT, "
+    "note VARCHAR(20))",
+]
+
+ROWS = {
+    "tenant": [{"tenant_id": i, "label": f"t{i}"} for i in range(30)],
+    "questionnaire": [
+        {"q_id": i, "tenant_id": i % 30, "name": f"q{i}"} for i in range(80)
+    ],
+    "readings": [
+        {"reading_id": i, "amount": i / 3.0, "note": f"n{i}"} for i in range(25)
+    ],
+}
+
+#: (statement, execution count) — the canonical workload all log dialects
+#: below encode.  Duplicated counts are what the frequency weights feed on.
+WORKLOAD = [
+    ("SELECT * FROM tenant", 40),
+    ("SELECT q.name FROM questionnaire q JOIN tenant t ON t.tenant_id = q.tenant_id", 7),
+    ("SELECT name FROM questionnaire WHERE name LIKE '%x'", 3),
+    ("SELECT label FROM tenant ORDER BY RANDOM() LIMIT 1", 1),
+]
+
+
+def _write_csvlog(path) -> None:
+    rows = []
+    n = 0
+    for statement, count in WORKLOAD:
+        for _ in range(count):
+            n += 1
+            message = f"statement: {statement}".replace('"', '""')
+            rows.append(
+                f'2026-07-01 12:00:{n % 60:02d}.000 UTC,"app","appdb",77,'
+                f'"10.0.0.9:5000",abc,{n},"SELECT",2026-07-01 11:00:00 UTC,'
+                f'9/9,0,LOG,00000,"{message}",,,,,,,,,"psql","client backend",,0'
+            )
+    path.write_text("\n".join(rows) + "\n", encoding="utf-8")
+
+
+def _write_stderr_log(path) -> None:
+    lines = [
+        f"2026-07-01 12:00:00 UTC [77] LOG:  statement: {statement}"
+        for statement, count in WORKLOAD
+        for _ in range(count)
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def _write_mysql_log(path) -> None:
+    lines = [
+        "/usr/sbin/mysqld, Version: 8.0.34. started with:",
+        "Time                 Id Command    Argument",
+    ]
+    for statement, count in WORKLOAD:
+        lines.extend(
+            f"2026-07-01T12:00:00.000000Z\t   77 Query\t{statement}"
+            for _ in range(count)
+        )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def _write_plain_sql(path) -> None:
+    lines = [
+        f"{statement};" for statement, count in WORKLOAD for _ in range(count)
+    ]
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def _offline_detections(workload: WorkloadLog, source: str) -> list[dict]:
+    """The equivalent offline run: engine DB + statements + frequencies."""
+    engine = Database()
+    for statement in DDL:
+        engine.execute(statement)
+    for table, rows in ROWS.items():
+        engine.insert_rows(table, [dict(r) for r in rows])
+    toolchain = SQLCheck(
+        SQLCheckOptions(detector=DetectorConfig(dialect="sqlite"))
+    )
+    context = toolchain._builder.build(
+        workload.statements(), database=engine, source=source
+    )
+    assign_frequencies(context, workload)
+    report = toolchain.check_context(context)
+    return report.to_dict()["detections"]
+
+
+@pytest.fixture
+def sqlite_path(tmp_path):
+    path = tmp_path / "app.db"
+    connection = sqlite3.connect(str(path))
+    for statement in DDL:
+        connection.execute(statement)
+    for table, rows in ROWS.items():
+        for row in rows:
+            connection.execute(
+                f"INSERT INTO {table} ({', '.join(row)}) "
+                f"VALUES ({', '.join('?' for _ in row)})",
+                tuple(row.values()),
+            )
+    connection.commit()
+    connection.close()
+    return path
+
+
+def test_cli_scan_is_byte_identical_to_offline_pipeline(tmp_path, sqlite_path):
+    """The acceptance contract, end to end through the real CLI."""
+    csvlog = tmp_path / "postgres.csv"
+    _write_csvlog(csvlog)
+    code, output = cli_run([
+        "scan", "--db", str(sqlite_path), "--log", str(csvlog),
+        "--log-format", "postgres-csv", "--format", "json",
+    ])
+    assert code == 1  # anti-patterns found
+    live = json.loads(output)["detections"]
+    workload = read_workload_log(csvlog, "postgres-csv", source=str(sqlite_path))
+    offline = _offline_detections(workload, str(sqlite_path))
+    assert json.dumps(live, sort_keys=True) == json.dumps(offline, sort_keys=True)
+
+
+def test_frequency_weights_come_from_the_log(tmp_path, sqlite_path):
+    """The hot wildcard (40 runs) must outrank everything; re-ranking the
+    same detections without frequencies must order differently."""
+    csvlog = tmp_path / "postgres.csv"
+    _write_csvlog(csvlog)
+    _, output = cli_run([
+        "scan", "--db", str(sqlite_path), "--log", str(csvlog),
+        "--log-format", "postgres-csv", "--format", "json",
+    ])
+    detections = json.loads(output)["detections"]
+    assert detections[0]["anti_pattern"] == "column_wildcard"
+    flat = _offline_detections(
+        WorkloadLog.from_statements(s for s, _ in WORKLOAD), str(sqlite_path)
+    )
+    assert flat[0]["anti_pattern"] != "column_wildcard"
+
+
+def test_all_log_dialects_normalize_to_the_same_workload(tmp_path):
+    """≥3 log formats parse the same workload into identical logs —
+    format equivalence makes the csvlog oracle above cover them all."""
+    writers = {
+        "postgres-csv": _write_csvlog,
+        "postgres": _write_stderr_log,
+        "mysql": _write_mysql_log,
+        "sql": _write_plain_sql,
+    }
+    folded = {}
+    for fmt, writer in writers.items():
+        path = tmp_path / f"workload.{fmt}"
+        writer(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            log = WorkloadLog.from_records(iter_log_records(handle, fmt))
+        folded[fmt] = [(e.statement, e.frequency) for e in log.entries()]
+    expected = [(s, c) for s, c in WORKLOAD]
+    for fmt, entries in folded.items():
+        assert entries == expected, f"{fmt} normalised differently"
+
+
+def test_testkit_scan_equivalence_oracle(tmp_path):
+    """The reusable oracle itself (testkit surface of the same contract)."""
+    workload = WorkloadLog.from_statements(
+        [s for s, c in WORKLOAD for _ in range(c)]
+    )
+    failures = check_scan_equivalence(
+        DDL, ROWS, workload,
+        db_path=tmp_path / "oracle.db",
+        options=SQLCheckOptions(detector=DetectorConfig(dialect="sqlite")),
+    )
+    assert failures == [], [str(f) for f in failures]

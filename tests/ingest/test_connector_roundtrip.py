@@ -1,0 +1,104 @@
+"""Connector round-trip: live introspection ≡ the offline ContextBuilder path.
+
+The live-source promise is that connecting to a database is *the same
+computation* as handing sqlcheck the equivalent offline inputs.  These
+tests pin the two halves: (1) introspecting an ``engine.Database`` built
+from DDL yields a catalog and data profiles identical to the offline
+``ContextBuilder`` path over that database; (2) a SQLite file created from
+the same DDL introspects to the identical catalog, because the connector
+replays ``sqlite_master``'s stored DDL through the same ``DDLBuilder``.
+"""
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.context.builder import ContextBuilder
+from repro.engine.database import Database
+from repro.ingest import EngineConnector, SQLiteConnector
+from repro.profiler.profiler import DataProfiler
+
+DDL = [
+    "CREATE TABLE tenant (tenant_id INTEGER PRIMARY KEY, label VARCHAR(40) NOT NULL)",
+    "CREATE TABLE questionnaire (q_id INTEGER PRIMARY KEY, "
+    "tenant_id INTEGER REFERENCES tenant(tenant_id), name VARCHAR(30))",
+    "CREATE INDEX idx_q_name ON questionnaire(name)",
+]
+
+TENANT_ROWS = [{"tenant_id": i, "label": f"t{i}"} for i in range(25)]
+QUESTIONNAIRE_ROWS = [
+    {"q_id": i, "tenant_id": i % 25, "name": f"q{i}"} for i in range(60)
+]
+
+QUERIES = [
+    "SELECT * FROM tenant",
+    "SELECT q.name FROM questionnaire q JOIN tenant t ON t.tenant_id = q.tenant_id",
+]
+
+
+@pytest.fixture
+def engine_db() -> Database:
+    database = Database()
+    for statement in DDL:
+        database.execute(statement)
+    database.insert_rows("tenant", [dict(r) for r in TENANT_ROWS])
+    database.insert_rows("questionnaire", [dict(r) for r in QUESTIONNAIRE_ROWS])
+    return database
+
+
+@pytest.fixture
+def sqlite_db(tmp_path):
+    path = tmp_path / "app.db"
+    connection = sqlite3.connect(str(path))
+    for statement in DDL:
+        connection.execute(statement)
+    connection.executemany(
+        "INSERT INTO tenant VALUES (?, ?)",
+        [(r["tenant_id"], r["label"]) for r in TENANT_ROWS],
+    )
+    connection.executemany(
+        "INSERT INTO questionnaire VALUES (?, ?, ?)",
+        [(r["q_id"], r["tenant_id"], r["name"]) for r in QUESTIONNAIRE_ROWS],
+    )
+    connection.commit()
+    connection.close()
+    return path
+
+
+def test_engine_connector_matches_offline_context(engine_db):
+    offline = ContextBuilder().build(QUERIES, database=engine_db, source="app")
+    connector = EngineConnector(engine_db)
+    live_schema = connector.schema()
+    live_profiles = connector.profiles(DataProfiler())
+
+    assert live_schema is offline.schema  # the engine's catalog is shared
+    assert sorted(live_profiles) == sorted(offline.profiles)
+    for name, live in live_profiles.items():
+        expected = offline.profiles[name]
+        assert live.row_count == expected.row_count
+        assert live.sampled_rows == expected.sampled_rows
+        assert live.definition == expected.definition
+        assert live.columns == expected.columns
+
+
+def test_sqlite_connector_matches_offline_ddl_catalog(sqlite_db):
+    offline = ContextBuilder().build(DDL + QUERIES, source="app")
+    with SQLiteConnector(sqlite_db) as connector:
+        live = connector.schema()
+        assert sorted(live.tables) == sorted(offline.schema.tables)
+        for key, live_table in live.tables.items():
+            assert live_table == offline.schema.tables[key]
+
+
+def test_sqlite_profiles_match_engine_profiles(sqlite_db, engine_db):
+    """Same DDL + rows → identical data profiles from either connector."""
+    profiler = DataProfiler()
+    with SQLiteConnector(sqlite_db) as sqlite_connector:
+        sqlite_profiles = sqlite_connector.profiles(profiler)
+    engine_profiles = EngineConnector(engine_db).profiles(profiler)
+    assert sorted(sqlite_profiles) == sorted(engine_profiles)
+    for name, live in sqlite_profiles.items():
+        expected = engine_profiles[name]
+        assert live.row_count == expected.row_count
+        assert live.columns == expected.columns

@@ -1,0 +1,169 @@
+"""Connector tests: URL resolution, SQLite/engine introspection, row access."""
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.engine.database import Database
+from repro.ingest import (
+    ConnectorError,
+    EngineConnector,
+    SQLiteConnector,
+    connect,
+)
+
+DDL = [
+    "CREATE TABLE tenant (tenant_id INTEGER PRIMARY KEY, label VARCHAR(40) NOT NULL)",
+    "CREATE TABLE questionnaire (q_id INTEGER PRIMARY KEY, "
+    "tenant_id INTEGER REFERENCES tenant(tenant_id), name VARCHAR(30))",
+    "CREATE INDEX idx_q_name ON questionnaire(name)",
+]
+
+TENANT_ROWS = [{"tenant_id": i, "label": f"t{i}"} for i in range(12)]
+
+
+@pytest.fixture
+def sqlite_path(tmp_path):
+    path = tmp_path / "app.db"
+    connection = sqlite3.connect(str(path))
+    for statement in DDL:
+        connection.execute(statement)
+    connection.executemany(
+        "INSERT INTO tenant VALUES (?, ?)",
+        [(row["tenant_id"], row["label"]) for row in TENANT_ROWS],
+    )
+    connection.commit()
+    connection.close()
+    return path
+
+
+class TestConnect:
+    def test_sqlite_url_and_bare_path(self, sqlite_path):
+        for target in (f"sqlite:///{sqlite_path}", str(sqlite_path), sqlite_path):
+            connector = connect(target)
+            assert isinstance(connector, SQLiteConnector)
+            assert connector.schema().has_table("tenant")
+            connector.close()
+
+    def test_open_sqlite_connection(self, sqlite_path):
+        connection = sqlite3.connect(str(sqlite_path))
+        connector = connect(connection)
+        assert isinstance(connector, SQLiteConnector)
+        assert connector.schema().has_table("questionnaire")
+        connection.close()
+
+    def test_engine_database(self):
+        database = Database()
+        for statement in DDL:
+            database.execute(statement)
+        connector = connect(database)
+        assert isinstance(connector, EngineConnector)
+        assert connector.schema() is database.schema
+
+    def test_server_engines_point_at_log_ingestion(self):
+        for url in (
+            "postgres://h/db",
+            "postgresql://h/db",
+            "mysql://h/db",
+            # SQLAlchemy/Django-style driver-qualified URLs
+            "postgresql+psycopg2://h/db",
+            "mysql+pymysql://h/db",
+        ):
+            with pytest.raises(ConnectorError, match="--log"):
+                connect(url)
+
+    def test_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(ConnectorError):
+            connect(str(tmp_path / "nope.db"))
+
+    def test_directory_path_raises_connector_error(self, tmp_path):
+        directory = tmp_path / "data.db"
+        directory.mkdir()
+        with pytest.raises(ConnectorError, match="open"):
+            connect(str(directory))
+
+    def test_existing_non_sqlite_file_raises_connector_error(self, tmp_path):
+        """Any existing path resolves to the SQLite connector, so a
+        non-database file must fail as a ConnectorError (which the CLI and
+        REST surfaces report cleanly), never a raw sqlite3 traceback."""
+        path = tmp_path / "README.md"
+        path.write_text("# not a database\n", encoding="utf-8")
+        connector = connect(str(path))
+        with pytest.raises(ConnectorError, match="catalog"):
+            connector.schema()
+        connector.close()
+
+    def test_memory_url_is_rejected(self):
+        with pytest.raises(ConnectorError, match="sqlite3.Connection"):
+            connect("sqlite::memory:")
+
+
+class TestSQLiteIntrospection:
+    def test_catalog_matches_stored_ddl(self, sqlite_path):
+        with connect(sqlite_path) as connector:
+            schema = connector.schema()
+            assert sorted(t.lower() for t in schema.table_names) == [
+                "questionnaire", "tenant",
+            ]
+            tenant = schema.get_table("tenant")
+            assert tenant.primary_key_columns == ("tenant_id",)
+            questionnaire = schema.get_table("questionnaire")
+            assert questionnaire.has_foreign_keys
+            assert "idx_q_name" in questionnaire.indexes
+
+    def test_rows_and_profiles(self, sqlite_path):
+        with connect(sqlite_path) as connector:
+            rows = connector.table_rows("tenant")
+            assert rows == TENANT_ROWS
+            profiles = connector.profiles()
+            assert profiles["tenant"].row_count == len(TENANT_ROWS)
+            assert profiles["questionnaire"].row_count == 0
+
+    def test_schema_is_cached_until_refresh(self, sqlite_path):
+        with connect(sqlite_path) as connector:
+            first = connector.schema()
+            assert connector.schema() is first
+            assert connector.refresh() is not first
+
+    def test_get_table_serves_data_rules(self, sqlite_path):
+        with connect(sqlite_path) as connector:
+            stored = connector.get_table("tenant")
+            assert stored.all_rows() == TENANT_ROWS
+            assert stored.row_count == len(TENANT_ROWS)
+            assert connector.get_table("nope") is None
+
+    def test_rows_are_fetched_once_per_scan(self, sqlite_path):
+        """Profiling and the data rules share one fetch per table: the
+        per-connector table cache must make ``table_rows`` run at most once
+        per table, and ``refresh()`` must invalidate it."""
+        with connect(sqlite_path) as connector:
+            calls: "list[str]" = []
+            fetch = connector.table_rows
+            connector.table_rows = lambda name: (calls.append(name.lower()), fetch(name))[1]
+            connector.profiles()
+            connector.get_table("tenant").all_rows()
+            connector.get_table("tenant").all_rows()
+            assert sorted(calls) == ["questionnaire", "tenant"]
+            assert connector.get_table("tenant") is connector.get_table("tenant")
+            connector.refresh()
+            connector.get_table("tenant").all_rows()
+            assert sorted(calls) == ["questionnaire", "tenant", "tenant"]
+
+    def test_pragma_fallback_for_unparsed_ddl(self, tmp_path, monkeypatch):
+        path = tmp_path / "weird.db"
+        connection = sqlite3.connect(str(path))
+        connection.execute("CREATE TABLE plain (pk_col INTEGER PRIMARY KEY, note TEXT)")
+        connection.close()
+        connector = SQLiteConnector(path)
+        # Pretend the stored DDL was unusable: the PRAGMA path must still
+        # recover the table shape.
+        monkeypatch.setattr(
+            connector, "master_entries", lambda: [("table", "plain", None)]
+        )
+        schema = connector.schema()
+        table = schema.get_table("plain")
+        assert table is not None
+        assert [c.lower() for c in table.column_names] == ["pk_col", "note"]
+        assert table.primary_key_columns == ("pk_col",)
+        connector.close()

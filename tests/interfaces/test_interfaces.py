@@ -3,12 +3,19 @@ from __future__ import annotations
 
 import io
 import json
+import sqlite3
 import urllib.request
 
 import pytest
 
 from repro.interfaces.cli import build_parser, render, run
-from repro.interfaces.rest import RestServer, catalog_response, handle_check_request
+from repro.interfaces.rest import (
+    RestServer,
+    catalog_response,
+    handle_check_request,
+    handle_scan_request,
+    rules_response,
+)
 from repro.interfaces.shell import SQLCheckShell
 
 
@@ -61,6 +68,102 @@ class TestCLI:
         assert args.format == "text"
 
 
+@pytest.fixture
+def scan_fixtures(tmp_path):
+    """A SQLite database plus a plain-SQL query log for scan tests."""
+    db_path = tmp_path / "app.db"
+    connection = sqlite3.connect(str(db_path))
+    connection.execute(
+        "CREATE TABLE tenant (tenant_id INTEGER PRIMARY KEY, label VARCHAR(20))"
+    )
+    connection.executemany(
+        "INSERT INTO tenant VALUES (?, ?)", [(i, f"t{i}") for i in range(10)]
+    )
+    connection.commit()
+    connection.close()
+    log_path = tmp_path / "queries.sql"
+    log_path.write_text("SELECT * FROM tenant;\n" * 4, encoding="utf-8")
+    return db_path, log_path
+
+
+class TestCLIScan:
+    def test_scan_db_and_log(self, scan_fixtures):
+        db_path, log_path = scan_fixtures
+        code, output = run(["scan", "--db", str(db_path), "--log", str(log_path)])
+        assert code == 1
+        assert "Column Wildcard" in output
+
+    def test_scan_json_carries_frequency_weighted_scores(self, scan_fixtures):
+        db_path, log_path = scan_fixtures
+        code, output = run([
+            "scan", "--db", str(db_path), "--log", str(log_path),
+            "--format", "json",
+        ])
+        payload = json.loads(output)
+        wildcard = next(
+            d for d in payload["detections"] if d["anti_pattern"] == "column_wildcard"
+        )
+        # 4 logged executions → weight 1 + log2(4) = 3×
+        assert wildcard["score"] > 0.5
+
+    def test_scan_log_only(self, scan_fixtures):
+        _, log_path = scan_fixtures
+        code, output = run(["scan", "--log", str(log_path), "--format", "json"])
+        assert code == 1
+        assert json.loads(output)["queries_analyzed"] == 1
+
+    def test_scan_requires_an_input(self):
+        code, output = run(["scan"])
+        assert code == 2
+        assert "--db" in output
+
+    def test_scan_unsupported_engine_mentions_logs(self):
+        code, output = run(["scan", "--db", "postgres://host/db"])
+        assert code == 2
+        assert "--log" in output
+
+    def test_scan_missing_db_file(self, tmp_path):
+        code, output = run(["scan", "--db", str(tmp_path / "missing.db")])
+        assert code == 2
+        assert "not found" in output
+
+    def test_scan_non_sqlite_file_is_a_clean_error(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("hello, not a database", encoding="utf-8")
+        code, output = run(["scan", "--db", str(path)])
+        assert code == 2
+        assert output.startswith("error:") and "catalog" in output
+
+    def test_scan_missing_log_does_not_leak_the_connection(self, scan_fixtures, monkeypatch):
+        """A failure after the connector opens must still close it."""
+        import repro.ingest.connectors as connectors_module
+
+        closed = []
+        original_close = connectors_module.SQLiteConnector.close
+        monkeypatch.setattr(
+            connectors_module.SQLiteConnector, "close",
+            lambda self: (closed.append(True), original_close(self))[1],
+        )
+        db_path, _ = scan_fixtures
+        code, output = run(["scan", "--db", str(db_path), "--log", "/nope/missing.log"])
+        assert code == 2 and "error:" in output
+        assert closed, "connector was not closed on the error path"
+
+    def test_scan_stats_flag(self, scan_fixtures):
+        db_path, log_path = scan_fixtures
+        _, output = run(["scan", "--db", str(db_path), "--log", str(log_path), "--stats"])
+        assert "pipeline stats:" in output
+
+    def test_scan_sarif_format(self, scan_fixtures):
+        db_path, log_path = scan_fixtures
+        _, output = run([
+            "scan", "--db", str(db_path), "--log", str(log_path), "--format", "sarif",
+        ])
+        log = json.loads(output)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"]
+
+
 class TestShell:
     def run_shell(self, commands: str) -> str:
         out = io.StringIO()
@@ -111,6 +214,74 @@ class TestRestLogic:
         body = catalog_response()
         assert len(body["anti_patterns"]) == 27
 
+    def test_rules_response_serves_the_ruledoc_catalog(self):
+        body = rules_response()
+        assert len(body["rules"]) == 33
+        for rule in body["rules"]:
+            assert rule["kind"] in ("query", "data")
+            doc = rule["doc"]
+            for field in ("title", "problem", "why_it_hurts", "fix", "paper_section"):
+                assert doc[field], f"{rule['name']} missing doc field {field}"
+        json.dumps(body)  # must be JSON-serialisable as-is
+
+    def test_scan_request_db_and_log(self, scan_fixtures):
+        db_path, log_path = scan_fixtures
+        status, body = handle_scan_request({
+            "db": str(db_path),
+            "log_text": log_path.read_text(encoding="utf-8"),
+            "log_format": "sql",
+        })
+        assert status == 200
+        assert body["workload"] == {
+            "distinct_statements": 1, "total_statements": 4, "log_format": "sql",
+        }
+        assert body["detections"][0]["anti_pattern"] == "column_wildcard"
+
+    def test_scan_request_needs_db_or_log(self):
+        status, body = handle_scan_request({})
+        assert status == 400 and "error" in body
+
+    def test_scan_request_rejects_unknown_log_format(self, scan_fixtures):
+        db_path, _ = scan_fixtures
+        status, body = handle_scan_request(
+            {"db": str(db_path), "log_text": "SELECT 1;", "log_format": "syslog"}
+        )
+        assert status == 400 and "log format" in body["error"]
+
+    def test_scan_request_unsupported_engine_is_400(self):
+        status, body = handle_scan_request({"db": "mysql://host/db"})
+        assert status == 400 and "driver" in body["error"]
+
+    def test_scan_request_non_sqlite_file_is_400(self, tmp_path):
+        path = tmp_path / "notes.txt"
+        path.write_text("hello, not a database", encoding="utf-8")
+        status, body = handle_scan_request({"db": str(path)})
+        assert status == 400 and "catalog" in body["error"]
+
+    def test_scan_request_autodetects_log_format(self, scan_fixtures):
+        """Without log_format the content is sniffed (as the CLI does) —
+        a postgres stderr log must not be folded as plain SQL."""
+        db_path, _ = scan_fixtures
+        stderr_log = (
+            "2026-07-01 12:00:00 UTC [9] LOG:  statement: SELECT * FROM tenant\n" * 3
+        )
+        status, body = handle_scan_request({"db": str(db_path), "log_text": stderr_log})
+        assert status == 200
+        assert body["workload"] == {
+            "distinct_statements": 1, "total_statements": 3, "log_format": "postgres",
+        }
+        assert body["detections"][0]["anti_pattern"] == "column_wildcard"
+
+    def test_scan_request_rich_format(self, scan_fixtures):
+        db_path, log_path = scan_fixtures
+        status, body = handle_scan_request({
+            "db": str(db_path),
+            "log_text": log_path.read_text(encoding="utf-8"),
+            "format": "sarif",
+        })
+        assert status == 200
+        assert body["version"] == "2.1.0"
+
 
 class TestRestServer:
     def test_end_to_end_http(self):
@@ -130,6 +301,10 @@ class TestRestServer:
             with urllib.request.urlopen(f"{url}/api/antipatterns", timeout=5) as response:
                 catalog = json.loads(response.read())
             assert len(catalog["anti_patterns"]) == 27
+            with urllib.request.urlopen(f"{url}/api/rules", timeout=5) as response:
+                rules = json.loads(response.read())
+            assert len(rules["rules"]) == 33
+            assert all(rule["doc"]["title"] for rule in rules["rules"])
 
     def test_unknown_route_is_404(self):
         with RestServer(port=0) as server:

@@ -360,6 +360,39 @@ def test_sarif_fix_travels_in_properties(document, toolchain):
     assert fixes and all("explanation" in fix for fix in fixes)
 
 
+def test_sarif_rewrite_fix_is_a_byte_range_replacement(toolchain):
+    """Rewrite-kind fixes with recorded offsets become real SARIF ``fixes``:
+    the deleted region must cover exactly the offending statement's span in
+    the analysed text, and the inserted content is the rewritten query."""
+    sql = (
+        "CREATE TABLE tenant (tenant_id INTEGER PRIMARY KEY, label VARCHAR(10));\n"
+        "SELECT * FROM tenant WHERE tenant_id = 3;"
+    )
+    report = toolchain.check(sql, source="app.sql")
+    document = build_document(report, registry=toolchain.registry, source="app.sql")
+    log = to_sarif(document, registry=toolchain.registry)
+    fixes = [r for r in log["runs"][0]["results"] if "fixes" in r]
+    assert fixes, "expected at least one mechanically-applicable rewrite"
+    for result in fixes:
+        change = result["fixes"][0]["artifactChanges"][0]
+        replacement = change["replacements"][0]
+        region = replacement["deletedRegion"]
+        span = sql[region["charOffset"]: region["charOffset"] + region["charLength"]]
+        assert span == "SELECT * FROM tenant WHERE tenant_id = 3;"
+        assert replacement["insertedContent"]["text"].startswith("SELECT tenant_id")
+        assert result["fixes"][0]["description"]["text"]
+
+
+def test_sarif_textual_fixes_stay_property_bag_only(document, toolchain):
+    """Guidance-kind fixes (no rewrite, or no recorded position) must not
+    claim to be mechanically applicable."""
+    log = to_sarif(document, registry=toolchain.registry)
+    for result in log["runs"][0]["results"]:
+        fix = result["properties"].get("fix")
+        if fix and not fix["rewritten_query"]:
+            assert "fixes" not in result
+
+
 def test_unknown_format_raises(report, toolchain):
     with pytest.raises(ValueError):
         render_report(report, "pdf", registry=toolchain.registry)
