@@ -60,6 +60,11 @@ class ApplicationContext:
     #: statements absent from the map count as executed once.  ap-rank
     #: weights detection scores by these when present.
     frequencies: dict[int, int] = field(default_factory=dict)
+    #: observed mean execution time in milliseconds per statement index
+    #: (from a query log that carries timings); sparse like
+    #: ``frequencies``.  The ``duration``/``hybrid`` cost models fold these
+    #: into the ranking weights.
+    durations: dict[int, float] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     # schema access
@@ -110,6 +115,12 @@ class ApplicationContext:
         if query_index is None:
             return 1
         return max(1, self.frequencies.get(query_index, 1))
+
+    def duration_of(self, query_index: int | None) -> "float | None":
+        """Observed mean execution time in ms (``None`` when unknown)."""
+        if query_index is None:
+            return None
+        return self.durations.get(query_index)
 
     def queries_of_type(self, *statement_types: str) -> list[QueryAnnotation]:
         wanted = set(statement_types)

@@ -39,6 +39,7 @@ from ..fixer.repair_engine import APFixer, QueryRepairEngine
 from ..model.antipatterns import AntiPattern
 from ..model.detection import DetectionReport
 from ..ranking.config import C1, RankingConfig
+from ..ranking.cost_model import WorkloadCostModel, resolve_cost_model
 from ..ranking.metrics import APMetrics
 from ..ranking.ranker import APRanker, RankedDetection
 from ..rules.registry import RuleRegistry, default_registry
@@ -59,12 +60,19 @@ class SQLCheckOptions:
             ranking model.
         suggest_fixes: run ap-fix over the ranked detections (disable to
             reproduce the detection-only ablations).
+        cost_model: the workload cost model name (``frequency``,
+            ``duration``, ``hybrid``) or a
+            :class:`~repro.ranking.cost_model.WorkloadCostModel` instance;
+            folds a query log's frequencies and durations into the ranking
+            weights.  The default ``frequency`` reproduces the seed
+            behavior exactly.
     """
 
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     ranking: RankingConfig = C1
     metrics: dict[AntiPattern, APMetrics] | None = None
     suggest_fixes: bool = True
+    cost_model: "WorkloadCostModel | str | None" = None
 
 
 @dataclass
@@ -93,6 +101,9 @@ class SQLCheckReport:
     queries_analyzed: int = 0
     tables_analyzed: int = 0
     stats: PipelineStats | None = None
+    #: name of the workload cost model the ranking used (report documents
+    #: carry it so a reader knows what the scores mean).
+    cost_model: str = "frequency"
     _fix_index: "dict[int, Fix] | None" = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -139,8 +150,14 @@ class SQLCheckReport:
         return {
             "queries_analyzed": self.queries_analyzed,
             "tables_analyzed": self.tables_analyzed,
+            "cost_model": self.cost_model,
             "detections": [
-                {**entry.detection.to_dict(), "rank": entry.rank, "score": round(entry.score, 4)}
+                {
+                    **entry.detection.to_dict(),
+                    "rank": entry.rank,
+                    "score": round(entry.score, 4),
+                    "workload_weight": round(entry.workload_weight, 4),
+                }
                 for entry in self.detections
             ],
             "fixes": [fix.to_dict() for fix in self.fixes],
@@ -290,10 +307,15 @@ class SQLCheck:
         detection_report = self.detector.detect_in_context(context, stats=stats)
         t1 = time.perf_counter()
         stats.detect_seconds += t1 - t0
-        # Real execution frequencies (live-source ingestion attaches them to
-        # the context) weight the ranking; absent a log every weight is 1.
+        # Real workload facts (live-source ingestion attaches frequencies
+        # and durations to the context) weight the ranking through the
+        # configured cost model; absent a log every weight is 1.
+        model = resolve_cost_model(self.options.cost_model)
         ranked = self.ranker.rank(
-            detection_report, frequencies=context.frequencies or None
+            detection_report,
+            frequencies=context.frequencies or None,
+            durations=context.durations or None,
+            cost_model=model,
         )
         t2 = time.perf_counter()
         stats.rank_seconds += t2 - t1
@@ -308,6 +330,7 @@ class SQLCheck:
             queries_analyzed=detection_report.queries_analyzed,
             tables_analyzed=detection_report.tables_analyzed,
             stats=stats,
+            cost_model=model.name,
         )
 
     def check_many(

@@ -31,6 +31,9 @@ from .log_readers import (
     LogFormatError,
     detect_log_format,
     iter_log_records,
+    pg_stat_record,
+    read_pg_stat_statements,
+    read_pg_stat_table,
     read_workload_log,
 )
 from .scanner import (
@@ -58,6 +61,9 @@ __all__ = [
     "connect",
     "detect_log_format",
     "iter_log_records",
+    "pg_stat_record",
+    "read_pg_stat_statements",
+    "read_pg_stat_table",
     "read_workload_log",
     "scan",
     "statement_key",

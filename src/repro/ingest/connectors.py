@@ -56,7 +56,18 @@ class ConnectedTable:
 
     def all_rows(self) -> "list[dict[str, Any]]":
         if self._rows is None:
-            self._rows = self._connector.table_rows(self.name)
+            # Honour the connector's sampling cap here too: data rules reach
+            # rows through this path, and a table too large to fetch whole
+            # must stay sampled for them exactly as it is for the profiler.
+            limit = self._connector.sample_limit
+            if (
+                limit is not None
+                and limit > 0
+                and self._connector.table_row_count(self.name) > limit
+            ):
+                self._rows = self._connector.table_rows(self.name, limit=limit)
+            else:
+                self._rows = self._connector.table_rows(self.name)
         return self._rows
 
     @property
@@ -77,14 +88,30 @@ class Connector:
     #: provenance label (file path, engine name) used as the scan source.
     name: str = "<database>"
     dialect: "str | None" = None
+    #: when set (``LiveScanner.scan(sample_limit=…)`` sets it), every row
+    #: fetch through :meth:`get_table` is capped at this many rows — tables
+    #: larger than the cap are sampled in-database, never pulled whole.
+    sample_limit: "int | None" = None
     _schema_cache: "Schema | None" = None
     _table_cache: "dict[str, ConnectedTable] | None" = None
 
     def introspect_schema(self) -> Schema:
         raise NotImplementedError
 
-    def table_rows(self, table: str) -> "list[dict[str, Any]]":
+    def table_rows(self, table: str, limit: "int | None" = None) -> "list[dict[str, Any]]":
+        """Rows of ``table`` — all of them, or a sample of ``limit``.
+
+        When ``limit`` is given the connector may push the sampling down
+        into the database (``ORDER BY random() LIMIT n``) so a table too
+        large to fetch whole never crosses the wire; the base
+        implementation falls back to fetching everything and truncating.
+        """
         raise NotImplementedError
+
+    def table_row_count(self, table: str) -> int:
+        """Row count of ``table`` (pushed down where the engine can count
+        without materialising the rows)."""
+        return len(self.table_rows(table))
 
     def schema(self) -> Schema:
         """The introspected catalog (computed once per connector)."""
@@ -116,18 +143,39 @@ class Connector:
         self._table_cache[name.lower()] = table
         return table
 
-    def profiles(self, profiler: "DataProfiler | None" = None) -> "dict[str, TableProfile]":
+    def profiles(
+        self,
+        profiler: "DataProfiler | None" = None,
+        *,
+        sample_limit: "int | None" = None,
+        exclude: "Iterable[str]" = (),
+    ) -> "dict[str, TableProfile]":
         """Profile every table exactly as the offline data analyser does.
 
-        Rows go through :meth:`get_table`'s cache, so the data rules
-        running later in the same scan reuse them instead of re-fetching.
+        By default rows go through :meth:`get_table`'s cache, so the data
+        rules running later in the same scan reuse them instead of
+        re-fetching.  With ``sample_limit`` set, a table larger than the
+        limit is profiled from a pushed-down random sample instead
+        (:meth:`table_rows` with ``limit``) and the full rows are *not*
+        fetched or cached — the bounded-memory path for tables too big to
+        pull whole.  ``exclude`` names telemetry tables (e.g. a
+        ``pg_stat_statements`` snapshot) that are inputs, not application
+        schema.
         """
         profiler = profiler or DataProfiler()
         schema = self.schema()
+        excluded = {name.lower() for name in exclude}
         profiles: "dict[str, TableProfile]" = {}
         for table in schema.tables.values():
-            stored = self.get_table(table.name)
-            rows = stored.all_rows() if stored is not None else []
+            if table.name.lower() in excluded:
+                continue
+            if sample_limit is not None and sample_limit > 0 and (
+                self.table_row_count(table.name) > sample_limit
+            ):
+                rows = self.table_rows(table.name, limit=sample_limit)
+            else:
+                stored = self.get_table(table.name)
+                rows = stored.all_rows() if stored is not None else []
             profiles[table.name.lower()] = profiler.profile_rows(
                 table.name, rows, definition=table
             )
@@ -155,11 +203,16 @@ class EngineConnector(Connector):
     def introspect_schema(self) -> Schema:
         return self.database.schema
 
-    def table_rows(self, table: str) -> "list[dict[str, Any]]":
+    def table_rows(self, table: str, limit: "int | None" = None) -> "list[dict[str, Any]]":
         stored = self.database.get_table(table)
         if stored is None:
             return []
-        return stored.all_rows()
+        rows = stored.all_rows()
+        return rows[:limit] if limit is not None else rows
+
+    def table_row_count(self, table: str) -> int:
+        stored = self.database.get_table(table)
+        return stored.row_count if stored is not None else 0
 
     def get_table(self, name: str):
         # The engine's own stored tables already satisfy the data-rule
@@ -262,12 +315,29 @@ class SQLiteConnector(Connector):
     # ------------------------------------------------------------------
     # data access
     # ------------------------------------------------------------------
-    def table_rows(self, table: str) -> "list[dict[str, Any]]":
+    def table_rows(self, table: str, limit: "int | None" = None) -> "list[dict[str, Any]]":
+        # Sampling push-down: with a limit, the database picks the random
+        # sample and ships only ``limit`` rows — the whole point for tables
+        # too large to fetch over the wire.
+        query = f"SELECT * FROM {self._quote(table)}"
+        parameters: "tuple[Any, ...]" = ()
+        if limit is not None:
+            query += " ORDER BY random() LIMIT ?"
+            parameters = (int(limit),)
         try:
-            cursor = self._connection.execute(f"SELECT * FROM {self._quote(table)}")
+            cursor = self._connection.execute(query, parameters)
         except sqlite3.Error as error:
             raise ConnectorError(f"cannot read table {table!r}: {error}") from error
         return [dict(row) for row in cursor.fetchall()]
+
+    def table_row_count(self, table: str) -> int:
+        try:
+            cursor = self._connection.execute(
+                f"SELECT COUNT(*) AS n FROM {self._quote(table)}"
+            )
+        except sqlite3.Error as error:
+            raise ConnectorError(f"cannot count table {table!r}: {error}") from error
+        return int(cursor.fetchone()["n"])
 
     @staticmethod
     def _quote(identifier: str) -> str:

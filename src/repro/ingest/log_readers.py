@@ -12,6 +12,11 @@ format name               source
 ``postgres-csv``          PostgreSQL ``log_destination = csvlog`` files
 ``postgres``              PostgreSQL stderr logs (``log_statement = all`` /
                           ``log_min_duration_statement``)
+``pg_stat_statements``    CSV export of the ``pg_stat_statements`` view
+                          (pre-aggregated: ``calls`` × ``mean_exec_time``
+                          per normalized statement); the same snapshot
+                          stored as a *table* is read by
+                          :func:`read_pg_stat_table`
 ``mysql``                 MySQL general query log (``general_log = ON``)
 ``sqlite-trace``          SQLite shell ``.trace`` / ``sqlite3_trace_v2`` output
 ``sql``                   plain SQL text (one or more ``;``-separated
@@ -139,6 +144,122 @@ def read_postgres_stderr(lines: Iterable[str]) -> Iterator[LogRecord]:
 
 
 # ----------------------------------------------------------------------
+# pg_stat_statements snapshots (CSV export or stored table)
+# ----------------------------------------------------------------------
+#: Column aliases across PostgreSQL versions: ``*_exec_time`` since PG 13,
+#: ``*_time`` before.
+_PG_STAT_TOTAL_COLUMNS = ("total_exec_time", "total_time")
+_PG_STAT_MEAN_COLUMNS = ("mean_exec_time", "mean_time")
+
+
+def _pg_stat_number(value: object) -> "float | None":
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def pg_stat_record(row: "dict[str, object]", line: "int | None" = None) -> "LogRecord | None":
+    """One ``pg_stat_statements`` row → one pre-aggregated :class:`LogRecord`.
+
+    ``row`` maps column names (any case) to values; ``calls`` becomes the
+    record's execution count and ``total_exec_time`` (or
+    ``mean_exec_time × calls``) its total duration.  Rows without readable
+    SQL — empty, ``<insufficient privilege>`` — return ``None``.
+    """
+    lowered = {str(key).strip().lower(): value for key, value in row.items()}
+    statement = str(lowered.get("query") or "").strip()
+    # The view masks other users' statements as "<insufficient privilege>"
+    # and can carry utility noise; nothing "<…>" is parseable SQL.
+    if not statement or statement.startswith("<"):
+        return None
+    calls = _pg_stat_number(lowered.get("calls"))
+    count = int(calls) if calls is not None and calls >= 1 else 1
+    total = None
+    for column in _PG_STAT_TOTAL_COLUMNS:
+        total = _pg_stat_number(lowered.get(column))
+        if total is not None:
+            break
+    if total is None:
+        for column in _PG_STAT_MEAN_COLUMNS:
+            mean = _pg_stat_number(lowered.get(column))
+            if mean is not None:
+                total = mean * count
+                break
+    return LogRecord(statement=statement, duration_ms=total, line=line, count=count)
+
+
+def read_pg_stat_statements(lines: Iterable[str]) -> Iterator[LogRecord]:
+    """CSV export of ``pg_stat_statements`` (``\\copy … TO 'x.csv' CSV HEADER``).
+
+    Unlike the line-per-execution logs, each row is a *pre-aggregated*
+    statement: ``calls`` executions totalling ``total_exec_time`` ms (or
+    ``mean_exec_time × calls`` on exports that dropped the total).
+    """
+    reader = csv.DictReader(lines)
+    if reader.fieldnames is None:
+        return  # empty input: no records, like every other reader
+    fields = {name.strip().lower() for name in reader.fieldnames}
+    if "query" not in fields or "calls" not in fields:
+        raise LogFormatError(
+            "pg_stat_statements CSV needs a header row with at least "
+            "'query' and 'calls' columns"
+        )
+    for row in reader:
+        record = pg_stat_record(row, line=reader.line_num)
+        if record is not None:
+            yield record
+
+
+def read_pg_stat_table(
+    database: object,
+    table: str = "pg_stat_statements",
+    *,
+    source: "str | None" = None,
+) -> WorkloadLog:
+    """Fold a ``pg_stat_statements`` snapshot stored as a *table* into a
+    :class:`WorkloadLog`.
+
+    ``database`` is an open :class:`~repro.ingest.connectors.Connector` or
+    anything :func:`~repro.ingest.connectors.connect` accepts (a SQLite
+    file holding an exported snapshot, an engine database, …).  Raises
+    :class:`~repro.ingest.connectors.ConnectorError` when the table cannot
+    be read.
+    """
+    from .connectors import Connector, connect
+
+    connector = database if isinstance(database, Connector) else connect(database)
+    try:
+        rows = connector.table_rows(table)
+        records = (
+            record
+            for record in (pg_stat_record(row) for row in rows)
+            if record is not None
+        )
+        return WorkloadLog.from_records(
+            records,
+            source=source or f"{connector.name}:{table}",
+            log_format="pg_stat_statements",
+        )
+    finally:
+        if connector is not database:
+            connector.close()
+
+
+def _looks_like_pg_stat_header(sample: str) -> bool:
+    """True when the sample's first non-empty line is a pg_stat CSV header."""
+    first = next((line for line in sample.splitlines() if line.strip()), "")
+    try:
+        fields = next(csv.reader([first]), [])
+    except csv.Error:
+        return False
+    names = {field.strip().lower() for field in fields}
+    return "query" in names and "calls" in names
+
+
+# ----------------------------------------------------------------------
 # MySQL general query log
 # ----------------------------------------------------------------------
 #: Entry line: optional timestamp (ISO-8601 in 5.7+/8.0, ``YYMMDD h:m:s``
@@ -243,6 +364,7 @@ def read_plain_sql(lines: Iterable[str]) -> Iterator[LogRecord]:
 LOG_READERS: "dict[str, Callable[[Iterable[str]], Iterator[LogRecord]]]" = {
     "postgres-csv": read_postgres_csvlog,
     "postgres": read_postgres_stderr,
+    "pg_stat_statements": read_pg_stat_statements,
     "mysql": read_mysql_general_log,
     "sqlite-trace": read_sqlite_trace,
     "sql": read_plain_sql,
@@ -269,21 +391,33 @@ _SQL_LEADING_KEYWORDS = (
 )
 
 
+def _read_sample(path: "str | Path") -> str:
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
+            return handle.read(8192)
+    except OSError:
+        return ""
+
+
 def detect_log_format(path: "str | Path", sample: str | None = None) -> str:
     """Best-effort format detection from the file name and a content sample."""
     name = str(path).lower()
     if name.endswith(".csv"):
+        # Both csvlog files and pg_stat_statements exports are ".csv"; only
+        # the latter opens with a header row naming query/calls columns.
+        if sample is None:
+            sample = _read_sample(path)
+        if _looks_like_pg_stat_header(sample):
+            return "pg_stat_statements"
         return "postgres-csv"
     if name.endswith(".sql"):
         return "sql"
     if name.endswith(".trace"):
         return "sqlite-trace"
     if sample is None:
-        try:
-            with open(path, "r", encoding="utf-8", errors="replace") as handle:
-                sample = handle.read(8192)
-        except OSError:
-            sample = ""
+        sample = _read_sample(path)
+    if _looks_like_pg_stat_header(sample):
+        return "pg_stat_statements"
     sql_lines = 0
     semicolon_lines = 0
     for line in sample.splitlines():

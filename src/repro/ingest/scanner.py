@@ -24,6 +24,7 @@ import time
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
+from ..catalog.schema import Schema
 from ..context.application_context import ApplicationContext
 from ..core.sqlcheck import SQLCheck, SQLCheckOptions, SQLCheckReport
 from ..detector.pipeline import PipelineStats
@@ -36,20 +37,29 @@ DEFAULT_STREAM_CHUNK = 512
 
 
 def assign_frequencies(context: ApplicationContext, log: WorkloadLog) -> ApplicationContext:
-    """Attach the log's execution frequencies to a built context.
+    """Attach the log's workload facts to a built context.
 
     Annotations are matched to log entries by whitespace-insensitive
-    statement text (:func:`~repro.ingest.workload_log.statement_key`);
-    statements the log never saw keep the default frequency of 1.
+    statement text (:func:`~repro.ingest.workload_log.statement_key`).
+    Execution counts land in ``context.frequencies`` (statements the log
+    never saw keep the default frequency of 1) and mean execution times,
+    when the log carries timings, in ``context.durations`` — the facts the
+    ``frequency``/``duration``/``hybrid`` cost models weight the ranking
+    by.
     """
-    frequencies = log.frequencies()
+    by_key = {statement_key(entry.statement): entry for entry in log}
     for annotation in context.queries:
         statement = annotation.statement
         if statement is None:
             continue
-        count = frequencies.get(statement_key(annotation.raw))
-        if count is not None and count > 1:
-            context.frequencies[statement.index] = count
+        entry = by_key.get(statement_key(annotation.raw))
+        if entry is None:
+            continue
+        if entry.frequency > 1:
+            context.frequencies[statement.index] = entry.frequency
+        mean_duration = entry.mean_duration_ms
+        if mean_duration is not None and mean_duration > 0:
+            context.durations[statement.index] = mean_duration
     return context
 
 
@@ -88,6 +98,8 @@ class LiveScanner:
         *,
         log_format: "str | None" = None,
         source: "str | None" = None,
+        sample_limit: "int | None" = None,
+        exclude_tables: "Iterable[str]" = (),
     ) -> SQLCheckReport:
         """Run the full pipeline over a live database and/or a query log.
 
@@ -96,11 +108,22 @@ class LiveScanner:
         ``workload`` is a :class:`WorkloadLog`, a log-file path (parsed per
         ``log_format``, auto-detected by default), SQL text, or an iterable
         of statements.  At least one of the two must be given.
+        ``sample_limit`` caps the rows profiled per table: tables larger
+        than the cap are sampled *inside* the database (connector
+        push-down, ``ORDER BY random() LIMIT n``) instead of fetched
+        whole — the knob for databases too big to pull across the wire.
+        ``exclude_tables`` names telemetry tables (a ``pg_stat_statements``
+        snapshot, migration bookkeeping) to leave out of the analysed
+        schema and profiles.
         """
         connector = connect(database) if database is not None else None
         log = _coerce_workload(workload, log_format)
         if connector is None and log is None:
             raise ConnectorError("scan needs a database, a workload log, or both")
+        if connector is not None and sample_limit is not None and sample_limit > 0:
+            # The cap must hold for *every* row fetch in this scan — the
+            # profiler below and any data rule pulling rows later.
+            connector.sample_limit = sample_limit
 
         toolchain = self.toolchain
         builder = toolchain._builder
@@ -117,11 +140,22 @@ class LiveScanner:
         if connector is not None:
             t_live = time.perf_counter()
             live_schema = connector.schema()
+            excluded = {name.lower() for name in exclude_tables}
+            if excluded and any(name in live_schema.tables for name in excluded):
+                # Copy-on-exclude: the connector's cached schema object must
+                # stay intact for later scans through the same connector.
+                trimmed = Schema()
+                for table in live_schema.tables.values():
+                    if table.name.lower() not in excluded:
+                        trimmed.add_table(table)
+                live_schema = trimmed
             # The live catalog is authoritative when connected (Algorithm 1
             # prefers it over DDL found in the workload).
             if live_schema.tables or not context.schema.tables:
                 context.schema = live_schema
-            context.profiles = connector.profiles(builder.profiler)
+            context.profiles = connector.profiles(
+                builder.profiler, sample_limit=sample_limit, exclude=excluded
+            )
             context.database = connector
             stats.context_seconds += time.perf_counter() - t_live
         if log is not None:
@@ -195,6 +229,7 @@ def scan(
     log_format: "str | None" = None,
     options: "SQLCheckOptions | None" = None,
     source: "str | None" = None,
+    sample_limit: "int | None" = None,
 ) -> SQLCheckReport:
     """One-shot convenience wrapper around :class:`LiveScanner`.
 
@@ -204,7 +239,8 @@ def scan(
         report = scan("sqlite:///app.db", "postgres.csv", log_format="postgres-csv")
     """
     return LiveScanner(options=options).scan(
-        database, workload, log_format=log_format, source=source
+        database, workload, log_format=log_format, source=source,
+        sample_limit=sample_limit,
     )
 
 

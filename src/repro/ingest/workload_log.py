@@ -35,11 +35,19 @@ def statement_key(text: str) -> str:
 
 @dataclass(frozen=True)
 class LogRecord:
-    """One raw query-log event: a statement plus optional timing facts."""
+    """One raw query-log event: a statement plus optional timing facts.
+
+    ``count`` is the number of executions the record stands for — 1 for a
+    line-per-execution log, ``calls`` for pre-aggregated sources such as a
+    ``pg_stat_statements`` snapshot.  ``duration_ms`` is the **total** time
+    the record covers (for a single execution that is its duration; for an
+    aggregated record, ``mean time × count``).
+    """
 
     statement: str
     duration_ms: float | None = None
     line: int | None = None
+    count: int = 1
 
     @property
     def is_empty(self) -> bool:
@@ -89,7 +97,7 @@ class WorkloadLog:
     # ------------------------------------------------------------------
     def add(self, record: LogRecord) -> None:
         """Fold one log record in (multi-statement records are split)."""
-        if record.is_empty:
+        if record.is_empty or record.count <= 0:
             return
         self.records_read += 1
         text = record.statement.strip()
@@ -114,7 +122,7 @@ class WorkloadLog:
             if entry is None:
                 entry = WorkloadEntry(statement=cleaned, first_line=record.line)
                 self._entries[key] = entry
-            entry.frequency += 1
+            entry.frequency += record.count
             if part_duration is not None:
                 entry.total_duration_ms += part_duration
 

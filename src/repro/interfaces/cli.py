@@ -19,9 +19,14 @@ annotations).
 
 ``sqlcheck scan`` analyses a *live* application: ``--db`` introspects a
 database (SQLite URL/path) into the schema+data context, ``--log`` feeds a
-real query log (PostgreSQL csvlog/stderr, MySQL general log, SQLite trace,
-or plain SQL) whose execution frequencies weight the ranking.  Every
-``--format`` of the offline paths applies.
+real query log (PostgreSQL csvlog/stderr, a ``pg_stat_statements`` CSV
+export, MySQL general log, SQLite trace, or plain SQL) whose execution
+frequencies and durations weight the ranking through ``--cost-model
+{frequency,duration,hybrid}``.  ``--pg-stat [TABLE]`` reads a
+``pg_stat_statements`` snapshot table from ``--db`` as the workload, and
+``--sample N`` profiles large tables from an in-database random sample
+instead of fetching them whole.  Every ``--format`` of the offline paths
+applies.
 """
 from __future__ import annotations
 
@@ -111,12 +116,14 @@ def build_selftest_parser() -> argparse.ArgumentParser:
 
 def build_scan_parser() -> argparse.ArgumentParser:
     from ..ingest import LOG_FORMATS
+    from ..ranking.cost_model import COST_MODEL_NAMES, DEFAULT_COST_MODEL
 
     parser = argparse.ArgumentParser(
         prog="sqlcheck scan",
         description="Scan a live database and/or a query log: the schema and "
         "sampled rows populate the data context, and the log's real execution "
-        "frequencies weight the impact ranking.",
+        "frequencies and durations weight the impact ranking through the "
+        "chosen cost model.",
     )
     parser.add_argument(
         "--db",
@@ -136,6 +143,33 @@ def build_scan_parser() -> argparse.ArgumentParser:
         choices=("auto",) + LOG_FORMATS,
         default="auto",
         help="log dialect (default: auto-detect per file)",
+    )
+    parser.add_argument(
+        "--pg-stat",
+        nargs="?",
+        const="pg_stat_statements",
+        default=None,
+        metavar="TABLE",
+        help="read the workload from a pg_stat_statements snapshot stored as "
+        "a table in --db (default table name: pg_stat_statements); merges "
+        "with any --log workload",
+    )
+    parser.add_argument(
+        "--cost-model",
+        choices=COST_MODEL_NAMES,
+        default=DEFAULT_COST_MODEL,
+        help="workload cost model weighting the ranking: frequency "
+        "(1+log2(f), the default), duration (total observed time), or "
+        "hybrid (a 50/50 blend)",
+    )
+    parser.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="profile at most N rows per table; larger tables are sampled "
+        "inside the database (ORDER BY random() LIMIT N) instead of "
+        "fetched whole (default: no limit)",
     )
     parser.add_argument(
         "--format",
@@ -164,14 +198,19 @@ def run_scan_command(argv: Sequence[str]) -> tuple[int, str]:
         LogFormatError,
         WorkloadLog,
         connect,
+        read_pg_stat_table,
         read_workload_log,
     )
 
     args = build_scan_parser().parse_args(list(argv))
     if not args.db and not args.log:
         return 2, "error: sqlcheck scan needs --db, --log, or both"
+    if args.pg_stat and not args.db:
+        return 2, "error: --pg-stat reads a table from --db; pass --db too"
     if args.top < 0:
         return 2, "error: --top must be a non-negative number of findings"
+    if args.sample < 0:
+        return 2, "error: --sample must be a non-negative row count"
     log_format = None if args.log_format == "auto" else args.log_format
     connector = None
     try:
@@ -179,6 +218,9 @@ def run_scan_command(argv: Sequence[str]) -> tuple[int, str]:
         workload: "WorkloadLog | None" = None
         for path in args.log:
             piece = read_workload_log(path, log_format)
+            workload = piece if workload is None else workload.merge(piece)
+        if args.pg_stat:
+            piece = read_pg_stat_table(connector, args.pg_stat)
             workload = piece if workload is None else workload.merge(piece)
         dialect = args.dialect or (connector.dialect if connector is not None else None)
         options = SQLCheckOptions(
@@ -189,12 +231,17 @@ def run_scan_command(argv: Sequence[str]) -> tuple[int, str]:
             ),
             ranking=C1 if args.config == "C1" else C2,
             suggest_fixes=not args.no_fixes,
+            cost_model=args.cost_model,
         )
         scanner = LiveScanner(options=options)
         source = args.source or (
             args.db if args.db else (args.log[0] if len(args.log) == 1 else None)
         )
-        report = scanner.scan(connector, workload, source=source)
+        report = scanner.scan(
+            connector, workload, source=source, sample_limit=args.sample or None,
+            # A pg_stat snapshot table is telemetry, not application schema.
+            exclude_tables=(args.pg_stat,) if args.pg_stat else (),
+        )
     except (ConnectorError, LogFormatError, OSError) as error:
         return 2, f"error: {error}"
     finally:

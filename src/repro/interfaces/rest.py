@@ -15,10 +15,20 @@ by the standard library's ``http.server``:
   independent corpora and returns one report per corpus plus aggregate
   stats (same ``format`` values as ``/api/check``);
 * ``POST /api/scan`` — live-source ingestion: body ``{"db": "sqlite:///...",
-  "log_text": "...", "log_format": "postgres-csv"|"postgres"|"mysql"|
-  "sqlite-trace"|"sql", "config": ..., "format": ...}``; the database (a
-  server-local path/URL) is introspected into the schema+data context and
-  the log's execution frequencies weight the ranking;
+  "db_base64": "<base64 SQLite file>", "log_text": "...", "log_format":
+  "postgres-csv"|"postgres"|"pg_stat_statements"|"mysql"|"sqlite-trace"|
+  "sql", "pg_stat": true|"table_name", "cost_model": "frequency"|
+  "duration"|"hybrid", "sample": N, "config": ..., "format": ...}``; the
+  database — a server-local path/URL *or* an uploaded SQLite file sent
+  base64-encoded in ``db_base64`` — is introspected into the schema+data
+  context, ``pg_stat`` reads a ``pg_stat_statements`` snapshot table from
+  it, and the workload's execution frequencies and durations weight the
+  ranking through the chosen cost model (``sample`` caps profiled rows per
+  table via connector push-down);
+* ``POST /api/selftest`` — runs the conformance testkit (rule examples,
+  golden corpus, differential oracles) in-process and returns the suite
+  verdict with per-oracle results; body ``{"seed": N, "statements": N,
+  "workers": N}`` (all optional);
 * ``GET  /api/rules`` — the registered rule catalog with each rule's
   structured :class:`~repro.rules.base.RuleDoc`;
 * ``GET  /api/antipatterns`` — the supported anti-pattern catalog;
@@ -115,8 +125,23 @@ def handle_check_batch_request(payload: dict) -> tuple[int, dict]:
     return 200, _formatted_response(documents, fmt, toolchain.registry)
 
 
+#: Upload ceiling of ``db_base64`` (decoded bytes): big enough for any
+#: realistic review database, small enough to bound one request's memory.
+#: Checked against the *encoded* length before any decoding happens.
+MAX_UPLOAD_BYTES = 64 * 1024 * 1024
+
+#: Raw request-body ceiling enforced before the body is read off the
+#: socket (base64 inflates the upload ceiling by 4/3, plus JSON framing).
+MAX_REQUEST_BYTES = MAX_UPLOAD_BYTES * 2
+
+
 def handle_scan_request(payload: dict) -> tuple[int, dict]:
     """Process the body of ``POST /api/scan`` and return (status, response)."""
+    import base64
+    import binascii
+    import os
+    import tempfile
+
     from ..ingest import (
         LOG_FORMATS,
         ConnectorError,
@@ -126,14 +151,23 @@ def handle_scan_request(payload: dict) -> tuple[int, dict]:
         connect,
         detect_log_format,
         iter_log_records,
+        read_pg_stat_table,
     )
+    from ..ranking.cost_model import COST_MODEL_NAMES, DEFAULT_COST_MODEL
 
     db = payload.get("db")
+    db_base64 = payload.get("db_base64")
     log_text = payload.get("log_text")
-    if not db and not log_text:
-        return 400, {"error": "the request body must contain 'db', 'log_text', or both"}
+    if not db and not db_base64 and not log_text:
+        return 400, {
+            "error": "the request body must contain 'db', 'db_base64', 'log_text', or a combination"
+        }
+    if db and db_base64:
+        return 400, {"error": "'db' and 'db_base64' are mutually exclusive"}
     if db is not None and not isinstance(db, str):
         return 400, {"error": "'db' must be a database URL or path string"}
+    if db_base64 is not None and not isinstance(db_base64, str):
+        return 400, {"error": "'db_base64' must be the SQLite file content, base64-encoded"}
     if log_text is not None and not isinstance(log_text, str):
         return 400, {"error": "'log_text' must be the log file content as a string"}
     log_format = str(payload.get("log_format", "auto")).lower()
@@ -145,14 +179,61 @@ def handle_scan_request(payload: dict) -> tuple[int, dict]:
         return 400, {
             "error": f"unknown log format {log_format!r} (expected one of {list(LOG_FORMATS)})"
         }
+    cost_model = str(payload.get("cost_model", DEFAULT_COST_MODEL)).lower()
+    if cost_model not in COST_MODEL_NAMES:
+        return 400, {
+            "error": f"unknown cost model {cost_model!r} (expected one of {list(COST_MODEL_NAMES)})"
+        }
+    sample = payload.get("sample")
+    if sample is not None:
+        try:
+            sample = int(sample)
+        except (TypeError, ValueError):
+            return 400, {"error": "'sample' must be an integer row count"}
+        if sample < 0:
+            return 400, {"error": "'sample' must be a non-negative row count"}
+        sample = sample or None
+    pg_stat = payload.get("pg_stat")
+    if pg_stat is True:
+        pg_stat = "pg_stat_statements"
+    elif pg_stat is False:
+        pg_stat = None  # explicit "off" is as valid as omitting the field
+    if pg_stat is not None and not isinstance(pg_stat, str):
+        return 400, {"error": "'pg_stat' must be true/false or a snapshot table name"}
+    if pg_stat and not db and not db_base64:
+        return 400, {"error": "'pg_stat' reads a table from 'db'/'db_base64'; pass one too"}
     fmt, error = _parse_format(payload)
     if error is not None:
         return 400, error
     config_name = str(payload.get("config", "C1")).upper()
     ranking = C2 if config_name == "C2" else C1
     connector = None
+    upload_path = None
     try:
-        connector = connect(db) if db else None
+        if db_base64:
+            # Reject on the *encoded* length before decoding: the ceiling
+            # must bound the request's memory, not just the decoded file.
+            if len(db_base64) > (MAX_UPLOAD_BYTES * 4) // 3 + 4:
+                return 400, {
+                    "error": f"uploaded database exceeds {MAX_UPLOAD_BYTES} bytes"
+                }
+            try:
+                raw = base64.b64decode(db_base64, validate=True)
+            except (binascii.Error, ValueError):
+                return 400, {"error": "'db_base64' is not valid base64"}
+            if len(raw) > MAX_UPLOAD_BYTES:
+                return 400, {
+                    "error": f"uploaded database exceeds {MAX_UPLOAD_BYTES} bytes"
+                }
+            handle = tempfile.NamedTemporaryFile(
+                prefix="sqlcheck-upload-", suffix=".db", delete=False
+            )
+            with handle:
+                handle.write(raw)
+            upload_path = handle.name
+            connector = connect(upload_path)
+        elif db:
+            connector = connect(db)
         workload = None
         if log_text:
             workload = WorkloadLog.from_records(
@@ -160,33 +241,85 @@ def handle_scan_request(payload: dict) -> tuple[int, dict]:
                 source="request",
                 log_format=log_format,
             )
+        if pg_stat:
+            piece = read_pg_stat_table(connector, pg_stat)
+            workload = piece if workload is None else workload.merge(piece)
         dialect = payload.get("dialect") or (
             connector.dialect if connector is not None else None
         )
         scanner = LiveScanner(
             options=SQLCheckOptions(
-                detector=DetectorConfig(dialect=dialect), ranking=ranking
+                detector=DetectorConfig(dialect=dialect),
+                ranking=ranking,
+                cost_model=cost_model,
             )
         )
-        report = scanner.scan(connector, workload, source=db or "request")
+        source = db or ("upload" if db_base64 else "request")
+        report = scanner.scan(
+            connector,
+            workload,
+            source=source,
+            sample_limit=sample,
+            exclude_tables=(pg_stat,) if pg_stat else (),
+        )
     except (ConnectorError, LogFormatError) as error:
         return 400, {"error": str(error)}
     finally:
         if connector is not None:
             connector.close()
+        if upload_path is not None:
+            try:
+                os.unlink(upload_path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
     if fmt == "json":
         body = report.to_dict()
         if workload is not None:
             body["workload"] = {
                 "distinct_statements": len(workload),
                 "total_statements": workload.total_statements,
+                "total_duration_ms": round(workload.total_duration_ms, 3),
                 "log_format": workload.log_format,
             }
         return 200, body
     document = build_document(
-        report, registry=scanner.toolchain.registry, source=db or "request"
+        report, registry=scanner.toolchain.registry, source=source
     )
     return 200, _formatted_response(document, fmt, scanner.toolchain.registry)
+
+
+#: Fuzzed-corpus ceiling of ``POST /api/selftest`` — the suite runs
+#: synchronously inside the request, so the corpus size must stay bounded.
+MAX_SELFTEST_STATEMENTS = 2000
+
+
+def handle_selftest_request(payload: dict) -> tuple[int, dict]:
+    """Process the body of ``POST /api/selftest`` and return (status, response).
+
+    Runs the conformance testkit in-process (never regenerating goldens —
+    the REST surface is read-only) and returns
+    :meth:`~repro.testkit.selftest.SelftestResult.to_dict`: the overall
+    ``ok`` verdict plus per-oracle failure lists and the dbdeo agreement
+    rates.
+    """
+    from ..testkit.selftest import run_selftest
+
+    try:
+        seed = int(payload.get("seed", 2020))
+        statements = int(payload.get("statements", 120))
+        workers = int(payload.get("workers", 1))
+    except (TypeError, ValueError):
+        return 400, {"error": "'seed', 'statements', and 'workers' must be integers"}
+    if statements < 1 or statements > MAX_SELFTEST_STATEMENTS:
+        return 400, {
+            "error": f"'statements' must be between 1 and {MAX_SELFTEST_STATEMENTS}"
+        }
+    if workers < 1:
+        return 400, {"error": "'workers' must be a positive integer"}
+    result = run_selftest(
+        None, seed=seed, statements=statements, workers=workers, update_golden=False
+    )
+    return 200, result.to_dict()
 
 
 def rules_response() -> dict:
@@ -253,12 +386,19 @@ class _Handler(BaseHTTPRequestHandler):
             "/api/check": handle_check_request,
             "/api/check_batch": handle_check_batch_request,
             "/api/scan": handle_scan_request,
+            "/api/selftest": handle_selftest_request,
         }
         handler = handlers.get(self.path)
         if handler is None:
             self._send(404, {"error": f"unknown path {self.path}"})
             return
         length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_REQUEST_BYTES:
+            # Bound request memory before reading the body at all.
+            self._send(413, {
+                "error": f"request body exceeds {MAX_REQUEST_BYTES} bytes"
+            })
+            return
         raw = self.rfile.read(length) if length else b"{}"
         try:
             payload = json.loads(raw.decode("utf-8") or "{}")

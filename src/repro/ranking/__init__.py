@@ -1,5 +1,16 @@
-"""ap-rank: impact metrics and the weighted ranking model (§5)."""
+"""ap-rank: impact metrics, workload cost models, and the weighted
+ranking model (§5)."""
 from .config import C1, C2, RankingConfig
+from .cost_model import (
+    COST_MODEL_NAMES,
+    DEFAULT_COST_MODEL,
+    DurationCostModel,
+    FrequencyCostModel,
+    HybridCostModel,
+    WorkloadCostModel,
+    frequency_weight,
+    resolve_cost_model,
+)
 from .metrics import APMetrics, MetricEstimator, default_metrics
 from .ranker import APRanker, RankedDetection
 
@@ -8,8 +19,16 @@ __all__ = [
     "APRanker",
     "C1",
     "C2",
+    "COST_MODEL_NAMES",
+    "DEFAULT_COST_MODEL",
+    "DurationCostModel",
+    "FrequencyCostModel",
+    "HybridCostModel",
     "MetricEstimator",
     "RankedDetection",
     "RankingConfig",
+    "WorkloadCostModel",
     "default_metrics",
+    "frequency_weight",
+    "resolve_cost_model",
 ]

@@ -1,14 +1,15 @@
 """ap-rank (§5.2): order detected anti-patterns by estimated impact.
 
-When a query log supplies real execution frequencies (live-source
-ingestion, :mod:`repro.ingest`), the intra-query score is additionally
-weighted by how often the offending statement actually runs: the paper's
-impact model measures cost *per execution*, so a wildcard projection
-executed 40 000 times a day outranks an identical one that ran twice.
+When a query log supplies real workload facts (live-source ingestion,
+:mod:`repro.ingest`), the intra-query score is additionally weighted by a
+pluggable :mod:`~repro.ranking.cost_model`: the paper's impact model
+measures cost *per execution*, so a wildcard projection executed 40 000
+times a day outranks an identical one that ran twice — and under the
+``duration`` model, one whose executions are each 100× slower outranks
+both.
 """
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -21,6 +22,7 @@ from .config import (
     normalise_indicator,
     normalise_performance,
 )
+from .cost_model import WorkloadCostModel, frequency_weight, resolve_cost_model
 from .metrics import APMetrics, default_metrics
 
 
@@ -31,6 +33,8 @@ class RankedDetection:
     detection: Detection
     score: float
     rank: int = 0
+    #: the cost model's multiplicative workload weight (1.0 without a log).
+    workload_weight: float = 1.0
 
     @property
     def anti_pattern(self) -> AntiPattern:
@@ -77,19 +81,9 @@ class APRanker:
         """Impact score of one detection (type score weighted by confidence)."""
         return self.score_anti_pattern(detection.anti_pattern) * detection.confidence
 
-    @staticmethod
-    def frequency_weight(frequency: "int | float | None") -> float:
-        """Workload weight of a statement executed ``frequency`` times.
-
-        Logarithmic (``1 + log2(f)``): execution counts in real logs span
-        orders of magnitude, and a linear weight would let one hot template
-        drown out every schema- and data-level finding.  ``f <= 1`` (or
-        unknown) weighs 1.0, so workloads without a log rank exactly as
-        before.
-        """
-        if frequency is None or frequency <= 1:
-            return 1.0
-        return 1.0 + math.log2(float(frequency))
+    #: retained as a staticmethod for callers that weighted by hand before
+    #: cost models existed; the ``frequency`` model is defined by it.
+    frequency_weight = staticmethod(frequency_weight)
 
     # ------------------------------------------------------------------
     # ranking
@@ -99,25 +93,32 @@ class APRanker:
         report: "DetectionReport | list[Detection]",
         *,
         frequencies: "Mapping[int, int] | None" = None,
+        durations: "Mapping[int, float] | None" = None,
+        cost_model: "WorkloadCostModel | str | None" = None,
     ) -> list[RankedDetection]:
         """Rank every detection in decreasing order of estimated impact.
 
-        ``frequencies`` maps statement index → observed execution count
-        (from a query log); detections on unmapped statements — and
-        schema/data findings, which have no statement — keep weight 1.0.
+        ``frequencies`` maps statement index → observed execution count and
+        ``durations`` statement index → mean execution time in ms (both from
+        a query log); ``cost_model`` — a name from
+        :data:`~repro.ranking.cost_model.COST_MODEL_NAMES` or a
+        :class:`~repro.ranking.cost_model.WorkloadCostModel` — folds them
+        into one weight per statement.  Detections on unmapped statements —
+        and schema/data findings, which have no statement — keep weight 1.0.
         """
         detections = list(report.detections if isinstance(report, DetectionReport) else report)
-        weights = frequencies or {}
-        ranked = [
-            RankedDetection(
-                detection=d,
-                score=self.score_detection(d)
-                * self.frequency_weight(
-                    weights.get(d.query_index) if d.query_index is not None else None
-                ),
+        model = resolve_cost_model(cost_model)
+        weights = model.weights(frequencies or {}, durations or {})
+        ranked = []
+        for d in detections:
+            weight = weights.get(d.query_index, 1.0) if d.query_index is not None else 1.0
+            ranked.append(
+                RankedDetection(
+                    detection=d,
+                    score=self.score_detection(d) * weight,
+                    workload_weight=weight,
+                )
             )
-            for d in detections
-        ]
         ranked.sort(key=lambda r: (-r.score, r.detection.anti_pattern.value))
         for position, entry in enumerate(ranked, start=1):
             entry.rank = position

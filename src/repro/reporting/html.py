@@ -45,7 +45,12 @@ def _finding_html(finding: Finding) -> "list[str]":
         f" &middot; {_e(finding.severity.title())} severity"
         f" &middot; confidence {detection.confidence:.2f}"
         f" &middot; score {finding.score:.3f}"
-        f" &middot; {_e(finding.location_label)}</p>",
+        + (
+            f" (workload weight &times;{finding.workload_weight:.2f})"
+            if finding.workload_weight != 1.0
+            else ""
+        )
+        + f" &middot; {_e(finding.location_label)}</p>",
     ]
     if detection.query:
         parts.append(f"<pre><code>{_e(detection.query.strip())}</code></pre>")
@@ -72,11 +77,16 @@ def _document_html(document: ReportDocument, *, tag: str = "h1") -> "list[str]":
         if document.is_truncated
         else ""
     )
+    weighted = (
+        f" Scores are workload-weighted (cost model: <code>{_e(document.cost_model)}</code>)."
+        if document.is_workload_weighted or document.cost_model != "frequency"
+        else ""
+    )
     parts = [
         f"<{tag}>SQLCheck report &mdash; <code>{_e(document.source)}</code></{tag}>",
         f"<p><strong>{document.total_findings} anti-pattern(s)</strong> in "
         f"{document.queries_analyzed} statement(s), "
-        f"{document.tables_analyzed} table(s) analysed.{shown}</p>",
+        f"{document.tables_analyzed} table(s) analysed.{weighted}{shown}</p>",
     ]
     if not document.findings:
         parts.append("<p>No anti-patterns detected.</p>")

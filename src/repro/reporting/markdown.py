@@ -80,7 +80,13 @@ def _finding_section(finding: Finding) -> "list[str]":
         "",
         f"*{detection.display_name}* · rule `{detection.rule or detection.anti_pattern.value}` · "
         f"{finding.severity.title()} severity · confidence {detection.confidence:.2f} · "
-        f"score {finding.score:.3f} · {detection.detection_mode.replace('_', '-')} analysis",
+        f"score {finding.score:.3f}"
+        + (
+            f" (workload weight ×{finding.workload_weight:.2f})"
+            if finding.workload_weight != 1.0
+            else ""
+        )
+        + f" · {detection.detection_mode.replace('_', '-')} analysis",
         "",
     ]
     if detection.query:
@@ -110,6 +116,8 @@ def _document_lines(document: ReportDocument, *, heading_level: int = 1) -> "lis
         f"{document.queries_analyzed} statement(s), "
         f"{document.tables_analyzed} table(s) analysed."
     )
+    if document.is_workload_weighted or document.cost_model != "frequency":
+        summary += f" Scores are workload-weighted (cost model: `{document.cost_model}`)."
     if document.is_truncated:
         summary += f" Showing the top {len(document.findings)} by impact."
     lines = [

@@ -47,6 +47,9 @@ class Finding:
     detection: Detection
     doc: RuleDoc
     fix: "Fix | None" = None
+    #: the cost model's multiplicative workload weight behind ``score``
+    #: (1.0 for schema/data findings and logless runs).
+    workload_weight: float = 1.0
 
     @property
     def severity(self) -> str:
@@ -93,6 +96,15 @@ class ReportDocument:
     #: the run's true finding count; stays at the original value when
     #: ``truncate`` keeps only the top-N, so headers never understate it.
     total_findings: int = 0
+    #: name of the workload cost model the ranking used (``frequency``,
+    #: ``duration``, ``hybrid``); every emitter surfaces it so a reader
+    #: knows what the scores mean.
+    cost_model: str = "frequency"
+
+    @property
+    def is_workload_weighted(self) -> bool:
+        """True when any finding carries a real (≠ 1.0) workload weight."""
+        return any(finding.workload_weight != 1.0 for finding in self.findings)
 
     def __post_init__(self) -> None:
         if not self.total_findings:
@@ -135,6 +147,7 @@ def build_document(
             detection=entry.detection,
             doc=_resolve_doc(entry.detection, rules_by_name),
             fix=report.fix_for(entry),
+            workload_weight=getattr(entry, "workload_weight", 1.0),
         )
         for entry in report.detections
     ]
@@ -150,6 +163,7 @@ def build_document(
         queries_analyzed=report.queries_analyzed,
         tables_analyzed=report.tables_analyzed,
         stats=report.stats.to_dict() if include_stats and report.stats is not None else None,
+        cost_model=getattr(report, "cost_model", "frequency"),
     )
 
 

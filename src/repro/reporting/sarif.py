@@ -90,6 +90,7 @@ def _result(
             "confidence": round(detection.confidence, 3),
             "rank": finding.rank,
             "score": round(finding.score, 4),
+            "workload_weight": round(finding.workload_weight, 4),
         },
     }
     index = rule_index.get(result["ruleId"])
@@ -219,11 +220,15 @@ def to_sarif(
     }
     if uris:
         run["artifacts"] = [{"location": {"uri": uri}} for uri in uris]
-    # Pipeline timings requested with --stats travel in the run's property
-    # bag (SARIF has no first-class slot for profiling data).
+    # The workload cost model and pipeline timings travel in the run's
+    # property bag (SARIF has no first-class slot for either).
+    properties: dict = {
+        "cost_model": {doc.source: doc.cost_model for doc in docs},
+    }
     stats = {doc.source: doc.stats for doc in docs if doc.stats}
     if stats:
-        run["properties"] = {"pipeline_stats": stats}
+        properties["pipeline_stats"] = stats
+    run["properties"] = properties
     return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]}
 
 

@@ -26,11 +26,13 @@ from .golden import golden_entries, load_golden, diff_golden, write_golden
 from .oracles import (
     OracleFailure,
     check_cold_warm_batch,
+    check_cost_model_equivalence,
     check_dbdeo_agreement,
     check_fixer_round_trip,
     check_scan_equivalence,
     check_stats_accounting,
     detection_bytes,
+    ranking_bytes,
 )
 from .selftest import SelftestResult, run_selftest
 
@@ -41,11 +43,13 @@ __all__ = [
     "OracleFailure",
     "SelftestResult",
     "check_cold_warm_batch",
+    "check_cost_model_equivalence",
     "check_dbdeo_agreement",
     "check_fixer_round_trip",
     "check_scan_equivalence",
     "check_stats_accounting",
     "detection_bytes",
+    "ranking_bytes",
     "diff_golden",
     "example_report",
     "golden_entries",

@@ -33,14 +33,25 @@ _WORDS = ("alpha", "bravo", "delta", "echo", "lima", "oscar", "tango", "zulu")
 
 @dataclass(frozen=True)
 class GeneratedStatement:
-    """One generated SQL statement group with its planted ground truth."""
+    """One generated SQL statement group with its planted ground truth.
+
+    ``rows`` optionally carries generated data (table → row dicts, frozen
+    as tuples) for *data-rule* plantings: the group must then be analysed
+    against an engine database loaded with those rows, exactly like a
+    :class:`~repro.rules.base.RuleExample` with data.
+    """
 
     sql: "tuple[str, ...]"
     planted: "tuple[AntiPattern, ...]" = ()
+    rows: "tuple[tuple[str, tuple[dict, ...]], ...]" = ()
 
     @property
     def is_clean(self) -> bool:
         return not self.planted
+
+    @property
+    def needs_database(self) -> bool:
+        return bool(self.rows)
 
     @property
     def text(self) -> str:
@@ -78,6 +89,15 @@ class CorpusGenerator:
             (AntiPattern.ENUMERATED_TYPES, self._enumerated_types),
             (AntiPattern.EXTERNAL_DATA_STORAGE, self._external_data_storage),
             (AntiPattern.CLONE_TABLE, self._clone_table),
+            (AntiPattern.INDEX_OVERUSE, self._index_overuse),
+            (AntiPattern.INDEX_UNDERUSE, self._index_underuse),
+        ]
+        #: data-rule recipes: groups that carry generated *rows* and must be
+        #: analysed against a database (kept out of the flat SQL corpus —
+        #: ``corpus_sql`` cannot represent them).
+        self._data_makers: "list[tuple[AntiPattern, Callable[[random.Random], GeneratedStatement]]]" = [
+            (AntiPattern.ENUMERATED_TYPES, self._enumerated_types_data),
+            (AntiPattern.EXTERNAL_DATA_STORAGE, self._external_data_storage_data),
         ]
 
     # ------------------------------------------------------------------
@@ -96,6 +116,24 @@ class CorpusGenerator:
                 raise ValueError(f"no planting recipe for {anti_pattern}")
             maker = makers[anti_pattern]
         return GeneratedStatement(sql=tuple(maker(self._rng)), planted=(anti_pattern,))
+
+    def plantable_data_anti_patterns(self) -> "tuple[AntiPattern, ...]":
+        return tuple(ap for ap, _ in self._data_makers)
+
+    def planted_data_statement(
+        self, anti_pattern: AntiPattern | None = None
+    ) -> GeneratedStatement:
+        """One data-rule scenario: DDL plus generated rows (random when
+        ``anti_pattern`` is None).  The returned group carries ``rows`` and
+        must be analysed against an engine database loaded with them."""
+        if anti_pattern is None:
+            anti_pattern, maker = self._rng.choice(self._data_makers)
+        else:
+            makers = dict(self._data_makers)
+            if anti_pattern not in makers:
+                raise ValueError(f"no data planting recipe for {anti_pattern}")
+            maker = makers[anti_pattern]
+        return maker(self._rng)
 
     def clean_statement(self) -> GeneratedStatement:
         """One statement group that triggers no rule in isolation."""
@@ -316,6 +354,74 @@ class CorpusGenerator:
             f"CREATE TABLE {base}_1 ({columns})",
             f"CREATE TABLE {base}_2 ({columns})",
         ]
+
+    def _index_overuse(self, rng: random.Random) -> list[str]:
+        """Example 5's unused index: the whole workload filters on the
+        primary key, so the planted index accelerates nothing — an
+        inter-query detection needing DDL + index + queries together."""
+        table = self._table(rng, fresh=True)
+        pk = self._pk(table)
+        return [
+            f"CREATE TABLE {table} ({pk} INTEGER PRIMARY KEY, "
+            "label VARCHAR(40) NOT NULL, region VARCHAR(20))",
+            f"CREATE INDEX idx_{table}_region ON {table} (region)",
+            f"SELECT label FROM {table} WHERE {pk} = {rng.randint(1, 9999)}",
+        ]
+
+    def _index_underuse(self, rng: random.Random) -> list[str]:
+        """A selective predicate on a column no index covers — inter-query:
+        the CREATE TABLE supplies the schema the predicate is judged
+        against."""
+        table = self._table(rng, fresh=True)
+        pk = self._pk(table)
+        return [
+            f"CREATE TABLE {table} ({pk} INTEGER PRIMARY KEY, "
+            "label VARCHAR(40) NOT NULL, region VARCHAR(20))",
+            f"SELECT {pk} FROM {table} WHERE region = '{self._word(rng)}'",
+        ]
+
+    # ------------------------------------------------------------------
+    # planting recipes (data rules: DDL + generated rows)
+    # ------------------------------------------------------------------
+    def _enumerated_types_data(self, rng: random.Random) -> GeneratedStatement:
+        """An undeclared enum: a textual column with a handful of distinct
+        values across a large sample (Example 4's distinct-to-tuples
+        ratio), visible only to data analysis."""
+        table = self._table(rng, fresh=True)
+        pk = self._pk(table)
+        domain = rng.sample(_WORDS, 3)
+        count = rng.randint(120, 160)
+        rows = tuple(
+            {pk: i, "status": domain[i % len(domain)]} for i in range(count)
+        )
+        return GeneratedStatement(
+            sql=(
+                f"CREATE TABLE {table} ({pk} INTEGER PRIMARY KEY, "
+                "status VARCHAR(12))",
+            ),
+            planted=(AntiPattern.ENUMERATED_TYPES,),
+            rows=((table, rows),),
+        )
+
+    def _external_data_storage_data(self, rng: random.Random) -> GeneratedStatement:
+        """File paths stored as data: the column name gives nothing away,
+        so only profiling the rows can catch it."""
+        table = self._table(rng, fresh=True)
+        pk = self._pk(table)
+        folder = self._word(rng)
+        count = rng.randint(20, 40)
+        rows = tuple(
+            {pk: i, "location": f"/srv/{folder}/batch_{i}/blob_{i}.bin"}
+            for i in range(count)
+        )
+        return GeneratedStatement(
+            sql=(
+                f"CREATE TABLE {table} ({pk} INTEGER PRIMARY KEY, "
+                "location VARCHAR(255))",
+            ),
+            planted=(AntiPattern.EXTERNAL_DATA_STORAGE,),
+            rows=((table, rows),),
+        )
 
 
 def labelled_recall(

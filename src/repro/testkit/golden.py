@@ -114,12 +114,19 @@ def write_golden(golden_dir: "str | Path", entries: "list[dict]") -> "list[Path]
 
 
 def load_golden(golden_dir: "str | Path") -> "list[dict]":
-    """Load every stored golden entry (empty when the directory is missing)."""
+    """Load every stored golden entry (empty when the directory is missing).
+
+    Only files in the per-rule snapshot format are read: the golden
+    directory can hold other lock files (e.g. the generator-recipe lock)
+    with their own loaders.
+    """
     golden_dir = Path(golden_dir)
     entries: list[dict] = []
     if not golden_dir.is_dir():
         return entries
     for path in sorted(golden_dir.glob(f"*{GOLDEN_SUFFIX}")):
+        if not _is_golden_file(path):
+            continue
         with open(path, "r", encoding="utf-8") as handle:
             for line in handle:
                 line = line.strip()

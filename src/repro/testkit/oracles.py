@@ -19,7 +19,12 @@ Every oracle returns a list of :class:`OracleFailure` (empty = pass):
   rows, with a query log's frequencies, must produce detections
   byte-identical to the offline path over the equivalent inputs (the same
   DDL applied to the in-repo engine, the same rows, the same statements and
-  frequencies).
+  frequencies);
+* :func:`check_cost_model_equivalence` — the pluggable workload cost
+  models must degenerate exactly where the design says they do: the
+  ``duration`` and ``hybrid`` models under *uniform* durations are
+  byte-identical to ``frequency``, and every model over a logless workload
+  is byte-identical to the seed ranking (no cost model at all).
 """
 from __future__ import annotations
 
@@ -207,6 +212,88 @@ def check_dbdeo_agreement(
                 "dbdeo-agreement", anti_pattern.value,
                 f"dbdeo agreed on only {hits}/{total} obvious plantings"))
     return failures, agreement
+
+
+# ----------------------------------------------------------------------
+# cost-model equivalence
+# ----------------------------------------------------------------------
+def ranking_bytes(ranked) -> bytes:
+    """Canonical byte serialisation of a ranking (order, scores, weights).
+
+    Captures everything a cost model can influence; call it immediately
+    after each :meth:`~repro.ranking.ranker.APRanker.rank` run — ranking
+    writes scores back onto the shared detections, so a later capture would
+    see the latest run's values.
+    """
+    payload = [
+        {
+            "rank": entry.rank,
+            "score": round(entry.score, 9),
+            "workload_weight": round(entry.workload_weight, 9),
+            "detection": entry.detection.to_dict(),
+        }
+        for entry in ranked
+    ]
+    return json.dumps(payload, sort_keys=True, default=str).encode()
+
+
+def check_cost_model_equivalence(
+    corpus: "Sequence[str] | None" = None,
+    *,
+    seed: int = 2020,
+    statements: int = 60,
+) -> "list[OracleFailure]":
+    """The cost models' exact degeneracies, byte for byte.
+
+    Over one detected corpus (fuzzed from ``seed`` when not given):
+
+    * ``frequency`` ≡ the seed ranking path (no ``cost_model`` argument);
+    * ``duration`` and ``hybrid`` with *uniform* durations ≡ ``frequency``
+      — median normalisation makes every relative duration exactly 1.0;
+    * every model over a logless workload (no frequencies, no durations)
+      ≡ the unweighted seed ranking.
+    """
+    from ..ranking.cost_model import COST_MODEL_NAMES
+    from ..ranking.ranker import APRanker
+
+    if corpus is None:
+        corpus = CorpusGenerator(seed).corpus_sql(statements)
+    corpus = list(corpus)
+    report = APDetector(DetectorConfig()).detect(corpus)
+    ranker = APRanker()
+    failures: list[OracleFailure] = []
+
+    # Deterministic synthetic workload facts: every other statement ran
+    # more than once, every statement took the same mean time.
+    indexed = [d.query_index for d in report.detections if d.query_index is not None]
+    frequencies = {index: 2 + (index * 7) % 97 for index in indexed[::2]}
+    uniform = {index: 12.5 for index in indexed}
+
+    baseline = ranking_bytes(ranker.rank(report, frequencies=frequencies))
+    if ranking_bytes(
+        ranker.rank(report, frequencies=frequencies, cost_model="frequency")
+    ) != baseline:
+        failures.append(OracleFailure(
+            "cost-model", "frequency",
+            "explicit frequency model differs from the default ranking path"))
+    for model in ("duration", "hybrid"):
+        captured = ranking_bytes(ranker.rank(
+            report, frequencies=frequencies, durations=uniform, cost_model=model
+        ))
+        if captured != baseline:
+            failures.append(OracleFailure(
+                "cost-model", model,
+                "uniform durations must degenerate to the frequency ranking, "
+                "byte for byte"))
+
+    logless = ranking_bytes(ranker.rank(report))
+    for model in COST_MODEL_NAMES:
+        captured = ranking_bytes(ranker.rank(report, cost_model=model))
+        if captured != logless:
+            failures.append(OracleFailure(
+                "cost-model", model,
+                "logless ranking differs from the seed (unweighted) ranking"))
+    return failures
 
 
 # ----------------------------------------------------------------------

@@ -19,6 +19,7 @@ from .golden import diff_golden, golden_entries, load_golden, write_golden
 from .oracles import (
     OracleFailure,
     check_cold_warm_batch,
+    check_cost_model_equivalence,
     check_dbdeo_agreement,
     check_fixer_round_trip,
 )
@@ -187,4 +188,8 @@ def run_selftest(
     # 5. fixer round trip on planted statements
     fixer_failures, result.rewrites_checked = check_fixer_round_trip(seed=seed)
     result.oracle_failures.extend(fixer_failures)
+
+    # 6. cost-model degeneracies over the same corpus: duration/hybrid with
+    #    uniform durations ≡ frequency; logless ≡ the seed ranking.
+    result.oracle_failures.extend(check_cost_model_equivalence(corpus, seed=seed))
     return result

@@ -1,0 +1,79 @@
+"""Golden snapshots under non-default detector configurations.
+
+The per-rule golden corpus (``test_golden_corpus.py``) locks every rule's
+verdict under the *default* :class:`DetectorConfig`; these snapshots lock
+the same examples under the configurations the paper ablates — intra-query
+only (no whole-workload context, §8.1) and tightened thresholds (§4.2) —
+so a change to how a config knob is honoured shows up as golden drift, not
+as a silent behavior shift.  Stored under ``golden/configs/<name>/``;
+regenerate with ``pytest tests/conformance --update-golden``.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.detector.detector import DetectorConfig
+from repro.rules.thresholds import Thresholds
+from repro.testkit import diff_golden, golden_entries, load_golden, write_golden
+
+#: Non-default configurations worth locking.  ``strict_thresholds``
+#: tightens exactly the knobs the rule examples exercise, so several
+#: verdicts genuinely differ from the default corpus.
+CONFIGS: "dict[str, DetectorConfig]" = {
+    "intra_only": DetectorConfig(enable_inter_query=False),
+    "strict_thresholds": DetectorConfig(
+        thresholds=Thresholds(
+            god_table_columns=5,
+            too_many_joins=3,
+            enum_max_distinct=4,
+            index_overuse_max_indexes=1,
+            data_in_metadata_min_columns=2,
+        )
+    ),
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONFIGS))
+def test_config_golden_matches(name, update_golden, golden_dir):
+    config_dir = golden_dir / "configs" / name
+    current = golden_entries(config=CONFIGS[name])
+    if update_golden:
+        write_golden(config_dir, current)
+        return
+    stored = load_golden(config_dir)
+    assert stored, (
+        f"no golden corpus for config {name!r} in {config_dir}; generate it "
+        "with `pytest tests/conformance --update-golden`"
+    )
+    mismatches = diff_golden(current, stored)
+    assert not mismatches, "\n".join(mismatches)
+
+
+def test_config_goldens_actually_differ_from_default(golden_dir):
+    """Sanity: each non-default config changes at least one stored verdict —
+    otherwise the snapshot adds no coverage over the default corpus."""
+    default = {
+        (e["rule"], e["example"]): e["detections"] for e in load_golden(golden_dir)
+    }
+    for name in CONFIGS:
+        stored = load_golden(golden_dir / "configs" / name)
+        assert stored, f"missing stored golden for config {name!r}"
+        changed = [
+            key
+            for key in default
+            if default[key] != {
+                (e["rule"], e["example"]): e["detections"] for e in stored
+            }.get(key)
+        ]
+        assert changed, f"config {name!r} produced verdicts identical to the default"
+
+
+def test_intra_only_drops_inter_query_detections(golden_dir):
+    """The locked intra-only corpus carries no inter_query detections."""
+    stored = load_golden(golden_dir / "configs" / "intra_only")
+    modes = {
+        detection["detection_mode"]
+        for entry in stored
+        for detection in entry["detections"]
+    }
+    assert stored and "inter_query" not in modes

@@ -1,0 +1,128 @@
+"""Differential oracles for the workload cost-model layer (PR 5).
+
+Acceptance contract: the pluggable cost models are pure *re-weighting* —
+``duration`` (and ``hybrid``) with uniform durations is byte-identical to
+``frequency``; a logless run is byte-identical to the seed ranking; and
+only genuinely skewed durations may move a finding.  The checks run at
+three levels: the ranker (the reusable testkit oracle), the toolchain
+(``SQLCheck`` report bytes), and the live scanner (durations parsed from a
+real log format).
+"""
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.sqlcheck import SQLCheck, SQLCheckOptions
+from repro.ingest import WorkloadLog, iter_log_records
+from repro.ranking import APRanker, DurationCostModel, HybridCostModel, resolve_cost_model
+from repro.testkit import CorpusGenerator, check_cost_model_equivalence, ranking_bytes
+
+
+def test_cost_model_equivalence_oracle_on_fuzzed_corpus():
+    failures = check_cost_model_equivalence(seed=2020, statements=80)
+    assert failures == [], [str(f) for f in failures]
+
+
+def test_cost_model_equivalence_oracle_across_seeds():
+    for seed in (7, 99):
+        failures = check_cost_model_equivalence(seed=seed, statements=30)
+        assert failures == [], [str(f) for f in failures]
+
+
+def test_logless_toolchain_report_is_byte_identical_across_models():
+    """End to end: the same corpus, no workload facts — every model's
+    detections (ranks, scores, weights included) serialise identically."""
+    corpus = CorpusGenerator(5).corpus_sql(40)
+    baseline = None
+    for model in (None, "frequency", "duration", "hybrid"):
+        report = SQLCheck(SQLCheckOptions(cost_model=model)).check(corpus)
+        payload = json.dumps(report.to_dict()["detections"], sort_keys=True)
+        if baseline is None:
+            baseline = payload
+        else:
+            assert payload == baseline, f"model {model} moved a logless ranking"
+
+
+def test_skewed_durations_reorder_where_frequency_cannot():
+    """The non-degenerate case: equal frequencies, 100× duration skew."""
+    ranker = APRanker()
+    corpus = [
+        "SELECT * FROM sensors",
+        "SELECT label FROM sensors WHERE notes LIKE '%hot%'",
+    ]
+    report = SQLCheck().detector.detect(corpus)
+    frequencies = {0: 16, 1: 16}
+    skewed = {0: 1.0, 1: 100.0}
+    by_frequency = ranking_bytes(
+        ranker.rank(report, frequencies=frequencies, cost_model="frequency")
+    )
+    with_durations = ranking_bytes(
+        ranker.rank(
+            report, frequencies=frequencies, durations=skewed, cost_model="duration"
+        )
+    )
+    assert by_frequency != with_durations
+    # And the weight moves in the right direction: the slow statement's
+    # findings carry a strictly larger weight than the fast one's.
+    ranked = ranker.rank(
+        report, frequencies=frequencies, durations=skewed, cost_model="duration"
+    )
+    weights = {entry.detection.query_index: entry.workload_weight for entry in ranked}
+    assert weights[1] > weights[0]
+
+
+def test_duration_weights_are_unit_free():
+    """Logging in seconds instead of milliseconds cannot move a ranking:
+    the median normalisation cancels any global scale factor."""
+    model = DurationCostModel()
+    frequencies = {0: 4, 1: 9, 2: 2}
+    in_ms = {0: 3.0, 1: 250.0, 2: 40.0}
+    in_seconds = {index: value / 1000.0 for index, value in in_ms.items()}
+    assert model.weights(frequencies, in_ms) == pytest.approx(
+        model.weights(frequencies, in_seconds)
+    )
+
+
+def test_hybrid_interpolates_between_the_pure_models():
+    frequencies = {0: 8}
+    durations = {0: 90.0, 1: 10.0}
+    low = resolve_cost_model("frequency").weights(frequencies, durations)
+    high = resolve_cost_model("duration").weights(frequencies, durations)
+    mid = HybridCostModel(0.5).weights(frequencies, durations)
+    assert min(low[0], high[0]) <= mid[0] <= max(low[0], high[0])
+    assert HybridCostModel(0.0).weights(frequencies, durations)[0] == low[0]
+    assert HybridCostModel(1.0).weights(frequencies, durations)[0] == high[0]
+
+
+def test_durations_flow_from_a_real_log_into_the_ranking():
+    """Scanner level: a postgres stderr log with ``log_min_duration``
+    timings re-weights the scan under the duration model — and the same
+    scan under ``frequency`` ignores the timings entirely."""
+    from repro.ingest import LiveScanner
+
+    lines = []
+    for _ in range(4):
+        lines.append(
+            "2026-07-01 12:00:00 UTC [9] LOG:  duration: 2500.000 ms  "
+            "statement: SELECT label FROM sensors WHERE notes LIKE '%hot%'\n"
+        )
+    for _ in range(4):
+        lines.append(
+            "2026-07-01 12:00:01 UTC [9] LOG:  duration: 0.100 ms  "
+            "statement: SELECT * FROM sensors\n"
+        )
+    log = WorkloadLog.from_records(iter_log_records(lines, "postgres"))
+    slow = LiveScanner(
+        options=SQLCheckOptions(cost_model="duration")
+    ).scan(None, log)
+    weights = {
+        entry.detection.anti_pattern.value: entry.workload_weight for entry in slow
+    }
+    assert weights["pattern_matching"] > weights["column_wildcard"]
+    flat = LiveScanner(options=SQLCheckOptions(cost_model="frequency")).scan(None, log)
+    flat_weights = {
+        entry.detection.anti_pattern.value: entry.workload_weight for entry in flat
+    }
+    assert flat_weights["pattern_matching"] == flat_weights["column_wildcard"]

@@ -199,3 +199,64 @@ def test_testkit_scan_equivalence_oracle(tmp_path):
         options=SQLCheckOptions(detector=DetectorConfig(dialect="sqlite")),
     )
     assert failures == [], [str(f) for f in failures]
+
+
+# ----------------------------------------------------------------------
+# pg_stat_statements as the workload source (PR 5)
+# ----------------------------------------------------------------------
+def _write_pg_stat_csv(path) -> None:
+    """The canonical workload as a pg_stat_statements export: one
+    pre-aggregated row per statement (calls + total/mean times)."""
+    lines = ["query,calls,total_exec_time,mean_exec_time"]
+    for n, (statement, count) in enumerate(WORKLOAD):
+        mean = 4.0 + n  # distinct but boring timings
+        quoted = statement.replace('"', '""')
+        lines.append(f'"{quoted}",{count},{mean * count},{mean}')
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def test_pg_stat_csv_normalizes_to_the_same_frequencies(tmp_path):
+    """A pg_stat export folds to the same (statement, frequency) entries as
+    the line-per-execution dialects — durations ride along on top."""
+    path = tmp_path / "pg_stat.csv"
+    _write_pg_stat_csv(path)
+    log = read_workload_log(path)  # format auto-detected from the header
+    assert log.log_format == "pg_stat_statements"
+    assert [(e.statement, e.frequency) for e in log.entries()] == list(WORKLOAD)
+    assert all(e.mean_duration_ms is not None for e in log.entries())
+
+
+def test_scan_equivalence_holds_with_a_pg_stat_source(tmp_path):
+    """Acceptance: ``check_scan_equivalence`` holds when the workload comes
+    from pg_stat_statements and the duration cost model consumes its
+    timings on both sides."""
+    path = tmp_path / "pg_stat.csv"
+    _write_pg_stat_csv(path)
+    workload = read_workload_log(path)
+    for cost_model in ("frequency", "duration", "hybrid"):
+        failures = check_scan_equivalence(
+            DDL, ROWS, workload,
+            db_path=tmp_path / f"oracle_{cost_model}.db",
+            options=SQLCheckOptions(
+                detector=DetectorConfig(dialect="sqlite"), cost_model=cost_model
+            ),
+        )
+        assert failures == [], [str(f) for f in failures]
+
+
+def test_cli_scan_pg_stat_log_weights_by_duration(tmp_path, sqlite_path):
+    """End to end: the pg_stat workload through the real CLI under the
+    duration model — weights follow calls × mean time, not calls alone."""
+    path = tmp_path / "pg_stat.csv"
+    _write_pg_stat_csv(path)
+    code, output = cli_run([
+        "scan", "--db", str(sqlite_path), "--log", str(path),
+        "--cost-model", "duration", "--format", "json",
+    ])
+    assert code == 1
+    payload = json.loads(output)
+    assert payload["cost_model"] == "duration"
+    weighted = [
+        d for d in payload["detections"] if d["query_index"] is not None
+    ]
+    assert any(d["workload_weight"] != 1.0 for d in weighted)

@@ -167,3 +167,74 @@ class TestSQLiteIntrospection:
         assert [c.lower() for c in table.column_names] == ["pk_col", "note"]
         assert table.primary_key_columns == ("pk_col",)
         connector.close()
+
+
+class TestSamplingPushDown:
+    def test_sqlite_limit_is_pushed_into_the_query(self, sqlite_path):
+        with SQLiteConnector(sqlite_path) as connector:
+            sample = connector.table_rows("tenant", limit=5)
+            assert len(sample) == 5
+            # Sampled rows are real rows.
+            ids = {row["tenant_id"] for row in sample}
+            assert ids <= {row["tenant_id"] for row in TENANT_ROWS}
+            assert connector.table_row_count("tenant") == len(TENANT_ROWS)
+
+    def test_sqlite_count_does_not_fetch_rows(self, sqlite_path):
+        with SQLiteConnector(sqlite_path) as connector:
+            assert connector.table_row_count("questionnaire") == 0
+            with pytest.raises(ConnectorError):
+                connector.table_row_count("missing")
+
+    def test_profiles_sample_large_tables_only(self, sqlite_path):
+        with SQLiteConnector(sqlite_path) as connector:
+            profiles = connector.profiles(sample_limit=5)
+            # tenant (12 rows) is sampled down; the profile sees ≤ 5 rows.
+            assert profiles["tenant"].row_count <= 5
+            # The full-row cache must not have been populated with a sample.
+            assert connector.get_table("tenant").row_count == len(TENANT_ROWS)
+
+    def test_profiles_without_limit_fetch_everything(self, sqlite_path):
+        with SQLiteConnector(sqlite_path) as connector:
+            profiles = connector.profiles()
+            assert profiles["tenant"].row_count == len(TENANT_ROWS)
+
+    def test_profiles_exclude_telemetry_tables(self, sqlite_path):
+        with SQLiteConnector(sqlite_path) as connector:
+            profiles = connector.profiles(exclude=("Tenant",))
+            assert "tenant" not in profiles
+            assert "questionnaire" in profiles
+
+    def test_engine_connector_limit_truncates(self):
+        database = Database()
+        database.execute(DDL[0])
+        database.insert_rows("tenant", [dict(row) for row in TENANT_ROWS])
+        connector = EngineConnector(database)
+        assert len(connector.table_rows("tenant", limit=4)) == 4
+        assert connector.table_row_count("tenant") == len(TENANT_ROWS)
+
+    def test_scan_with_sample_limit_matches_schema_findings(self, sqlite_path):
+        """Sampling changes profiling inputs, never the schema analysis: a
+        scan with a tiny sample still reports the same schema-level
+        findings as the full fetch."""
+        from repro.ingest import LiveScanner
+
+        full = LiveScanner().scan(str(sqlite_path), ["SELECT * FROM tenant"])
+        sampled = LiveScanner().scan(
+            str(sqlite_path), ["SELECT * FROM tenant"], sample_limit=3
+        )
+        schema_aps = lambda report: sorted(
+            e.detection.anti_pattern.value
+            for e in report
+            if e.detection.detection_mode != "data"
+        )
+        assert schema_aps(full) == schema_aps(sampled)
+
+    def test_scan_sample_limit_caps_data_rule_row_fetches(self, sqlite_path):
+        """The cap must hold for every fetch in the scan: rows pulled later
+        by data rules through get_table() stay sampled too."""
+        from repro.ingest import LiveScanner, SQLiteConnector
+
+        with SQLiteConnector(sqlite_path) as connector:
+            LiveScanner().scan(connector, ["SELECT * FROM tenant"], sample_limit=4)
+            assert connector.sample_limit == 4
+            assert connector.get_table("tenant").row_count <= 4

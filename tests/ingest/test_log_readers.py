@@ -185,3 +185,106 @@ class TestDetection:
     def test_all_advertised_formats_have_readers(self):
         for fmt in LOG_FORMATS:
             assert list(iter_log_records([], fmt)) == []
+
+
+PG_STAT_CSV = """query,calls,total_exec_time,mean_exec_time
+"SELECT * FROM tenant",40,4000.0,100.0
+"SELECT name FROM questionnaire WHERE name LIKE '%x'",3,3.0,1.0
+"<insufficient privilege>",9,9.0,1.0
+"""
+
+PG_STAT_CSV_PG12 = """query,calls,mean_time
+"SELECT * FROM tenant",40,100.0
+"""
+
+
+class TestPgStatStatements:
+    def test_rows_fold_pre_aggregated(self):
+        from repro.ingest import read_pg_stat_statements
+
+        log = WorkloadLog.from_records(
+            read_pg_stat_statements(PG_STAT_CSV.splitlines(True))
+        )
+        entries = {e.statement: e for e in log}
+        hot = entries["SELECT * FROM tenant"]
+        assert hot.frequency == 40
+        assert hot.total_duration_ms == 4000.0
+        assert hot.mean_duration_ms == 100.0
+        assert len(log) == 2  # the privilege-masked row is dropped
+
+    def test_pg12_mean_time_column(self):
+        from repro.ingest import read_pg_stat_statements
+
+        log = WorkloadLog.from_records(
+            read_pg_stat_statements(PG_STAT_CSV_PG12.splitlines(True))
+        )
+        entry = log.entries()[0]
+        assert entry.frequency == 40
+        assert entry.total_duration_ms == pytest.approx(4000.0)
+
+    def test_missing_columns_raise(self):
+        from repro.ingest import LogFormatError, read_pg_stat_statements
+
+        with pytest.raises(LogFormatError, match="query"):
+            list(read_pg_stat_statements(["a,b\n", "1,2\n"]))
+
+    def test_detected_from_csv_header(self, tmp_path):
+        path = tmp_path / "snapshot.csv"
+        path.write_text(PG_STAT_CSV, encoding="utf-8")
+        assert detect_log_format(path) == "pg_stat_statements"
+        log = read_workload_log(path)
+        assert log.log_format == "pg_stat_statements"
+        assert log.frequency_of("SELECT * FROM tenant") == 40
+
+    def test_plain_csvlog_still_detects_as_postgres_csv(self, tmp_path):
+        path = tmp_path / "server.csv"
+        path.write_text(
+            '2026-07-01 12:00:00.000 UTC,"app","appdb",77,"10.0.0.9:5000",'
+            'abc,1,"SELECT",2026-07-01 11:00:00 UTC,9/9,0,LOG,00000,'
+            '"statement: SELECT 1",,,,,,,,,"psql","client backend",,0\n',
+            encoding="utf-8",
+        )
+        assert detect_log_format(path) == "postgres-csv"
+
+    def test_table_reader_from_sqlite_snapshot(self, tmp_path):
+        import sqlite3
+
+        from repro.ingest import read_pg_stat_table
+
+        path = tmp_path / "snapshot.db"
+        connection = sqlite3.connect(str(path))
+        connection.execute(
+            "CREATE TABLE pg_stat_statements "
+            "(query TEXT, calls INTEGER, total_exec_time REAL, mean_exec_time REAL)"
+        )
+        connection.execute(
+            "INSERT INTO pg_stat_statements VALUES "
+            "('SELECT * FROM tenant', 40, 4000.0, 100.0)"
+        )
+        connection.commit()
+        connection.close()
+        log = read_pg_stat_table(str(path))
+        assert log.log_format == "pg_stat_statements"
+        entry = log.entries()[0]
+        assert (entry.frequency, entry.mean_duration_ms) == (40, 100.0)
+
+    def test_table_reader_missing_table_is_a_connector_error(self, tmp_path):
+        import sqlite3
+
+        from repro.ingest import ConnectorError, read_pg_stat_table
+
+        path = tmp_path / "empty.db"
+        sqlite3.connect(str(path)).close()
+        with pytest.raises(ConnectorError):
+            read_pg_stat_table(str(path))
+
+    def test_aggregated_record_count_folds_into_frequency(self):
+        from repro.ingest import LogRecord
+
+        log = WorkloadLog()
+        log.add(LogRecord(statement="SELECT 1", count=5, duration_ms=50.0))
+        log.add(LogRecord(statement="SELECT 1", count=2, duration_ms=4.0))
+        entry = log.entries()[0]
+        assert entry.frequency == 7
+        assert entry.total_duration_ms == 54.0
+        assert entry.mean_duration_ms == pytest.approx(54.0 / 7)

@@ -72,6 +72,23 @@ class TestFrequencyWeighting:
         assert context.frequency_of(0) == 3
         assert context.frequency_of(99) == 1
 
+    def test_assign_frequencies_carries_durations(self):
+        from repro.ingest import LogRecord
+
+        toolchain = SQLCheck()
+        context = toolchain._builder.build([HOT_WILDCARD, PATTERN])
+        log = WorkloadLog.from_records([
+            LogRecord(statement=HOT_WILDCARD, duration_ms=30.0),
+            LogRecord(statement=HOT_WILDCARD, duration_ms=50.0),
+            LogRecord(statement=PATTERN),  # no timing in the log line
+        ])
+        assign_frequencies(context, log)
+        assert context.frequencies == {0: 2}
+        assert context.durations == {0: pytest.approx(40.0)}
+        assert context.duration_of(0) == pytest.approx(40.0)
+        assert context.duration_of(1) is None
+        assert context.duration_of(None) is None
+
 
 class TestScan:
     def test_scan_needs_some_input(self):

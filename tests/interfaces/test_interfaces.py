@@ -5,6 +5,7 @@ import io
 import json
 import sqlite3
 import urllib.request
+from pathlib import Path
 
 import pytest
 
@@ -14,6 +15,7 @@ from repro.interfaces.rest import (
     catalog_response,
     handle_check_request,
     handle_scan_request,
+    handle_selftest_request,
     rules_response,
 )
 from repro.interfaces.shell import SQLCheckShell
@@ -233,7 +235,8 @@ class TestRestLogic:
         })
         assert status == 200
         assert body["workload"] == {
-            "distinct_statements": 1, "total_statements": 4, "log_format": "sql",
+            "distinct_statements": 1, "total_statements": 4,
+            "total_duration_ms": 0.0, "log_format": "sql",
         }
         assert body["detections"][0]["anti_pattern"] == "column_wildcard"
 
@@ -268,7 +271,8 @@ class TestRestLogic:
         status, body = handle_scan_request({"db": str(db_path), "log_text": stderr_log})
         assert status == 200
         assert body["workload"] == {
-            "distinct_statements": 1, "total_statements": 3, "log_format": "postgres",
+            "distinct_statements": 1, "total_statements": 3,
+            "total_duration_ms": 0.0, "log_format": "postgres",
         }
         assert body["detections"][0]["anti_pattern"] == "column_wildcard"
 
@@ -326,3 +330,216 @@ class TestRestServer:
                 assert error.code == 400
             else:  # pragma: no cover
                 raise AssertionError("expected a 400")
+
+
+@pytest.fixture
+def pg_stat_db(tmp_path):
+    """A SQLite database holding app tables plus a pg_stat snapshot table."""
+    db_path = tmp_path / "snap.db"
+    connection = sqlite3.connect(str(db_path))
+    connection.execute(
+        "CREATE TABLE tenant (tenant_id INTEGER PRIMARY KEY, label VARCHAR(20))"
+    )
+    connection.executemany(
+        "INSERT INTO tenant VALUES (?, ?)", [(i, f"t{i}") for i in range(10)]
+    )
+    connection.execute(
+        "CREATE TABLE pg_stat_statements "
+        "(query TEXT, calls INTEGER, total_exec_time REAL, mean_exec_time REAL)"
+    )
+    connection.execute(
+        "INSERT INTO pg_stat_statements VALUES "
+        "('SELECT * FROM tenant', 32, 6400.0, 200.0)"
+    )
+    connection.commit()
+    connection.close()
+    return db_path
+
+
+class TestCLICostModel:
+    def test_cost_model_flag_accepted(self, scan_fixtures):
+        db_path, log_path = scan_fixtures
+        for model in ("frequency", "duration", "hybrid"):
+            code, output = run([
+                "scan", "--db", str(db_path), "--log", str(log_path),
+                "--cost-model", model, "--format", "json",
+            ])
+            assert code == 1
+            assert json.loads(output)["cost_model"] == model
+
+    def test_pg_stat_table_feeds_the_workload(self, pg_stat_db):
+        code, output = run([
+            "scan", "--db", str(pg_stat_db), "--pg-stat", "--format", "json",
+        ])
+        assert code == 1
+        payload = json.loads(output)
+        wildcard = next(
+            d for d in payload["detections"] if d["anti_pattern"] == "column_wildcard"
+        )
+        assert wildcard["workload_weight"] == pytest.approx(6.0)  # 1 + log2(32)
+        # The snapshot table itself must not be analysed as app schema.
+        assert all(d["table"] != "pg_stat_statements" for d in payload["detections"])
+
+    def test_pg_stat_without_db_is_an_error(self):
+        code, output = run(["scan", "--pg-stat", "--log", "/nope.sql"])
+        assert code == 2
+        assert "--db" in output
+
+    def test_pg_stat_missing_table_is_a_clean_error(self, scan_fixtures):
+        db_path, _ = scan_fixtures
+        code, output = run(["scan", "--db", str(db_path), "--pg-stat"])
+        assert code == 2
+        assert output.startswith("error:")
+
+    def test_negative_sample_is_an_error(self, scan_fixtures):
+        db_path, _ = scan_fixtures
+        code, output = run(["scan", "--db", str(db_path), "--sample", "-1"])
+        assert code == 2
+
+    def test_sample_flag_scans_cleanly(self, scan_fixtures):
+        db_path, log_path = scan_fixtures
+        code, output = run([
+            "scan", "--db", str(db_path), "--log", str(log_path),
+            "--sample", "3", "--format", "json",
+        ])
+        assert code == 1
+        assert json.loads(output)["tables_analyzed"] >= 1
+
+    def test_markdown_report_names_the_cost_model(self, pg_stat_db):
+        _, output = run([
+            "scan", "--db", str(pg_stat_db), "--pg-stat",
+            "--cost-model", "duration", "--format", "markdown",
+        ])
+        assert "cost model: `duration`" in output
+        assert "workload weight" in output
+
+
+class TestRestCostModelAndUpload:
+    def _db_bytes(self, pg_stat_db) -> str:
+        import base64
+
+        return base64.b64encode(pg_stat_db.read_bytes()).decode()
+
+    def test_scan_rejects_unknown_cost_model(self, scan_fixtures):
+        db_path, _ = scan_fixtures
+        status, body = handle_scan_request(
+            {"db": str(db_path), "cost_model": "latency"}
+        )
+        assert status == 400 and "cost model" in body["error"]
+
+    def test_scan_rejects_db_and_upload_together(self, pg_stat_db):
+        status, body = handle_scan_request(
+            {"db": str(pg_stat_db), "db_base64": self._db_bytes(pg_stat_db)}
+        )
+        assert status == 400 and "mutually exclusive" in body["error"]
+
+    def test_scan_rejects_bad_base64(self):
+        status, body = handle_scan_request({"db_base64": "@@not-base64@@"})
+        assert status == 400 and "base64" in body["error"]
+
+    def test_scan_rejects_bad_sample(self, pg_stat_db):
+        status, body = handle_scan_request(
+            {"db": str(pg_stat_db), "sample": "many"}
+        )
+        assert status == 400 and "sample" in body["error"]
+
+    def test_uploaded_database_is_scanned_and_cleaned_up(self, pg_stat_db):
+        import glob
+        import tempfile
+
+        status, body = handle_scan_request({
+            "db_base64": self._db_bytes(pg_stat_db),
+            "pg_stat": True,
+            "cost_model": "duration",
+        })
+        assert status == 200
+        assert body["cost_model"] == "duration"
+        assert body["workload"]["total_statements"] == 32
+        wildcard = next(
+            d for d in body["detections"] if d["anti_pattern"] == "column_wildcard"
+        )
+        assert wildcard["workload_weight"] > 1.0
+        leftovers = glob.glob(
+            str(Path(tempfile.gettempdir()) / "sqlcheck-upload-*.db")
+        )
+        assert leftovers == []
+
+    def test_upload_with_garbage_content_is_400(self):
+        import base64
+
+        status, body = handle_scan_request(
+            {"db_base64": base64.b64encode(b"definitely not sqlite").decode()}
+        )
+        assert status == 400 and "error" in body
+
+
+class TestRestSelftest:
+    def test_selftest_endpoint_returns_verdict_and_oracles(self):
+        status, body = handle_selftest_request({"statements": 8, "workers": 1})
+        assert status == 200
+        assert body["ok"] is True
+        assert body["examples_run"] > 0
+        assert body["oracle_failures"] == []
+        assert body["conformance_failures"] == []
+        assert "dbdeo_agreement" in body
+
+    def test_selftest_validates_integers(self):
+        status, body = handle_selftest_request({"statements": "lots"})
+        assert status == 400
+        status, body = handle_selftest_request({"statements": 0})
+        assert status == 400
+        status, body = handle_selftest_request({"statements": 10, "workers": 0})
+        assert status == 400
+
+    def test_selftest_over_http(self):
+        request_body = json.dumps({"statements": 5, "workers": 1}).encode()
+        with RestServer(port=0) as server:
+            request = urllib.request.Request(
+                f"{server.url}/api/selftest",
+                data=request_body,
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=60) as response:
+                payload = json.loads(response.read())
+        assert payload["ok"] is True
+
+
+class TestRestScanBounds:
+    def test_pg_stat_false_means_disabled(self, scan_fixtures):
+        db_path, log_path = scan_fixtures
+        status, body = handle_scan_request({
+            "db": str(db_path),
+            "log_text": log_path.read_text(encoding="utf-8"),
+            "log_format": "sql",
+            "pg_stat": False,
+        })
+        assert status == 200
+
+    def test_oversized_upload_rejected_before_decoding(self, monkeypatch):
+        import base64 as base64_module
+
+        import repro.interfaces.rest as rest_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must never run
+            raise AssertionError("decoded an oversized upload")
+
+        monkeypatch.setattr(base64_module, "b64decode", boom)
+        too_big = "A" * ((rest_module.MAX_UPLOAD_BYTES * 4) // 3 + 8)
+        status, body = handle_scan_request({"db_base64": too_big})
+        assert status == 400 and "exceeds" in body["error"]
+
+    def test_oversized_request_body_is_413(self):
+        import urllib.error
+
+        with RestServer(port=0) as server:
+            request = urllib.request.Request(
+                f"{server.url}/api/scan", data=b"{}", method="POST",
+                headers={"Content-Length": str(10**9)},
+            )
+            try:
+                urllib.request.urlopen(request, timeout=5)
+            except (urllib.error.HTTPError, urllib.error.URLError, ConnectionError) as error:
+                assert getattr(error, "code", 413) == 413
+            else:  # pragma: no cover
+                raise AssertionError("expected a 413")

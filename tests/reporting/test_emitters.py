@@ -299,7 +299,10 @@ def test_sarif_carries_stats_in_run_properties(toolchain):
     plain = to_sarif(
         build_document(report, registry=toolchain.registry), registry=toolchain.registry
     )
-    assert "properties" not in plain["runs"][0]
+    # Without --stats the property bag still names the cost model (every
+    # report document carries it), but no timings.
+    assert "pipeline_stats" not in plain["runs"][0]["properties"]
+    assert set(plain["runs"][0]["properties"]["cost_model"].values()) == {"frequency"}
 
 
 def test_markdown_batch_renders_one_section_per_corpus(toolchain):
