@@ -65,6 +65,11 @@ class ApplicationContext:
     #: ``frequencies``.  The ``duration``/``hybrid`` cost models fold these
     #: into the ranking weights.
     durations: dict[int, float] = field(default_factory=dict)
+    #: quarantined :class:`repro.errors.PipelineError` records accumulated
+    #: while building the context (parse failures, skipped log lines,
+    #: unreachable sources); the detector folds them into its report so
+    #: degraded provenance survives to every surface.
+    errors: list = field(default_factory=list)
 
     # ------------------------------------------------------------------
     # schema access

@@ -14,6 +14,7 @@ from typing import Any, Iterable, Sequence
 
 from ..catalog.ddl_builder import DDLBuilder
 from ..catalog.schema import Schema
+from ..errors import CODE_PARSE_ERROR, CODE_PROFILE_ERROR, PipelineError
 from ..profiler.profiler import DataProfiler
 from ..profiler.sampler import Sampler
 from ..sqlparser import AnnotationCache, ParsedStatement, QueryAnnotation, annotate, parse
@@ -61,6 +62,8 @@ class ContextBuilder:
         database: Any | None = None,
         source: str | None = None,
         stats: Any | None = None,
+        *,
+        quarantine: bool = False,
     ) -> ApplicationContext:
         """Build a context from queries and an optional engine database.
 
@@ -68,16 +71,36 @@ class ContextBuilder:
         receives the parse stage separately from schema building and data
         profiling, so database-backed runs don't misattribute profiling I/O
         to the parser.
+
+        With ``quarantine=True`` a statement that fails to parse or annotate
+        is recorded as a :class:`~repro.errors.PipelineError` on
+        ``context.errors`` and dropped; the remaining statements still build
+        normally.  Off (the default), failures propagate as before.
         """
+        errors: "list[PipelineError] | None" = [] if quarantine else None
         t0 = time.perf_counter()
-        annotations = self._annotate_queries(queries, source)
+        annotations = self._annotate_queries(queries, source, errors=errors)
         t1 = time.perf_counter()
         if stats is not None:
             # One shared boundary timestamp between the stages keeps
             # parse + context equal to the elapsed wall-clock exactly.
             stats.parse_seconds += t1 - t0
         schema = self._build_schema(annotations, database)
-        profiles = self.profiler.profile_database(database) if database is not None else {}
+        if database is not None:
+            if errors is None:
+                profiles = self.profiler.profile_database(database)
+            else:
+                try:
+                    profiles = self.profiler.profile_database(database)
+                except Exception as error:
+                    profiles = {}
+                    errors.append(
+                        PipelineError.from_exception(
+                            "data", error, code=CODE_PROFILE_ERROR, source=source
+                        )
+                    )
+        else:
+            profiles = {}
         context = ApplicationContext(
             queries=annotations,
             schema=schema,
@@ -85,6 +108,7 @@ class ContextBuilder:
             database=database,
             dialect=self.dialect,
             source=source,
+            errors=list(errors or ()),
         )
         if stats is not None:
             stats.context_seconds += time.perf_counter() - t1
@@ -127,6 +151,7 @@ class ContextBuilder:
         source: str | None,
         *,
         start_index: int = 0,
+        errors: "list[PipelineError] | None" = None,
     ) -> list[QueryAnnotation]:
         """Annotate a workload, preserving input order and indexing every
         statement by its workload position (from ``start_index``, so
@@ -144,8 +169,31 @@ class ContextBuilder:
         # workload order; cache hits and passthrough annotations arrive
         # pre-annotated, everything else is annotated below.
         pending: "list[tuple[ParsedStatement | None, QueryAnnotation | None, bool]]" = []
+
+        def parse_element(text: str, clear_positions: bool) -> None:
+            # With an error sink attached (quarantine mode), a text that the
+            # parser rejects becomes one structured record and zero
+            # statements; the rest of the workload is unaffected.
+            if errors is None:
+                parsed = self._parse_text(text, source)
+            else:
+                try:
+                    parsed = self._parse_text(text, source)
+                except Exception as error:
+                    errors.append(
+                        PipelineError.from_exception(
+                            "parse",
+                            error,
+                            code=CODE_PARSE_ERROR,
+                            source=source,
+                            statement_index=start_index + len(pending),
+                        )
+                    )
+                    return
+            pending.extend((s, a, clear_positions) for s, a in parsed)
+
         if isinstance(queries, str):
-            pending.extend((s, a, False) for s, a in self._parse_text(queries, source))
+            parse_element(queries, False)
         else:
             for query in queries:
                 if isinstance(query, QueryAnnotation):
@@ -153,14 +201,32 @@ class ContextBuilder:
                 elif isinstance(query, ParsedStatement):
                     pending.append((query, None, False))
                 else:
-                    pending.extend((s, a, True) for s, a in self._parse_text(query, source))
+                    parse_element(query, True)
         annotations: list[QueryAnnotation] = []
-        for index, (statement, annotation, clear_positions) in enumerate(pending):
+        for statement, annotation, clear_positions in pending:
             if statement is not None:
-                statement.index = start_index + index
+                statement.index = start_index + len(annotations)
                 if clear_positions:
                     statement.clear_position()
-            annotations.append(annotation if annotation is not None else annotate(statement))
+            if annotation is None:
+                if errors is None:
+                    annotation = annotate(statement)
+                else:
+                    try:
+                        annotation = annotate(statement)
+                    except Exception as error:
+                        errors.append(
+                            PipelineError.from_exception(
+                                "parse",
+                                error,
+                                code=CODE_PARSE_ERROR,
+                                source=source,
+                                statement_fingerprint=getattr(statement, "fingerprint", None),
+                                statement_index=start_index + len(annotations),
+                            )
+                        )
+                        continue
+            annotations.append(annotation)
         return annotations
 
     def _parse_text(

@@ -23,6 +23,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from ..context.application_context import ApplicationContext
 from ..context.builder import ContextBuilder
 from ..detector.detector import APDetector, DetectorConfig
+from ..errors import CODE_FIX_ERROR, CODE_RANK_ERROR, PipelineError
 from ..detector.pipeline import (
     MIN_PARALLEL_STATEMENTS,
     MODE_PROCESS_POOL,
@@ -94,6 +95,10 @@ class SQLCheckReport:
         tables_analyzed: number of tables profiled or seen in the schema.
         stats: per-stage :class:`~repro.detector.pipeline.PipelineStats`
             (parse/context/detect/rank/fix timings, cache hit rates).
+        errors: quarantined :class:`~repro.errors.PipelineError` records;
+            non-empty means the run is :attr:`degraded` — the results cover
+            everything that analysed cleanly, with each isolated failure
+            accounted for here.
     """
 
     detections: list[RankedDetection] = field(default_factory=list)
@@ -104,6 +109,7 @@ class SQLCheckReport:
     #: name of the workload cost model the ranking used (report documents
     #: carry it so a reader knows what the scores mean).
     cost_model: str = "frequency"
+    errors: "list[PipelineError]" = field(default_factory=list)
     _fix_index: "dict[int, Fix] | None" = field(
         default=None, init=False, repr=False, compare=False
     )
@@ -113,6 +119,11 @@ class SQLCheckReport:
 
     def __iter__(self):
         return iter(self.detections)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any pipeline stage quarantined a failure."""
+        return bool(self.errors)
 
     def __getstate__(self) -> dict:
         # The fix index keys on object identity, which does not survive
@@ -162,6 +173,8 @@ class SQLCheckReport:
             ],
             "fixes": [fix.to_dict() for fix in self.fixes],
             "stats": self.stats.to_dict() if self.stats is not None else None,
+            "degraded": self.degraded,
+            "errors": [error.to_dict() for error in self.errors],
         }
 
     def to_json(self, indent: int = 2) -> str:
@@ -287,7 +300,13 @@ class SQLCheck:
         hits0 = cache.stats.hits if cache is not None else 0
         misses0 = cache.stats.misses if cache is not None else 0
         start = time.perf_counter()
-        context = self._builder.build(queries, database=database, source=source, stats=stats)
+        context = self._builder.build(
+            queries,
+            database=database,
+            source=source,
+            stats=stats,
+            quarantine=self.options.detector.quarantine,
+        )
         if cache is not None:
             stats.annotation_cache_hits = cache.stats.hits - hits0
             stats.annotation_cache_misses = cache.stats.misses - misses0
@@ -307,19 +326,48 @@ class SQLCheck:
         detection_report = self.detector.detect_in_context(context, stats=stats)
         t1 = time.perf_counter()
         stats.detect_seconds += t1 - t0
+        quarantine = self.options.detector.quarantine
+        errors: "list[PipelineError]" = list(detection_report.errors)
+
+        def record(stage: str, code: str, error: BaseException) -> None:
+            entry = PipelineError.from_exception(
+                stage, error, code=code, source=context.source
+            )
+            errors.append(entry)
+            stats.errors.append(entry)
+
         # Real workload facts (live-source ingestion attaches frequencies
         # and durations to the context) weight the ranking through the
         # configured cost model; absent a log every weight is 1.
         model = resolve_cost_model(self.options.cost_model)
-        ranked = self.ranker.rank(
-            detection_report,
-            frequencies=context.frequencies or None,
-            durations=context.durations or None,
-            cost_model=model,
-        )
+        try:
+            ranked = self.ranker.rank(
+                detection_report,
+                frequencies=context.frequencies or None,
+                durations=context.durations or None,
+                cost_model=model,
+            )
+        except Exception as error:
+            if not quarantine:
+                raise
+            # A broken (likely user-supplied) cost model degrades the run
+            # to the default weighting instead of losing the findings.
+            record("rank", CODE_RANK_ERROR, error)
+            model = resolve_cost_model(None)
+            ranked = self.ranker.rank(detection_report)
         t2 = time.perf_counter()
         stats.rank_seconds += t2 - t1
-        fixes = self.fixer.fix(ranked, context) if self.options.suggest_fixes else []
+        if self.options.suggest_fixes:
+            try:
+                fixes = self.fixer.fix(ranked, context)
+            except Exception as error:
+                if not quarantine:
+                    raise
+                # Findings are still reported, just without suggested fixes.
+                record("fix", CODE_FIX_ERROR, error)
+                fixes = []
+        else:
+            fixes = []
         stats.fix_seconds += time.perf_counter() - t2
         stats.statements = detection_report.queries_analyzed
         if stats.total_seconds == 0.0:
@@ -331,6 +379,7 @@ class SQLCheck:
             tables_analyzed=detection_report.tables_analyzed,
             stats=stats,
             cost_model=model.name,
+            errors=errors,
         )
 
     def check_many(

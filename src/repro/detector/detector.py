@@ -23,6 +23,13 @@ from typing import Any, Iterator, Sequence
 
 from ..context.application_context import ApplicationContext
 from ..context.builder import ContextBuilder
+from ..errors import (
+    CODE_DATA_RULE_ERROR,
+    CODE_RULE_ERROR,
+    CODE_SOURCE_UNAVAILABLE,
+    PipelineError,
+    SourceUnavailableError,
+)
 from ..model.detection import Detection, DetectionReport
 from ..rules.base import RuleContext
 from ..rules.registry import RuleRegistry, default_registry
@@ -64,6 +71,10 @@ class DetectorConfig:
         enable_cache: annotation cache + detection memo on/off.
         cache_size: LRU capacity (entries) of both caches.
         workers: default process fan-out of the batch APIs.
+        quarantine: isolate per-statement parse failures and per-rule
+            check failures as structured :class:`~repro.errors.PipelineError`
+            records on the report instead of aborting the run.  Off, any
+            rule or parser exception propagates (fail-fast).
     """
 
     enable_inter_query: bool = True
@@ -76,6 +87,7 @@ class DetectorConfig:
     enable_cache: bool = True
     cache_size: int = 4096
     workers: int = 1
+    quarantine: bool = True
 
 
 class APDetector:
@@ -131,19 +143,31 @@ class APDetector:
         source: str | None = None,
     ) -> DetectionReport:
         """Run detection over queries and (optionally) a live database."""
-        context = self._builder.build(queries, database=database, source=source)
+        context = self._builder.build(
+            queries, database=database, source=source, quarantine=self.config.quarantine
+        )
         return self.detect_in_context(context)
 
     def detect_in_context(
         self, context: ApplicationContext, stats: PipelineStats | None = None
     ) -> DetectionReport:
-        """Run detection over a pre-built application context."""
-        detections = list(self._iter_detections(context, stats=stats))
+        """Run detection over a pre-built application context.
+
+        Errors already quarantined while building the context (parse
+        failures, skipped log lines, unreachable sources) are carried onto
+        the report, joined by any rule failures quarantined here.
+        """
+        errors: "list[PipelineError]" = list(context.errors)
+        sink = errors if self.config.quarantine else None
+        detections = list(self._iter_detections(context, stats=stats, errors=sink))
         report = DetectionReport(
             detections=detections,
             queries_analyzed=len(context.queries),
             tables_analyzed=len(context.profiles) or context.schema.table_count,
+            errors=errors,
         )
+        if stats is not None:
+            stats.errors.extend(errors)
         if self.config.deduplicate:
             report.detections = report.deduplicated()
         return report
@@ -177,13 +201,20 @@ class APDetector:
         # start and t3 lands in exactly one stage: total ≡ sum of stages
         # (the accounting invariant the conformance oracle checks) on the
         # pool path and on every serial fallback alike.
+        # A statement the parser rejects fails its whole pool chunk, which
+        # fails the fan-out and lands on this serial fallback — where the
+        # quarantine sink (when enabled) records it and keeps the rest.
+        parse_errors: "list[PipelineError]" = []
+        sink = parse_errors if self.config.quarantine else None
         start = time.perf_counter()
         annotations, chunks, mode = parallel_annotate(
             queries,
             workers=requested,
             source=source,
             chunk_size=chunk_size,
-            serial_fallback=lambda batch: self._builder._annotate_queries(list(batch), source),
+            serial_fallback=lambda batch: self._builder._annotate_queries(
+                list(batch), source, errors=sink
+            ),
         )
         t1 = time.perf_counter()
         stats.parse_seconds = t1 - start
@@ -196,6 +227,7 @@ class APDetector:
             database=None,
             dialect=self._builder.dialect,
             source=source,
+            errors=parse_errors,
         )
         t2 = time.perf_counter()
         stats.context_seconds = t2 - t1
@@ -226,13 +258,18 @@ class APDetector:
     # detection core (streaming)
     # ------------------------------------------------------------------
     def _iter_detections(
-        self, context: ApplicationContext, stats: PipelineStats | None = None
+        self,
+        context: ApplicationContext,
+        stats: PipelineStats | None = None,
+        errors: "list[PipelineError] | None" = None,
     ) -> Iterator[Detection]:
         """Yield kept detections statement by statement, then table by table.
 
         Query-analysis results are replayed from the memo when the same
         statement was already analysed under an identical workload signature,
-        registry version, and thresholds.
+        registry version, and thresholds.  With an error sink attached
+        (quarantine mode), a rule that raises is recorded there and skipped;
+        remaining rules, statements, and tables still run.
         """
         # A rule that mutated its statement_types in place would be served
         # stale from the dispatch index (and from the memo keyed on the
@@ -248,14 +285,52 @@ class APDetector:
         threshold = self.config.confidence_threshold
         # Query analysis (Algorithm 2): rules chosen by statement type.
         for annotation in context.queries:
-            for detection in self._detect_statement(annotation, rule_context, memo_scope, stats):
+            for detection in self._detect_statement(
+                annotation, rule_context, memo_scope, stats, errors
+            ):
                 if detection.confidence >= threshold:
                     yield detection
         # Data analysis (Algorithm 3): rules applied to every profiled table.
         if self.config.enable_data and context.has_data:
             for profile in context.profiles.values():
                 for rule in self.registry.data_rules:
-                    for detection in rule.check_table(profile, rule_context):
+                    try:
+                        found = list(rule.check_table(profile, rule_context))
+                    except SourceUnavailableError as error:
+                        # The rows behind this profile are gone (connector
+                        # outage mid-scan): the verdict degrades to a
+                        # "skipped: source unavailable" record, not a crash.
+                        if errors is None:
+                            raise
+                        errors.append(
+                            PipelineError.from_exception(
+                                "data",
+                                error,
+                                code=CODE_SOURCE_UNAVAILABLE,
+                                rule=rule.name,
+                                source=context.source,
+                                detail={
+                                    "table": profile.name,
+                                    "verdict": "skipped: source unavailable",
+                                },
+                            )
+                        )
+                        continue
+                    except Exception as error:
+                        if errors is None:
+                            raise
+                        errors.append(
+                            PipelineError.from_exception(
+                                "data",
+                                error,
+                                code=CODE_DATA_RULE_ERROR,
+                                rule=rule.name,
+                                source=context.source,
+                                detail={"table": profile.name},
+                            )
+                        )
+                        continue
+                    for detection in found:
                         if detection.confidence >= threshold:
                             yield detection
 
@@ -265,6 +340,7 @@ class APDetector:
         rule_context: RuleContext,
         memo_scope: "bytes | None",
         stats: PipelineStats | None,
+        errors: "list[PipelineError] | None" = None,
     ) -> list[Detection]:
         statement = annotation.statement
         key = None
@@ -281,15 +357,38 @@ class APDetector:
             if stats is not None:
                 stats.memo_misses += 1
         detections: list[Detection] = []
+        quarantined = False
         for rule in self.registry.rules_for_statement(annotation.statement_type):
             if rule.requires_context and not self.config.enable_inter_query:
                 continue
             if not rule.applies_to(annotation):
                 continue
-            detections.extend(rule.check(annotation, rule_context))
-        if key is not None:
+            if errors is None:
+                detections.extend(rule.check(annotation, rule_context))
+                continue
+            try:
+                detections.extend(rule.check(annotation, rule_context))
+            except Exception as error:
+                quarantined = True
+                errors.append(
+                    PipelineError.from_exception(
+                        "detect",
+                        error,
+                        code=CODE_RULE_ERROR,
+                        rule=rule.name,
+                        source=statement.source if statement is not None else None,
+                        statement_fingerprint=(
+                            statement.fingerprint if statement is not None else None
+                        ),
+                        statement_index=statement.index if statement is not None else None,
+                        statement_offset=statement.offset if statement is not None else None,
+                    )
+                )
+        if key is not None and not quarantined:
             # Store pristine copies: report detections are mutated downstream
-            # (ap-rank fills in scores) and must not pollute the memo.
+            # (ap-rank fills in scores) and must not pollute the memo.  A
+            # statement with a quarantined rule failure is never memoized —
+            # a replay could not reproduce its error record.
             self._memo[key] = [
                 dataclasses.replace(d, metadata=dict(d.metadata)) for d in detections
             ]

@@ -76,6 +76,14 @@ class PipelineStats:
     memo_misses: int = 0
     corpora: int = 1
     stage_semantics: str = "wall-clock"
+    #: quarantined :class:`repro.errors.PipelineError` records for this run;
+    #: mirrors the report's error list so ``--stats`` consumers see them.
+    errors: list = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any stage quarantined a failure during this run."""
+        return bool(self.errors)
 
     def stage_seconds_sum(self) -> float:
         """Sum of the five stage timings.
@@ -125,6 +133,7 @@ class PipelineStats:
         self.annotation_cache_misses += other.annotation_cache_misses
         self.memo_hits += other.memo_hits
         self.memo_misses += other.memo_misses
+        self.errors.extend(other.errors)
         return self
 
     def to_dict(self) -> dict:
@@ -154,6 +163,8 @@ class PipelineStats:
                 "misses": self.memo_misses,
                 "hit_rate": round(self.memo_hit_rate, 4),
             },
+            "degraded": self.degraded,
+            "errors": [e.to_dict() for e in self.errors],
         }
 
 

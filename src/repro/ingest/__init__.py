@@ -20,14 +20,18 @@ Surfaces: ``sqlcheck scan --db URL [--log FILE --log-format FMT]`` on the
 CLI and ``POST /api/scan`` on the REST interface.
 """
 from .connectors import (
+    CircuitBreaker,
+    CircuitOpenError,
     Connector,
     ConnectorError,
     EngineConnector,
+    RetryPolicy,
     SQLiteConnector,
     connect,
 )
 from .log_readers import (
     LOG_FORMATS,
+    LogDetectionError,
     LogFormatError,
     detect_log_format,
     iter_log_records,
@@ -46,14 +50,18 @@ from .scanner import (
 from .workload_log import LogRecord, WorkloadEntry, WorkloadLog, statement_key
 
 __all__ = [
+    "CircuitBreaker",
+    "CircuitOpenError",
     "Connector",
     "ConnectorError",
     "DEFAULT_STREAM_CHUNK",
     "EngineConnector",
     "LOG_FORMATS",
     "LiveScanner",
+    "LogDetectionError",
     "LogFormatError",
     "LogRecord",
+    "RetryPolicy",
     "SQLiteConnector",
     "WorkloadEntry",
     "WorkloadLog",

@@ -27,17 +27,89 @@ and raises a :class:`ConnectorError` that points at the query-log readers
 from __future__ import annotations
 
 import sqlite3
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable, TypeVar
 
 from ..catalog.ddl_builder import DDLBuilder
 from ..catalog.schema import Column, Schema, Table
 from ..catalog.types import parse_type
+from ..errors import SourceUnavailableError
 from ..profiler.profiler import DataProfiler, TableProfile
 
+_T = TypeVar("_T")
 
-class ConnectorError(Exception):
-    """Raised when a database URL cannot be served by any connector."""
+
+class ConnectorError(SourceUnavailableError):
+    """Raised when a database URL cannot be served by any connector.
+
+    Subclasses :class:`~repro.errors.SourceUnavailableError`, so the
+    detector can degrade a data-rule verdict to "skipped: source
+    unavailable" when the rows behind it vanish mid-scan.
+    """
+
+
+class CircuitOpenError(ConnectorError):
+    """The connector's circuit breaker is open: the source failed too many
+    consecutive times this scan, and further fetches are refused without
+    touching it (no retries — the scan degrades immediately)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff for transient connector failures.
+
+    ``attempts`` counts total tries (1 = no retry).  The delay before retry
+    ``n`` (0-based) is ``base_delay × 2**n``, capped at ``max_delay`` — with
+    the defaults: 50 ms, 100 ms, for 3 attempts ≈ 150 ms worst-case extra
+    latency per operation.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to wait before retry ``attempt`` (0-based)."""
+        return min(self.max_delay, self.base_delay * (2 ** attempt))
+
+
+#: Retry nothing: the policy of code paths that must observe failures raw.
+NO_RETRY = RetryPolicy(attempts=1, base_delay=0.0)
+
+#: Default policy of every connector fetch.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class CircuitBreaker:
+    """Per-scan consecutive-failure counter that trips open.
+
+    After ``threshold`` consecutive failed operations the breaker opens and
+    every further guarded fetch raises :class:`CircuitOpenError` without
+    touching the source; one success closes it again.  This bounds the
+    worst case of a dead source to ``threshold × retry budget`` instead of
+    one retry storm per table × rule.
+    """
+
+    def __init__(self, threshold: int = 5):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.failures = 0
+
+    @property
+    def is_open(self) -> bool:
+        return self.failures >= self.threshold
+
+    def record_success(self) -> None:
+        self.failures = 0
+
+    def record_failure(self) -> None:
+        self.failures += 1
+
+    def reset(self) -> None:
+        self.failures = 0
 
 
 class ConnectedTable:
@@ -63,11 +135,11 @@ class ConnectedTable:
             if (
                 limit is not None
                 and limit > 0
-                and self._connector.table_row_count(self.name) > limit
+                and self._connector.fetch_row_count(self.name) > limit
             ):
-                self._rows = self._connector.table_rows(self.name, limit=limit)
+                self._rows = self._connector.fetch_rows(self.name, limit=limit)
             else:
-                self._rows = self._connector.table_rows(self.name)
+                self._rows = self._connector.fetch_rows(self.name)
         return self._rows
 
     @property
@@ -92,8 +164,69 @@ class Connector:
     #: fetch through :meth:`get_table` is capped at this many rows — tables
     #: larger than the cap are sampled in-database, never pulled whole.
     sample_limit: "int | None" = None
+    #: transient-failure policy of every guarded operation (schema
+    #: introspection, row fetches, counts); replace with :data:`NO_RETRY`
+    #: to observe failures raw.
+    retry_policy: RetryPolicy = DEFAULT_RETRY_POLICY
     _schema_cache: "Schema | None" = None
     _table_cache: "dict[str, ConnectedTable] | None" = None
+    _circuit: "CircuitBreaker | None" = None
+
+    # ------------------------------------------------------------------
+    # fault isolation: retry/backoff + circuit breaker
+    # ------------------------------------------------------------------
+    @property
+    def circuit(self) -> CircuitBreaker:
+        """This connector's circuit breaker (created on first use)."""
+        if self._circuit is None:
+            self._circuit = CircuitBreaker()
+        return self._circuit
+
+    def reset_circuit(self) -> None:
+        """Close the breaker — :class:`~repro.ingest.scanner.LiveScanner`
+        calls this at the start of every scan so the breaker is per-scan."""
+        self.circuit.reset()
+
+    def _guarded(self, operation: "Callable[..., _T]", *args: Any, **kwargs: Any) -> _T:
+        """Run one source operation under the retry policy and breaker.
+
+        Only :class:`ConnectorError` is retried — it marks source
+        unavailability; anything else is a bug and propagates immediately.
+        """
+        circuit = self.circuit
+        if circuit.is_open:
+            raise CircuitOpenError(
+                f"circuit breaker open for {self.name}: "
+                f"{circuit.failures} consecutive failure(s), source fetches suspended"
+            )
+        policy = self.retry_policy
+        attempts = max(1, policy.attempts)
+        last: "ConnectorError | None" = None
+        for attempt in range(attempts):
+            try:
+                result = operation(*args, **kwargs)
+            except CircuitOpenError:
+                raise
+            except ConnectorError as error:
+                last = error
+                if attempt + 1 < attempts:
+                    time.sleep(policy.delay(attempt))
+                continue
+            circuit.record_success()
+            return result
+        circuit.record_failure()
+        assert last is not None
+        raise last
+
+    def fetch_rows(self, table: str, limit: "int | None" = None) -> "list[dict[str, Any]]":
+        """:meth:`table_rows` under the retry policy and circuit breaker."""
+        if limit is None:
+            return self._guarded(self.table_rows, table)
+        return self._guarded(self.table_rows, table, limit=limit)
+
+    def fetch_row_count(self, table: str) -> int:
+        """:meth:`table_row_count` under the retry policy and breaker."""
+        return self._guarded(self.table_row_count, table)
 
     def introspect_schema(self) -> Schema:
         raise NotImplementedError
@@ -116,7 +249,7 @@ class Connector:
     def schema(self) -> Schema:
         """The introspected catalog (computed once per connector)."""
         if self._schema_cache is None:
-            self._schema_cache = self.introspect_schema()
+            self._schema_cache = self._guarded(self.introspect_schema)
         return self._schema_cache
 
     def refresh(self) -> Schema:
@@ -170,9 +303,9 @@ class Connector:
             if table.name.lower() in excluded:
                 continue
             if sample_limit is not None and sample_limit > 0 and (
-                self.table_row_count(table.name) > sample_limit
+                self.fetch_row_count(table.name) > sample_limit
             ):
-                rows = self.table_rows(table.name, limit=sample_limit)
+                rows = self.fetch_rows(table.name, limit=sample_limit)
             else:
                 stored = self.get_table(table.name)
                 rows = stored.all_rows() if stored is not None else []
@@ -232,7 +365,9 @@ class SQLiteConnector(Connector):
 
     dialect = "sqlite"
 
-    def __init__(self, database: "str | Path | sqlite3.Connection"):
+    def __init__(
+        self, database: "str | Path | sqlite3.Connection", *, timeout: float = 5.0
+    ):
         if isinstance(database, sqlite3.Connection):
             self._connection = database
             self.name = "sqlite:<connection>"
@@ -242,7 +377,9 @@ class SQLiteConnector(Connector):
             if not path.exists():
                 raise ConnectorError(f"SQLite database not found: {path}")
             try:
-                self._connection = sqlite3.connect(str(path))
+                # A bounded busy timeout: a scan blocked behind another
+                # writer's lock errors out instead of hanging the pipeline.
+                self._connection = sqlite3.connect(str(path), timeout=timeout)
             except sqlite3.Error as error:
                 # Directories and unreadable files pass the exists() check
                 # but fail to open — keep the clean-error contract.

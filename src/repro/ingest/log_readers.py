@@ -35,11 +35,57 @@ import re
 from pathlib import Path
 from typing import Callable, Iterable, Iterator
 
+from ..errors import CODE_LOG_UNDETECTABLE, ErrorBudget
 from .workload_log import LogRecord, WorkloadLog
 
 
 class LogFormatError(ValueError):
     """Raised for an unknown log format name."""
+
+
+class LogDetectionError(LogFormatError):
+    """No log format could be inferred from the file's name or content.
+
+    ``probed`` lists the formats detection considered, so the caller can
+    surface "tried these, none matched" instead of misclassifying an empty
+    or binary file as SQL.
+    """
+
+    def __init__(self, message: str, *, probed: "tuple[str, ...] | None" = None):
+        super().__init__(message)
+        self.code = CODE_LOG_UNDETECTABLE
+        self.probed: "tuple[str, ...]" = probed if probed is not None else LOG_FORMATS
+
+
+# ----------------------------------------------------------------------
+# degraded ingestion: malformed lines are skipped and counted
+# ----------------------------------------------------------------------
+def _is_junk_line(line: str) -> bool:
+    """A line that cannot be text in any supported log dialect.
+
+    Files are opened with ``errors="replace"``, so undecodable bytes arrive
+    as U+FFFD; NULs survive decoding and equally mark binary content.
+    """
+    return "\x00" in line or "�" in line
+
+
+def _clean_lines(
+    lines: Iterable[str], budget: ErrorBudget, source: "str | None" = None
+) -> Iterator[str]:
+    """Drop-and-count binary junk lines before a reader parses the stream.
+
+    Only used when a budget is attached (degraded ingestion); without one,
+    readers see the raw stream exactly as before.
+    """
+    for number, raw in enumerate(lines, start=1):
+        if _is_junk_line(raw):
+            budget.record(
+                f"line {number}: undecodable bytes (binary junk), skipped",
+                source=source,
+                line=number,
+            )
+            continue
+        yield raw
 
 
 # ----------------------------------------------------------------------
@@ -95,26 +141,57 @@ def _pg_message_records(
         yield pending
 
 
-def read_postgres_csvlog(lines: Iterable[str]) -> Iterator[LogRecord]:
+def read_postgres_csvlog(
+    lines: Iterable[str], budget: "ErrorBudget | None" = None
+) -> Iterator[LogRecord]:
     """PostgreSQL csvlog.  The csv module handles quoted multi-line
-    messages, so statements with embedded newlines arrive intact."""
+    messages, so statements with embedded newlines arrive intact.
+
+    With a budget attached, rows the csv module rejects and non-empty rows
+    too short to carry a message field are recorded and skipped instead of
+    aborting (or being silently dropped)."""
+    if budget is not None:
+        lines = _clean_lines(lines, budget)
 
     def messages() -> "Iterator[tuple[str, int | None]]":
         reader = csv.reader(lines)
-        for row in reader:
+        while True:
+            try:
+                row = next(reader)
+            except StopIteration:
+                return
+            except csv.Error as error:
+                if budget is None:
+                    raise
+                budget.record(
+                    f"line {reader.line_num}: bad CSV row ({error}), skipped",
+                    error=error,
+                    line=reader.line_num,
+                )
+                continue
             if len(row) <= _PG_CSV_MESSAGE_FIELD:
+                if budget is not None and row:
+                    budget.record(
+                        f"line {reader.line_num}: csvlog row has {len(row)} "
+                        f"field(s), expected > {_PG_CSV_MESSAGE_FIELD}, skipped",
+                        line=reader.line_num,
+                    )
                 continue
             yield row[_PG_CSV_MESSAGE_FIELD], reader.line_num
 
     return _pg_message_records(messages())
 
 
-def read_postgres_stderr(lines: Iterable[str]) -> Iterator[LogRecord]:
+def read_postgres_stderr(
+    lines: Iterable[str], budget: "ErrorBudget | None" = None
+) -> Iterator[LogRecord]:
     """PostgreSQL stderr log (``log_statement`` / duration messages).
 
     Continuation lines of a multi-line statement carry no severity tag and
     are appended to the current message.
     """
+    if budget is not None:
+        lines = _clean_lines(lines, budget)
 
     def messages() -> "Iterator[tuple[str, int | None]]":
         current: "list[str] | None" = None
@@ -191,23 +268,42 @@ def pg_stat_record(row: "dict[str, object]", line: "int | None" = None) -> "LogR
     return LogRecord(statement=statement, duration_ms=total, line=line, count=count)
 
 
-def read_pg_stat_statements(lines: Iterable[str]) -> Iterator[LogRecord]:
+def read_pg_stat_statements(
+    lines: Iterable[str], budget: "ErrorBudget | None" = None
+) -> Iterator[LogRecord]:
     """CSV export of ``pg_stat_statements`` (``\\copy … TO 'x.csv' CSV HEADER``).
 
     Unlike the line-per-execution logs, each row is a *pre-aggregated*
     statement: ``calls`` executions totalling ``total_exec_time`` ms (or
     ``mean_exec_time × calls`` on exports that dropped the total).
     """
+    if budget is not None:
+        lines = _clean_lines(lines, budget)
     reader = csv.DictReader(lines)
     if reader.fieldnames is None:
         return  # empty input: no records, like every other reader
     fields = {name.strip().lower() for name in reader.fieldnames}
     if "query" not in fields or "calls" not in fields:
+        # A wrong header is a format-level mistake, not one bad line — it
+        # stays fail-fast even under a budget.
         raise LogFormatError(
             "pg_stat_statements CSV needs a header row with at least "
             "'query' and 'calls' columns"
         )
-    for row in reader:
+    while True:
+        try:
+            row = next(reader)
+        except StopIteration:
+            return
+        except csv.Error as error:
+            if budget is None:
+                raise
+            budget.record(
+                f"line {reader.line_num}: bad CSV row ({error}), skipped",
+                error=error,
+                line=reader.line_num,
+            )
+            continue
         record = pg_stat_record(row, line=reader.line_num)
         if record is not None:
             yield record
@@ -274,8 +370,12 @@ _MYSQL_ENTRY_RE = re.compile(
 _MYSQL_SQL_COMMANDS = frozenset({"Query", "Execute"})
 
 
-def read_mysql_general_log(lines: Iterable[str]) -> Iterator[LogRecord]:
+def read_mysql_general_log(
+    lines: Iterable[str], budget: "ErrorBudget | None" = None
+) -> Iterator[LogRecord]:
     """MySQL general query log (``general_log = ON``)."""
+    if budget is not None:
+        lines = _clean_lines(lines, budget)
     current: "list[str] | None" = None
     start_line: "int | None" = None
     for number, raw in enumerate(lines, start=1):
@@ -299,10 +399,14 @@ def read_mysql_general_log(lines: Iterable[str]) -> Iterator[LogRecord]:
 # ----------------------------------------------------------------------
 # SQLite trace output
 # ----------------------------------------------------------------------
-def read_sqlite_trace(lines: Iterable[str]) -> Iterator[LogRecord]:
+def read_sqlite_trace(
+    lines: Iterable[str], budget: "ErrorBudget | None" = None
+) -> Iterator[LogRecord]:
     """SQLite shell ``.trace`` / ``sqlite3_trace_v2`` output: one expanded
     statement per line, with optional ``TRACE:``-style prefixes and ``--``
     comment lines from instrumented applications."""
+    if budget is not None:
+        lines = _clean_lines(lines, budget)
     for number, raw in enumerate(lines, start=1):
         line = raw.rstrip("\n").strip()
         if not line or line.startswith("--"):
@@ -316,13 +420,18 @@ def read_sqlite_trace(lines: Iterable[str]) -> Iterator[LogRecord]:
 # ----------------------------------------------------------------------
 # plain SQL text
 # ----------------------------------------------------------------------
-def read_plain_sql(lines: Iterable[str]) -> Iterator[LogRecord]:
+def read_plain_sql(
+    lines: Iterable[str], budget: "ErrorBudget | None" = None
+) -> Iterator[LogRecord]:
     """Plain ``;``-separated SQL (dumps, migrations, query collections).
 
     Statements are accumulated line-wise and flushed on each line that ends
     a statement, so a multi-gigabyte dump is still read in bounded memory.
     """
     from ..sqlparser import split
+
+    if budget is not None:
+        lines = _clean_lines(lines, budget)
 
     def flush(buffer: "list[str]", start_line: "int | None") -> Iterator[LogRecord]:
         text = "\n".join(buffer)
@@ -361,7 +470,7 @@ def read_plain_sql(lines: Iterable[str]) -> Iterator[LogRecord]:
 # ----------------------------------------------------------------------
 # format registry
 # ----------------------------------------------------------------------
-LOG_READERS: "dict[str, Callable[[Iterable[str]], Iterator[LogRecord]]]" = {
+LOG_READERS: "dict[str, Callable[..., Iterator[LogRecord]]]" = {
     "postgres-csv": read_postgres_csvlog,
     "postgres": read_postgres_stderr,
     "pg_stat_statements": read_pg_stat_statements,
@@ -374,14 +483,20 @@ LOG_READERS: "dict[str, Callable[[Iterable[str]], Iterator[LogRecord]]]" = {
 LOG_FORMATS: "tuple[str, ...]" = tuple(LOG_READERS)
 
 
-def iter_log_records(lines: Iterable[str], log_format: str) -> Iterator[LogRecord]:
-    """Parse a line stream in the named format into log records."""
+def iter_log_records(
+    lines: Iterable[str], log_format: str, budget: "ErrorBudget | None" = None
+) -> Iterator[LogRecord]:
+    """Parse a line stream in the named format into log records.
+
+    ``budget`` (an :class:`~repro.errors.ErrorBudget`) turns on degraded
+    ingestion: malformed lines are recorded there and skipped instead of
+    aborting the read."""
     reader = LOG_READERS.get(log_format)
     if reader is None:
         raise LogFormatError(
             f"unknown log format {log_format!r} (expected one of {list(LOG_FORMATS)})"
         )
-    return reader(lines)
+    return reader(lines, budget)
 
 
 #: First keywords of statements a SQLite trace emits one-per-line.
@@ -400,7 +515,14 @@ def _read_sample(path: "str | Path") -> str:
 
 
 def detect_log_format(path: "str | Path", sample: str | None = None) -> str:
-    """Best-effort format detection from the file name and a content sample."""
+    """Format detection from the file name and a content sample.
+
+    A recognised extension (``.csv``/``.sql``/``.trace``) is authoritative.
+    Otherwise the content is probed against every known dialect, and a
+    sample that cannot be *any* of them — empty, whitespace-only, or
+    binary — raises :class:`LogDetectionError` (carrying the probed
+    formats) instead of misclassifying the file as SQL.
+    """
     name = str(path).lower()
     if name.endswith(".csv"):
         # Both csvlog files and pg_stat_statements exports are ".csv"; only
@@ -416,6 +538,20 @@ def detect_log_format(path: "str | Path", sample: str | None = None) -> str:
         return "sqlite-trace"
     if sample is None:
         sample = _read_sample(path)
+    if not sample.strip():
+        raise LogDetectionError(
+            f"cannot detect the log format of {path}: the file is empty or "
+            f"whitespace-only (probed {', '.join(LOG_FORMATS)}); name the "
+            "format explicitly with --log-format"
+        )
+    junk_lines = sum(1 for line in sample.splitlines() if _is_junk_line(line))
+    text_lines = max(1, len(sample.splitlines()))
+    if junk_lines * 2 > text_lines:
+        raise LogDetectionError(
+            f"cannot detect the log format of {path}: the content is binary "
+            f"(probed {', '.join(LOG_FORMATS)}); name the format explicitly "
+            "with --log-format"
+        )
     if _looks_like_pg_stat_header(sample):
         return "pg_stat_statements"
     sql_lines = 0
@@ -448,18 +584,29 @@ def read_workload_log(
     log_format: str | None = None,
     *,
     source: str | None = None,
+    max_errors: "int | None" = None,
+    strict: bool = False,
 ) -> WorkloadLog:
     """Read one log file into a :class:`WorkloadLog` (format auto-detected
-    when not named).  The file is streamed, never slurped."""
+    when not named).  The file is streamed, never slurped.
+
+    Ingestion is degraded by default: malformed lines are skipped and
+    recorded on ``log.errors``.  ``max_errors`` caps how many before
+    :class:`~repro.errors.ErrorBudgetExceeded` aborts the read;
+    ``strict=True`` restores fail-fast (the first malformed line raises).
+    """
     path = Path(path)
     fmt = log_format or detect_log_format(path)
     if fmt not in LOG_READERS:
         raise LogFormatError(
             f"unknown log format {fmt!r} (expected one of {list(LOG_FORMATS)})"
         )
+    budget = ErrorBudget(max_errors, strict=strict)
     with open(path, "r", encoding="utf-8", errors="replace") as handle:
-        return WorkloadLog.from_records(
-            iter_log_records(handle, fmt),
+        log = WorkloadLog.from_records(
+            iter_log_records(handle, fmt, budget),
             source=source or str(path),
             log_format=fmt,
         )
+    log.errors = list(budget)
+    return log

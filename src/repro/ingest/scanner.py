@@ -28,7 +28,8 @@ from ..catalog.schema import Schema
 from ..context.application_context import ApplicationContext
 from ..core.sqlcheck import SQLCheck, SQLCheckOptions, SQLCheckReport
 from ..detector.pipeline import PipelineStats
-from .connectors import Connector, ConnectorError, connect
+from ..errors import CODE_CIRCUIT_OPEN, CODE_SOURCE_UNAVAILABLE, PipelineError
+from .connectors import CircuitOpenError, Connector, ConnectorError, connect
 from .log_readers import read_workload_log
 from .workload_log import WorkloadLog, statement_key
 
@@ -63,18 +64,26 @@ def assign_frequencies(context: ApplicationContext, log: WorkloadLog) -> Applica
     return context
 
 
-def _coerce_workload(workload: Any, log_format: "str | None") -> "WorkloadLog | None":
+def _coerce_workload(
+    workload: Any,
+    log_format: "str | None",
+    *,
+    max_errors: "int | None" = None,
+    strict: bool = False,
+) -> "WorkloadLog | None":
     """Accept a WorkloadLog, a log-file path, raw SQL text, or statements."""
     if workload is None:
         return None
     if isinstance(workload, WorkloadLog):
         return workload
     if isinstance(workload, Path):
-        return read_workload_log(workload, log_format)
+        return read_workload_log(workload, log_format, max_errors=max_errors, strict=strict)
     if isinstance(workload, str):
         candidate = Path(workload)
         if candidate.exists():
-            return read_workload_log(candidate, log_format)
+            return read_workload_log(
+                candidate, log_format, max_errors=max_errors, strict=strict
+            )
         return WorkloadLog.from_statements([workload])
     return WorkloadLog.from_statements(workload)
 
@@ -100,6 +109,8 @@ class LiveScanner:
         source: "str | None" = None,
         sample_limit: "int | None" = None,
         exclude_tables: "Iterable[str]" = (),
+        max_errors: "int | None" = None,
+        strict: bool = False,
     ) -> SQLCheckReport:
         """Run the full pipeline over a live database and/or a query log.
 
@@ -115,11 +126,24 @@ class LiveScanner:
         ``exclude_tables`` names telemetry tables (a ``pg_stat_statements``
         snapshot, migration bookkeeping) to leave out of the analysed
         schema and profiles.
+
+        Failure semantics: a workload-log file is read degraded (malformed
+        lines skipped and recorded; ``max_errors`` caps them, ``strict=True``
+        restores fail-fast), and a connector that dies *mid-scan* — after
+        the catalog was introspected — degrades profiling and data-rule
+        verdicts to "source unavailable" provenance on the report instead
+        of aborting.  A database that cannot be opened or introspected at
+        all is still a hard :class:`ConnectorError`: there is nothing to
+        degrade to.
         """
         connector = connect(database) if database is not None else None
-        log = _coerce_workload(workload, log_format)
+        log = _coerce_workload(workload, log_format, max_errors=max_errors, strict=strict)
         if connector is None and log is None:
             raise ConnectorError("scan needs a database, a workload log, or both")
+        if connector is not None:
+            # The breaker guards one scan's fetch storm, not the connector's
+            # whole lifetime — a later scan gets a fresh chance.
+            connector.reset_circuit()
         if connector is not None and sample_limit is not None and sample_limit > 0:
             # The cap must hold for *every* row fetch in this scan — the
             # profiler below and any data rule pulling rows later.
@@ -134,11 +158,18 @@ class LiveScanner:
         label = source or (log.source if log is not None else None) or (
             connector.name if connector is not None else None
         )
+        quarantine = toolchain.options.detector.quarantine
         start = time.perf_counter()
         statements = log.statements() if log is not None else []
-        context = builder.build(statements, source=label, stats=stats)
+        context = builder.build(statements, source=label, stats=stats, quarantine=quarantine)
+        if log is not None and log.errors:
+            # Malformed-line records from the degraded log read travel with
+            # the context so every report surface can account for them.
+            context.errors.extend(log.errors)
         if connector is not None:
             t_live = time.perf_counter()
+            # An unusable database input fails hard here (nothing to
+            # degrade to); only *later* source loss degrades the scan.
             live_schema = connector.schema()
             excluded = {name.lower() for name in exclude_tables}
             if excluded and any(name in live_schema.tables for name in excluded):
@@ -153,10 +184,30 @@ class LiveScanner:
             # prefers it over DDL found in the workload).
             if live_schema.tables or not context.schema.tables:
                 context.schema = live_schema
-            context.profiles = connector.profiles(
-                builder.profiler, sample_limit=sample_limit, exclude=excluded
-            )
-            context.database = connector
+            try:
+                context.profiles = connector.profiles(
+                    builder.profiler, sample_limit=sample_limit, exclude=excluded
+                )
+                context.database = connector
+            except ConnectorError as error:
+                if not quarantine or strict:
+                    raise
+                # The source died between introspection and profiling: keep
+                # the catalog, skip data analysis, record the loss.
+                context.profiles = {}
+                context.errors.append(
+                    PipelineError.from_exception(
+                        "ingest",
+                        error,
+                        code=(
+                            CODE_CIRCUIT_OPEN
+                            if isinstance(error, CircuitOpenError)
+                            else CODE_SOURCE_UNAVAILABLE
+                        ),
+                        source=connector.name,
+                        detail={"verdict": "skipped: source unavailable"},
+                    )
+                )
             stats.context_seconds += time.perf_counter() - t_live
         if log is not None:
             assign_frequencies(context, log)
@@ -230,6 +281,8 @@ def scan(
     options: "SQLCheckOptions | None" = None,
     source: "str | None" = None,
     sample_limit: "int | None" = None,
+    max_errors: "int | None" = None,
+    strict: bool = False,
 ) -> SQLCheckReport:
     """One-shot convenience wrapper around :class:`LiveScanner`.
 
@@ -240,7 +293,7 @@ def scan(
     """
     return LiveScanner(options=options).scan(
         database, workload, log_format=log_format, source=source,
-        sample_limit=sample_limit,
+        sample_limit=sample_limit, max_errors=max_errors, strict=strict,
     )
 
 

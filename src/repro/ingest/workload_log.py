@@ -90,6 +90,9 @@ class WorkloadLog:
         self.source = source
         self.log_format = log_format
         self.records_read = 0
+        #: :class:`repro.errors.PipelineError` records for malformed lines
+        #: skipped while reading this log (degraded ingestion).
+        self.errors: list = []
         self._entries: "dict[str, WorkloadEntry]" = {}
 
     # ------------------------------------------------------------------
@@ -167,6 +170,7 @@ class WorkloadLog:
                 mine.frequency += entry.frequency
                 mine.total_duration_ms += entry.total_duration_ms
         self.records_read += other.records_read
+        self.errors.extend(other.errors)
         return self
 
     # ------------------------------------------------------------------
@@ -233,7 +237,7 @@ class WorkloadLog:
             yield piece
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "source": self.source,
             "log_format": self.log_format,
             "records_read": self.records_read,
@@ -242,3 +246,7 @@ class WorkloadLog:
             "total_duration_ms": round(self.total_duration_ms, 3),
             "entries": [entry.to_dict() for entry in self._entries.values()],
         }
+        # Clean reads keep the historical payload shape exactly.
+        if self.errors:
+            payload["errors"] = [error.to_dict() for error in self.errors]
+        return payload

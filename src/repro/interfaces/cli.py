@@ -185,6 +185,20 @@ def build_scan_parser() -> argparse.ArgumentParser:
     parser.add_argument("--min-confidence", type=float, default=0.5, help="confidence threshold")
     parser.add_argument("--source", default=None, help="provenance label for the report")
     parser.add_argument(
+        "--max-errors",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tolerate at most N malformed log lines before aborting the "
+        "scan (default: skip-and-count without limit)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail fast on the first malformed log line or mid-scan source "
+        "loss instead of degrading the scan",
+    )
+    parser.add_argument(
         "--stats", action="store_true", help="print per-stage pipeline timings and cache hit rates"
     )
     return parser
@@ -195,12 +209,13 @@ def run_scan_command(argv: Sequence[str]) -> tuple[int, str]:
     from ..ingest import (
         ConnectorError,
         LiveScanner,
-        LogFormatError,
         WorkloadLog,
         connect,
         read_pg_stat_table,
         read_workload_log,
     )
+
+    from ..errors import ErrorBudgetExceeded
 
     args = build_scan_parser().parse_args(list(argv))
     if not args.db and not args.log:
@@ -211,13 +226,17 @@ def run_scan_command(argv: Sequence[str]) -> tuple[int, str]:
         return 2, "error: --top must be a non-negative number of findings"
     if args.sample < 0:
         return 2, "error: --sample must be a non-negative row count"
+    if args.max_errors is not None and args.max_errors < 0:
+        return 2, "error: --max-errors must be a non-negative error budget"
     log_format = None if args.log_format == "auto" else args.log_format
     connector = None
     try:
         connector = connect(args.db) if args.db else None
         workload: "WorkloadLog | None" = None
         for path in args.log:
-            piece = read_workload_log(path, log_format)
+            piece = read_workload_log(
+                path, log_format, max_errors=args.max_errors, strict=args.strict
+            )
             workload = piece if workload is None else workload.merge(piece)
         if args.pg_stat:
             piece = read_pg_stat_table(connector, args.pg_stat)
@@ -241,8 +260,13 @@ def run_scan_command(argv: Sequence[str]) -> tuple[int, str]:
             connector, workload, source=source, sample_limit=args.sample or None,
             # A pg_stat snapshot table is telemetry, not application schema.
             exclude_tables=(args.pg_stat,) if args.pg_stat else (),
+            strict=args.strict,
         )
-    except (ConnectorError, LogFormatError, OSError) as error:
+    except ErrorBudgetExceeded as error:
+        return 2, f"error: {error} (re-run without --max-errors to skip-and-count)"
+    except (ConnectorError, ValueError, OSError) as error:
+        # ValueError covers LogFormatError and the raw re-raise of the
+        # first malformed line under --strict: exit 2, not a traceback.
         return 2, f"error: {error}"
     finally:
         if connector is not None:
@@ -447,9 +471,14 @@ def render(
         return json.dumps(payload, indent=2, default=str)
     lines: list[str] = []
     entries = report.detections[:top] if top else report.detections
+    degraded = (
+        f" [degraded: {len(report.errors)} pipeline error(s) quarantined]"
+        if getattr(report, "errors", None)
+        else ""
+    )
     lines.append(
         f"sqlcheck: {len(report.detections)} anti-pattern(s) in "
-        f"{report.queries_analyzed} statement(s)"
+        f"{report.queries_analyzed} statement(s){degraded}"
     )
     for entry in entries:
         detection = entry.detection
@@ -471,6 +500,11 @@ def render(
                 lines.append(f"            {statement.splitlines()[0]}" + (" …" if "\n" in statement else ""))
             if fix.rewritten_query:
                 lines.append(f"            rewrite -> {fix.rewritten_query}")
+    if getattr(report, "errors", None):
+        lines.append("")
+        lines.append("pipeline errors (quarantined; other results are complete):")
+        for error in report.errors:
+            lines.append(f"    {error}")
     if stats and report.stats is not None:
         lines.extend(_stats_lines(report.stats))
     return "\n".join(lines)

@@ -45,6 +45,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from ..core.sqlcheck import SQLCheck, SQLCheckOptions
 from ..detector.detector import DetectorConfig
+from ..errors import (
+    CODE_BAD_REQUEST,
+    CODE_INTERNAL,
+    CODE_LOG_BUDGET_EXHAUSTED,
+    CODE_LOG_MALFORMED,
+    CODE_SOURCE_UNAVAILABLE,
+    ErrorBudget,
+    ErrorBudgetExceeded,
+)
 from ..model.antipatterns import catalog_entry, full_catalog
 from ..ranking.config import C1, C2
 from ..rules.registry import default_registry
@@ -62,11 +71,21 @@ from ..reporting import (
 _FORMATS = ("json",) + RICH_FORMATS
 
 
+def _error(message: str, code: str = CODE_BAD_REQUEST) -> dict:
+    """The structured error envelope every failing route answers with.
+
+    ``error`` stays the human-readable message (the historical contract);
+    ``code`` is the machine-readable taxonomy value from
+    :mod:`repro.errors`, so clients can branch without parsing prose.
+    """
+    return {"error": message, "code": code}
+
+
 def _parse_format(payload: dict) -> "tuple[str, dict | None]":
     """Validate the optional ``format`` field; returns (format, error)."""
     fmt = str(payload.get("format", "json")).lower()
     if fmt not in _FORMATS:
-        return fmt, {"error": f"unknown format {fmt!r} (expected one of {list(_FORMATS)})"}
+        return fmt, _error(f"unknown format {fmt!r} (expected one of {list(_FORMATS)})")
     return fmt, None
 
 
@@ -84,7 +103,7 @@ def handle_check_request(payload: dict) -> tuple[int, dict]:
     """Process the body of ``POST /api/check`` and return (status, response)."""
     query = payload.get("query")
     if not query or not isinstance(query, str):
-        return 400, {"error": "the request body must contain a non-empty 'query' string"}
+        return 400, _error("the request body must contain a non-empty 'query' string")
     fmt, error = _parse_format(payload)
     if error is not None:
         return 400, error
@@ -102,16 +121,16 @@ def handle_check_batch_request(payload: dict) -> tuple[int, dict]:
     """Process the body of ``POST /api/check_batch`` and return (status, response)."""
     corpora = payload.get("corpora")
     if not isinstance(corpora, dict) or not corpora:
-        return 400, {"error": "the request body must contain a non-empty 'corpora' object"}
+        return 400, _error("the request body must contain a non-empty 'corpora' object")
     for name, queries in corpora.items():
         if not isinstance(queries, str) and not (
             isinstance(queries, list) and all(isinstance(q, str) for q in queries)
         ):
-            return 400, {"error": f"corpus {name!r} must be a SQL string or a list of SQL strings"}
+            return 400, _error(f"corpus {name!r} must be a SQL string or a list of SQL strings")
     try:
         workers = int(payload.get("workers", 1))
     except (TypeError, ValueError):
-        return 400, {"error": "'workers' must be an integer"}
+        return 400, _error("'workers' must be an integer")
     fmt, error = _parse_format(payload)
     if error is not None:
         return 400, error
@@ -159,49 +178,61 @@ def handle_scan_request(payload: dict) -> tuple[int, dict]:
     db_base64 = payload.get("db_base64")
     log_text = payload.get("log_text")
     if not db and not db_base64 and not log_text:
-        return 400, {
-            "error": "the request body must contain 'db', 'db_base64', 'log_text', or a combination"
-        }
+        return 400, _error(
+            "the request body must contain 'db', 'db_base64', 'log_text', or a combination"
+        )
     if db and db_base64:
-        return 400, {"error": "'db' and 'db_base64' are mutually exclusive"}
+        return 400, _error("'db' and 'db_base64' are mutually exclusive")
     if db is not None and not isinstance(db, str):
-        return 400, {"error": "'db' must be a database URL or path string"}
+        return 400, _error("'db' must be a database URL or path string")
     if db_base64 is not None and not isinstance(db_base64, str):
-        return 400, {"error": "'db_base64' must be the SQLite file content, base64-encoded"}
+        return 400, _error("'db_base64' must be the SQLite file content, base64-encoded")
     if log_text is not None and not isinstance(log_text, str):
-        return 400, {"error": "'log_text' must be the log file content as a string"}
+        return 400, _error("'log_text' must be the log file content as a string")
     log_format = str(payload.get("log_format", "auto")).lower()
     if log_format == "auto" and log_text:
         # Same default as the CLI: sniff the content (the dummy name has no
         # recognised extension, so only the sample decides).
-        log_format = detect_log_format("request.log", log_text)
+        try:
+            log_format = detect_log_format("request.log", log_text)
+        except LogFormatError as error:
+            return 400, _error(str(error), getattr(error, "code", CODE_LOG_MALFORMED))
     if log_text and log_format not in LOG_FORMATS:
-        return 400, {
-            "error": f"unknown log format {log_format!r} (expected one of {list(LOG_FORMATS)})"
-        }
+        return 400, _error(
+            f"unknown log format {log_format!r} (expected one of {list(LOG_FORMATS)})"
+        )
     cost_model = str(payload.get("cost_model", DEFAULT_COST_MODEL)).lower()
     if cost_model not in COST_MODEL_NAMES:
-        return 400, {
-            "error": f"unknown cost model {cost_model!r} (expected one of {list(COST_MODEL_NAMES)})"
-        }
+        return 400, _error(
+            f"unknown cost model {cost_model!r} (expected one of {list(COST_MODEL_NAMES)})"
+        )
     sample = payload.get("sample")
     if sample is not None:
         try:
             sample = int(sample)
         except (TypeError, ValueError):
-            return 400, {"error": "'sample' must be an integer row count"}
+            return 400, _error("'sample' must be an integer row count")
         if sample < 0:
-            return 400, {"error": "'sample' must be a non-negative row count"}
+            return 400, _error("'sample' must be a non-negative row count")
         sample = sample or None
+    max_errors = payload.get("max_errors")
+    if max_errors is not None:
+        try:
+            max_errors = int(max_errors)
+        except (TypeError, ValueError):
+            return 400, _error("'max_errors' must be an integer error budget")
+        if max_errors < 0:
+            return 400, _error("'max_errors' must be a non-negative error budget")
+    strict = bool(payload.get("strict", False))
     pg_stat = payload.get("pg_stat")
     if pg_stat is True:
         pg_stat = "pg_stat_statements"
     elif pg_stat is False:
         pg_stat = None  # explicit "off" is as valid as omitting the field
     if pg_stat is not None and not isinstance(pg_stat, str):
-        return 400, {"error": "'pg_stat' must be true/false or a snapshot table name"}
+        return 400, _error("'pg_stat' must be true/false or a snapshot table name")
     if pg_stat and not db and not db_base64:
-        return 400, {"error": "'pg_stat' reads a table from 'db'/'db_base64'; pass one too"}
+        return 400, _error("'pg_stat' reads a table from 'db'/'db_base64'; pass one too")
     fmt, error = _parse_format(payload)
     if error is not None:
         return 400, error
@@ -214,17 +245,17 @@ def handle_scan_request(payload: dict) -> tuple[int, dict]:
             # Reject on the *encoded* length before decoding: the ceiling
             # must bound the request's memory, not just the decoded file.
             if len(db_base64) > (MAX_UPLOAD_BYTES * 4) // 3 + 4:
-                return 400, {
-                    "error": f"uploaded database exceeds {MAX_UPLOAD_BYTES} bytes"
-                }
+                return 400, _error(
+                    f"uploaded database exceeds {MAX_UPLOAD_BYTES} bytes"
+                )
             try:
                 raw = base64.b64decode(db_base64, validate=True)
             except (binascii.Error, ValueError):
-                return 400, {"error": "'db_base64' is not valid base64"}
+                return 400, _error("'db_base64' is not valid base64")
             if len(raw) > MAX_UPLOAD_BYTES:
-                return 400, {
-                    "error": f"uploaded database exceeds {MAX_UPLOAD_BYTES} bytes"
-                }
+                return 400, _error(
+                    f"uploaded database exceeds {MAX_UPLOAD_BYTES} bytes"
+                )
             handle = tempfile.NamedTemporaryFile(
                 prefix="sqlcheck-upload-", suffix=".db", delete=False
             )
@@ -236,11 +267,13 @@ def handle_scan_request(payload: dict) -> tuple[int, dict]:
             connector = connect(db)
         workload = None
         if log_text:
+            budget = ErrorBudget(max_errors, strict=strict)
             workload = WorkloadLog.from_records(
-                iter_log_records(log_text.splitlines(True), log_format),
+                iter_log_records(log_text.splitlines(True), log_format, budget),
                 source="request",
                 log_format=log_format,
             )
+            workload.errors = list(budget)
         if pg_stat:
             piece = read_pg_stat_table(connector, pg_stat)
             workload = piece if workload is None else workload.merge(piece)
@@ -261,9 +294,18 @@ def handle_scan_request(payload: dict) -> tuple[int, dict]:
             source=source,
             sample_limit=sample,
             exclude_tables=(pg_stat,) if pg_stat else (),
+            strict=strict,
         )
-    except (ConnectorError, LogFormatError) as error:
-        return 400, {"error": str(error)}
+    except ErrorBudgetExceeded as error:
+        return 400, _error(str(error), CODE_LOG_BUDGET_EXHAUSTED)
+    except ConnectorError as error:
+        return 400, _error(str(error), CODE_SOURCE_UNAVAILABLE)
+    except LogFormatError as error:
+        return 400, _error(str(error), getattr(error, "code", CODE_LOG_MALFORMED))
+    except ValueError as error:
+        # strict=true re-raises the first malformed line raw; that is the
+        # client's data, not a server fault — a 400, never a 500.
+        return 400, _error(str(error), CODE_LOG_MALFORMED)
     finally:
         if connector is not None:
             connector.close()
@@ -281,6 +323,10 @@ def handle_scan_request(payload: dict) -> tuple[int, dict]:
                 "total_duration_ms": round(workload.total_duration_ms, 3),
                 "log_format": workload.log_format,
             }
+            # Clean scans keep the historical workload shape exactly.
+            if workload.errors:
+                body["workload"]["degraded"] = True
+                body["workload"]["lines_skipped"] = len(workload.errors)
         return 200, body
     document = build_document(
         report, registry=scanner.toolchain.registry, source=source
@@ -309,13 +355,13 @@ def handle_selftest_request(payload: dict) -> tuple[int, dict]:
         statements = int(payload.get("statements", 120))
         workers = int(payload.get("workers", 1))
     except (TypeError, ValueError):
-        return 400, {"error": "'seed', 'statements', and 'workers' must be integers"}
+        return 400, _error("'seed', 'statements', and 'workers' must be integers")
     if statements < 1 or statements > MAX_SELFTEST_STATEMENTS:
-        return 400, {
-            "error": f"'statements' must be between 1 and {MAX_SELFTEST_STATEMENTS}"
-        }
+        return 400, _error(
+            f"'statements' must be between 1 and {MAX_SELFTEST_STATEMENTS}"
+        )
     if workers < 1:
-        return 400, {"error": "'workers' must be a positive integer"}
+        return 400, _error("'workers' must be a positive integer")
     result = run_selftest(
         None, seed=seed, statements=statements, workers=workers, update_golden=False
     )
@@ -379,7 +425,7 @@ class _Handler(BaseHTTPRequestHandler):
         elif self.path == "/api/rules":
             self._send(200, rules_response())
         else:
-            self._send(404, {"error": f"unknown path {self.path}"})
+            self._send(404, _error(f"unknown path {self.path}"))
 
     def do_POST(self) -> None:  # noqa: N802 (http.server naming)
         handlers = {
@@ -390,27 +436,27 @@ class _Handler(BaseHTTPRequestHandler):
         }
         handler = handlers.get(self.path)
         if handler is None:
-            self._send(404, {"error": f"unknown path {self.path}"})
+            self._send(404, _error(f"unknown path {self.path}"))
             return
         length = int(self.headers.get("Content-Length", 0))
         if length > MAX_REQUEST_BYTES:
             # Bound request memory before reading the body at all.
-            self._send(413, {
-                "error": f"request body exceeds {MAX_REQUEST_BYTES} bytes"
-            })
+            self._send(413, _error(
+                f"request body exceeds {MAX_REQUEST_BYTES} bytes"
+            ))
             return
         raw = self.rfile.read(length) if length else b"{}"
         try:
             payload = json.loads(raw.decode("utf-8") or "{}")
         except json.JSONDecodeError:
-            self._send(400, {"error": "request body is not valid JSON"})
+            self._send(400, _error("request body is not valid JSON"))
             return
         try:
             status, body = handler(payload)
         except Exception as error:  # noqa: BLE001 - the thread must answer
             # A handler bug must produce a JSON 500, not a silently killed
             # request thread with no response on the wire.
-            status, body = 500, {"error": f"internal error: {error}"}
+            status, body = 500, _error(f"internal error: {error}", CODE_INTERNAL)
         self._send(status, body)
 
 

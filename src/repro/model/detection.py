@@ -123,6 +123,14 @@ class DetectionReport:
     detections: list[Detection] = field(default_factory=list)
     queries_analyzed: int = 0
     tables_analyzed: int = 0
+    #: quarantined :class:`repro.errors.PipelineError` records — failures
+    #: isolated to one statement/rule/source instead of aborting the run.
+    errors: list = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any pipeline stage quarantined a failure."""
+        return bool(self.errors)
 
     def __iter__(self):
         return iter(self.detections)
@@ -157,8 +165,14 @@ class DetectionReport:
         return list(best.values())
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "queries_analyzed": self.queries_analyzed,
             "tables_analyzed": self.tables_analyzed,
             "detections": [d.to_dict() for d in self.detections],
         }
+        # Only degraded runs carry the key, keeping clean-run payloads (and
+        # the golden corpus snapshots) byte-identical to previous releases.
+        if self.errors:
+            payload["degraded"] = True
+            payload["errors"] = [e.to_dict() for e in self.errors]
+        return payload

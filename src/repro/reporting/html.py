@@ -82,14 +82,21 @@ def _document_html(document: ReportDocument, *, tag: str = "h1") -> "list[str]":
         if document.is_workload_weighted or document.cost_model != "frequency"
         else ""
     )
+    degraded = (
+        f" <strong>Degraded run:</strong> {len(document.errors)} pipeline"
+        " error(s) were quarantined (see below)."
+        if document.degraded
+        else ""
+    )
     parts = [
         f"<{tag}>SQLCheck report &mdash; <code>{_e(document.source)}</code></{tag}>",
         f"<p><strong>{document.total_findings} anti-pattern(s)</strong> in "
         f"{document.queries_analyzed} statement(s), "
-        f"{document.tables_analyzed} table(s) analysed.{weighted}{shown}</p>",
+        f"{document.tables_analyzed} table(s) analysed.{weighted}{shown}{degraded}</p>",
     ]
     if not document.findings:
         parts.append("<p>No anti-patterns detected.</p>")
+        parts.extend(_errors_html(document))
         parts.extend(_stats_html(document))
         return parts
     parts.append("<table><tr><th>#</th><th>Anti-pattern</th><th>Rule</th>"
@@ -106,7 +113,23 @@ def _document_html(document: ReportDocument, *, tag: str = "h1") -> "list[str]":
     parts.append("</table>")
     for finding in document.findings:
         parts.extend(_finding_html(finding))
+    parts.extend(_errors_html(document))
     parts.extend(_stats_html(document))
+    return parts
+
+
+def _errors_html(document: ReportDocument) -> "list[str]":
+    if not document.errors:
+        return []
+    parts = [
+        "<h4>Pipeline errors</h4>",
+        '<p class="meta">Quarantined failures; results for every other '
+        "statement, rule, and source are complete.</p>",
+        "<ul>",
+    ]
+    for error in document.errors:
+        parts.append(f"<li><code>{_e(error)}</code></li>")
+    parts.append("</ul>")
     return parts
 
 

@@ -120,6 +120,11 @@ def _document_lines(document: ReportDocument, *, heading_level: int = 1) -> "lis
         summary += f" Scores are workload-weighted (cost model: `{document.cost_model}`)."
     if document.is_truncated:
         summary += f" Showing the top {len(document.findings)} by impact."
+    if document.degraded:
+        summary += (
+            f" **Degraded run:** {len(document.errors)} pipeline error(s)"
+            " were quarantined (see below)."
+        )
     lines = [
         f"{heading} SQLCheck report — {_code_span(document.source)}",
         "",
@@ -128,13 +133,33 @@ def _document_lines(document: ReportDocument, *, heading_level: int = 1) -> "lis
     ]
     if not document.findings:
         lines.extend(["No anti-patterns detected.", ""])
+        lines.extend(_errors_section(document))
         lines.extend(_stats_section(document))
         return lines
     lines.extend(_summary_table(document.findings))
     lines.append("")
     for finding in document.findings:
         lines.extend(_finding_section(finding))
+    lines.extend(_errors_section(document))
     lines.extend(_stats_section(document))
+    return lines
+
+
+def _errors_section(document: ReportDocument) -> "list[str]":
+    if not document.errors:
+        return []
+    lines = [
+        "#### Pipeline errors",
+        "",
+        "Quarantined failures; results for every other statement, rule, and"
+        " source are complete.",
+        "",
+    ]
+    for error in document.errors:
+        # Error messages embed exception text derived from analysed input —
+        # escape them like any other SQL-derived prose.
+        lines.append(f"- {_escape_inline(str(error))}")
+    lines.append("")
     return lines
 
 

@@ -100,6 +100,16 @@ class ReportDocument:
     #: ``duration``, ``hybrid``); every emitter surfaces it so a reader
     #: knows what the scores mean.
     cost_model: str = "frequency"
+    #: :class:`~repro.errors.PipelineError` records quarantined during the
+    #: run; a non-empty list marks the report *degraded* and every emitter
+    #: must surface them (partial results are only trustworthy when their
+    #: gaps are visible).
+    errors: "list" = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the run quarantined at least one pipeline error."""
+        return bool(self.errors)
 
     @property
     def is_workload_weighted(self) -> bool:
@@ -164,6 +174,7 @@ def build_document(
         tables_analyzed=report.tables_analyzed,
         stats=report.stats.to_dict() if include_stats and report.stats is not None else None,
         cost_model=getattr(report, "cost_model", "frequency"),
+        errors=list(getattr(report, "errors", ()) or ()),
     )
 
 

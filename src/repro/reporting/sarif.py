@@ -182,6 +182,46 @@ def _fix_replacement(finding: Finding, artifact_uri: str) -> "dict | None":
     }
 
 
+def _invocation(docs: "list[ReportDocument]") -> "dict | None":
+    """The SARIF ``invocation`` carrying quarantined pipeline errors.
+
+    Each :class:`~repro.errors.PipelineError` becomes a
+    ``toolExecutionNotification`` (spec §3.20.21) whose descriptor id is the
+    error's taxonomy code and whose property bag carries the full structured
+    record.  ``executionSuccessful`` stays true — a degraded run still
+    produced results; notifications at level ``error`` are how SARIF marks
+    the gaps.  Clean runs emit no invocation at all, keeping the historical
+    log shape byte-identical.
+    """
+    notifications: "list[dict]" = []
+    for document in docs:
+        for error in document.errors:
+            notification: dict = {
+                "level": "error",
+                "message": {"text": str(error)},
+                "descriptor": {"id": getattr(error, "code", "internal")},
+                "properties": error.to_dict() if hasattr(error, "to_dict") else {},
+            }
+            source = getattr(error, "source", None)
+            if source:
+                notification["locations"] = [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": quote(str(source).strip("<>"), safe="/") or "input"
+                            }
+                        }
+                    }
+                ]
+            notifications.append(notification)
+    if not notifications:
+        return None
+    return {
+        "executionSuccessful": True,
+        "toolExecutionNotifications": notifications,
+    }
+
+
 def to_sarif(
     documents: "ReportDocument | Iterable[ReportDocument]",
     *,
@@ -220,6 +260,9 @@ def to_sarif(
     }
     if uris:
         run["artifacts"] = [{"location": {"uri": uri}} for uri in uris]
+    invocation = _invocation(docs)
+    if invocation is not None:
+        run["invocations"] = [invocation]
     # The workload cost model and pipeline timings travel in the run's
     # property bag (SARIF has no first-class slot for either).
     properties: dict = {

@@ -14,12 +14,25 @@ behind those claims:
   (``tests/conformance/golden/*.jsonl``) with an update path;
 * :mod:`repro.testkit.oracles` — differential oracles: cold vs. warm-cache
   vs. batch equivalence, detector vs. dbdeo agreement, fixer round-trips,
-  pipeline-stats accounting, and live-scan vs. offline equivalence;
+  pipeline-stats accounting, live-scan vs. offline equivalence, and
+  fault isolation (degraded runs preserve the clean subset byte-for-byte);
+* :mod:`repro.testkit.chaos` — seeded fault injection: crashing/flaky
+  rules, flaky/broken connectors, and a log corrupter driving the
+  fault-isolation oracle;
 * :mod:`repro.testkit.coverage` — a dependency-free line-coverage tracer
   used to enforce the rules-package coverage floor;
 * :mod:`repro.testkit.selftest` — the ``sqlcheck selftest`` entry point
   tying all of the above together.
 """
+from .chaos import (
+    BrokenConnector,
+    ChaosError,
+    CrashingRule,
+    FaultPlan,
+    FlakyConnector,
+    FlakyRule,
+    corrupt_log_lines,
+)
 from .conformance import ConformanceFailure, example_report, run_rule_examples
 from .generator import CorpusGenerator, GeneratedStatement
 from .golden import golden_entries, load_golden, diff_golden, write_golden
@@ -28,6 +41,7 @@ from .oracles import (
     check_cold_warm_batch,
     check_cost_model_equivalence,
     check_dbdeo_agreement,
+    check_fault_isolation,
     check_fixer_round_trip,
     check_scan_equivalence,
     check_stats_accounting,
@@ -37,17 +51,25 @@ from .oracles import (
 from .selftest import SelftestResult, run_selftest
 
 __all__ = [
+    "BrokenConnector",
+    "ChaosError",
     "ConformanceFailure",
     "CorpusGenerator",
+    "CrashingRule",
+    "FaultPlan",
+    "FlakyConnector",
+    "FlakyRule",
     "GeneratedStatement",
     "OracleFailure",
     "SelftestResult",
     "check_cold_warm_batch",
     "check_cost_model_equivalence",
     "check_dbdeo_agreement",
+    "check_fault_isolation",
     "check_fixer_round_trip",
     "check_scan_equivalence",
     "check_stats_accounting",
+    "corrupt_log_lines",
     "detection_bytes",
     "ranking_bytes",
     "diff_golden",

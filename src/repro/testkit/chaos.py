@@ -1,0 +1,183 @@
+"""Fault-injection chaos wrappers for the fault-isolation contract.
+
+Every quarantine path the pipeline promises — per-rule error isolation,
+degraded log ingestion, connector retry and mid-scan source loss — needs a
+way to *make* the fault happen on demand, deterministically.  This module
+is that switchboard:
+
+* :class:`CrashingRule` / :class:`FlakyRule` — query rules that raise
+  instead of returning detections (always, or on a seeded subset of
+  statements), exercising the detector's per-rule quarantine;
+* :class:`FlakyConnector` / :class:`BrokenConnector` — connector wrappers
+  whose row fetches fail transiently (recoverable through the retry
+  policy) or permanently (degrading data analysis to "source unavailable");
+* :func:`corrupt_log_lines` — injects junk lines into a query log per a
+  seeded :class:`FaultPlan`, so degraded readers can be checked against
+  the clean subset they must preserve.
+
+Everything is seeded: the same plan produces the same faults on every run,
+which is what lets :func:`~repro.testkit.oracles.check_fault_isolation`
+compare a degraded run byte-for-byte against a clean one.
+"""
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from ..ingest.connectors import Connector, ConnectorError
+from ..model.antipatterns import AntiPattern
+from ..rules.base import QueryRule
+
+
+class ChaosError(RuntimeError):
+    """The injected failure — distinguishable from any organic exception."""
+
+
+class FaultPlan:
+    """A seeded, reproducible plan of which targets fail.
+
+    ``pick(n, count)`` chooses the failing positions out of ``n``; the
+    same ``(seed, n, count)`` always yields the same set, so a degraded
+    run can be replayed exactly.
+    """
+
+    def __init__(self, seed: int = 2020):
+        self.seed = seed
+
+    def pick(self, n: int, count: int) -> "frozenset[int]":
+        count = max(0, min(count, n))
+        return frozenset(random.Random(f"{self.seed}:{n}:{count}").sample(range(n), count))
+
+
+class CrashingRule(QueryRule):
+    """A query rule that raises on every statement it is asked to check."""
+
+    anti_pattern = AntiPattern.NO_PRIMARY_KEY  # never fires; identity only
+    name = "chaos_crashing_rule"
+
+    def __init__(self, message: str = "chaos: rule crashed"):
+        super().__init__()
+        self.message = message
+        self.calls = 0
+
+    def check(self, annotation, context):
+        self.calls += 1
+        raise ChaosError(self.message)
+
+
+class FlakyRule(QueryRule):
+    """A query rule that raises on a planned subset of statement indexes.
+
+    ``fail_indexes`` are statement indexes (``annotation.statement.index``);
+    everything else passes through silently, so the detections of the other
+    rules are the clean-run baseline the oracle compares against.
+    """
+
+    anti_pattern = AntiPattern.NO_PRIMARY_KEY  # never fires; identity only
+    name = "chaos_flaky_rule"
+
+    def __init__(self, fail_indexes: Iterable[int]):
+        super().__init__()
+        self.fail_indexes = frozenset(fail_indexes)
+        self.crashes = 0
+
+    def check(self, annotation, context):
+        statement = annotation.statement
+        if statement is not None and statement.index in self.fail_indexes:
+            self.crashes += 1
+            raise ChaosError(f"chaos: rule crashed on statement {statement.index}")
+        return []
+
+
+class _WrappingConnector(Connector):
+    """Delegating base for connector chaos wrappers."""
+
+    def __init__(self, inner: Connector):
+        self.inner = inner
+        self.name = f"chaos:{inner.name}"
+        self.dialect = inner.dialect
+
+    def introspect_schema(self):
+        return self.inner.introspect_schema()
+
+    def table_rows(self, table, limit=None):
+        return self.inner.table_rows(table, limit)
+
+    def table_row_count(self, table):
+        return self.inner.table_row_count(table)
+
+    def close(self):
+        self.inner.close()
+
+
+class FlakyConnector(_WrappingConnector):
+    """Fails the first ``failures`` row fetches, then recovers.
+
+    With ``failures`` below the retry policy's attempt count the scan must
+    succeed *identically* to a scan over the bare connector — retries are
+    pure plumbing.
+    """
+
+    def __init__(self, inner: Connector, *, failures: int = 1):
+        super().__init__(inner)
+        self.failures_left = failures
+        self.attempts = 0
+
+    def table_rows(self, table, limit=None):
+        self.attempts += 1
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise ConnectorError(f"chaos: transient failure fetching {table!r}")
+        return self.inner.table_rows(table, limit)
+
+
+class BrokenConnector(_WrappingConnector):
+    """Introspects fine, then every row fetch fails permanently.
+
+    Models a source that died between catalog introspection and profiling —
+    the mid-scan loss the scanner must degrade (not abort) on.
+    """
+
+    def table_rows(self, table, limit=None):
+        raise ConnectorError(f"chaos: source gone while fetching {table!r}")
+
+    def table_row_count(self, table):
+        raise ConnectorError(f"chaos: source gone while counting {table!r}")
+
+
+#: Junk payloads a corrupted log line can carry — each contains a NUL or
+#: replacement character so the degraded readers' junk filter catches it.
+_JUNK_LINES = (
+    "\x00\x00\x04garbage frame\x00\x1f\n",
+    "��binary spill�\n",
+    "\x00SELECT not really\x00\n",
+)
+
+
+def corrupt_log_lines(
+    lines: "Sequence[str]",
+    *,
+    plan: "FaultPlan | None" = None,
+    faults: int = 3,
+) -> "tuple[list[str], int]":
+    """Interleave junk lines into a log per the seeded plan.
+
+    Returns ``(corrupted_lines, injected)``.  Original lines are never
+    modified or dropped — only junk is *inserted* — so the clean subset of
+    the corrupted log is exactly the input, which is the invariant the
+    fault-isolation oracle's byte-identity check relies on.
+    """
+    plan = plan or FaultPlan()
+    lines = list(lines)
+    slots = len(lines) + 1
+    positions = plan.pick(slots, faults)
+    rng = random.Random(f"{plan.seed}:payload")
+    out: "list[str]" = []
+    injected = 0
+    for slot in range(slots):
+        if slot in positions:
+            out.append(rng.choice(_JUNK_LINES))
+            injected += 1
+        if slot < len(lines):
+            out.append(lines[slot])
+    return out, injected

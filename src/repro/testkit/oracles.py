@@ -435,3 +435,203 @@ def check_fixer_round_trip(
                     "fixer-round-trip", subject,
                     "rewritten SQL still triggers the fixed anti-pattern"))
     return failures, rewrites
+
+
+# ----------------------------------------------------------------------
+# fault isolation
+# ----------------------------------------------------------------------
+def check_fault_isolation(
+    corpus: "Sequence[str] | None" = None,
+    *,
+    seed: int = 2020,
+    statements: int = 60,
+    config: DetectorConfig | None = None,
+) -> "list[OracleFailure]":
+    """Injected faults must be quarantined, never contagious.
+
+    Three chaos scenarios over one corpus (fuzzed from ``seed`` when not
+    given), each holding the same invariant: the degraded run's detections
+    on the *clean subset* are byte-identical to a clean run's, and every
+    injected fault surfaces as a structured
+    :class:`~repro.errors.PipelineError` with its stage and provenance.
+
+    1. a :class:`~repro.testkit.chaos.CrashingRule` registered alongside
+       the real rules crashes on every statement — the other rules'
+       detections must not change, and each crash must be recorded as a
+       ``detect``-stage ``rule-error``;
+    2. a log corrupted by :func:`~repro.testkit.chaos.corrupt_log_lines`
+       (junk-only insertions) read under the degraded reader must yield
+       exactly the clean log's statements, one ``ingest``-stage error per
+       injected line;
+    3. a :class:`~repro.testkit.chaos.FlakyConnector` that recovers within
+       the retry budget must scan byte-identically to the bare connector,
+       while a :class:`~repro.testkit.chaos.BrokenConnector` (permanent
+       mid-scan loss) must degrade to *exactly* the schema-only analysis —
+       byte-identical to an offline run over the same schema with no data
+       profiles — and record the loss as ``source-unavailable`` provenance.
+    """
+    import dataclasses as _dc
+    import sqlite3
+    import tempfile
+    from pathlib import Path
+
+    from ..errors import (
+        CODE_LOG_MALFORMED,
+        CODE_RULE_ERROR,
+        CODE_SOURCE_UNAVAILABLE,
+        ErrorBudget,
+    )
+    from ..ingest import (
+        LiveScanner,
+        SQLiteConnector,
+        WorkloadLog,
+        iter_log_records,
+    )
+    from ..ingest.connectors import RetryPolicy
+    from ..rules.registry import RuleRegistry, default_registry
+    from .chaos import (
+        BrokenConnector,
+        CrashingRule,
+        FaultPlan,
+        FlakyConnector,
+        corrupt_log_lines,
+    )
+
+    if corpus is None:
+        corpus = CorpusGenerator(seed).corpus_sql(statements)
+    corpus = list(corpus)
+    base = config or DetectorConfig()
+    failures: list[OracleFailure] = []
+
+    # 1. crashing rule: quarantine must be per-rule, never per-statement.
+    clean = detection_bytes(APDetector(_dc.replace(base, enable_cache=False)).detect(corpus))
+    chaos_registry = RuleRegistry(list(default_registry()))
+    crashing = CrashingRule()
+    chaos_registry.register(crashing)
+    degraded = APDetector(
+        _dc.replace(base, enable_cache=False), registry=chaos_registry
+    ).detect(corpus)
+    if detection_bytes(degraded) != clean:
+        failures.append(OracleFailure(
+            "fault-isolation", "crashing rule",
+            "a crashing rule changed the other rules' detections"))
+    if crashing.calls == 0:
+        failures.append(OracleFailure(
+            "fault-isolation", "crashing rule",
+            "the chaos rule was never invoked — nothing was tested"))
+    rule_errors = [
+        e for e in degraded.errors
+        if e.stage == "detect" and e.code == CODE_RULE_ERROR and e.rule == crashing.name
+    ]
+    if len(rule_errors) != crashing.calls:
+        failures.append(OracleFailure(
+            "fault-isolation", "crashing rule",
+            f"{crashing.calls} crash(es) produced {len(rule_errors)} "
+            "structured rule-error record(s); every fault must be recorded"))
+    if any(e.statement_fingerprint is None for e in rule_errors):
+        failures.append(OracleFailure(
+            "fault-isolation", "crashing rule",
+            "a rule-error record lost its statement fingerprint provenance"))
+
+    # 2. corrupted log: insertions must be skipped-and-counted exactly.
+    log_lines = [statement.rstrip().rstrip(";") + ";\n" for statement in corpus]
+    corrupted, injected = corrupt_log_lines(log_lines, plan=FaultPlan(seed))
+    clean_log = WorkloadLog.from_records(iter_log_records(log_lines, "sql"))
+    budget = ErrorBudget()
+    degraded_log = WorkloadLog.from_records(iter_log_records(corrupted, "sql", budget))
+    if degraded_log.statements() != clean_log.statements():
+        failures.append(OracleFailure(
+            "fault-isolation", "corrupted log",
+            "the degraded reader did not preserve the clean statement subset"))
+    recorded = [
+        e for e in budget if e.stage == "ingest" and e.code == CODE_LOG_MALFORMED
+    ]
+    if len(recorded) != injected:
+        failures.append(OracleFailure(
+            "fault-isolation", "corrupted log",
+            f"{injected} injected junk line(s) produced {len(recorded)} "
+            "ingest error record(s)"))
+
+    # 3. connectors: retry is invisible, permanent loss degrades with
+    #    provenance.  Small fixed fixture — the invariants are structural.
+    ddl = (
+        "CREATE TABLE chaos_orders (order_id INTEGER PRIMARY KEY, "
+        "status VARCHAR(16), total FLOAT)",
+    )
+    scan_workload = [
+        "SELECT * FROM chaos_orders",
+        "SELECT order_id FROM chaos_orders WHERE status LIKE '%paid%'",
+    ]
+    fast_retry = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0)
+    with tempfile.TemporaryDirectory(prefix="sqlcheck-chaos-") as tmp:
+        db_path = Path(tmp) / "chaos.db"
+        connection = sqlite3.connect(str(db_path))
+        for statement in ddl:
+            connection.execute(statement)
+        connection.executemany(
+            "INSERT INTO chaos_orders (order_id, status, total) VALUES (?, ?, ?)",
+            [(i, "paid" if i % 2 else "open", 9.99 * i) for i in range(1, 21)],
+        )
+        connection.commit()
+        connection.close()
+
+        def scan_with(connector):
+            connector.retry_policy = fast_retry
+            with connector:
+                return LiveScanner(SQLCheck(SQLCheckOptions())).scan(
+                    connector, list(scan_workload), source="chaos"
+                )
+
+        baseline = scan_with(SQLiteConnector(db_path))
+        flaky_report = scan_with(FlakyConnector(SQLiteConnector(db_path), failures=1))
+        broken_report = scan_with(BrokenConnector(SQLiteConnector(db_path)))
+
+        # The degraded twin: the same schema and workload through the
+        # offline path with data analysis ablated (no profiles).  Mid-scan
+        # source loss must degrade to exactly this — a principled ablation,
+        # never a half-broken in-between state.
+        twin_toolchain = SQLCheck(SQLCheckOptions())
+        with SQLiteConnector(db_path) as twin_connector:
+            twin_schema = twin_connector.schema()
+        twin_context = twin_toolchain._builder.build(
+            list(scan_workload), source="chaos"
+        )
+        twin_context.schema = twin_schema
+        twin_report = twin_toolchain.check_context(twin_context)
+
+        def ranked_bytes(report):
+            dicts = [entry.detection.to_dict() for entry in report.detections]
+            # Source labels differ per connector wrapper; the invariant is
+            # about findings, not the connector's display name.
+            for payload in dicts:
+                payload.pop("source", None)
+            return json.dumps(sorted(
+                json.dumps(d, sort_keys=True, default=str) for d in dicts
+            ))
+
+        if ranked_bytes(flaky_report) != ranked_bytes(baseline):
+            failures.append(OracleFailure(
+                "fault-isolation", "flaky connector",
+                "a fault recovered within the retry budget changed the scan"))
+        if flaky_report.errors:
+            failures.append(OracleFailure(
+                "fault-isolation", "flaky connector",
+                "a recovered transient fault left error records behind"))
+        if ranked_bytes(broken_report) != ranked_bytes(twin_report):
+            failures.append(OracleFailure(
+                "fault-isolation", "broken connector",
+                "mid-scan source loss did not degrade to the schema-only "
+                "analysis byte-for-byte"))
+        loss = [
+            e for e in broken_report.errors
+            if e.stage == "ingest" and e.code == CODE_SOURCE_UNAVAILABLE
+        ]
+        if not loss:
+            failures.append(OracleFailure(
+                "fault-isolation", "broken connector",
+                "permanent source loss was not recorded as source-unavailable"))
+        elif (loss[0].detail or {}).get("verdict") != "skipped: source unavailable":
+            failures.append(OracleFailure(
+                "fault-isolation", "broken connector",
+                "the source-loss record lost its skipped-verdict provenance"))
+    return failures

@@ -21,6 +21,7 @@ from .oracles import (
     check_cold_warm_batch,
     check_cost_model_equivalence,
     check_dbdeo_agreement,
+    check_fault_isolation,
     check_fixer_round_trip,
 )
 
@@ -192,4 +193,11 @@ def run_selftest(
     # 6. cost-model degeneracies over the same corpus: duration/hybrid with
     #    uniform durations ≡ frequency; logless ≡ the seed ranking.
     result.oracle_failures.extend(check_cost_model_equivalence(corpus, seed=seed))
+
+    # 7. fault isolation: injected faults (crashing rules, corrupted logs,
+    #    flaky/broken connectors) must be quarantined — the clean subset's
+    #    detections stay byte-identical and every fault is recorded.
+    result.oracle_failures.extend(
+        check_fault_isolation(corpus, seed=seed, config=config)
+    )
     return result

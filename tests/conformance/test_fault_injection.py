@@ -1,0 +1,137 @@
+"""Fault-injection testkit conformance: chaos wrappers and the oracle.
+
+The chaos module has one job — make every promised failure mode happen on
+demand, deterministically.  These tests pin the wrappers' contracts (the
+invariants :func:`check_fault_isolation` builds on) and then run the
+oracle itself: on this codebase it must report zero failures, which is
+the differential guarantee "a degraded run's detections on the clean
+subset are identical to a clean run's".
+"""
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.ingest import ConnectorError, RetryPolicy, connect
+from repro.testkit import (
+    BrokenConnector,
+    ChaosError,
+    CrashingRule,
+    FaultPlan,
+    FlakyConnector,
+    FlakyRule,
+    check_fault_isolation,
+    corrupt_log_lines,
+)
+
+FAST = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0)
+
+
+@pytest.fixture()
+def sqlite_db(tmp_path):
+    path = tmp_path / "chaos.db"
+    with sqlite3.connect(path) as db:
+        db.execute("CREATE TABLE orders (order_id INTEGER PRIMARY KEY, status TEXT)")
+        db.executemany(
+            "INSERT INTO orders (status) VALUES (?)",
+            [("paid" if n % 2 else "open",) for n in range(10)],
+        )
+    return path
+
+
+class TestFaultPlan:
+    def test_same_plan_same_picks(self):
+        assert FaultPlan(7).pick(100, 5) == FaultPlan(7).pick(100, 5)
+
+    def test_different_seeds_differ(self):
+        picks = {FaultPlan(seed).pick(1000, 10) for seed in range(5)}
+        assert len(picks) > 1
+
+    def test_count_is_clamped_to_population(self):
+        assert FaultPlan().pick(3, 99) == frozenset(range(3))
+        assert FaultPlan().pick(3, 0) == frozenset()
+
+
+class TestCorruptLogLines:
+    LINES = ["SELECT 1;\n", "SELECT 2;\n", "SELECT 3;\n"]
+
+    def test_originals_are_preserved_in_order(self):
+        corrupted, injected = corrupt_log_lines(self.LINES, faults=2)
+        assert injected == 2
+        assert [l for l in corrupted if l in self.LINES] == self.LINES
+
+    def test_only_junk_is_inserted(self):
+        corrupted, injected = corrupt_log_lines(self.LINES, faults=2)
+        junk = [l for l in corrupted if l not in self.LINES]
+        assert len(junk) == injected
+        # Every injected line is recognisable binary junk (NUL or U+FFFD),
+        # which is what the degraded readers' filter keys on.
+        assert all("\x00" in l or "�" in l for l in junk)
+
+    def test_deterministic_under_a_plan(self):
+        plan = FaultPlan(seed=42)
+        assert corrupt_log_lines(self.LINES, plan=plan) == corrupt_log_lines(
+            self.LINES, plan=FaultPlan(seed=42)
+        )
+
+
+class TestChaosRules:
+    def test_crashing_rule_always_raises_and_counts(self):
+        rule = CrashingRule()
+        with pytest.raises(ChaosError):
+            rule.check(object(), object())
+        assert rule.calls == 1
+
+    def test_flaky_rule_respects_its_plan(self):
+        class _Stmt:
+            index = 3
+
+        class _Ann:
+            statement = _Stmt()
+
+        rule = FlakyRule(fail_indexes=[3])
+        with pytest.raises(ChaosError):
+            rule.check(_Ann(), object())
+        _Stmt.index = 4
+        assert rule.check(_Ann(), object()) == []
+        assert rule.crashes == 1
+
+
+class TestChaosConnectors:
+    def test_flaky_connector_recovers_through_retries(self, sqlite_db):
+        with connect(sqlite_db) as inner:
+            flaky = FlakyConnector(inner, failures=2)
+            flaky.retry_policy = FAST
+            rows = flaky.fetch_rows("orders")
+            assert len(rows) == 10
+            assert flaky.attempts == 3
+
+    def test_broken_connector_fails_rows_but_introspects(self, sqlite_db):
+        with connect(sqlite_db) as inner:
+            broken = BrokenConnector(inner)
+            broken.retry_policy = FAST
+            assert broken.introspect_schema().table_count == 1
+            with pytest.raises(ConnectorError):
+                broken.fetch_rows("orders")
+
+    def test_wrappers_keep_provenance(self, sqlite_db):
+        with connect(sqlite_db) as inner:
+            assert FlakyConnector(inner).name == f"chaos:{inner.name}"
+
+
+class TestFaultIsolationOracle:
+    def test_oracle_passes_on_this_codebase(self):
+        failures = check_fault_isolation(statements=24)
+        assert failures == [], [str(f) for f in failures]
+
+    def test_selftest_runs_the_fault_isolation_oracle(self):
+        # The oracle is wired into `sqlcheck selftest` (step 7); a selftest
+        # that skipped it would silently drop the whole robustness contract.
+        import inspect
+
+        from repro.testkit import selftest as selftest_module
+
+        assert "check_fault_isolation" in inspect.getsource(
+            selftest_module.run_selftest
+        )

@@ -1,0 +1,53 @@
+"""Repository hygiene: no build artifacts tracked in git.
+
+Compiled bytecode is machine- and version-specific noise: it bloats diffs,
+goes stale the moment its source changes, and (worst) can shadow a deleted
+module at import time.  The seed repo shipped 72 tracked ``.pyc`` files;
+this test keeps them from ever coming back.
+"""
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Artifact patterns that must never be tracked.
+FORBIDDEN_SUFFIXES = (".pyc", ".pyo")
+FORBIDDEN_PARTS = ("__pycache__",)
+
+
+def _tracked_files():
+    try:
+        output = subprocess.run(
+            ["git", "ls-files", "-z"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            check=True,
+            timeout=30,
+        ).stdout
+    except (OSError, subprocess.SubprocessError):
+        pytest.skip("not a git checkout (or git unavailable)")
+    return [name.decode() for name in output.split(b"\0") if name]
+
+
+def test_no_bytecode_files_tracked():
+    offenders = [
+        name
+        for name in _tracked_files()
+        if name.endswith(FORBIDDEN_SUFFIXES)
+        or any(part in Path(name).parts for part in FORBIDDEN_PARTS)
+    ]
+    assert offenders == [], (
+        f"{len(offenders)} build artifact(s) tracked in git "
+        f"(e.g. {offenders[:5]}); git rm --cached them — .gitignore already "
+        "excludes the patterns"
+    )
+
+
+def test_gitignore_excludes_bytecode():
+    gitignore = REPO_ROOT / ".gitignore"
+    assert gitignore.is_file(), ".gitignore is missing from the repo root"
+    patterns = gitignore.read_text(encoding="utf-8")
+    assert "__pycache__/" in patterns
+    assert "*.py[cod]" in patterns

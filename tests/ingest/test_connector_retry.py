@@ -1,0 +1,167 @@
+"""Connector fault isolation: retry/backoff policy and circuit breaker.
+
+Every guarded source operation (schema introspection, row fetch, count)
+runs under a bounded exponential-backoff :class:`RetryPolicy` and a
+per-scan :class:`CircuitBreaker`.  These tests pin the policy arithmetic,
+the retry loop's semantics (only :class:`ConnectorError` retries; a bug
+propagates raw), and the breaker's trip/close lifecycle.
+"""
+from __future__ import annotations
+
+import pytest
+
+from repro.ingest import (
+    CircuitBreaker,
+    CircuitOpenError,
+    Connector,
+    ConnectorError,
+    RetryPolicy,
+)
+from repro.ingest.connectors import DEFAULT_RETRY_POLICY, NO_RETRY
+
+#: Zero-delay policy so retry tests spend no wall-clock sleeping.
+FAST = RetryPolicy(attempts=3, base_delay=0.0, max_delay=0.0)
+
+
+class ScriptedConnector(Connector):
+    """Raises the scripted errors in order, then returns rows forever."""
+
+    retry_policy = FAST
+
+    def __init__(self, *errors):
+        self.errors = list(errors)
+        self.calls = 0
+
+    def table_rows(self, table, limit=None):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return [{"id": 1}]
+
+    def introspect_schema(self):  # pragma: no cover - unused here
+        raise NotImplementedError
+
+    def table_row_count(self, table):
+        return len(self.table_rows(table))
+
+    def close(self):
+        pass
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(attempts=5, base_delay=0.05, max_delay=0.15)
+        assert [policy.delay(n) for n in range(4)] == [0.05, 0.1, 0.15, 0.15]
+
+    def test_defaults_are_bounded(self):
+        # Worst-case extra latency per operation stays well under a second.
+        policy = DEFAULT_RETRY_POLICY
+        worst = sum(policy.delay(n) for n in range(policy.attempts - 1))
+        assert worst < 1.0
+
+    def test_no_retry_is_a_single_attempt(self):
+        assert NO_RETRY.attempts == 1
+
+
+class TestGuardedRetries:
+    def test_transient_failure_recovers_within_the_policy(self):
+        connector = ScriptedConnector(ConnectorError("blip"), ConnectorError("blip"))
+        assert connector.fetch_rows("t") == [{"id": 1}]
+        assert connector.calls == 3  # two failures + the success
+        assert not connector.circuit.is_open
+        assert connector.circuit.failures == 0  # success closed the window
+
+    def test_exhausted_retries_raise_the_last_error(self):
+        errors = [ConnectorError(f"down {n}") for n in range(3)]
+        connector = ScriptedConnector(*errors)
+        with pytest.raises(ConnectorError, match="down 2"):
+            connector.fetch_rows("t")
+        assert connector.calls == 3
+        # One exhausted operation = one breaker failure, not one per attempt.
+        assert connector.circuit.failures == 1
+
+    def test_non_connector_errors_propagate_immediately(self):
+        # A bug (TypeError, KeyError, …) must not be retried as if the
+        # source were flaky — it would run three times and hide the stack.
+        connector = ScriptedConnector(TypeError("bug"))
+        with pytest.raises(TypeError):
+            connector.fetch_rows("t")
+        assert connector.calls == 1
+
+    def test_fetch_row_count_is_guarded_too(self):
+        connector = ScriptedConnector(ConnectorError("blip"))
+        assert connector.fetch_row_count("t") == 1
+        assert connector.calls == 2
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        assert not breaker.is_open
+        breaker.record_failure()
+        assert breaker.is_open
+
+    def test_one_success_closes_the_window(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert not breaker.is_open
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+    def test_open_circuit_refuses_without_touching_the_source(self):
+        connector = ScriptedConnector()
+        connector._circuit = CircuitBreaker(threshold=1)
+        connector.circuit.record_failure()
+        with pytest.raises(CircuitOpenError):
+            connector.fetch_rows("t")
+        assert connector.calls == 0  # never reached the source
+
+    def test_exhaustion_trips_then_reset_circuit_recovers(self):
+        # threshold=1: one exhausted fetch opens the breaker; the per-scan
+        # reset (LiveScanner calls reset_circuit at scan start) closes it.
+        connector = ScriptedConnector(*[ConnectorError("down")] * 3)
+        connector._circuit = CircuitBreaker(threshold=1)
+        with pytest.raises(ConnectorError):
+            connector.fetch_rows("t")
+        with pytest.raises(CircuitOpenError):
+            connector.fetch_rows("t")
+        connector.reset_circuit()
+        assert connector.fetch_rows("t") == [{"id": 1}]
+
+    def test_circuit_open_error_is_a_connector_error(self):
+        # Callers that degrade on ConnectorError degrade on an open
+        # breaker the same way.
+        assert issubclass(CircuitOpenError, ConnectorError)
+
+
+class TestBackoffSleeps:
+    def test_guarded_sleeps_per_policy_between_attempts(self, monkeypatch):
+        from repro.ingest import connectors as connectors_module
+
+        slept = []
+        monkeypatch.setattr(connectors_module.time, "sleep", slept.append)
+
+        class Timed(ScriptedConnector):
+            retry_policy = RetryPolicy(attempts=3, base_delay=0.05, max_delay=2.0)
+
+        connector = Timed(*[ConnectorError("down")] * 3)
+        with pytest.raises(ConnectorError):
+            connector.fetch_rows("t")
+        # Two sleeps between three attempts: base, then doubled.
+        assert slept == [pytest.approx(0.05), pytest.approx(0.1)]
+
+    def test_no_sleep_after_the_final_attempt(self, monkeypatch):
+        from repro.ingest import connectors as connectors_module
+
+        slept = []
+        monkeypatch.setattr(connectors_module.time, "sleep", slept.append)
+        connector = ScriptedConnector(ConnectorError("down"))
+        connector.retry_policy = RetryPolicy(attempts=1, base_delay=0.05)
+        with pytest.raises(ConnectorError):
+            connector.fetch_rows("t")
+        assert slept == []

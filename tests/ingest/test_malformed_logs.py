@@ -1,0 +1,393 @@
+"""Malformed-input regressions for every log-reader format.
+
+Degraded ingestion promises skip-and-count: a corrupt line is recorded on
+the :class:`~repro.errors.ErrorBudget` and skipped, and every *clean* line
+still parses exactly as it would without the corruption.  These tests pin
+that contract per format — truncated final lines, bad CSV rows,
+interleaved binary junk, mid-file headers — plus the budget-exhaustion and
+strict fail-fast edges, and structured "undetectable" errors from
+:func:`detect_log_format`.
+"""
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.errors import (
+    CODE_LOG_MALFORMED,
+    CODE_LOG_UNDETECTABLE,
+    ErrorBudget,
+    ErrorBudgetExceeded,
+)
+from repro.ingest import (
+    LOG_FORMATS,
+    LogDetectionError,
+    LogFormatError,
+    detect_log_format,
+    iter_log_records,
+    read_workload_log,
+)
+
+# One well-formed csvlog row per statement (message is 0-based field 13).
+def _csvlog_row(sql: str) -> str:
+    return (
+        '2026-07-01 12:00:00.000 UTC,"app","appdb",1234,"10.0.0.5:44444",5ef,1,'
+        '"SELECT",2026-07-01 11:59:59 UTC,10/100,0,LOG,00000,'
+        f'"statement: {sql}",,,,,,,,,"psql","client backend",,0\n'
+    )
+
+
+#: A non-binary line the csv module rejects outright: an embedded carriage
+#: return in an unquoted field ("new-line character seen in unquoted field").
+BAD_CSV_LINE = "corrupt,row\rwith,embedded,return\n"
+
+#: Binary junk as it arrives after errors="replace" decoding.
+JUNK_LINE = "\x00\x00\x1fbinary frame ��\n"
+
+
+def _records(fmt: str, text, budget: "ErrorBudget | None" = None):
+    # str → split on line ends; a list is passed through verbatim, which is
+    # how a line containing a bare '\r' (not a line boundary to the log
+    # transport, fatal to the csv module) reaches the reader intact.
+    lines = text.splitlines(True) if isinstance(text, str) else list(text)
+    return list(iter_log_records(lines, fmt, budget))
+
+
+def _statements(fmt: str, text, budget: "ErrorBudget | None" = None):
+    return [record.statement for record in _records(fmt, text, budget)]
+
+
+# ----------------------------------------------------------------------
+# postgres-csv
+# ----------------------------------------------------------------------
+class TestPostgresCsvMalformed:
+    CLEAN = _csvlog_row("SELECT * FROM tenant") + _csvlog_row(
+        "SELECT name FROM questionnaire"
+    )
+
+    def test_bad_csv_row_is_skipped_and_counted(self):
+        text = [
+            _csvlog_row("SELECT * FROM tenant"),
+            BAD_CSV_LINE,
+            _csvlog_row("SELECT name FROM questionnaire"),
+        ]
+        budget = ErrorBudget()
+        assert _statements("postgres-csv", text, budget) == _statements(
+            "postgres-csv", self.CLEAN
+        )
+        assert len(budget) == 1
+        (error,) = budget
+        assert error.stage == "ingest"
+        assert error.code == CODE_LOG_MALFORMED
+        assert error.exception == "Error"  # csv.Error
+        assert "bad CSV row" in error.message
+        assert error.line is not None
+
+    def test_bad_csv_row_still_raises_without_budget(self):
+        text = [BAD_CSV_LINE, _csvlog_row("SELECT * FROM tenant")]
+        with pytest.raises(csv.Error):
+            _records("postgres-csv", text)
+
+    def test_truncated_final_line_is_counted_not_silently_dropped(self):
+        # A row cut mid-write has too few fields to carry a message.
+        text = self.CLEAN + '2026-07-01 12:00:03.000 UTC,"app","appd\n'
+        budget = ErrorBudget()
+        assert _statements("postgres-csv", text, budget) == _statements(
+            "postgres-csv", self.CLEAN
+        )
+        assert len(budget) == 1
+        assert "field(s)" in budget.errors[0].message
+
+    def test_binary_junk_lines_are_cleaned_before_the_csv_reader(self):
+        text = JUNK_LINE + self.CLEAN + JUNK_LINE
+        budget = ErrorBudget()
+        assert _statements("postgres-csv", text, budget) == _statements(
+            "postgres-csv", self.CLEAN
+        )
+        assert [error.line for error in budget] == [1, 4]
+        assert all("binary junk" in error.message for error in budget)
+
+
+# ----------------------------------------------------------------------
+# postgres stderr
+# ----------------------------------------------------------------------
+class TestPostgresStderrMalformed:
+    CLEAN = (
+        "2026-07-01 12:00:00 UTC [99] LOG:  statement: SELECT * FROM tenant\n"
+        "2026-07-01 12:00:01 UTC [99] LOG:  statement: SELECT q.name FROM questionnaire q\n"
+        "\tJOIN tenant t ON t.tenant_id = q.tenant_id\n"
+    )
+
+    def test_junk_between_entries_is_skipped_and_counted(self):
+        lines = self.CLEAN.splitlines(True)
+        text = lines[0] + JUNK_LINE + lines[1] + lines[2]
+        budget = ErrorBudget()
+        assert _statements("postgres", text, budget) == _statements(
+            "postgres", self.CLEAN
+        )
+        assert len(budget) == 1
+        assert budget.errors[0].code == CODE_LOG_MALFORMED
+
+    def test_junk_inside_a_multiline_statement_only_drops_the_junk(self):
+        lines = self.CLEAN.splitlines(True)
+        text = lines[0] + lines[1] + JUNK_LINE + lines[2]
+        budget = ErrorBudget()
+        assert _statements("postgres", text, budget) == _statements(
+            "postgres", self.CLEAN
+        )
+        assert len(budget) == 1
+
+
+# ----------------------------------------------------------------------
+# pg_stat_statements CSV export
+# ----------------------------------------------------------------------
+class TestPgStatMalformed:
+    HEADER = "query,calls,total_exec_time\n"
+    CLEAN = (
+        HEADER
+        + '"SELECT * FROM tenant",10,12.5\n'
+        + '"SELECT name FROM questionnaire",3,4.0\n'
+    )
+
+    def test_bad_row_is_skipped_and_counted(self):
+        text = [
+            self.HEADER,
+            '"SELECT * FROM tenant",10,12.5\n',
+            BAD_CSV_LINE,
+            '"SELECT name FROM questionnaire",3,4.0\n',
+        ]
+        budget = ErrorBudget()
+        records = _records("pg_stat_statements", text, budget)
+        assert [r.statement for r in records] == [
+            "SELECT * FROM tenant",
+            "SELECT name FROM questionnaire",
+        ]
+        assert [r.count for r in records] == [10, 3]
+        assert len(budget) == 1
+        assert "bad CSV row" in budget.errors[0].message
+
+    def test_wrong_header_stays_fail_fast_even_with_budget(self):
+        # A missing query/calls header is a format-level mistake, not one
+        # bad line — no budget can absorb it.
+        text = "a,b,c\n1,2,3\n"
+        with pytest.raises(LogFormatError, match="header"):
+            _records("pg_stat_statements", text, ErrorBudget())
+
+    def test_junk_lines_are_cleaned_and_counted(self):
+        lines = self.CLEAN.splitlines(True)
+        text = lines[0] + JUNK_LINE + lines[1] + lines[2]
+        budget = ErrorBudget()
+        assert _statements("pg_stat_statements", text, budget) == _statements(
+            "pg_stat_statements", self.CLEAN
+        )
+        assert len(budget) == 1
+
+
+# ----------------------------------------------------------------------
+# mysql general log
+# ----------------------------------------------------------------------
+class TestMysqlMalformed:
+    BANNER = (
+        "/usr/sbin/mysqld, Version: 8.0.34 (MySQL Community Server - GPL). started with:\n"
+        "Tcp port: 3306  Unix socket: /var/run/mysqld/mysqld.sock\n"
+        "Time                 Id Command    Argument\n"
+    )
+    CLEAN = (
+        BANNER
+        + "2026-07-01T12:00:00.234567Z\t   42 Query\tSELECT * FROM tenant\n"
+        + "2026-07-01T12:00:01.000000Z\t   42 Query\tSELECT q.name FROM questionnaire q\n"
+        + "JOIN tenant t ON t.tenant_id = q.tenant_id\n"
+    )
+
+    def test_junk_lines_are_skipped_and_counted(self):
+        lines = self.CLEAN.splitlines(True)
+        text = "".join(lines[:4]) + JUNK_LINE + "".join(lines[4:])
+        budget = ErrorBudget()
+        assert _statements("mysql", text, budget) == _statements("mysql", self.CLEAN)
+        assert len(budget) == 1
+
+    def test_mid_file_header_banner_from_log_rotation(self):
+        # Rotation re-emits the three-line banner mid-file; no statements
+        # may be lost or invented around it.
+        text = self.CLEAN + "\n" + self.BANNER + (
+            "2026-07-01T13:00:00.000000Z\t   43 Query\tSELECT 1\n"
+        )
+        budget = ErrorBudget()
+        # The skipped banner may leave a trailing blank continuation line on
+        # the statement before it; the statement *text* must be intact.
+        degraded = [s.rstrip() for s in _statements("mysql", text, budget)]
+        clean = [s.rstrip() for s in _statements("mysql", self.CLEAN)]
+        assert degraded == clean + ["SELECT 1"]
+        assert len(budget) == 0  # a banner is noise, not an error
+
+
+# ----------------------------------------------------------------------
+# sqlite trace
+# ----------------------------------------------------------------------
+class TestSqliteTraceMalformed:
+    CLEAN = (
+        "SELECT * FROM tenant;\n"
+        "TRACE: INSERT INTO tenant VALUES (1, 'a')\n"
+        "SELECT name FROM questionnaire WHERE name LIKE '%x'\n"
+    )
+
+    def test_junk_lines_are_skipped_and_counted(self):
+        lines = self.CLEAN.splitlines(True)
+        text = lines[0] + JUNK_LINE + lines[1] + JUNK_LINE + lines[2]
+        budget = ErrorBudget()
+        assert _statements("sqlite-trace", text, budget) == _statements(
+            "sqlite-trace", self.CLEAN
+        )
+        assert len(budget) == 2
+        assert [error.line for error in budget] == [2, 4]
+
+
+# ----------------------------------------------------------------------
+# plain SQL
+# ----------------------------------------------------------------------
+class TestPlainSqlMalformed:
+    CLEAN = (
+        "SELECT * FROM tenant;\n"
+        "SELECT q.name\nFROM questionnaire q\nWHERE q.name LIKE '%x';\n"
+    )
+
+    def test_junk_inside_a_multiline_statement_is_dropped_cleanly(self):
+        # Junk lands *between* the lines of a multi-line statement; removing
+        # it must restore the statement exactly.
+        lines = self.CLEAN.splitlines(True)
+        text = lines[0] + lines[1] + JUNK_LINE + "".join(lines[2:])
+        budget = ErrorBudget()
+        assert _statements("sql", text, budget) == _statements("sql", self.CLEAN)
+        assert len(budget) == 1
+
+    def test_truncated_final_statement_is_still_yielded(self):
+        # A dump cut mid-write loses the final ';' but not the text.
+        text = self.CLEAN + "SELECT * FROM tena"
+        budget = ErrorBudget()
+        statements = _statements("sql", text, budget)
+        assert statements[-1] == "SELECT * FROM tena"
+        assert len(budget) == 0
+
+
+# ----------------------------------------------------------------------
+# budget exhaustion and strict mode (shared semantics)
+# ----------------------------------------------------------------------
+class TestBudgetSemantics:
+    TEXT = (
+        JUNK_LINE
+        + "SELECT * FROM tenant;\n"
+        + JUNK_LINE
+        + JUNK_LINE
+        + "SELECT name FROM questionnaire;\n"
+    )
+
+    def test_unlimited_budget_records_everything(self):
+        budget = ErrorBudget()
+        assert _statements("sql", self.TEXT, budget) == [
+            "SELECT * FROM tenant;",
+            "SELECT name FROM questionnaire;",
+        ]
+        assert len(budget) == 3
+
+    def test_budget_exhausts_on_error_n_plus_one(self):
+        budget = ErrorBudget(max_errors=2)
+        with pytest.raises(ErrorBudgetExceeded) as excinfo:
+            _statements("sql", self.TEXT, budget)
+        # The exception carries everything recorded up to exhaustion.
+        assert len(excinfo.value.budget.errors) == 3
+        assert excinfo.value.cause_error is budget.errors[-1]
+        assert "--max-errors" in str(excinfo.value)
+
+    def test_zero_budget_aborts_on_the_first_error(self):
+        with pytest.raises(ErrorBudgetExceeded):
+            _statements("sql", self.TEXT, ErrorBudget(max_errors=0))
+
+    def test_strict_mode_reraises_the_first_failure(self):
+        with pytest.raises(ValueError, match="binary junk"):
+            _statements("sql", self.TEXT, ErrorBudget(strict=True))
+
+    def test_strict_mode_reraises_the_original_csv_error(self):
+        text = [BAD_CSV_LINE, _csvlog_row("SELECT 1")]
+        with pytest.raises(csv.Error):
+            _statements("postgres-csv", text, ErrorBudget(strict=True))
+
+
+# ----------------------------------------------------------------------
+# read_workload_log end-to-end (file → WorkloadLog.errors)
+# ----------------------------------------------------------------------
+class TestReadWorkloadLogDegraded:
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_bytes(text.encode("utf-8", errors="replace"))
+        return path
+
+    def test_errors_land_on_the_workload_log(self, tmp_path):
+        path = self._write(
+            tmp_path, "app.sql", JUNK_LINE + "SELECT * FROM tenant;\n"
+        )
+        log = read_workload_log(path)
+        # WorkloadLog normalizes the trailing ';' away.
+        assert log.statements() == ["SELECT * FROM tenant"]
+        assert len(log.errors) == 1
+        assert log.errors[0].code == CODE_LOG_MALFORMED
+
+    def test_max_errors_aborts_the_read(self, tmp_path):
+        path = self._write(
+            tmp_path, "app.sql", JUNK_LINE + JUNK_LINE + "SELECT 1;\n"
+        )
+        with pytest.raises(ErrorBudgetExceeded):
+            read_workload_log(path, max_errors=1)
+
+    def test_strict_restores_fail_fast(self, tmp_path):
+        path = self._write(tmp_path, "app.sql", JUNK_LINE + "SELECT 1;\n")
+        with pytest.raises(ValueError):
+            read_workload_log(path, strict=True)
+
+    def test_clean_file_has_no_errors(self, tmp_path):
+        path = self._write(tmp_path, "app.sql", "SELECT * FROM tenant;\n")
+        log = read_workload_log(path)
+        assert log.errors == []
+
+
+# ----------------------------------------------------------------------
+# detect_log_format: undetectable inputs raise structured errors
+# ----------------------------------------------------------------------
+class TestDetectUndetectable:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "mystery.log"
+        path.write_text("")
+        with pytest.raises(LogDetectionError, match="empty or"):
+            detect_log_format(path)
+
+    def test_whitespace_only_file(self, tmp_path):
+        path = tmp_path / "mystery.log"
+        path.write_text("  \n\t\n   \n")
+        with pytest.raises(LogDetectionError) as excinfo:
+            detect_log_format(path)
+        assert excinfo.value.code == CODE_LOG_UNDETECTABLE
+        assert excinfo.value.probed == LOG_FORMATS
+
+    def test_binary_file(self, tmp_path):
+        path = tmp_path / "mystery.log"
+        path.write_bytes(b"\x00\x01\x02\xff\xfe junk\n" * 20)
+        with pytest.raises(LogDetectionError, match="binary"):
+            detect_log_format(path)
+        # The error lists every probed format for the "tried these" surface.
+        try:
+            detect_log_format(path)
+        except LogDetectionError as error:
+            assert all(fmt in str(error) for fmt in LOG_FORMATS)
+
+    def test_detection_error_is_a_log_format_error(self, tmp_path):
+        # Callers that already catch LogFormatError keep working.
+        path = tmp_path / "mystery.log"
+        path.write_text("")
+        with pytest.raises(LogFormatError):
+            detect_log_format(path)
+
+    def test_named_extension_still_wins_for_empty_files(self, tmp_path):
+        # ".sql" is authoritative: an empty script is a valid (empty) log.
+        path = tmp_path / "empty.sql"
+        path.write_text("")
+        assert detect_log_format(path) == "sql"

@@ -1,0 +1,135 @@
+"""Degraded-mode surfaces: CLI --max-errors/--strict and the REST envelope.
+
+The user-facing halves of fault isolation: `sqlcheck scan` degrades (and
+says so) instead of crashing on corrupt logs, and the REST API returns a
+machine-readable error envelope — ``{"error": message, "code": taxonomy}``
+— plus ``degraded: true`` partial-result flags.
+"""
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.interfaces.cli import run
+from repro.interfaces.rest import handle_scan_request
+
+#: One binary-junk log line (NULs survive errors="replace" decoding).
+JUNK = "\x00\x1fbinary junk\x00\n"
+
+
+@pytest.fixture()
+def corrupt_log(tmp_path):
+    path = tmp_path / "app.sql"
+    path.write_bytes((JUNK + "SELECT * FROM t;\n" + JUNK).encode())
+    return path
+
+
+class TestCLIDegradedScan:
+    def test_degraded_scan_reports_and_continues(self, corrupt_log):
+        code, output = run(["scan", "--log", str(corrupt_log)])
+        assert code == 1  # the clean statement's findings still came out
+        assert "[degraded: 2 pipeline error(s) quarantined]" in output
+        assert "pipeline errors (quarantined; other results are complete):" in output
+        assert "[ingest/log-malformed]" in output
+
+    def test_clean_scan_output_is_unchanged(self, tmp_path):
+        path = tmp_path / "app.sql"
+        path.write_text("SELECT * FROM t;\n")
+        code, output = run(["scan", "--log", str(path)])
+        assert code == 1
+        assert "degraded" not in output
+        assert "pipeline errors" not in output
+
+    def test_json_output_carries_structured_errors(self, corrupt_log):
+        code, output = run(["scan", "--log", str(corrupt_log), "--format", "json"])
+        payload = json.loads(output)
+        assert payload["degraded"] is True
+        assert [e["code"] for e in payload["errors"]] == ["log-malformed"] * 2
+        assert all(e["stage"] == "ingest" for e in payload["errors"])
+
+    def test_max_errors_budget_aborts_with_exit_2(self, corrupt_log):
+        code, output = run(["scan", "--log", str(corrupt_log), "--max-errors", "1"])
+        assert code == 2
+        assert "budget exhausted" in output
+        assert "re-run without --max-errors" in output
+
+    def test_max_errors_within_budget_degrades(self, corrupt_log):
+        code, output = run(["scan", "--log", str(corrupt_log), "--max-errors", "2"])
+        assert code == 1
+        assert "[degraded:" in output
+
+    def test_negative_max_errors_is_rejected(self, corrupt_log):
+        code, output = run(["scan", "--log", str(corrupt_log), "--max-errors", "-1"])
+        assert code == 2
+        assert "non-negative" in output
+
+    def test_strict_fails_fast_with_exit_2(self, corrupt_log):
+        code, output = run(["scan", "--log", str(corrupt_log), "--strict"])
+        assert code == 2
+        assert output.startswith("error:")
+        assert "binary junk" in output
+
+
+class TestRestErrorEnvelope:
+    def test_validation_errors_carry_the_bad_request_code(self):
+        status, body = handle_scan_request({})
+        assert status == 400
+        assert body["code"] == "bad-request"
+        assert isinstance(body["error"], str)
+
+    def test_undetectable_log_text_names_its_code(self):
+        status, body = handle_scan_request({"log_text": "   \n  \n"})
+        assert status == 400
+        assert body["code"] == "log-undetectable"
+        assert "--log-format" in body["error"]
+
+    def test_budget_exhaustion_names_its_code(self):
+        status, body = handle_scan_request(
+            {"log_text": JUNK + "SELECT 1;\n", "log_format": "sql", "max_errors": 0}
+        )
+        assert status == 400
+        assert body["code"] == "log-budget-exhausted"
+
+    def test_strict_mode_is_a_400_not_a_500(self):
+        status, body = handle_scan_request(
+            {"log_text": JUNK + "SELECT 1;\n", "log_format": "sql", "strict": True}
+        )
+        assert status == 400
+        assert body["code"] == "log-malformed"
+        assert "binary junk" in body["error"]
+
+    def test_invalid_max_errors_is_rejected(self):
+        for bad in ("lots", -1):
+            status, body = handle_scan_request(
+                {"log_text": "SELECT 1;\n", "log_format": "sql", "max_errors": bad}
+            )
+            assert status == 400
+            assert body["code"] == "bad-request"
+
+    def test_unreachable_db_names_source_unavailable(self, tmp_path):
+        status, body = handle_scan_request({"db": str(tmp_path / "nope.db")})
+        assert status == 400
+        assert body["code"] == "source-unavailable"
+
+
+class TestRestPartialResults:
+    def test_degraded_scan_flags_the_workload(self):
+        status, body = handle_scan_request(
+            {"log_text": JUNK + "SELECT * FROM t;\n", "log_format": "sql"}
+        )
+        assert status == 200
+        assert body["workload"]["degraded"] is True
+        assert body["workload"]["lines_skipped"] == 1
+        # The clean statement was still analysed.
+        assert body["workload"]["distinct_statements"] == 1
+        assert body["degraded"] is True
+        assert [e["code"] for e in body["errors"]] == ["log-malformed"]
+
+    def test_clean_scan_keeps_the_historical_shape(self):
+        status, body = handle_scan_request(
+            {"log_text": "SELECT * FROM t;\n", "log_format": "sql"}
+        )
+        assert status == 200
+        assert "degraded" not in body["workload"]
+        assert "lines_skipped" not in body["workload"]
