@@ -33,6 +33,13 @@ _CONSTRAINT_STARTERS = {
 }
 
 
+_DEFAULT_RE = re.compile(r"DEFAULT\s+(\S+)", re.IGNORECASE)
+_CHECK_RE = re.compile(r"\bCHECK\b", re.IGNORECASE)
+_OPEN_SPACE_RE = re.compile(r"\(\s+")
+_SPACE_CLOSE_RE = re.compile(r"\s+\)")
+_TRAILING_CLOSE_RE = re.compile(r"\s*\)\s*$")
+
+
 class DDLBuilder:
     """Interprets DDL statements and incrementally updates a schema."""
 
@@ -194,7 +201,8 @@ class DDLBuilder:
         type_text = self._render_type(type_tokens)
         column = Column(name=name, sql_type=parse_type(type_text))
         rest = item[i:]
-        rest_text = " ".join(t.value for t in rest).upper()
+        check_text = " ".join(t.value for t in rest)
+        rest_text = check_text.upper()
         column.nullable = "NOT NULL" not in rest_text
         column.is_primary_key = "PRIMARY KEY" in rest_text
         column.is_unique = "UNIQUE" in rest_text or column.is_primary_key
@@ -203,7 +211,7 @@ class DDLBuilder:
             or "AUTOINCREMENT" in rest_text
             or column.sql_type.name in ("SERIAL", "BIGSERIAL", "SMALLSERIAL")
         )
-        default_match = re.search(r"DEFAULT\s+(\S+)", " ".join(t.value for t in rest), re.IGNORECASE)
+        default_match = _DEFAULT_RE.search(check_text)
         if default_match:
             column.default = default_match.group(1)
         # inline REFERENCES
@@ -217,8 +225,7 @@ class DDLBuilder:
                 on_update=self._on_action(rest, "UPDATE"),
             )
         # inline CHECK (col IN (...)) or range checks
-        check_text = " ".join(t.value for t in rest)
-        if re.search(r"\bCHECK\b", check_text, re.IGNORECASE):
+        if _CHECK_RE.search(check_text):
             column.has_check = True
             column_name, in_values = self._parse_check_expression(check_text)
             if in_values and (column_name is None or column_name.lower() == name.lower()):
@@ -241,9 +248,9 @@ class DDLBuilder:
             else:
                 parts.append(token.value)
         text = " ".join(parts)
-        text = re.sub(r"\(\s+", "(", text)
-        text = re.sub(r"\s+\)", ")", text)
-        text = re.sub(r"\s*\)\s*$", ")", text) if "(" in text else text
+        text = _OPEN_SPACE_RE.sub("(", text)
+        text = _SPACE_CLOSE_RE.sub(")", text)
+        text = _TRAILING_CLOSE_RE.sub(")", text) if "(" in text else text
         # close any unclosed parenthesis conservatively
         if text.count("(") > text.count(")"):
             text += ")"

@@ -201,18 +201,32 @@ class ApplicationContext:
                 usage[key] = entry
             setattr(entry, attribute, getattr(entry, attribute) + 1)
 
+        # Reverse column→tables index, one pass over the catalog instead of
+        # a full table scan per bare reference.  Candidate lists preserve
+        # schema insertion order, so hint preference and first-candidate
+        # fallback below replicate Schema.resolve_column exactly.
+        owners: dict[str, list] = {}
+        for table_def in self.schema.tables.values():
+            for key, col in table_def.columns.items():
+                owners.setdefault(key, []).append(table_def)
+
         for query in self.queries:
             alias_map = query.alias_map
             default_table = query.tables[0].name if query.tables else None
+            hint_names = None
 
             def resolve(reference: ColumnReference) -> str | None:
+                nonlocal hint_names
                 if reference.qualifier:
                     return alias_map.get(reference.qualifier.lower(), reference.qualifier)
-                owner = self.schema.resolve_column(
-                    reference.name, hint_tables=[t.name for t in query.all_tables]
-                )
-                if owner is not None:
-                    return owner[0].name
+                candidates = owners.get(reference.name.lower())
+                if candidates:
+                    if hint_names is None:
+                        hint_names = {t.name.lower() for t in query.all_tables}
+                    for table_def in candidates:
+                        if table_def.name.lower() in hint_names:
+                            return table_def.name
+                    return candidates[0].name
                 return default_table
 
             for predicate in query.predicates:

@@ -75,6 +75,12 @@ class DetectorConfig:
             check failures as structured :class:`~repro.errors.PipelineError`
             records on the report instead of aborting the run.  Off, any
             rule or parser exception propagates (fail-fast).
+        fused: run the fused matching engine — compiled trigger-token
+            pre-filter plus per-run workload-fact caches.  Off, detection
+            takes the pre-fusion reference path (plain dispatch, facts
+            recomputed per rule call), which exists for the fused≡reference
+            conformance oracle and the cold-path benchmark; both paths
+            produce byte-identical reports.
     """
 
     enable_inter_query: bool = True
@@ -88,6 +94,7 @@ class DetectorConfig:
     cache_size: int = 4096
     workers: int = 1
     quarantine: bool = True
+    fused: bool = True
 
 
 class APDetector:
@@ -201,9 +208,11 @@ class APDetector:
         # start and t3 lands in exactly one stage: total ≡ sum of stages
         # (the accounting invariant the conformance oracle checks) on the
         # pool path and on every serial fallback alike.
-        # A statement the parser rejects fails its whole pool chunk, which
-        # fails the fan-out and lands on this serial fallback — where the
-        # quarantine sink (when enabled) records it and keeps the rest.
+        # A statement the parser rejects fails only its own pool chunk;
+        # parallel_annotate re-runs just that chunk through this serial
+        # fallback — where the quarantine sink (when enabled) records the
+        # failure and keeps the rest — and the remaining chunks keep their
+        # pool results (parallel_mode records the partial downgrade).
         parse_errors: "list[PipelineError]" = []
         sink = parse_errors if self.config.quarantine else None
         start = time.perf_counter()
@@ -212,13 +221,13 @@ class APDetector:
             workers=requested,
             source=source,
             chunk_size=chunk_size,
-            serial_fallback=lambda batch: self._builder._annotate_queries(
-                list(batch), source, errors=sink
+            serial_fallback=lambda batch, start_index=0: self._builder._annotate_queries(
+                list(batch), source, errors=sink, start_index=start_index
             ),
         )
         t1 = time.perf_counter()
         stats.parse_seconds = t1 - start
-        if mode != MODE_PROCESS_POOL:
+        if not mode.startswith(MODE_PROCESS_POOL):
             stats.workers = 1
         context = ApplicationContext(
             queries=annotations,
@@ -249,10 +258,25 @@ class APDetector:
         self,
         queries: "Sequence[str | ParsedStatement | QueryAnnotation] | str" = (),
         source: str | None = None,
+        *,
+        errors: "list[PipelineError] | None" = None,
     ) -> Iterator[Detection]:
-        """Stream detections as statements are analysed (no deduplication)."""
-        context = self._builder.build(queries, source=source)
-        yield from self._iter_detections(context)
+        """Stream detections as statements are analysed (no deduplication).
+
+        Honours ``DetectorConfig.quarantine`` exactly like :meth:`detect`:
+        malformed statements and failing rules become structured
+        :class:`~repro.errors.PipelineError` records instead of aborting
+        the stream.  Streaming has no report to carry them, so pass a list
+        via ``errors`` to receive every quarantined record (parse errors
+        are appended before the first detection is yielded, rule errors as
+        they occur).  With quarantine off, failures propagate as before.
+        """
+        quarantine = self.config.quarantine
+        context = self._builder.build(queries, source=source, quarantine=quarantine)
+        sink = errors if errors is not None else ([] if quarantine else None)
+        if sink is not None:
+            sink.extend(context.errors)
+        yield from self._iter_detections(context, errors=sink if quarantine else None)
 
     # ------------------------------------------------------------------
     # detection core (streaming)
@@ -280,6 +304,7 @@ class APDetector:
             thresholds=self.config.thresholds,
             use_inter_query=self.config.enable_inter_query,
             use_data=self.config.enable_data,
+            cache_facts=self.config.fused,
         )
         memo_scope = self._memo_scope(context)
         threshold = self.config.confidence_threshold
@@ -358,7 +383,15 @@ class APDetector:
                 stats.memo_misses += 1
         detections: list[Detection] = []
         quarantined = False
-        for rule in self.registry.rules_for_statement(annotation.statement_type):
+        if self.config.fused:
+            # One pass over the compiled trigger automaton: rules whose
+            # trigger atoms are absent from the statement never execute.
+            rules = self.registry.fused_rules_for(
+                annotation.statement_type, annotation.raw.upper()
+            )
+        else:
+            rules = self.registry.rules_for_statement(annotation.statement_type)
+        for rule in rules:
             if rule.requires_context and not self.config.enable_inter_query:
                 continue
             if not rule.applies_to(annotation):
@@ -437,11 +470,18 @@ class APDetector:
         digest.update(repr(dataclasses.astuple(self.config.thresholds)).encode())
         digest.update(
             f"{self.config.enable_inter_query}|{self.config.enable_data}|"
+            f"{self.config.fused}|"
             f"{getattr(context.dialect, 'name', context.dialect)}".encode()
         )
-        for annotation in context.queries:
-            digest.update(annotation.raw.encode("utf-8", "replace"))
-            digest.update(b"\x00")
+        # The workload signature only matters when inter-query rules can
+        # run: intra-only configurations gate every contextual read
+        # (schema_available/data_available are False, context.queries is
+        # empty), so per-statement results are workload-independent and the
+        # memo replays across workloads and batches.
+        if self.config.enable_inter_query:
+            for annotation in context.queries:
+                digest.update(annotation.raw.encode("utf-8", "replace"))
+                digest.update(b"\x00")
         return digest.digest()
 
     # ------------------------------------------------------------------

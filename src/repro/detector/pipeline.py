@@ -11,13 +11,20 @@ machinery shared by :meth:`APDetector.detect_batch` and
   drivers;
 * :func:`chunked` — deterministic statement chunking;
 * :func:`parallel_annotate` — fan-out of cold parses over a
-  ``concurrent.futures`` process pool, falling back to the serial
-  (cache-accelerated) path for small inputs, single-CPU machines, or any
-  executor failure.
+  ``concurrent.futures`` process pool.  Statements are sharded by a stable
+  hash of their text so duplicate statements always land in the same
+  worker, which parses each distinct text once and rebinds copies for the
+  repeats — no worker ever duplicates another worker's parse work.  A
+  chunk whose worker fails is re-run alone through the serial quarantine
+  path (the other chunks keep their pool results); the whole fan-out
+  falls back to the serial (cache-accelerated) path only for small
+  inputs, single-CPU machines, or executor-level failure.
 """
 from __future__ import annotations
 
+import copy
 import os
+import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -204,42 +211,119 @@ def _annotate_chunk(payload: "tuple[Sequence[str], str | None]") -> list[QueryAn
     return annotations
 
 
+def _shard_of(sql: str, shard_count: int) -> int:
+    """Stable shard assignment by statement text.
+
+    ``zlib.crc32`` (not ``hash``, which is randomised per process) keys the
+    shard, so every occurrence of a duplicate text lands in the same worker
+    and the corpus's parse work is never repeated across the pool.
+    """
+    return zlib.crc32(sql.encode("utf-8", "replace")) % shard_count
+
+
+def _annotate_shard(
+    payload: "tuple[Sequence[tuple[int, str]], str | None]",
+) -> "list[tuple[int, list[QueryAnnotation]]]":
+    """Process-pool worker: parse + annotate one shard of (position, sql).
+
+    Sharding colocates duplicate texts, so each distinct text is parsed
+    once; repeats are shallow-copied and rebound (the same template idiom
+    the annotation cache uses), which keeps every returned element's
+    statement object independently mutable for the parent's index rebind.
+    Returns ``(position, annotations)`` pairs so the parent can reassemble
+    the corpus in its original order.
+    """
+    pairs, source = payload
+    parsed: "dict[str, list[QueryAnnotation]]" = {}
+    out: "list[tuple[int, list[QueryAnnotation]]]" = []
+    for position, sql in pairs:
+        template = parsed.get(sql)
+        if template is None:
+            annotations = [annotate(s) for s in parse(sql, source=source)]
+            parsed[sql] = annotations
+        else:
+            annotations = []
+            for cached in template:
+                statement = copy.copy(cached.statement)
+                annotation = copy.copy(cached)
+                annotation.statement = statement
+                annotations.append(annotation)
+        out.append((position, annotations))
+    return out
+
+
 def parallel_annotate(
     queries: Sequence[str],
     *,
     workers: int,
     source: str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
-    serial_fallback: "Callable[[Sequence[str]], list[QueryAnnotation]] | None" = None,
+    serial_fallback: "Callable[..., list[QueryAnnotation]] | None" = None,
 ) -> "tuple[list[QueryAnnotation], int, str]":
     """Annotate a statement list, fanning cold parses over a process pool.
 
+    Statements are sharded by :func:`_shard_of` (stable text hash), so the
+    pool never duplicates parse work on corpora with repeated statements.
     Returns ``(annotations, chunks, mode)`` where ``mode`` records the path
-    taken (``process-pool`` or one of the serial fallbacks).  Statement
+    taken: ``process-pool``, ``process-pool:chunks-recovered=N`` when N
+    failed chunks were individually re-run through the serial quarantine
+    path (the other chunks keep their pool results), or one of the serial
+    fallbacks.  ``serial_fallback`` takes ``(batch, start_index=0)`` —
+    ``start_index`` is the corpus position of the batch's first element, so
+    quarantined error records carry corpus-wide provenance.  Statement
     indexes are rebound to corpus order, so the output is identical to the
-    serial path regardless of chunking.
+    serial path regardless of sharding.
     """
     effective = resolve_workers(workers)
-    serial = serial_fallback or (lambda batch: _annotate_chunk((batch, source)))
+    serial = serial_fallback or (
+        lambda batch, start_index=0: _annotate_chunk((batch, source))
+    )
     if effective <= 1 or len(queries) < MIN_PARALLEL_STATEMENTS:
         reason = REASON_SINGLE_CPU if workers > 1 and effective <= 1 else REASON_SMALL_INPUT
         annotations = serial(queries)
         _rebind_indexes(annotations)
         return annotations, 1, serial_mode(workers, reason)
-    # Never hand one worker the whole input: cap the chunk size so the work
-    # actually spreads across the pool.
+    # At least one shard per worker; never hand one worker the whole input.
     chunk_size = max(1, min(chunk_size, -(-len(queries) // effective)))
-    chunks = chunked(queries, chunk_size)
+    shard_count = max(effective, -(-len(queries) // chunk_size))
+    shards: "list[list[tuple[int, str]]]" = [[] for _ in range(shard_count)]
+    for position, sql in enumerate(queries):
+        shards[_shard_of(sql, shard_count)].append((position, sql))
+    shards = [shard for shard in shards if shard]
+    recovered = 0
+    results_by_position: "dict[int, list[QueryAnnotation]]" = {}
     try:
         with ProcessPoolExecutor(max_workers=effective) as pool:
-            results = list(pool.map(_annotate_chunk, [(chunk, source) for chunk in chunks]))
+            futures = [pool.submit(_annotate_shard, (shard, source)) for shard in shards]
+            for shard, future in zip(shards, futures):
+                try:
+                    for position, annotations in future.result():
+                        results_by_position[position] = annotations
+                except Exception:
+                    # One bad statement fails only its own chunk: re-run
+                    # just this chunk element-by-element through the serial
+                    # quarantine path so the failure is recorded (with its
+                    # corpus position) and the chunk-mates — and every
+                    # other chunk's pool results — survive.
+                    recovered += 1
+                    for position, sql in shard:
+                        results_by_position[position] = serial(
+                            [sql], start_index=position
+                        )
     except Exception:  # pool unavailable (sandboxing, pickling) -> stay correct
         annotations = serial(queries)
         _rebind_indexes(annotations)
         return annotations, 1, serial_mode(workers, REASON_EXECUTOR_ERROR)
-    annotations = [annotation for result in results for annotation in result]
+    annotations = [
+        annotation
+        for position in range(len(queries))
+        for annotation in results_by_position.get(position, ())
+    ]
     _rebind_indexes(annotations)
-    return annotations, len(chunks), MODE_PROCESS_POOL
+    mode = MODE_PROCESS_POOL
+    if recovered:
+        mode = f"{MODE_PROCESS_POOL}:chunks-recovered={recovered}"
+    return annotations, len(shards), mode
 
 
 def _rebind_indexes(annotations: Iterable[QueryAnnotation]) -> None:

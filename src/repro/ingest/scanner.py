@@ -243,7 +243,10 @@ class LiveScanner:
         for piece in log.slices(chunk_size):
             stats = PipelineStats()
             context = self.toolchain._builder.build(
-                piece.statements(), source=label, stats=stats
+                piece.statements(),
+                source=label,
+                stats=stats,
+                quarantine=self.toolchain.options.detector.quarantine,
             )
             assign_frequencies(context, piece)
             yield self.toolchain.check_context(context, stats=stats)

@@ -178,12 +178,22 @@ class RuleContext:
     analysis is disabled the detector still passes the application context,
     but contextual refinements must be skipped — rules honour the flags via
     the convenience properties below.
+
+    One ``RuleContext`` lives for exactly one detection run, during which
+    the workload and schema are fixed — so workload-level facts that many
+    statements re-derive (the column-usage aggregate, bare-column
+    resolution) are memoized here.  ``cache_facts=False`` (the pre-fusion
+    reference path) recomputes them per call, exactly as the seed detector
+    did.
     """
 
     application: ApplicationContext
     thresholds: Thresholds = field(default_factory=Thresholds)
     use_inter_query: bool = True
     use_data: bool = True
+    cache_facts: bool = True
+    _column_usage: "dict | None" = field(default=None, repr=False, compare=False)
+    _column_owners: "dict[str, list] | None" = field(default=None, repr=False, compare=False)
 
     @property
     def schema_available(self) -> bool:
@@ -196,6 +206,47 @@ class RuleContext:
     @property
     def queries(self) -> list[QueryAnnotation]:
         return self.application.queries if self.use_inter_query else []
+
+    # -- per-run workload facts -------------------------------------------
+    def column_usage(self) -> dict:
+        """The workload's column-usage aggregate, computed once per run.
+
+        ``ApplicationContext.column_usage`` walks every query; recomputing
+        it per CREATE INDEX statement made corpus-scale detection quadratic
+        in the workload size.
+        """
+        if not self.cache_facts:
+            return self.application.column_usage()
+        if self._column_usage is None:
+            self._column_usage = self.application.column_usage()
+        return self._column_usage
+
+    def resolve_column(self, column: str, hint_tables: "list[str] | None" = None):
+        """Schema column resolution served from a per-run reverse index.
+
+        Byte-identical to ``Schema.resolve_column``: candidate tables are
+        collected in schema insertion order, tables named in ``hint_tables``
+        win, otherwise the first candidate does.
+        """
+        schema = self.application.schema
+        if not self.cache_facts:
+            return schema.resolve_column(column, hint_tables)
+        owners = self._column_owners
+        if owners is None:
+            owners = {}
+            for table in schema.tables.values():
+                for key, col in table.columns.items():
+                    owners.setdefault(key, []).append((table, col))
+            self._column_owners = owners
+        candidates = owners.get(column.lower())
+        if not candidates:
+            return None
+        if hint_tables:
+            hints = {h.lower() for h in hint_tables}
+            for table, col in candidates:
+                if table.name.lower() in hints:
+                    return table, col
+        return candidates[0]
 
 
 class Rule(abc.ABC):
@@ -274,6 +325,14 @@ class QueryRule(Rule):
     statement_types: tuple[str, ...] = ()
     #: True when the rule needs the inter-query context to fire at all.
     requires_context: bool = False
+    #: Trigger atoms for the fused matcher's keyword pre-filter: upper-cased
+    #: substrings of which at least one MUST occur in ``raw.upper()`` for
+    #: ``check`` to possibly return a detection — under every threshold
+    #: configuration the rule honours.  ``None`` (the default) declares no
+    #: trigger knowledge; such rules always run.  Declaring trigger tokens
+    #: is purely an optimisation and must never change detection results
+    #: (the fused≡reference conformance oracle enforces this).
+    trigger_tokens: "tuple[str, ...] | None" = None
 
     def applies_to(self, annotation: QueryAnnotation) -> bool:
         if not self.statement_types:

@@ -17,6 +17,8 @@ from .base import DataRule, QueryRule, RuleContext, RuleDoc, RuleExample, contro
 _ID_LIST_COLUMN_RE = re.compile(r"(_ids?$|_list$|_csv$|ids$)", re.IGNORECASE)
 _GENERIC_PK_NAMES = {"id", "pk", "key", "row_id", "rowid"}
 _PARENT_COLUMN_RE = re.compile(r"^(parent|manager|supervisor|reports_to)(_id)?$", re.IGNORECASE)
+_SELF_REFERENCE_RE = re.compile(r"(\w+)[^,()]*REFERENCES\s+(\w+)", re.IGNORECASE)
+_PARENT_POINTER_RE = re.compile(r"\b(parent_\w+|manager_id|supervisor_id|reports_to)\b", re.IGNORECASE)
 _NUMBERED_COLUMN_RE = re.compile(r"^(?P<prefix>[A-Za-z_]+?)_?(?P<number>\d+)$")
 _CLONE_TABLE_RE = re.compile(r"^(?P<prefix>.+?)_(?P<suffix>\d{1,6})$")
 
@@ -697,6 +699,11 @@ class AdjacencyListRule(QueryRule):
     anti_pattern = AntiPattern.ADJACENCY_LIST
     severity = Severity.MEDIUM
     statement_types = ("CREATE_TABLE", "ALTER_TABLE", "SELECT")
+    # Every branch of check() needs one of these in the raw text: the
+    # self-REFERENCES scan, the parent-pointer column scan
+    # (parent_*/manager_id/supervisor_id/reports_to), or a self-join
+    # predicate whose column matches _PARENT_COLUMN_RE.
+    trigger_tokens = ("REFERENCES", "PARENT", "MANAGER", "SUPERVISOR", "REPORTS_TO")
     doc = RuleDoc(
         title="Adjacency list",
         problem=(
@@ -741,7 +748,7 @@ class AdjacencyListRule(QueryRule):
         if annotation.statement_type in ("CREATE_TABLE", "ALTER_TABLE") and table_name:
             raw = annotation.raw
             # self-referencing REFERENCES
-            for match in re.finditer(r"(\w+)[^,()]*REFERENCES\s+(\w+)", raw, re.IGNORECASE):
+            for match in _SELF_REFERENCE_RE.finditer(raw):
                 column, referenced = match.group(1), match.group(2)
                 if referenced.lower() == table_name.lower():
                     detections.append(
@@ -757,7 +764,7 @@ class AdjacencyListRule(QueryRule):
                         )
                     )
             if not detections:
-                for match in re.finditer(r"\b(parent_\w+|manager_id|supervisor_id|reports_to)\b", raw, re.IGNORECASE):
+                for match in _PARENT_POINTER_RE.finditer(raw):
                     detections.append(
                         self.make_detection(
                             message=(

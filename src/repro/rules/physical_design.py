@@ -473,7 +473,10 @@ class IndexOveruseRule(QueryRule):
             return []
         detections: list[Detection] = []
         indexes = list(table.indexes.values())
-        usage = context.application.column_usage()
+        # Served from the per-run RuleContext cache: recomputing the whole
+        # workload aggregate per CREATE INDEX statement was the detector's
+        # dominant quadratic cost on corpus workloads.
+        usage = context.column_usage()
 
         # (1) sheer number of indexes on one table
         if len(indexes) > context.thresholds.index_overuse_max_indexes:
@@ -647,7 +650,7 @@ class IndexUnderuseRule(QueryRule):
     def _resolve_table(self, annotation: QueryAnnotation, context: RuleContext, column_ref) -> str | None:
         if column_ref.qualifier:
             return annotation.resolve_qualifier(column_ref.qualifier)
-        owner = context.application.schema.resolve_column(
+        owner = context.resolve_column(
             column_ref.name, hint_tables=[t.name for t in annotation.all_tables]
         )
         if owner is not None:

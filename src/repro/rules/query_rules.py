@@ -23,6 +23,8 @@ class ColumnWildcardRule(QueryRule):
     anti_pattern = AntiPattern.COLUMN_WILDCARD
     severity = Severity.LOW
     statement_types = ("SELECT",)
+    # has_select_wildcard requires a literal "*" token in the statement.
+    trigger_tokens = ("*",)
     doc = RuleDoc(
         title="Column wildcard projection",
         problem=(
@@ -141,6 +143,9 @@ class OrderingByRandRule(QueryRule):
     anti_pattern = AntiPattern.ORDERING_BY_RAND
     severity = Severity.MEDIUM
     statement_types = ("SELECT",)
+    # uses_random_ordering needs RAND/RANDOM ("RAND" is a prefix of both)
+    # or NEWID in the ORDER BY items.
+    trigger_tokens = ("RAND", "NEWID")
     doc = RuleDoc(
         title="Ordering by RAND()",
         problem=(
@@ -191,6 +196,9 @@ class PatternMatchingRule(QueryRule):
     anti_pattern = AntiPattern.PATTERN_MATCHING
     severity = Severity.MEDIUM
     statement_types = ("SELECT", "UPDATE", "DELETE")
+    # Every pattern operator contains one of these ("LIKE" covers ILIKE and
+    # the NOT variants, "SIMILAR" covers SIMILAR TO).
+    trigger_tokens = ("LIKE", "REGEXP", "RLIKE", "SIMILAR", "GLOB")
     doc = RuleDoc(
         title="Index-defeating pattern matching",
         problem=(
@@ -260,6 +268,8 @@ class ConcatenateNullsRule(QueryRule):
     anti_pattern = AntiPattern.CONCATENATE_NULLS
     severity = Severity.LOW
     statement_types = ("SELECT", "UPDATE", "INSERT")
+    # uses_concat_operator requires a literal || operator.
+    trigger_tokens = ("||",)
     doc = RuleDoc(
         title="Concatenating nullable columns",
         problem=(
@@ -339,6 +349,9 @@ class DistinctAndJoinRule(QueryRule):
     anti_pattern = AntiPattern.DISTINCT_AND_JOIN
     severity = Severity.MEDIUM
     statement_types = ("SELECT",)
+    # is_distinct requires the DISTINCT keyword (the join is also required,
+    # but one sound atom is enough for the pre-filter).
+    trigger_tokens = ("DISTINCT",)
     doc = RuleDoc(
         title="DISTINCT papering over a JOIN",
         problem=(
@@ -392,6 +405,9 @@ class TooManyJoinsRule(QueryRule):
     anti_pattern = AntiPattern.TOO_MANY_JOINS
     severity = Severity.MEDIUM
     statement_types = ("SELECT", "UPDATE", "DELETE")
+    # Firing needs at least one join: a JOIN keyword or a comma-separated
+    # FROM list (check clamps the threshold to >= 1, keeping this sound).
+    trigger_tokens = ("JOIN", ",")
     doc = RuleDoc(
         title="Too many joins",
         problem=(
@@ -423,7 +439,10 @@ class TooManyJoinsRule(QueryRule):
         )
 
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
-        threshold = context.thresholds.too_many_joins
+        # A threshold below 1 would flag join-free statements; clamp so the
+        # rule always means "at least this many joins" and its trigger
+        # declaration stays sound for every configuration.
+        threshold = max(1, context.thresholds.too_many_joins)
         total_tables = len(annotation.all_tables)
         joins = max(annotation.join_count, total_tables - 1 if total_tables else 0)
         if joins < threshold:
@@ -450,6 +469,8 @@ class ReadablePasswordRule(QueryRule):
     anti_pattern = AntiPattern.READABLE_PASSWORD
     severity = Severity.HIGH
     statement_types = ("SELECT", "INSERT", "UPDATE", "CREATE_TABLE")
+    # _PASSWORD_COLUMN_RE requires one of these words in the raw text.
+    trigger_tokens = ("PASSWORD", "PASSWD", "PWD")
     doc = RuleDoc(
         title="Readable passwords",
         problem=(

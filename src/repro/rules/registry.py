@@ -56,6 +56,50 @@ from .query_rules import (
 )
 
 
+class TriggerAutomaton:
+    """Set-automaton pre-filter compiled from one statement type's rules.
+
+    Each rule may declare :attr:`~repro.rules.base.QueryRule.trigger_tokens`
+    — upper-cased substrings of which at least one must occur in the
+    statement's upper-cased raw text for the rule to possibly fire.  The
+    automaton inverts those declarations into an atom → rule-positions map,
+    so selecting the applicable rules for a statement costs one containment
+    test per *distinct* atom instead of one scan per rule, and rules whose
+    atoms are all absent are never executed.  Rules that declare no
+    triggers always run.  Selection preserves registration order, so fused
+    detection output is byte-identical to the unfiltered dispatch.
+    """
+
+    __slots__ = ("rules", "_always", "_atom_positions", "_filtered")
+
+    def __init__(self, rules: "tuple[QueryRule, ...]"):
+        self.rules = rules
+        always: list[int] = []
+        atom_positions: "dict[str, list[int]]" = {}
+        for position, rule in enumerate(rules):
+            atoms = rule.trigger_tokens
+            if atoms is None:
+                always.append(position)
+            else:
+                for atom in atoms:
+                    atom_positions.setdefault(atom.upper(), []).append(position)
+        self._always = tuple(always)
+        self._atom_positions = {atom: tuple(p) for atom, p in atom_positions.items()}
+        self._filtered = bool(atom_positions)
+
+    def select(self, raw_upper: str) -> "tuple[QueryRule, ...]":
+        """Rules that can possibly fire on a statement, in registration order."""
+        if not self._filtered:
+            return self.rules
+        active = set(self._always)
+        for atom, positions in self._atom_positions.items():
+            if atom in raw_upper:
+                active.update(positions)
+        if len(active) == len(self.rules):
+            return self.rules
+        return tuple(rule for position, rule in enumerate(self.rules) if position in active)
+
+
 class RegistryIntegrityError(RuntimeError):
     """A registered rule mutated its dispatch metadata in place.
 
@@ -98,6 +142,9 @@ class RuleRegistry:
         # scopes must key on (uid, version), not version alone.
         self._uid = next(RuleRegistry._uid_counter)
         self._dispatch: dict[str, tuple[QueryRule, ...]] = {}
+        # Compiled trigger automatons by statement type; rebuilt lazily
+        # after every mutation, i.e. once per cache_token value.
+        self._compiled: dict[str, TriggerAutomaton] = {}
         # statement_types snapshots taken at registration; serving dispatch
         # against a drifted rule raises instead of returning stale results.
         self._declared_types: "dict[int, tuple[str, ...]]" = {}
@@ -134,6 +181,7 @@ class RuleRegistry:
     def _invalidate(self) -> None:
         self._version += 1
         self._dispatch.clear()
+        self._compiled.clear()
         self._declared_types = {
             id(rule): self._declared_types.get(id(rule), tuple(rule.statement_types))
             for rule in self._query_rules
@@ -210,6 +258,21 @@ class RuleRegistry:
                 if not rule.statement_types or statement_type in rule.statement_types
             )
         return cached
+
+    def fused_rules_for(self, statement_type: str, raw_upper: str) -> "tuple[QueryRule, ...]":
+        """Rules that can possibly fire on a statement, pre-filtered by the
+        compiled :class:`TriggerAutomaton` for its statement type.
+
+        ``raw_upper`` is the statement's upper-cased raw text.  Freshness
+        and drift detection are inherited from :meth:`rules_for_statement`,
+        whose result the automaton is compiled from.
+        """
+        automaton = self._compiled.get(statement_type)
+        if automaton is None:
+            automaton = self._compiled[statement_type] = TriggerAutomaton(
+                self.rules_for_statement(statement_type)
+            )
+        return automaton.select(raw_upper)
 
     def anti_patterns_covered(self) -> set[AntiPattern]:
         return {r.anti_pattern for r in self._query_rules} | {

@@ -53,7 +53,7 @@ _PATTERN_OPERATORS = {"LIKE", "NOT LIKE", "ILIKE", "NOT ILIKE", "REGEXP", "RLIKE
 _RANDOM_FUNCTIONS = {"RAND", "RANDOM", "NEWID"}
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TableReference:
     """A table referenced by a statement, with its alias when present."""
 
@@ -65,7 +65,7 @@ class TableReference:
         return self.alias or self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ColumnReference:
     """A column referenced by a statement, with its qualifier when present."""
 
@@ -76,7 +76,7 @@ class ColumnReference:
         return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Predicate:
     """A simple predicate ``<column> <operator> <value>`` from WHERE/ON/HAVING.
 
@@ -96,7 +96,7 @@ class Predicate:
         return self.value_column is not None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinInfo:
     """A join clause: join type, joined table, and the raw ON condition."""
 
@@ -105,9 +105,14 @@ class JoinInfo:
     condition: str = ""
 
 
-@dataclass
+@dataclass(slots=True)
 class QueryAnnotation:
-    """Structured facts extracted from one SQL statement."""
+    """Structured facts extracted from one SQL statement.
+
+    Slotted: the detection rules read these attributes for every rule on
+    every statement, so the per-instance dict is dropped and the hottest
+    derived fact (:attr:`alias_map`) is computed once and cached.
+    """
 
     statement: ParsedStatement
     statement_type: str = "OTHER"
@@ -129,6 +134,10 @@ class QueryAnnotation:
     limit: int | None = None
     uses_concat_operator: bool = False
     raw: str = ""
+    # Cache for :attr:`alias_map`; safe because the annotator finishes
+    # populating ``tables``/``joins`` before any consumer reads the map,
+    # and annotations are never restructured afterwards.
+    _alias_map: "dict[str, str] | None" = field(default=None, init=False, repr=False, compare=False)
 
     # -- derived facts -----------------------------------------------------
     @property
@@ -137,8 +146,11 @@ class QueryAnnotation:
 
     @property
     def alias_map(self) -> dict[str, str]:
-        """Map from alias (lower-cased) to table name."""
-        mapping: dict[str, str] = {}
+        """Map from alias (lower-cased) to table name (cached)."""
+        mapping = self._alias_map
+        if mapping is not None:
+            return mapping
+        mapping = {}
         for table in self.tables:
             if table.alias:
                 mapping[table.alias.lower()] = table.name
@@ -149,6 +161,7 @@ class QueryAnnotation:
             if join.table.alias:
                 mapping[join.table.alias.lower()] = join.table.name
             mapping[join.table.name.lower()] = join.table.name
+        self._alias_map = mapping
         return mapping
 
     @property

@@ -32,6 +32,32 @@ _BACKTICK_QUOTED_RE = re.compile(r"`(?:[^`]|``)*`")
 _BRACKET_QUOTED_RE = re.compile(r"\[[^\]]*\]")
 _PLACEHOLDER_RE = re.compile(r"\?|%\(\w+\)s|%s|%d|:\w+|\$\d+|@\w+")
 
+#: Fast path for the token classes that dominate real SQL — whitespace,
+#: words, numbers, string literals, and the unambiguous punctuation
+#: characters.  One anchored match replaces the per-class probe cascade of
+#: :meth:`Lexer._next_token`; every alternative starts with a character no
+#: earlier branch of the cascade could claim, so hitting this regex first
+#: cannot change which token is produced.  (``.`` stays out: it is a number
+#: when a digit follows and punctuation otherwise.)
+_COMMON_RE = re.compile(
+    r"(?P<ws>\s+)"
+    r"|(?P<name>[A-Za-z_][A-Za-z0-9_$]*)"
+    r"|(?P<num>\d+(\.\d+)?([eE][+-]?\d+)?)"
+    r"|(?P<str>'(?:[^']|'')*')"
+    r"|(?P<punct>[(),;])"
+)
+
+#: Compound keyword phrases indexed by their (upper-cased) first word, each
+#: bucket sorted longest-first so the longest-match-wins rule falls out of a
+#: plain scan.  Folding checks every keyword token against this index; the
+#: dict lookup replaces the seed's scan over all phrases per keyword.
+_COMPOUND_BY_FIRST: "dict[str, list[tuple[str, ...]]]" = {}
+for _phrase in COMPOUND_KEYWORDS:
+    _upper = tuple(word.upper() for word in _phrase)
+    _COMPOUND_BY_FIRST.setdefault(_upper[0], []).append(_upper)
+for _bucket in _COMPOUND_BY_FIRST.values():
+    _bucket.sort(key=len, reverse=True)
+
 
 class Lexer:
     """Tokenizes SQL text.
@@ -44,9 +70,27 @@ class Lexer:
         tokens: list[Token] = []
         pos = 0
         length = len(sql)
+        append = tokens.append
+        common = _COMMON_RE.match
+        classify = self._classify_word
         while pos < length:
-            token = self._next_token(sql, pos)
-            tokens.append(token)
+            match = common(sql, pos)
+            if match is not None:
+                text = match.group()
+                kind = match.lastgroup
+                if kind == "ws":
+                    token = Token(TokenType.WHITESPACE, text, pos)
+                elif kind == "name":
+                    token = Token(classify(text), text, pos)
+                elif kind == "num":
+                    token = Token(TokenType.NUMBER, text, pos)
+                elif kind == "str":
+                    token = Token(TokenType.STRING, text, pos)
+                else:
+                    token = Token(TokenType.PUNCTUATION, text, pos)
+            else:
+                token = self._next_token(sql, pos)
+            append(token)
             pos += len(token.value)
         return self._fold_compound_keywords(tokens)
 
@@ -159,7 +203,7 @@ class Lexer:
         for i, token in enumerate(tokens):
             if i <= skip_until:
                 continue
-            if token.is_keyword and i in position_of:
+            if token.is_keyword and token.normalized in _COMPOUND_BY_FIRST and i in position_of:
                 phrase_end = self._match_compound(tokens, meaningful_idx, position_of[i])
                 if phrase_end is not None:
                     phrase_tokens = tokens[i : phrase_end + 1]
@@ -177,21 +221,23 @@ class Lexer:
     ) -> int | None:
         """If a compound keyword phrase starts at the given meaningful index,
         return the raw-token index of its last word (longest match wins)."""
-        best_end: int | None = None
-        best_len = 0
-        for phrase in COMPOUND_KEYWORDS:
-            if len(phrase) <= best_len:
-                continue
+        first = tokens[meaningful_idx[start_meaningful]]
+        phrases = _COMPOUND_BY_FIRST.get(first.normalized)
+        if not phrases:
+            return None
+        for phrase in phrases:  # longest first within the bucket
             end = start_meaningful + len(phrase) - 1
             if end >= len(meaningful_idx):
                 continue
-            candidate = [tokens[meaningful_idx[start_meaningful + k]] for k in range(len(phrase))]
-            if all(
-                c.is_keyword and c.normalized == phrase[k].upper() for k, c in enumerate(candidate)
-            ):
-                best_end = meaningful_idx[end]
-                best_len = len(phrase)
-        return best_end
+            matched = True
+            for k in range(1, len(phrase)):
+                candidate = tokens[meaningful_idx[start_meaningful + k]]
+                if not candidate.is_keyword or candidate.normalized != phrase[k]:
+                    matched = False
+                    break
+            if matched:
+                return meaningful_idx[end]
+        return None
 
 
 _DEFAULT_LEXER = Lexer()

@@ -34,14 +34,19 @@ STATEMENT_TYPES = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class ParsedStatement:
     """A single parsed SQL statement.
+
+    Slotted: corpus runs hold tens of thousands of statements, and the
+    detection rules hit these attributes constantly.  The grouped parse
+    tree is built lazily on first :attr:`tree` access — the detection cold
+    path never consumes it (only the serializer/fixer layers do), so the
+    grouping pass stays off the hot path entirely.
 
     Attributes:
         raw: original statement text (whitespace preserved).
         tokens: flat token list including whitespace and comments.
-        tree: grouped parse tree.
         statement_type: one of :data:`STATEMENT_TYPES`.
         index: position of the statement within the parsed script.
         offset: character offset of the statement within the parsed text
@@ -52,7 +57,6 @@ class ParsedStatement:
 
     raw: str
     tokens: list[Token]
-    tree: Statement
     statement_type: str
     index: int = 0
     source: str | None = None
@@ -79,10 +83,19 @@ class ParsedStatement:
     #: Emitters must only quote ``raw`` as the span's content when True.
     span_matches_raw: "bool | None" = None
     _fingerprint: str | None = field(default=None, init=False, repr=False, compare=False)
+    _tree: "Statement | None" = field(default=None, init=False, repr=False, compare=False)
+    _meaningful: "list[Token] | None" = field(default=None, init=False, repr=False, compare=False)
 
     @property
     def stream(self) -> TokenStream:
         return TokenStream(self.tokens)
+
+    @property
+    def tree(self) -> Statement:
+        """Grouped parse tree, built on first access (cached)."""
+        if self._tree is None:
+            self._tree = group_statement(self.tokens, statement_type=self.statement_type)
+        return self._tree
 
     def clear_position(self) -> None:
         """Mark the statement's position within the workload as unknown.
@@ -108,7 +121,14 @@ class ParsedStatement:
         return self._fingerprint
 
     def meaningful_tokens(self) -> list[Token]:
-        return [t for t in self.tokens if not t.is_whitespace and not t.is_comment]
+        """Tokens that are not whitespace or comments (cached — callers must
+        treat the returned list as read-only)."""
+        cached = self._meaningful
+        if cached is None:
+            cached = self._meaningful = [
+                t for t in self.tokens if not t.is_whitespace and not t.is_comment
+            ]
+        return cached
 
     @property
     def is_ddl(self) -> bool:
@@ -183,11 +203,9 @@ def parse_statement(sql: str, index: int = 0, source: str | None = None) -> Pars
     """Parse a single statement string."""
     tokens = tokenize(sql)
     statement_type = classify_statement(tokens)
-    tree = group_statement(tokens, statement_type=statement_type)
     return ParsedStatement(
         raw=sql,
         tokens=tokens,
-        tree=tree,
         statement_type=statement_type,
         index=index,
         source=source,
@@ -211,7 +229,6 @@ def parse(sql: str, source: str | None = None) -> list[ParsedStatement]:
     for i, stmt_tokens in enumerate(split_tokens(all_tokens)):
         raw = "".join(t.value for t in stmt_tokens).strip()
         statement_type = classify_statement(stmt_tokens)
-        tree = group_statement(stmt_tokens, statement_type=statement_type)
         meaningful = [t for t in stmt_tokens if not t.is_whitespace and not t.is_comment]
         if meaningful:
             offset = meaningful[0].position
@@ -237,19 +254,20 @@ def parse(sql: str, source: str | None = None) -> list[ParsedStatement]:
         if offset > scanned:
             line += sql.count("\n", scanned, offset)
             scanned = offset
-        statements.append(
-            ParsedStatement(
-                raw=raw,
-                tokens=stmt_tokens,
-                tree=tree,
-                statement_type=statement_type,
-                index=i,
-                source=source,
-                offset=offset,
-                line=line,
-                length=end - offset,
-                end_line=line + sql.count("\n", offset, end),
-                span_matches_raw=sql[offset:end] == raw,
-            )
+        statement = ParsedStatement(
+            raw=raw,
+            tokens=stmt_tokens,
+            statement_type=statement_type,
+            index=i,
+            source=source,
+            offset=offset,
+            line=line,
+            length=end - offset,
+            end_line=line + sql.count("\n", offset, end),
+            span_matches_raw=sql[offset:end] == raw,
         )
+        # ``meaningful`` was just computed for the span math — seed the cache
+        # so the annotator's first meaningful_tokens() call is free.
+        statement._meaningful = meaningful
+        statements.append(statement)
     return statements

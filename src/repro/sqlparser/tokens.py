@@ -36,42 +36,72 @@ class TokenType(enum.Enum):
         return f"TokenType.{self.name}"
 
 
-@dataclass(frozen=True)
+_KEYWORD_TYPES = frozenset(
+    {TokenType.KEYWORD, TokenType.DDL_KEYWORD, TokenType.DML_KEYWORD, TokenType.DATATYPE}
+)
+_NORMALIZED_TYPES = frozenset(
+    {
+        TokenType.KEYWORD,
+        TokenType.DDL_KEYWORD,
+        TokenType.DML_KEYWORD,
+        TokenType.DATATYPE,
+        TokenType.COMPARISON,
+        TokenType.OPERATOR,
+    }
+)
+
+#: Per-type flag tuple (normalize, is_keyword, is_whitespace, is_comment,
+#: is_identifier), attached to each enum member: one attribute read in
+#: ``Token.__init__`` instead of five frozenset membership tests (each of
+#: which would hash the enum member again).
+for _ttype in TokenType:
+    _ttype._token_flags = (
+        _ttype in _NORMALIZED_TYPES,
+        _ttype in _KEYWORD_TYPES,
+        _ttype is TokenType.WHITESPACE,
+        _ttype is TokenType.COMMENT,
+        _ttype is TokenType.NAME or _ttype is TokenType.QUOTED_NAME,
+    )
+
+
 class Token:
     """A single lexical token.
+
+    A slotted class rather than a dataclass: corpus-scale runs create and
+    interrogate hundreds of thousands of tokens, so the hot derived facts
+    (``normalized``, ``is_keyword``, the whitespace/comment/identifier
+    flags) are computed once at construction instead of per property call.
 
     Attributes:
         ttype: lexical category.
         value: the raw text exactly as it appeared in the statement.
         position: character offset of the first character in the source.
+        normalized: upper-cased value for keyword-like tokens, raw otherwise.
+        is_keyword / is_whitespace / is_comment / is_identifier: category
+            flags, precomputed.
     """
 
-    ttype: TokenType
-    value: str
-    position: int = 0
+    __slots__ = (
+        "ttype",
+        "value",
+        "position",
+        "normalized",
+        "is_keyword",
+        "is_whitespace",
+        "is_comment",
+        "is_identifier",
+    )
 
-    @property
-    def normalized(self) -> str:
-        """Upper-cased value for keywords, raw value otherwise."""
-        if self.ttype in _NORMALIZED_TYPES:
-            return self.value.upper()
-        return self.value
-
-    @property
-    def is_whitespace(self) -> bool:
-        return self.ttype is TokenType.WHITESPACE
-
-    @property
-    def is_comment(self) -> bool:
-        return self.ttype is TokenType.COMMENT
-
-    @property
-    def is_keyword(self) -> bool:
-        return self.ttype in _KEYWORD_TYPES
-
-    @property
-    def is_identifier(self) -> bool:
-        return self.ttype in (TokenType.NAME, TokenType.QUOTED_NAME)
+    def __init__(self, ttype: TokenType, value: str, position: int = 0):
+        self.ttype = ttype
+        self.value = value
+        self.position = position
+        normalize, keyword, whitespace, comment, identifier = ttype._token_flags
+        self.normalized = value.upper() if normalize else value
+        self.is_keyword = keyword
+        self.is_whitespace = whitespace
+        self.is_comment = comment
+        self.is_identifier = identifier
 
     @property
     def is_literal(self) -> bool:
@@ -87,7 +117,7 @@ class Token:
         if values is None:
             return True
         if isinstance(values, str):
-            values = (values,)
+            return self.normalized == values.upper()
         return self.normalized in tuple(v.upper() for v in values)
 
     def unquoted(self) -> str:
@@ -102,23 +132,23 @@ class Token:
             return value[1:-1].replace("''", "'")
         return value
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Token):
+            return NotImplemented
+        return (
+            self.ttype is other.ttype
+            and self.value == other.value
+            and self.position == other.position
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ttype, self.value, self.position))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token(ttype={self.ttype!r}, value={self.value!r}, position={self.position!r})"
+
     def __str__(self) -> str:
         return self.value
-
-
-_KEYWORD_TYPES = frozenset(
-    {TokenType.KEYWORD, TokenType.DDL_KEYWORD, TokenType.DML_KEYWORD, TokenType.DATATYPE}
-)
-_NORMALIZED_TYPES = frozenset(
-    {
-        TokenType.KEYWORD,
-        TokenType.DDL_KEYWORD,
-        TokenType.DML_KEYWORD,
-        TokenType.DATATYPE,
-        TokenType.COMPARISON,
-        TokenType.OPERATOR,
-    }
-)
 
 
 @dataclass

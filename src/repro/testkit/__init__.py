@@ -43,6 +43,7 @@ from .oracles import (
     check_dbdeo_agreement,
     check_fault_isolation,
     check_fixer_round_trip,
+    check_fused_equivalence,
     check_scan_equivalence,
     check_stats_accounting,
     detection_bytes,
@@ -67,6 +68,7 @@ __all__ = [
     "check_dbdeo_agreement",
     "check_fault_isolation",
     "check_fixer_round_trip",
+    "check_fused_equivalence",
     "check_scan_equivalence",
     "check_stats_accounting",
     "corrupt_log_lines",

@@ -137,6 +137,86 @@ def check_cold_warm_batch(
 
 
 # ----------------------------------------------------------------------
+# fused matcher vs. pre-fusion reference
+# ----------------------------------------------------------------------
+def check_fused_equivalence(
+    corpus: "Sequence[str] | None" = None,
+    *,
+    seed: int = 2020,
+    statements: int = 60,
+    workers: int = 2,
+    config: DetectorConfig | None = None,
+) -> "list[OracleFailure]":
+    """Fused matcher ≡ pre-fusion reference path, byte for byte.
+
+    The fused cold path (trigger-token pre-filter over the compiled
+    :class:`~repro.rules.registry.TriggerAutomaton` plus per-run
+    workload-fact caches) is pure optimisation: over every corpus and
+    configuration its detections must serialise identically to the
+    reference path (``fused=False`` — plain dispatch, facts recomputed per
+    rule call, exactly the pre-fusion detector).  Checked corpora: the
+    fuzzed (or given) corpus and every registered rule's conformance
+    examples — the statements behind the golden corpus.  Checked
+    configurations: the given (or default) config, intra-query-only,
+    cache-off, and the strict-thresholds ablation; ``detect_batch`` is
+    compared against the reference on the main corpus too, so the sharded
+    fan-out inherits the same guarantee.
+    """
+    import dataclasses as _dc
+
+    from ..rules.registry import default_registry
+    from ..rules.thresholds import Thresholds
+
+    if corpus is None:
+        corpus = CorpusGenerator(seed).corpus_sql(statements)
+    corpus = list(corpus)
+    example_corpora = [
+        (f"example {rule.name}/{index}", list(example.statements))
+        for rule in default_registry()
+        for index, example in enumerate(rule.examples())
+    ]
+    base = config or DetectorConfig()
+    configurations = {
+        "default": base,
+        "intra-only": _dc.replace(base, enable_inter_query=False),
+        "cache-off": _dc.replace(base, enable_cache=False),
+        "strict-thresholds": _dc.replace(
+            base,
+            thresholds=Thresholds(
+                god_table_columns=5,
+                too_many_joins=3,
+                enum_max_distinct=4,
+                index_overuse_max_indexes=1,
+                data_in_metadata_min_columns=2,
+            ),
+        ),
+    }
+    failures: list[OracleFailure] = []
+    for config_name, configured in configurations.items():
+        fused_config = _dc.replace(configured, fused=True)
+        reference_config = _dc.replace(configured, fused=False)
+        for subject, subject_corpus in [("fuzzed corpus", corpus), *example_corpora]:
+            fused = detection_bytes(APDetector(fused_config).detect(subject_corpus))
+            reference = detection_bytes(
+                APDetector(reference_config).detect(subject_corpus)
+            )
+            if fused != reference:
+                failures.append(OracleFailure(
+                    "fused-equivalence", f"{subject} [{config_name}]",
+                    "fused detections differ from the pre-fusion reference path"))
+        batch_report, stats = APDetector(fused_config).detect_batch(
+            corpus, workers=workers
+        )
+        reference = detection_bytes(APDetector(reference_config).detect(corpus))
+        if detection_bytes(batch_report) != reference:
+            failures.append(OracleFailure(
+                "fused-equivalence", f"detect_batch [{config_name}]",
+                f"fused batch pipeline ({stats.parallel_mode}) differs from the "
+                "pre-fusion reference path"))
+    return failures
+
+
+# ----------------------------------------------------------------------
 # pipeline-stats accounting
 # ----------------------------------------------------------------------
 def check_stats_accounting(

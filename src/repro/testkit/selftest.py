@@ -23,6 +23,7 @@ from .oracles import (
     check_dbdeo_agreement,
     check_fault_isolation,
     check_fixer_round_trip,
+    check_fused_equivalence,
 )
 
 #: Default golden-corpus location (repo checkout layout); resolves to
@@ -199,5 +200,13 @@ def run_selftest(
     #    detections stay byte-identical and every fault is recorded.
     result.oracle_failures.extend(
         check_fault_isolation(corpus, seed=seed, config=config)
+    )
+
+    # 8. fused matcher vs. pre-fusion reference: the trigger pre-filter and
+    #    workload-fact caches must be pure optimisation — byte-identical
+    #    detections over the corpus, every rule example, and the ablated
+    #    configurations, so any matcher drift fails the selftest.
+    result.oracle_failures.extend(
+        check_fused_equivalence(corpus, seed=seed, workers=workers, config=config)
     )
     return result

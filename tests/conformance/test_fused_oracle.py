@@ -1,0 +1,18 @@
+"""Fused matcher ≡ pre-fusion reference, byte for byte (PR 7 tentpole).
+
+The fused cold path — compiled trigger-token pre-filter plus per-run
+workload-fact caches — must be pure optimisation.  The oracle compares the
+fused detector against the ``fused=False`` reference (plain dispatch,
+facts recomputed per rule call, exactly the pre-fusion detector) over the
+fuzzed corpus and every registered rule's conformance examples, under the
+default, intra-only, cache-off, and strict-thresholds configurations, and
+through ``detect_batch``.  Any divergence is matcher drift.
+"""
+from __future__ import annotations
+
+from repro.testkit import check_fused_equivalence
+
+
+def test_fused_byte_identical_to_reference_on_golden_and_fuzzed():
+    failures = check_fused_equivalence(statements=120)
+    assert not failures, "\n".join(str(f) for f in failures)
