@@ -9,12 +9,12 @@ database's tables.
 from __future__ import annotations
 
 import copy
-import time
 from typing import Any, Iterable, Sequence
 
 from ..catalog.ddl_builder import DDLBuilder
 from ..catalog.schema import Schema
 from ..errors import CODE_PARSE_ERROR, CODE_PROFILE_ERROR, PipelineError
+from ..obs import get_tracer, now
 from ..profiler.profiler import DataProfiler
 from ..profiler.sampler import Sampler
 from ..sqlparser import AnnotationCache, ParsedStatement, QueryAnnotation, annotate, parse
@@ -78,9 +78,12 @@ class ContextBuilder:
         normally.  Off (the default), failures propagate as before.
         """
         errors: "list[PipelineError] | None" = [] if quarantine else None
-        t0 = time.perf_counter()
+        tracer = get_tracer()
+        t0 = now()
         annotations = self._annotate_queries(queries, source, errors=errors)
-        t1 = time.perf_counter()
+        t1 = now()
+        if tracer.enabled:
+            tracer.record("stage:parse", t0, t1, statements=len(annotations))
         if stats is not None:
             # One shared boundary timestamp between the stages keeps
             # parse + context equal to the elapsed wall-clock exactly.
@@ -110,8 +113,11 @@ class ContextBuilder:
             source=source,
             errors=list(errors or ()),
         )
+        t2 = now()
+        if tracer.enabled:
+            tracer.record("stage:context", t1, t2, tables=schema.table_count)
         if stats is not None:
-            stats.context_seconds += time.perf_counter() - t1
+            stats.context_seconds += t2 - t1
         return context
 
     def refresh_data(self, context: ApplicationContext) -> ApplicationContext:

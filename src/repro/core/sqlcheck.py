@@ -14,7 +14,6 @@ are identical to running :meth:`check` on it directly.
 from __future__ import annotations
 
 import json
-import time
 from collections import Counter
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -39,6 +38,7 @@ from ..fixer.fix import Fix
 from ..fixer.repair_engine import APFixer, QueryRepairEngine
 from ..model.antipatterns import AntiPattern
 from ..model.detection import DetectionReport
+from ..obs import get_tracer, now, observe_stage_seconds
 from ..ranking.config import C1, RankingConfig
 from ..ranking.cost_model import WorkloadCostModel, resolve_cost_model
 from ..ranking.metrics import APMetrics
@@ -299,19 +299,21 @@ class SQLCheck:
         cache = self.detector.annotation_cache
         hits0 = cache.stats.hits if cache is not None else 0
         misses0 = cache.stats.misses if cache is not None else 0
-        start = time.perf_counter()
-        context = self._builder.build(
-            queries,
-            database=database,
-            source=source,
-            stats=stats,
-            quarantine=self.options.detector.quarantine,
-        )
-        if cache is not None:
-            stats.annotation_cache_hits = cache.stats.hits - hits0
-            stats.annotation_cache_misses = cache.stats.misses - misses0
-        report = self.check_context(context, stats=stats)
-        stats.total_seconds = time.perf_counter() - start
+        with get_tracer().span("check", source=source):
+            start = now()
+            context = self._builder.build(
+                queries,
+                database=database,
+                source=source,
+                stats=stats,
+                quarantine=self.options.detector.quarantine,
+            )
+            if cache is not None:
+                stats.annotation_cache_hits = cache.stats.hits - hits0
+                stats.annotation_cache_misses = cache.stats.misses - misses0
+            report = self.check_context(context, stats=stats)
+            stats.total_seconds = now() - start
+        observe_stage_seconds(stats)
         return report
 
     def check_context(
@@ -319,12 +321,14 @@ class SQLCheck:
     ) -> SQLCheckReport:
         """Run the full pipeline over a pre-built application context."""
         stats = stats if stats is not None else PipelineStats()
+        tracer = get_tracer()
         # Shared boundary timestamps: detect + rank + fix equals the elapsed
         # wall-clock exactly, keeping total ≡ sum of stages (the accounting
         # invariant the conformance oracle checks).
-        t0 = time.perf_counter()
-        detection_report = self.detector.detect_in_context(context, stats=stats)
-        t1 = time.perf_counter()
+        t0 = now()
+        with tracer.span("stage:detect"):
+            detection_report = self.detector.detect_in_context(context, stats=stats)
+        t1 = now()
         stats.detect_seconds += t1 - t0
         quarantine = self.options.detector.quarantine
         errors: "list[PipelineError]" = list(detection_report.errors)
@@ -340,35 +344,37 @@ class SQLCheck:
         # and durations to the context) weight the ranking through the
         # configured cost model; absent a log every weight is 1.
         model = resolve_cost_model(self.options.cost_model)
-        try:
-            ranked = self.ranker.rank(
-                detection_report,
-                frequencies=context.frequencies or None,
-                durations=context.durations or None,
-                cost_model=model,
-            )
-        except Exception as error:
-            if not quarantine:
-                raise
-            # A broken (likely user-supplied) cost model degrades the run
-            # to the default weighting instead of losing the findings.
-            record("rank", CODE_RANK_ERROR, error)
-            model = resolve_cost_model(None)
-            ranked = self.ranker.rank(detection_report)
-        t2 = time.perf_counter()
-        stats.rank_seconds += t2 - t1
-        if self.options.suggest_fixes:
+        with tracer.span("stage:rank"):
             try:
-                fixes = self.fixer.fix(ranked, context)
+                ranked = self.ranker.rank(
+                    detection_report,
+                    frequencies=context.frequencies or None,
+                    durations=context.durations or None,
+                    cost_model=model,
+                )
             except Exception as error:
                 if not quarantine:
                     raise
-                # Findings are still reported, just without suggested fixes.
-                record("fix", CODE_FIX_ERROR, error)
+                # A broken (likely user-supplied) cost model degrades the run
+                # to the default weighting instead of losing the findings.
+                record("rank", CODE_RANK_ERROR, error)
+                model = resolve_cost_model(None)
+                ranked = self.ranker.rank(detection_report)
+        t2 = now()
+        stats.rank_seconds += t2 - t1
+        with tracer.span("stage:fix"):
+            if self.options.suggest_fixes:
+                try:
+                    fixes = self.fixer.fix(ranked, context)
+                except Exception as error:
+                    if not quarantine:
+                        raise
+                    # Findings are still reported, just without suggested fixes.
+                    record("fix", CODE_FIX_ERROR, error)
+                    fixes = []
+            else:
                 fixes = []
-        else:
-            fixes = []
-        stats.fix_seconds += time.perf_counter() - t2
+        stats.fix_seconds += now() - t2
         stats.statements = detection_report.queries_analyzed
         if stats.total_seconds == 0.0:
             stats.total_seconds = stats.stage_seconds_sum()
@@ -413,7 +419,7 @@ class SQLCheck:
         batch = BatchReport()
         batch.stats.workers = effective
         batch.stats.corpora = len(items)
-        start = time.perf_counter()
+        start = now()
         if effective > 1 and len(items) > 1 and total_statements >= MIN_PARALLEL_STATEMENTS:
             try:
                 with ProcessPoolExecutor(
@@ -442,10 +448,19 @@ class SQLCheck:
             else:
                 reason = REASON_SMALL_INPUT
             batch.stats.parallel_mode = serial_mode(requested, reason)
+        # Batch-level mode and semantics describe how THIS batch dispatched
+        # its corpora — the per-corpus runs are serial by construction, so
+        # merging must not fold their labels (or their corpora counts, which
+        # the merge now sums) into the batch's own.
+        mode = batch.stats.parallel_mode
+        semantics = batch.stats.stage_semantics
         for report in batch.reports.values():
             if report.stats is not None:
                 batch.stats.merge(report.stats)
-        batch.stats.total_seconds = time.perf_counter() - start
+        batch.stats.parallel_mode = mode
+        batch.stats.stage_semantics = semantics
+        batch.stats.corpora = len(items)
+        batch.stats.total_seconds = now() - start
         return batch
 
     @staticmethod

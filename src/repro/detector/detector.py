@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
-import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Sequence
@@ -31,6 +30,7 @@ from ..errors import (
     SourceUnavailableError,
 )
 from ..model.detection import Detection, DetectionReport
+from ..obs import get_metrics, get_tracer, now, observe_stage_seconds
 from ..rules.base import RuleContext
 from ..rules.registry import RuleRegistry, default_registry
 from ..rules.thresholds import Thresholds
@@ -139,6 +139,10 @@ class APDetector:
         self._memo: "OrderedDict[tuple, list[Detection]]" = OrderedDict()
         self._memo_hits = 0
         self._memo_misses = 0
+        # statement type -> candidate rule count, for the prefilter metrics
+        # (telemetry only — avoids a second registry dispatch per statement;
+        # a registry mutated mid-run refreshes on the next detector).
+        self._candidate_counts: "dict[str, int]" = {}
 
     # ------------------------------------------------------------------
     # public API
@@ -203,6 +207,8 @@ class APDetector:
         cache = self.annotation_cache
         cache_hits0 = cache.stats.hits if cache is not None else 0
         cache_miss0 = cache.stats.misses if cache is not None else 0
+        metrics = get_metrics()
+        tracer = get_tracer()
 
         # Stage boundaries share one timestamp each so every moment between
         # start and t3 lands in exactly one stage: total ≡ sum of stages
@@ -215,43 +221,63 @@ class APDetector:
         # pool results (parallel_mode records the partial downgrade).
         parse_errors: "list[PipelineError]" = []
         sink = parse_errors if self.config.quarantine else None
-        start = time.perf_counter()
-        annotations, chunks, mode = parallel_annotate(
-            queries,
-            workers=requested,
-            source=source,
-            chunk_size=chunk_size,
-            serial_fallback=lambda batch, start_index=0: self._builder._annotate_queries(
-                list(batch), source, errors=sink, start_index=start_index
-            ),
-        )
-        t1 = time.perf_counter()
-        stats.parse_seconds = t1 - start
-        if not mode.startswith(MODE_PROCESS_POOL):
-            stats.workers = 1
-        context = ApplicationContext(
-            queries=annotations,
-            schema=self._builder._build_schema(annotations, None),
-            profiles={},
-            database=None,
-            dialect=self._builder.dialect,
-            source=source,
-            errors=parse_errors,
-        )
-        t2 = time.perf_counter()
-        stats.context_seconds = t2 - t1
-        stats.chunks = chunks
-        stats.parallel_mode = mode
+        with tracer.span("detect_batch", statements=len(queries)):
+            start = now()
+            with tracer.span("stage:parse") as parse_span:
+                annotations, chunks, mode, worker_spans = parallel_annotate(
+                    queries,
+                    workers=requested,
+                    source=source,
+                    chunk_size=chunk_size,
+                    serial_fallback=lambda batch, start_index=0: self._builder._annotate_queries(
+                        list(batch), source, errors=sink, start_index=start_index
+                    ),
+                    trace=tracer.enabled,
+                )
+                if worker_spans:
+                    # Worker chunk timings, re-parented under this parse span
+                    # (the workers cannot share this tracer across the pool).
+                    tracer.adopt(worker_spans, parent=parse_span)
+            t1 = now()
+            stats.parse_seconds = t1 - start
+            if not mode.startswith(MODE_PROCESS_POOL):
+                stats.workers = 1
+            with tracer.span("stage:context"):
+                context = ApplicationContext(
+                    queries=annotations,
+                    schema=self._builder._build_schema(annotations, None),
+                    profiles={},
+                    database=None,
+                    dialect=self._builder.dialect,
+                    source=source,
+                    errors=parse_errors,
+                )
+            t2 = now()
+            stats.context_seconds = t2 - t1
+            stats.chunks = chunks
+            stats.parallel_mode = mode
 
-        report = self.detect_in_context(context, stats=stats)
-        t3 = time.perf_counter()
-        stats.detect_seconds = t3 - t2
+            with tracer.span("stage:detect"):
+                report = self.detect_in_context(context, stats=stats)
+            t3 = now()
+            stats.detect_seconds = t3 - t2
 
         stats.statements = len(context.queries)
         stats.total_seconds = t3 - start
         if cache is not None:
-            stats.annotation_cache_hits += cache.stats.hits - cache_hits0
-            stats.annotation_cache_misses += cache.stats.misses - cache_miss0
+            delta_hits = cache.stats.hits - cache_hits0
+            delta_misses = cache.stats.misses - cache_miss0
+            stats.annotation_cache_hits += delta_hits
+            stats.annotation_cache_misses += delta_misses
+            if metrics.enabled:
+                if delta_hits:
+                    metrics.annotation_cache_lookups.inc(delta_hits, result="hit")
+                if delta_misses:
+                    metrics.annotation_cache_lookups.inc(delta_misses, result="miss")
+                metrics.annotation_cache_entries.set(len(cache))
+        if metrics.enabled:
+            metrics.memo_entries.set(len(self._memo))
+            observe_stage_seconds(stats)
         return report, stats
 
     def stream(
@@ -320,7 +346,7 @@ class APDetector:
             for profile in context.profiles.values():
                 for rule in self.registry.data_rules:
                     try:
-                        found = list(rule.check_table(profile, rule_context))
+                        found = list(rule.observed_check_table(profile, rule_context))
                     except SourceUnavailableError as error:
                         # The rows behind this profile are gone (connector
                         # outage mid-scan): the verdict degrades to a
@@ -368,6 +394,7 @@ class APDetector:
         errors: "list[PipelineError] | None" = None,
     ) -> list[Detection]:
         statement = annotation.statement
+        metrics = get_metrics()
         key = None
         if memo_scope is not None and statement is not None:
             key = (memo_scope, statement.fingerprint, annotation.raw)
@@ -377,10 +404,14 @@ class APDetector:
                 self._memo_hits += 1
                 if stats is not None:
                     stats.memo_hits += 1
+                if metrics.enabled:
+                    metrics.memo_lookups.inc_single("hit")
                 return [self._replay(d, annotation) for d in cached]
             self._memo_misses += 1
             if stats is not None:
                 stats.memo_misses += 1
+            if metrics.enabled:
+                metrics.memo_lookups.inc_single("miss")
         detections: list[Detection] = []
         quarantined = False
         if self.config.fused:
@@ -389,6 +420,18 @@ class APDetector:
             rules = self.registry.fused_rules_for(
                 annotation.statement_type, annotation.raw.upper()
             )
+            if metrics.enabled:
+                candidates = self._candidate_counts.get(annotation.statement_type)
+                if candidates is None:
+                    candidates = len(
+                        self.registry.rules_for_statement(annotation.statement_type)
+                    )
+                    self._candidate_counts[annotation.statement_type] = candidates
+                skipped = candidates - len(rules)
+                if rules:
+                    metrics.prefilter_rules.inc_single("selected", len(rules))
+                if skipped > 0:
+                    metrics.prefilter_rules.inc_single("skipped", skipped)
         else:
             rules = self.registry.rules_for_statement(annotation.statement_type)
         for rule in rules:
@@ -397,10 +440,10 @@ class APDetector:
             if not rule.applies_to(annotation):
                 continue
             if errors is None:
-                detections.extend(rule.check(annotation, rule_context))
+                detections.extend(rule.observed_check(annotation, rule_context))
                 continue
             try:
-                detections.extend(rule.check(annotation, rule_context))
+                detections.extend(rule.observed_check(annotation, rule_context))
             except Exception as error:
                 quarantined = True
                 errors.append(

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import copy
 import os
+import time
 import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -54,6 +55,25 @@ def serial_mode(requested_workers: int, reason: str) -> str:
     """Mode string for a run that stayed serial: plain ``serial`` when serial
     was requested, ``serial-fallback:<reason>`` when a fan-out downgraded."""
     return MODE_SERIAL if requested_workers <= 1 else f"serial-fallback:{reason}"
+
+
+def merged_label(left: str, right: str) -> str:
+    """Combine two mode/semantics labels into an explicit ``mixed(...)``.
+
+    :meth:`PipelineStats.merge` uses this so a merge across runs that took
+    different paths (one corpus fanned out, another stayed serial) is
+    surfaced instead of silently keeping the left side's label.  Existing
+    ``mixed(...)`` labels are unwrapped so repeated merges stay flat.
+    """
+    parts: "set[str]" = set()
+    for label in (left, right):
+        if label.startswith("mixed(") and label.endswith(")"):
+            parts.update(p.strip() for p in label[len("mixed(") : -1].split(","))
+        else:
+            parts.add(label)
+    if len(parts) == 1:
+        return parts.pop()
+    return f"mixed({', '.join(sorted(parts))})"
 
 
 @dataclass
@@ -126,8 +146,11 @@ class PipelineStats:
         return self.memo_hits / lookups if lookups else 0.0
 
     def merge(self, other: "PipelineStats") -> "PipelineStats":
-        """Accumulate another run's stats into this one (stage times add;
-        worker/chunk counts take the maximum; totals are the caller's)."""
+        """Accumulate another run's stats into this one (stage times and
+        corpus counts add; worker/chunk counts take the maximum; totals are
+        the caller's).  Merging runs whose ``parallel_mode`` or
+        ``stage_semantics`` differ marks the field ``mixed(...)`` instead of
+        silently keeping the left side's label."""
         self.statements += other.statements
         self.parse_seconds += other.parse_seconds
         self.context_seconds += other.context_seconds
@@ -136,10 +159,13 @@ class PipelineStats:
         self.fix_seconds += other.fix_seconds
         self.workers = max(self.workers, other.workers)
         self.chunks = max(self.chunks, other.chunks)
+        self.parallel_mode = merged_label(self.parallel_mode, other.parallel_mode)
+        self.stage_semantics = merged_label(self.stage_semantics, other.stage_semantics)
         self.annotation_cache_hits += other.annotation_cache_hits
         self.annotation_cache_misses += other.annotation_cache_misses
         self.memo_hits += other.memo_hits
         self.memo_misses += other.memo_misses
+        self.corpora += other.corpora
         self.errors.extend(other.errors)
         return self
 
@@ -222,8 +248,8 @@ def _shard_of(sql: str, shard_count: int) -> int:
 
 
 def _annotate_shard(
-    payload: "tuple[Sequence[tuple[int, str]], str | None]",
-) -> "list[tuple[int, list[QueryAnnotation]]]":
+    payload: "tuple[Sequence[tuple[int, str]], str | None, bool]",
+) -> "tuple[list[tuple[int, list[QueryAnnotation]]], list[dict]]":
     """Process-pool worker: parse + annotate one shard of (position, sql).
 
     Sharding colocates duplicate texts, so each distinct text is parsed
@@ -231,9 +257,17 @@ def _annotate_shard(
     the annotation cache uses), which keeps every returned element's
     statement object independently mutable for the parent's index rebind.
     Returns ``(position, annotations)`` pairs so the parent can reassemble
-    the corpus in its original order.
+    the corpus in its original order, plus span payloads for
+    :meth:`repro.obs.Tracer.adopt` when ``trace`` is set.  The payloads are
+    anchored by one wall-clock timestamp because ``perf_counter`` epochs
+    are arbitrary per process — this is the sanctioned raw
+    ``time.perf_counter`` scope outside ``repro.obs`` (the parent tracer
+    object cannot cross the pickle boundary).
     """
-    pairs, source = payload
+    pairs, source, trace = payload
+    span_payloads: "list[dict]" = []
+    wall_start = time.time() if trace else 0.0
+    t0 = time.perf_counter() if trace else 0.0
     parsed: "dict[str, list[QueryAnnotation]]" = {}
     out: "list[tuple[int, list[QueryAnnotation]]]" = []
     for position, sql in pairs:
@@ -249,7 +283,20 @@ def _annotate_shard(
                 annotation.statement = statement
                 annotations.append(annotation)
         out.append((position, annotations))
-    return out
+    if trace:
+        span_payloads.append(
+            {
+                "name": "chunk",
+                "wall_start": wall_start,
+                "duration": time.perf_counter() - t0,
+                "attributes": {
+                    "statements": len(pairs),
+                    "distinct": len(parsed),
+                    "pid": os.getpid(),
+                },
+            }
+        )
+    return out, span_payloads
 
 
 def parallel_annotate(
@@ -259,20 +306,25 @@ def parallel_annotate(
     source: str | None = None,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
     serial_fallback: "Callable[..., list[QueryAnnotation]] | None" = None,
-) -> "tuple[list[QueryAnnotation], int, str]":
+    trace: bool = False,
+) -> "tuple[list[QueryAnnotation], int, str, list[dict]]":
     """Annotate a statement list, fanning cold parses over a process pool.
 
     Statements are sharded by :func:`_shard_of` (stable text hash), so the
     pool never duplicates parse work on corpora with repeated statements.
-    Returns ``(annotations, chunks, mode)`` where ``mode`` records the path
-    taken: ``process-pool``, ``process-pool:chunks-recovered=N`` when N
-    failed chunks were individually re-run through the serial quarantine
-    path (the other chunks keep their pool results), or one of the serial
-    fallbacks.  ``serial_fallback`` takes ``(batch, start_index=0)`` —
-    ``start_index`` is the corpus position of the batch's first element, so
-    quarantined error records carry corpus-wide provenance.  Statement
-    indexes are rebound to corpus order, so the output is identical to the
-    serial path regardless of sharding.
+    Returns ``(annotations, chunks, mode, span_payloads)`` where ``mode``
+    records the path taken: ``process-pool``,
+    ``process-pool:chunks-recovered=N`` when N failed chunks were
+    individually re-run through the serial quarantine path (the other
+    chunks keep their pool results), or one of the serial fallbacks.
+    ``span_payloads`` — populated only when ``trace`` is set and the pool
+    actually ran — are worker chunk timings for
+    :meth:`repro.obs.Tracer.adopt`.  ``serial_fallback`` takes
+    ``(batch, start_index=0)`` — ``start_index`` is the corpus position of
+    the batch's first element, so quarantined error records carry
+    corpus-wide provenance.  Statement indexes are rebound to corpus
+    order, so the output is identical to the serial path regardless of
+    sharding.
     """
     effective = resolve_workers(workers)
     serial = serial_fallback or (
@@ -282,7 +334,7 @@ def parallel_annotate(
         reason = REASON_SINGLE_CPU if workers > 1 and effective <= 1 else REASON_SMALL_INPUT
         annotations = serial(queries)
         _rebind_indexes(annotations)
-        return annotations, 1, serial_mode(workers, reason)
+        return annotations, 1, serial_mode(workers, reason), []
     # At least one shard per worker; never hand one worker the whole input.
     chunk_size = max(1, min(chunk_size, -(-len(queries) // effective)))
     shard_count = max(effective, -(-len(queries) // chunk_size))
@@ -292,13 +344,18 @@ def parallel_annotate(
     shards = [shard for shard in shards if shard]
     recovered = 0
     results_by_position: "dict[int, list[QueryAnnotation]]" = {}
+    span_payloads: "list[dict]" = []
     try:
         with ProcessPoolExecutor(max_workers=effective) as pool:
-            futures = [pool.submit(_annotate_shard, (shard, source)) for shard in shards]
+            futures = [
+                pool.submit(_annotate_shard, (shard, source, trace)) for shard in shards
+            ]
             for shard, future in zip(shards, futures):
                 try:
-                    for position, annotations in future.result():
+                    shard_results, shard_spans = future.result()
+                    for position, annotations in shard_results:
                         results_by_position[position] = annotations
+                    span_payloads.extend(shard_spans)
                 except Exception:
                     # One bad statement fails only its own chunk: re-run
                     # just this chunk element-by-element through the serial
@@ -313,7 +370,7 @@ def parallel_annotate(
     except Exception:  # pool unavailable (sandboxing, pickling) -> stay correct
         annotations = serial(queries)
         _rebind_indexes(annotations)
-        return annotations, 1, serial_mode(workers, REASON_EXECUTOR_ERROR)
+        return annotations, 1, serial_mode(workers, REASON_EXECUTOR_ERROR), []
     annotations = [
         annotation
         for position in range(len(queries))
@@ -323,7 +380,7 @@ def parallel_annotate(
     mode = MODE_PROCESS_POOL
     if recovered:
         mode = f"{MODE_PROCESS_POOL}:chunks-recovered={recovered}"
-    return annotations, len(shards), mode
+    return annotations, len(shards), mode, span_payloads
 
 
 def _rebind_indexes(annotations: Iterable[QueryAnnotation]) -> None:

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from .obs import get_metrics
+
 # ----------------------------------------------------------------------
 # machine-readable error codes (the taxonomy REST / SARIF consumers match)
 # ----------------------------------------------------------------------
@@ -133,6 +135,14 @@ class PipelineError:
     statement_offset: int | None = None
     line: int | None = None
     detail: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Every quarantined failure — wherever in the pipeline it is
+        # recorded — lands in the process-wide metrics registry, labelled
+        # by stage and taxonomy code (no-op when metrics are disabled).
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.quarantined_errors.inc(stage=self.stage, code=self.code)
 
     @classmethod
     def from_exception(
@@ -252,6 +262,10 @@ class ErrorBudget:
             detail=detail or {},
         )
         self.errors.append(recorded)
+        if stage == "ingest":
+            metrics = get_metrics()
+            if metrics.enabled:
+                metrics.ingest_lines.inc(outcome="skipped")
         if self.exhausted:
             raise ErrorBudgetExceeded(self, recorded)
         return recorded

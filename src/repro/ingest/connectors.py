@@ -36,6 +36,7 @@ from ..catalog.ddl_builder import DDLBuilder
 from ..catalog.schema import Column, Schema, Table
 from ..catalog.types import parse_type
 from ..errors import SourceUnavailableError
+from ..obs import get_metrics, get_tracer
 from ..profiler.profiler import DataProfiler, TableProfile
 
 _T = TypeVar("_T")
@@ -199,22 +200,36 @@ class Connector:
                 f"circuit breaker open for {self.name}: "
                 f"{circuit.failures} consecutive failure(s), source fetches suspended"
             )
+        metrics = get_metrics()
+        tracer = get_tracer()
         policy = self.retry_policy
         attempts = max(1, policy.attempts)
+        op_name = getattr(operation, "__name__", "operation")
         last: "ConnectorError | None" = None
         for attempt in range(attempts):
             try:
-                result = operation(*args, **kwargs)
+                if tracer.enabled:
+                    with tracer.span(
+                        f"connector:{op_name}", source=self.name, attempt=attempt
+                    ):
+                        result = operation(*args, **kwargs)
+                else:
+                    result = operation(*args, **kwargs)
             except CircuitOpenError:
                 raise
             except ConnectorError as error:
                 last = error
                 if attempt + 1 < attempts:
+                    if metrics.enabled:
+                        metrics.connector_retries.inc()
                     time.sleep(policy.delay(attempt))
                 continue
             circuit.record_success()
             return result
+        was_open = circuit.is_open
         circuit.record_failure()
+        if metrics.enabled and circuit.is_open and not was_open:
+            metrics.connector_breaker_trips.inc()
         assert last is not None
         raise last
 

@@ -20,7 +20,6 @@ flows through the cached detection pipeline independently.
 """
 from __future__ import annotations
 
-import time
 from pathlib import Path
 from typing import Any, Iterable, Iterator
 
@@ -29,6 +28,7 @@ from ..context.application_context import ApplicationContext
 from ..core.sqlcheck import SQLCheck, SQLCheckOptions, SQLCheckReport
 from ..detector.pipeline import PipelineStats
 from ..errors import CODE_CIRCUIT_OPEN, CODE_SOURCE_UNAVAILABLE, PipelineError
+from ..obs import get_tracer, now, observe_stage_seconds
 from .connectors import CircuitOpenError, Connector, ConnectorError, connect
 from .log_readers import read_workload_log
 from .workload_log import WorkloadLog, statement_key
@@ -159,63 +159,66 @@ class LiveScanner:
             connector.name if connector is not None else None
         )
         quarantine = toolchain.options.detector.quarantine
-        start = time.perf_counter()
-        statements = log.statements() if log is not None else []
-        context = builder.build(statements, source=label, stats=stats, quarantine=quarantine)
-        if log is not None and log.errors:
-            # Malformed-line records from the degraded log read travel with
-            # the context so every report surface can account for them.
-            context.errors.extend(log.errors)
-        if connector is not None:
-            t_live = time.perf_counter()
-            # An unusable database input fails hard here (nothing to
-            # degrade to); only *later* source loss degrades the scan.
-            live_schema = connector.schema()
-            excluded = {name.lower() for name in exclude_tables}
-            if excluded and any(name in live_schema.tables for name in excluded):
-                # Copy-on-exclude: the connector's cached schema object must
-                # stay intact for later scans through the same connector.
-                trimmed = Schema()
-                for table in live_schema.tables.values():
-                    if table.name.lower() not in excluded:
-                        trimmed.add_table(table)
-                live_schema = trimmed
-            # The live catalog is authoritative when connected (Algorithm 1
-            # prefers it over DDL found in the workload).
-            if live_schema.tables or not context.schema.tables:
-                context.schema = live_schema
-            try:
-                context.profiles = connector.profiles(
-                    builder.profiler, sample_limit=sample_limit, exclude=excluded
-                )
-                context.database = connector
-            except ConnectorError as error:
-                if not quarantine or strict:
-                    raise
-                # The source died between introspection and profiling: keep
-                # the catalog, skip data analysis, record the loss.
-                context.profiles = {}
-                context.errors.append(
-                    PipelineError.from_exception(
-                        "ingest",
-                        error,
-                        code=(
-                            CODE_CIRCUIT_OPEN
-                            if isinstance(error, CircuitOpenError)
-                            else CODE_SOURCE_UNAVAILABLE
-                        ),
-                        source=connector.name,
-                        detail={"verdict": "skipped: source unavailable"},
+        tracer = get_tracer()
+        with tracer.span("scan", source=label):
+            start = now()
+            statements = log.statements() if log is not None else []
+            context = builder.build(statements, source=label, stats=stats, quarantine=quarantine)
+            if log is not None and log.errors:
+                # Malformed-line records from the degraded log read travel with
+                # the context so every report surface can account for them.
+                context.errors.extend(log.errors)
+            if connector is not None:
+                t_live = now()
+                # An unusable database input fails hard here (nothing to
+                # degrade to); only *later* source loss degrades the scan.
+                live_schema = connector.schema()
+                excluded = {name.lower() for name in exclude_tables}
+                if excluded and any(name in live_schema.tables for name in excluded):
+                    # Copy-on-exclude: the connector's cached schema object must
+                    # stay intact for later scans through the same connector.
+                    trimmed = Schema()
+                    for table in live_schema.tables.values():
+                        if table.name.lower() not in excluded:
+                            trimmed.add_table(table)
+                    live_schema = trimmed
+                # The live catalog is authoritative when connected (Algorithm 1
+                # prefers it over DDL found in the workload).
+                if live_schema.tables or not context.schema.tables:
+                    context.schema = live_schema
+                try:
+                    context.profiles = connector.profiles(
+                        builder.profiler, sample_limit=sample_limit, exclude=excluded
                     )
-                )
-            stats.context_seconds += time.perf_counter() - t_live
-        if log is not None:
-            assign_frequencies(context, log)
-        if cache is not None:
-            stats.annotation_cache_hits = cache.stats.hits - hits0
-            stats.annotation_cache_misses = cache.stats.misses - misses0
-        report = toolchain.check_context(context, stats=stats)
-        stats.total_seconds = time.perf_counter() - start
+                    context.database = connector
+                except ConnectorError as error:
+                    if not quarantine or strict:
+                        raise
+                    # The source died between introspection and profiling: keep
+                    # the catalog, skip data analysis, record the loss.
+                    context.profiles = {}
+                    context.errors.append(
+                        PipelineError.from_exception(
+                            "ingest",
+                            error,
+                            code=(
+                                CODE_CIRCUIT_OPEN
+                                if isinstance(error, CircuitOpenError)
+                                else CODE_SOURCE_UNAVAILABLE
+                            ),
+                            source=connector.name,
+                            detail={"verdict": "skipped: source unavailable"},
+                        )
+                    )
+                stats.context_seconds += now() - t_live
+            if log is not None:
+                assign_frequencies(context, log)
+            if cache is not None:
+                stats.annotation_cache_hits = cache.stats.hits - hits0
+                stats.annotation_cache_misses = cache.stats.misses - misses0
+            report = toolchain.check_context(context, stats=stats)
+            stats.total_seconds = now() - start
+        observe_stage_seconds(stats)
         return report
 
     def stream(

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
+from ..obs import get_metrics
 from ..sqlparser import split
 
 
@@ -103,6 +104,9 @@ class WorkloadLog:
         if record.is_empty or record.count <= 0:
             return
         self.records_read += 1
+        metrics = get_metrics()
+        if metrics.enabled:
+            metrics.ingest_lines.inc(outcome="folded")
         text = record.statement.strip()
         # A record holding several ;-separated statements (SQL dumps, some
         # trace formats) is split so every entry is exactly one statement —

@@ -37,6 +37,7 @@ from typing import Sequence
 
 from ..core.sqlcheck import SQLCheck, SQLCheckOptions, SQLCheckReport
 from ..detector.detector import DetectorConfig
+from ..obs import get_metrics, get_tracer
 from ..ranking.config import C1, C2, RankingConfig
 from ..reporting import (
     ALL_FORMATS,
@@ -86,7 +87,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats", action="store_true", help="print per-stage pipeline timings and cache hit rates"
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record hierarchical tracing spans (run → stage → per-rule) and "
+        "write them to FILE as JSONL",
+    )
     return parser
+
+
+def _start_trace(path: "str | None") -> None:
+    """Arm the process tracer for one CLI run (reset + enable)."""
+    if path:
+        get_tracer().enable(reset=True)
+
+
+def _finish_trace(path: "str | None") -> None:
+    """Export and disarm the tracer; a one-line note goes to stderr."""
+    if not path:
+        return
+    tracer = get_tracer()
+    tracer.disable()
+    count = tracer.export(path)
+    print(f"sqlcheck: trace with {count} span(s) written to {path}", file=sys.stderr)
 
 
 def build_selftest_parser() -> argparse.ArgumentParser:
@@ -201,11 +225,27 @@ def build_scan_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats", action="store_true", help="print per-stage pipeline timings and cache hit rates"
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record hierarchical tracing spans for this scan and write them "
+        "to FILE as JSONL",
+    )
     return parser
 
 
 def run_scan_command(argv: Sequence[str]) -> tuple[int, str]:
     """``sqlcheck scan``: live-source ingestion, return (code, output)."""
+    args = build_scan_parser().parse_args(list(argv))
+    _start_trace(args.trace)
+    try:
+        return _run_scan(args)
+    finally:
+        _finish_trace(args.trace)
+
+
+def _run_scan(args: argparse.Namespace) -> tuple[int, str]:
     from ..ingest import (
         ConnectorError,
         LiveScanner,
@@ -217,7 +257,6 @@ def run_scan_command(argv: Sequence[str]) -> tuple[int, str]:
 
     from ..errors import ErrorBudgetExceeded
 
-    args = build_scan_parser().parse_args(list(argv))
     if not args.db and not args.log:
         return 2, "error: sqlcheck scan needs --db, --log, or both"
     if args.pg_stat and not args.db:
@@ -323,6 +362,67 @@ def run_docs_command(argv: Sequence[str]) -> tuple[int, str]:
     return 0, output
 
 
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sqlcheck profile",
+        description="Run one instrumented pipeline pass over a corpus and "
+        "report the hot-path story: stage breakdown, cache efficiency, the "
+        "trigger pre-filter's skip rate, and the top-k slowest rules.",
+    )
+    parser.add_argument(
+        "files", nargs="*",
+        help="SQL files to profile (a seeded fuzzed corpus when empty)",
+    )
+    parser.add_argument(
+        "-q", "--query", action="append", default=[], help="profile a literal SQL statement"
+    )
+    parser.add_argument("--top", type=int, default=10, help="slowest rules shown (default 10)")
+    parser.add_argument("--seed", type=int, default=2020, help="fuzzing seed for the fallback corpus")
+    parser.add_argument(
+        "--statements", type=int, default=250,
+        help="approximate fuzzed corpus size when no input is given",
+    )
+    parser.add_argument("--dialect", default=None, help="SQL dialect hint")
+    parser.add_argument("--format", choices=("text", "json"), default="text", help="output format")
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="also record tracing spans for the profiled run (JSONL)",
+    )
+    return parser
+
+
+def run_profile_command(argv: Sequence[str]) -> tuple[int, str]:
+    """``sqlcheck profile``: one instrumented run, summarised."""
+    # Deferred import: repro.obs.profile depends on the toolchain, and the
+    # obs package itself must stay dependency-free.
+    from ..obs.profile import profile_corpus, render_profile
+    from ..testkit.generator import CorpusGenerator
+
+    args = build_profile_parser().parse_args(list(argv))
+    if args.top < 0:
+        return 2, "error: --top must be a non-negative number of rules"
+    sql_parts: list[str] = []
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as handle:
+            sql_parts.append(handle.read())
+    sql_parts.extend(args.query)
+    if sql_parts:
+        corpus: "Sequence[str] | str" = sql_parts[0] if len(sql_parts) == 1 else sql_parts
+        source = args.files[0] if len(args.files) == 1 and not args.query else None
+    else:
+        corpus = CorpusGenerator(args.seed).corpus_sql(args.statements)
+        source = f"fuzzed(seed={args.seed})"
+    options = SQLCheckOptions(detector=DetectorConfig(dialect=args.dialect))
+    _start_trace(args.trace)
+    try:
+        payload = profile_corpus(corpus, options=options, source=source, top=args.top)
+    finally:
+        _finish_trace(args.trace)
+    if args.format == "json":
+        return 0, json.dumps(payload, indent=2, default=str)
+    return 0, render_profile(payload)
+
+
 def run_selftest_command(argv: Sequence[str]) -> tuple[int, str]:
     """``sqlcheck selftest``: run the conformance suite, return (code, output)."""
     from ..sqlparser import split
@@ -365,8 +465,18 @@ def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple
         return run_docs_command(argv[1:])
     if argv[:1] == ["scan"]:
         return run_scan_command(argv[1:])
+    if argv[:1] == ["profile"]:
+        return run_profile_command(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
+    _start_trace(args.trace)
+    try:
+        return _run_main(args, stdin)
+    finally:
+        _finish_trace(args.trace)
+
+
+def _run_main(args: argparse.Namespace, stdin: "str | None") -> tuple[int, str]:
     file_contents: list[tuple[str, str]] = []
     for path in args.files:
         with open(path, "r", encoding="utf-8") as handle:
@@ -468,6 +578,8 @@ def render(
             payload["detections"] = payload["detections"][:top]
         if not stats:
             payload.pop("stats", None)
+        else:
+            _attach_metrics(payload)
         return json.dumps(payload, indent=2, default=str)
     lines: list[str] = []
     entries = report.detections[:top] if top else report.detections
@@ -508,6 +620,18 @@ def render(
     if stats and report.stats is not None:
         lines.extend(_stats_lines(report.stats))
     return "\n".join(lines)
+
+
+def _attach_metrics(payload: dict) -> None:
+    """Fold a snapshot of the process metrics registry into a stats block.
+
+    Stats payloads stay byte-stable with metrics disabled (conformance
+    comparisons rely on it), so the block only appears when the registry is
+    live and the payload actually carries stats.
+    """
+    metrics = get_metrics()
+    if metrics.enabled and isinstance(payload.get("stats"), dict):
+        payload["stats"]["metrics"] = metrics.snapshot()
 
 
 def _stats_lines(stats) -> list[str]:
@@ -555,6 +679,8 @@ def render_batch(
                 corpus_payload.pop("stats", None)
         if not stats:
             payload.pop("stats", None)
+        else:
+            _attach_metrics(payload)
         return json.dumps(payload, indent=2, default=str)
     sections: list[str] = [
         f"sqlcheck: {len(batch)} anti-pattern(s) across {len(batch.reports)} corpora"

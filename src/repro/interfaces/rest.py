@@ -55,6 +55,7 @@ from ..errors import (
     ErrorBudgetExceeded,
 )
 from ..model.antipatterns import catalog_entry, full_catalog
+from ..obs import PROMETHEUS_CONTENT_TYPE, get_metrics, render_prometheus
 from ..ranking.config import C1, C2
 from ..rules.registry import default_registry
 from ..reporting import (
@@ -69,6 +70,18 @@ from ..reporting import (
 #: ``format`` values accepted by the check routes: plain JSON (default)
 #: plus every rich reporting format — one source of truth with the CLI.
 _FORMATS = ("json",) + RICH_FORMATS
+
+
+def _attach_metrics(body: dict) -> None:
+    """Fold a metrics snapshot into a response's ``stats`` block.
+
+    Applied to every JSON-format report response that carries stats; absent
+    when metrics are disabled, so conformance comparisons against the
+    historical payload shape stay byte-stable.
+    """
+    metrics = get_metrics()
+    if metrics.enabled and isinstance(body.get("stats"), dict):
+        body["stats"]["metrics"] = metrics.snapshot()
 
 
 def _error(message: str, code: str = CODE_BAD_REQUEST) -> dict:
@@ -112,7 +125,9 @@ def handle_check_request(payload: dict) -> tuple[int, dict]:
     toolchain = SQLCheck(SQLCheckOptions(ranking=ranking))
     report = toolchain.check(query)
     if fmt == "json":
-        return 200, report.to_dict()
+        body = report.to_dict()
+        _attach_metrics(body)
+        return 200, body
     document = build_document(report, registry=toolchain.registry, source="request")
     return 200, _formatted_response(document, fmt, toolchain.registry)
 
@@ -139,7 +154,9 @@ def handle_check_batch_request(payload: dict) -> tuple[int, dict]:
     toolchain = SQLCheck(SQLCheckOptions(ranking=ranking))
     batch = toolchain.check_many(corpora, workers=workers)
     if fmt == "json":
-        return 200, batch.to_dict()
+        body = batch.to_dict()
+        _attach_metrics(body)
+        return 200, body
     documents = build_documents(batch, registry=toolchain.registry)
     return 200, _formatted_response(documents, fmt, toolchain.registry)
 
@@ -327,6 +344,7 @@ def handle_scan_request(payload: dict) -> tuple[int, dict]:
             if workload.errors:
                 body["workload"]["degraded"] = True
                 body["workload"]["lines_skipped"] = len(workload.errors)
+        _attach_metrics(body)
         return 200, body
     document = build_document(
         report, registry=scanner.toolchain.registry, source=source
@@ -417,9 +435,23 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(data)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
         if self.path == "/api/health":
             self._send(200, {"status": "ok"})
+        elif self.path in ("/metrics", "/api/metrics"):
+            # Prometheus text exposition of the process-wide registry
+            # (served on the conventional scrape path and under /api/).
+            self._send_text(
+                200, render_prometheus(get_metrics()), PROMETHEUS_CONTENT_TYPE
+            )
         elif self.path == "/api/antipatterns":
             self._send(200, catalog_response())
         elif self.path == "/api/rules":

@@ -1,0 +1,89 @@
+"""Prometheus text exposition (format version 0.0.4).
+
+Renders a :class:`~repro.obs.metrics.MetricsRegistry` in the plain-text
+format Prometheus scrapes: ``# HELP`` / ``# TYPE`` headers per family,
+one sample line per labelled series, and the cumulative
+``_bucket``/``_sum``/``_count`` expansion for histograms.  Zero
+dependencies — the REST layer serves the returned string verbatim at
+``GET /metrics``.
+"""
+from __future__ import annotations
+
+import math
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: the Content-Type Prometheus expects for the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: "dict[str, str]") -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(value)}"' for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _bucket_label(bound: float) -> str:
+    return _format_value(float(bound))
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as one text-exposition document.
+
+    Families render in registration order; families with no series still
+    emit their ``HELP``/``TYPE`` headers, so consumers (and the acceptance
+    test) can see the full instrument surface before traffic arrives.
+    """
+    lines: "list[str]" = []
+    for instrument in registry:
+        lines.append(f"# HELP {instrument.name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            for labels, count, total, bucket_counts in instrument.series():
+                cumulative = 0
+                for bound, bucket_count in zip(instrument.buckets, bucket_counts):
+                    cumulative += bucket_count
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = _bucket_label(bound)
+                    lines.append(
+                        f"{instrument.name}_bucket{_format_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                cumulative += bucket_counts[-1]
+                inf_labels = dict(labels)
+                inf_labels["le"] = "+Inf"
+                lines.append(
+                    f"{instrument.name}_bucket{_format_labels(inf_labels)} {cumulative}"
+                )
+                lines.append(
+                    f"{instrument.name}_sum{_format_labels(labels)} "
+                    f"{_format_value(total)}"
+                )
+                lines.append(f"{instrument.name}_count{_format_labels(labels)} {count}")
+        elif isinstance(instrument, (Counter, Gauge)):
+            for labels, value in instrument.series():
+                lines.append(
+                    f"{instrument.name}{_format_labels(labels)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n"

@@ -11,6 +11,11 @@ from typing import Iterable
 
 from .model import Finding, ReportDocument
 
+#: Findings per page before a document's detail cards are paginated.
+#: Reports at or under this size render exactly as before — no nav, no
+#: script — so the common case stays a plain static page.
+DEFAULT_PAGE_SIZE = 25
+
 _STYLE = """
 body { font-family: -apple-system, 'Segoe UI', Roboto, sans-serif; margin: 2rem auto;
        max-width: 60rem; padding: 0 1rem; color: #1f2328; line-height: 1.5; }
@@ -26,6 +31,34 @@ code { background: #f6f8fa; padding: .1rem .3rem; border-radius: 4px; }
 .sev-low { border-left: 4px solid #0969da; }
 .meta { color: #59636e; font-size: .9rem; }
 .cite { color: #59636e; font-style: italic; font-size: .9rem; }
+.pager { display: flex; align-items: center; gap: .6rem; margin: 1rem 0; }
+.pager button { border: 1px solid #d1d9e0; background: #f6f8fa; border-radius: 6px;
+                padding: .3rem .8rem; cursor: pointer; font-size: .9rem; }
+.pager button:disabled { opacity: .4; cursor: default; }
+"""
+
+#: Client-side page flipper (no external assets; one copy per page).  Page
+#: divs are ``id="{doc}-page{n}"``; the pager buttons and label live in
+#: ``id="{doc}-pager"``.
+_PAGER_SCRIPT = """
+function sqlcheckShowPage(doc, page, total) {
+  if (page < 1 || page > total) return;
+  for (var i = 1; i <= total; i++) {
+    var el = document.getElementById(doc + '-page' + i);
+    if (el) el.style.display = (i === page) ? '' : 'none';
+  }
+  var pager = document.getElementById(doc + '-pager');
+  if (!pager) return;
+  pager.querySelector('.pager-label').textContent = 'Page ' + page + ' of ' + total;
+  pager.querySelector('.pager-prev').disabled = (page === 1);
+  pager.querySelector('.pager-next').disabled = (page === total);
+  pager.dataset.page = page;
+}
+function sqlcheckFlipPage(doc, total, delta) {
+  var pager = document.getElementById(doc + '-pager');
+  var page = pager ? parseInt(pager.dataset.page || '1', 10) : 1;
+  sqlcheckShowPage(doc, page + delta, total);
+}
 """
 
 
@@ -71,7 +104,42 @@ def _finding_html(finding: Finding) -> "list[str]":
     return parts
 
 
-def _document_html(document: ReportDocument, *, tag: str = "h1") -> "list[str]":
+def _page_table(findings: "list[Finding]") -> "list[str]":
+    parts = ["<table><tr><th>#</th><th>Anti-pattern</th><th>Rule</th>"
+             "<th>Severity</th><th>Confidence</th><th>Where</th></tr>"]
+    for finding in findings:
+        detection = finding.detection
+        parts.append(
+            f"<tr><td>{finding.rank}</td><td>{_e(detection.display_name)}</td>"
+            f"<td><code>{_e(detection.rule or detection.anti_pattern.value)}</code></td>"
+            f"<td>{_e(finding.severity.title())}</td>"
+            f"<td>{detection.confidence:.2f}</td>"
+            f"<td>{_e(finding.location_label)}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def _pager_html(doc_id: str, pages: int) -> "list[str]":
+    return [
+        f'<div class="pager" id="{doc_id}-pager" data-page="1">',
+        f'<button class="pager-prev" '
+        f"onclick=\"sqlcheckFlipPage('{doc_id}', {pages}, -1)\" disabled>"
+        "&larr; Prev</button>",
+        f'<span class="pager-label meta">Page 1 of {pages}</span>',
+        f'<button class="pager-next" '
+        f"onclick=\"sqlcheckFlipPage('{doc_id}', {pages}, 1)\">Next &rarr;</button>",
+        "</div>",
+    ]
+
+
+def _document_html(
+    document: ReportDocument,
+    *,
+    tag: str = "h1",
+    doc_id: str = "doc0",
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> "list[str]":
     shown = (
         f" Showing the top {len(document.findings)} by impact."
         if document.is_truncated
@@ -99,20 +167,24 @@ def _document_html(document: ReportDocument, *, tag: str = "h1") -> "list[str]":
         parts.extend(_errors_html(document))
         parts.extend(_stats_html(document))
         return parts
-    parts.append("<table><tr><th>#</th><th>Anti-pattern</th><th>Rule</th>"
-                 "<th>Severity</th><th>Confidence</th><th>Where</th></tr>")
-    for finding in document.findings:
-        detection = finding.detection
-        parts.append(
-            f"<tr><td>{finding.rank}</td><td>{_e(detection.display_name)}</td>"
-            f"<td><code>{_e(detection.rule or detection.anti_pattern.value)}</code></td>"
-            f"<td>{_e(finding.severity.title())}</td>"
-            f"<td>{detection.confidence:.2f}</td>"
-            f"<td>{_e(finding.location_label)}</td></tr>"
-        )
-    parts.append("</table>")
-    for finding in document.findings:
-        parts.extend(_finding_html(finding))
+    findings = list(document.findings)
+    if page_size <= 0 or len(findings) <= page_size:
+        # Small report: one static page, no pager, no script.
+        parts.extend(_page_table(findings))
+        for finding in findings:
+            parts.extend(_finding_html(finding))
+        parts.extend(_errors_html(document))
+        parts.extend(_stats_html(document))
+        return parts
+    chunks = [findings[i:i + page_size] for i in range(0, len(findings), page_size)]
+    parts.extend(_pager_html(doc_id, len(chunks)))
+    for number, chunk in enumerate(chunks, start=1):
+        hidden = "" if number == 1 else ' style="display:none"'
+        parts.append(f'<div class="page" id="{doc_id}-page{number}"{hidden}>')
+        parts.extend(_page_table(chunk))
+        for finding in chunk:
+            parts.extend(_finding_html(finding))
+        parts.append("</div>")
     parts.extend(_errors_html(document))
     parts.extend(_stats_html(document))
     return parts
@@ -143,22 +215,36 @@ def _stats_html(document: ReportDocument) -> "list[str]":
     return [f'<h4>Pipeline stats</h4>\n<p class="meta">{timings}</p>']
 
 
-def render_html(documents: "ReportDocument | Iterable[ReportDocument]") -> str:
-    """Render one document (or several corpus documents) as a full HTML page."""
+def render_html(
+    documents: "ReportDocument | Iterable[ReportDocument]",
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+) -> str:
+    """Render one document (or several corpus documents) as a full HTML page.
+
+    Documents with more than ``page_size`` findings are split into
+    client-side pages (summary table and detail cards together), navigated
+    by an inline pager — still a single self-contained file with no
+    external assets.  ``page_size=0`` disables pagination.
+    """
     docs = [documents] if isinstance(documents, ReportDocument) else list(documents)
     body: "list[str]" = []
     if len(docs) == 1:
-        body.extend(_document_html(docs[0]))
+        body.extend(_document_html(docs[0], page_size=page_size))
     else:
         total = sum(doc.total_findings for doc in docs)
         body.append("<h1>SQLCheck batch report</h1>")
         body.append(f"<p><strong>{total} anti-pattern(s)</strong> across {len(docs)} corpora.</p>")
-        for doc in docs:
-            body.extend(_document_html(doc, tag="h2"))
+        for index, doc in enumerate(docs):
+            body.extend(
+                _document_html(doc, tag="h2", doc_id=f"doc{index}", page_size=page_size)
+            )
+    paginated = page_size > 0 and any(len(doc.findings) > page_size for doc in docs)
+    script = f"<script>{_PAGER_SCRIPT}</script>\n" if paginated else ""
     return (
         "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
         "<title>SQLCheck report</title>\n"
-        f"<style>{_STYLE}</style>\n</head>\n<body>\n"
+        f"<style>{_STYLE}</style>\n{script}</head>\n<body>\n"
         + "\n".join(body)
         + "\n</body>\n</html>\n"
     )

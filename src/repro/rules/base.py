@@ -16,6 +16,7 @@ from typing import Iterable, Mapping, Sequence
 from ..context.application_context import ApplicationContext
 from ..model.antipatterns import AntiPattern
 from ..model.detection import Detection, Severity
+from ..obs import get_metrics, get_tracer, now
 from ..profiler.profiler import TableProfile
 from ..sqlparser import QueryAnnotation
 from .thresholds import Thresholds
@@ -343,6 +344,33 @@ class QueryRule(Rule):
     def check(self, annotation: QueryAnnotation, context: RuleContext) -> list[Detection]:
         """Return the detections found in ``annotation`` (possibly empty)."""
 
+    def observed_check(
+        self, annotation: QueryAnnotation, context: RuleContext
+    ) -> list[Detection]:
+        """:meth:`check` under the rule timing hook.
+
+        The detector calls this instead of :meth:`check` so every rule
+        invocation feeds the per-rule latency histogram and fire counter,
+        and — when tracing — a ``rule:<name>`` span.  Byte-transparent by
+        construction: the return value and any exception are ``check``'s,
+        untouched; with metrics and tracing both off this is one extra
+        method call on top of ``check``.
+        """
+        metrics = get_metrics()
+        tracer = get_tracer()
+        if not metrics.enabled and not tracer.enabled:
+            return self.check(annotation, context)
+        t0 = now()
+        found = self.check(annotation, context)
+        t1 = now()
+        if metrics.enabled:
+            metrics.rule_check_seconds.observe_single(t1 - t0, self.name)
+            if found:
+                metrics.rule_fires.inc_single(self.name, len(found))
+        if tracer.enabled:
+            tracer.record(f"rule:{self.name}", t0, t1, fired=len(found))
+        return found
+
 
 class DataRule(Rule):
     """A rule applied to one table profile (Algorithm 3)."""
@@ -350,6 +378,28 @@ class DataRule(Rule):
     @abc.abstractmethod
     def check_table(self, profile: TableProfile, context: RuleContext) -> list[Detection]:
         """Return the detections found in the profiled table (possibly empty)."""
+
+    def observed_check_table(
+        self, profile: TableProfile, context: RuleContext
+    ) -> list[Detection]:
+        """:meth:`check_table` under the rule timing hook (see
+        :meth:`QueryRule.observed_check` for the transparency contract)."""
+        metrics = get_metrics()
+        tracer = get_tracer()
+        if not metrics.enabled and not tracer.enabled:
+            return self.check_table(profile, context)
+        t0 = now()
+        found = self.check_table(profile, context)
+        t1 = now()
+        if metrics.enabled:
+            metrics.rule_check_seconds.observe_single(t1 - t0, self.name)
+            if found:
+                metrics.rule_fires.inc_single(self.name, len(found))
+        if tracer.enabled:
+            tracer.record(
+                f"rule:{self.name}", t0, t1, fired=len(found), table=profile.name
+            )
+        return found
 
 
 def merge_detections(groups: Iterable[list[Detection]]) -> list[Detection]:

@@ -14,8 +14,9 @@ behind those claims:
   (``tests/conformance/golden/*.jsonl``) with an update path;
 * :mod:`repro.testkit.oracles` — differential oracles: cold vs. warm-cache
   vs. batch equivalence, detector vs. dbdeo agreement, fixer round-trips,
-  pipeline-stats accounting, live-scan vs. offline equivalence, and
-  fault isolation (degraded runs preserve the clean subset byte-for-byte);
+  pipeline-stats accounting, live-scan vs. offline equivalence, fault
+  isolation (degraded runs preserve the clean subset byte-for-byte), and
+  observability transparency (metrics/tracing never change a detection);
 * :mod:`repro.testkit.chaos` — seeded fault injection: crashing/flaky
   rules, flaky/broken connectors, and a log corrupter driving the
   fault-isolation oracle;
@@ -44,6 +45,7 @@ from .oracles import (
     check_fault_isolation,
     check_fixer_round_trip,
     check_fused_equivalence,
+    check_observability_transparency,
     check_scan_equivalence,
     check_stats_accounting,
     detection_bytes,
@@ -69,6 +71,7 @@ __all__ = [
     "check_fault_isolation",
     "check_fixer_round_trip",
     "check_fused_equivalence",
+    "check_observability_transparency",
     "check_scan_equivalence",
     "check_stats_accounting",
     "corrupt_log_lines",

@@ -24,7 +24,11 @@ Every oracle returns a list of :class:`OracleFailure` (empty = pass):
   models must degenerate exactly where the design says they do: the
   ``duration`` and ``hybrid`` models under *uniform* durations are
   byte-identical to ``frequency``, and every model over a logless workload
-  is byte-identical to the seed ranking (no cost model at all).
+  is byte-identical to the seed ranking (no cost model at all);
+* :func:`check_observability_transparency` — instrumentation must be pure
+  observation: detections and rankings with metrics on, and with metrics
+  *and* tracing on, are byte-identical to a run with all observability
+  off.
 """
 from __future__ import annotations
 
@@ -714,4 +718,95 @@ def check_fault_isolation(
             failures.append(OracleFailure(
                 "fault-isolation", "broken connector",
                 "the source-loss record lost its skipped-verdict provenance"))
+    return failures
+
+
+# ----------------------------------------------------------------------
+# observability transparency
+# ----------------------------------------------------------------------
+def check_observability_transparency(
+    corpus: "Sequence[str] | None" = None,
+    *,
+    seed: int = 2020,
+    statements: int = 60,
+    workers: int = 2,
+    config: DetectorConfig | None = None,
+) -> "list[OracleFailure]":
+    """Observability on ≡ observability off, byte for byte.
+
+    The metrics registry and the tracer are *pure observation*: switching
+    them on must not change a single detection or ranking byte.  Over one
+    corpus (fuzzed from ``seed`` when not given), three runs are compared:
+
+    1. **obs-off** — metrics disabled, tracer disabled (the baseline);
+    2. **metrics-on** — a fresh enabled :class:`~repro.obs.MetricsRegistry`
+       swapped in for the run;
+    3. **metrics+trace** — the same, with the process tracer enabled too.
+
+    Each mode runs ``detect_batch`` (the instrumented batch path) and a
+    full :meth:`~repro.core.sqlcheck.SQLCheck.check` (detect→rank→fix),
+    capturing :func:`detection_bytes` and :func:`ranking_bytes`.  The
+    instrumented runs must also be *non-vacuous* — metrics-on must record
+    rule timings and trace-on must record spans, so a regression that
+    silently disables collection cannot pass as "transparent".  All
+    process-wide observability state is restored afterwards.
+    """
+    import dataclasses as _dc
+
+    from ..obs import MetricsRegistry, get_tracer, set_metrics_enabled, swap_registry
+
+    if corpus is None:
+        corpus = CorpusGenerator(seed).corpus_sql(statements)
+    corpus = list(corpus)
+    base = config or DetectorConfig()
+    failures: list[OracleFailure] = []
+    tracer = get_tracer()
+
+    def run_once() -> "tuple[bytes, bytes]":
+        batch_report, _stats = APDetector(_dc.replace(base, enable_cache=True)).detect_batch(
+            corpus, workers=workers
+        )
+        full = SQLCheck(SQLCheckOptions(detector=base)).check(corpus)
+        return detection_bytes(batch_report), ranking_bytes(full.detections)
+
+    was_tracing = tracer.enabled
+    previous_registry = swap_registry(MetricsRegistry(enabled=False))
+    tracer.disable()
+    try:
+        baseline = run_once()
+
+        metrics_registry = MetricsRegistry(enabled=True)
+        swap_registry(metrics_registry)
+        with_metrics = run_once()
+        if with_metrics != baseline:
+            failures.append(OracleFailure(
+                "obs-transparency", "metrics-on",
+                "enabling the metrics registry changed detections or rankings"))
+        timings = sum(
+            count for _labels, count, _sum, _buckets
+            in metrics_registry.rule_check_seconds.series()
+        )
+        if timings == 0:
+            failures.append(OracleFailure(
+                "obs-transparency", "metrics-on",
+                "an instrumented run recorded no rule timings — the comparison "
+                "was vacuous"))
+
+        swap_registry(MetricsRegistry(enabled=True))
+        tracer.enable(reset=True)
+        with_trace = run_once()
+        spans = len(tracer.spans())
+        tracer.disable()
+        if with_trace != baseline:
+            failures.append(OracleFailure(
+                "obs-transparency", "metrics+trace",
+                "enabling the tracer changed detections or rankings"))
+        if spans == 0:
+            failures.append(OracleFailure(
+                "obs-transparency", "metrics+trace",
+                "a traced run recorded no spans — the comparison was vacuous"))
+    finally:
+        swap_registry(previous_registry)
+        tracer.reset()
+        tracer.enabled = was_tracing
     return failures

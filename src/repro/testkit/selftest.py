@@ -24,6 +24,7 @@ from .oracles import (
     check_fault_isolation,
     check_fixer_round_trip,
     check_fused_equivalence,
+    check_observability_transparency,
 )
 
 #: Default golden-corpus location (repo checkout layout); resolves to
@@ -208,5 +209,15 @@ def run_selftest(
     #    configurations, so any matcher drift fails the selftest.
     result.oracle_failures.extend(
         check_fused_equivalence(corpus, seed=seed, workers=workers, config=config)
+    )
+
+    # 9. observability transparency: the metrics registry and the tracer
+    #    are pure observation — enabling either must not change a single
+    #    detection or ranking byte, and the instrumented runs must actually
+    #    record timings/spans (no vacuous pass).
+    result.oracle_failures.extend(
+        check_observability_transparency(
+            corpus, seed=seed, workers=workers, config=config
+        )
     )
     return result

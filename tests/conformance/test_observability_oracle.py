@@ -1,0 +1,68 @@
+"""The observability-transparency oracle: clean pass + tamper detection."""
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import get_metrics, get_tracer
+from repro.rules.base import QueryRule
+from repro.testkit import check_observability_transparency
+
+
+@pytest.fixture(autouse=True)
+def _pristine_obs_state():
+    """The oracle promises to restore process-wide observability state."""
+    metrics_enabled = get_metrics().enabled
+    tracer_enabled = get_tracer().enabled
+    yield
+    assert get_metrics().enabled is metrics_enabled
+    assert get_tracer().enabled is tracer_enabled
+
+
+def test_transparency_oracle_passes_on_the_real_pipeline():
+    assert check_observability_transparency(statements=30) == []
+
+
+def test_transparency_oracle_passes_on_a_planted_corpus():
+    corpus = [
+        "CREATE TABLE t (id INTEGER, name VARCHAR(10))",
+        "SELECT * FROM t",
+        "SELECT * FROM t",  # duplicate: exercises the memo under metrics
+    ]
+    assert check_observability_transparency(corpus) == []
+
+
+def test_oracle_catches_instrumentation_that_changes_results(monkeypatch):
+    """A observed_check that drops findings when metrics are on must fail."""
+    original = QueryRule.observed_check
+
+    def tampered(self, annotation, context):
+        found = original(self, annotation, context)
+        if get_metrics().enabled:
+            return []  # instrumentation "optimising away" real detections
+        return found
+
+    monkeypatch.setattr(QueryRule, "observed_check", tampered)
+    failures = check_observability_transparency(statements=20)
+    assert failures, "the oracle must catch instrumentation that changes results"
+    assert any("metrics-on" in f.subject for f in failures)
+
+
+def test_oracle_rejects_vacuous_instrumented_runs(monkeypatch):
+    """If rule timings silently stop being recorded, the pass is vacuous."""
+    from repro.obs.metrics import Histogram
+
+    monkeypatch.setattr(Histogram, "observe", lambda self, value, **labels: None)
+    monkeypatch.setattr(
+        Histogram, "observe_single", lambda self, value, label_value: None
+    )
+    failures = check_observability_transparency(statements=20)
+    assert any("vacuous" in f.reason for f in failures)
+
+
+def test_oracle_is_selftest_step_nine():
+    """run_selftest wires the oracle in; a tampered pipeline fails selftest."""
+    import inspect
+
+    from repro.testkit.selftest import run_selftest
+
+    assert "check_observability_transparency" in inspect.getsource(run_selftest)

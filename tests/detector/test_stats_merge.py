@@ -1,0 +1,87 @@
+"""``PipelineStats.merge``: corpus counting and mode-label integrity.
+
+Regression tests for a merge that dropped ``corpora`` (every batch
+reported ``corpora: 1`` no matter how many corpora were merged in) and
+silently kept the left side's ``parallel_mode``/``stage_semantics`` when
+the merged runs took different paths.
+"""
+from __future__ import annotations
+
+from repro.core.sqlcheck import SQLCheck
+from repro.detector.pipeline import PipelineStats, merged_label
+
+
+class TestMergedLabel:
+    def test_identical_labels_stay_plain(self):
+        assert merged_label("serial", "serial") == "serial"
+
+    def test_differing_labels_become_mixed(self):
+        assert merged_label("process-pool", "serial") == "mixed(process-pool, serial)"
+
+    def test_mixed_labels_unwrap_instead_of_nesting(self):
+        first = merged_label("process-pool", "serial")
+        again = merged_label(first, "serial")
+        assert again == "mixed(process-pool, serial)"
+        widened = merged_label(first, "serial-fallback")
+        assert widened == "mixed(process-pool, serial, serial-fallback)"
+        assert "mixed(mixed" not in merged_label(first, first)
+
+
+class TestStatsMerge:
+    def test_corpora_accumulate(self):
+        left = PipelineStats(statements=10)
+        right = PipelineStats(statements=5)
+        third = PipelineStats(statements=1)
+        left.merge(right).merge(third)
+        assert left.corpora == 3
+        assert left.statements == 16
+
+    def test_merged_corpora_sum_not_count(self):
+        # A right side that is itself a merge of two corpora carries both.
+        right = PipelineStats().merge(PipelineStats())
+        assert right.corpora == 2
+        left = PipelineStats()
+        left.merge(right)
+        assert left.corpora == 3
+
+    def test_mode_mismatch_is_surfaced(self):
+        left = PipelineStats(parallel_mode="process-pool")
+        left.merge(PipelineStats(parallel_mode="serial"))
+        assert left.parallel_mode == "mixed(process-pool, serial)"
+
+    def test_semantics_mismatch_is_surfaced(self):
+        left = PipelineStats(stage_semantics="cpu-aggregate")
+        left.merge(PipelineStats(stage_semantics="wall-clock"))
+        assert left.stage_semantics == "mixed(cpu-aggregate, wall-clock)"
+
+    def test_matching_labels_do_not_degrade(self):
+        left = PipelineStats(parallel_mode="serial")
+        left.merge(PipelineStats(parallel_mode="serial"))
+        assert left.parallel_mode == "serial"
+        assert left.stage_semantics == "wall-clock"
+
+    def test_merge_still_accumulates_timings_and_errors(self):
+        left = PipelineStats(parse_seconds=0.1, detect_seconds=0.2, errors=["a"])
+        right = PipelineStats(parse_seconds=0.3, detect_seconds=0.1, errors=["b"])
+        left.merge(right)
+        assert left.parse_seconds == 0.4
+        assert left.detect_seconds == 0.30000000000000004
+        assert left.errors == ["a", "b"]
+        assert left.degraded
+
+
+class TestCheckManyIntegrity:
+    def test_batch_stats_count_every_corpus(self):
+        toolchain = SQLCheck()
+        batch = toolchain.check_many({
+            "a.sql": ["SELECT * FROM t"],
+            "b.sql": ["SELECT id FROM u WHERE name LIKE '%x%'"],
+            "c.sql": ["CREATE TABLE v (x INTEGER)"],
+        })
+        assert batch.stats.corpora == 3
+        assert batch.stats.statements == 3
+        # The per-corpus serial runs must not corrupt the batch's own labels.
+        assert "mixed" not in batch.stats.parallel_mode
+        assert "mixed" not in batch.stats.stage_semantics
+        payload = batch.stats.to_dict()
+        assert payload["corpora"] == 3

@@ -1,0 +1,102 @@
+"""``GET /metrics`` and the ``metrics`` block on stats payloads."""
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.interfaces.rest import RestServer, handle_check_request
+from repro.obs import MetricsRegistry, get_metrics, set_metrics_enabled, swap_registry
+
+REQUIRED_FAMILIES = (
+    "sqlcheck_annotation_cache_lookups_total",
+    "sqlcheck_detection_memo_lookups_total",
+    "sqlcheck_prefilter_rules_total",
+    "sqlcheck_rule_fires_total",
+    "sqlcheck_rule_check_seconds",
+    "sqlcheck_stage_seconds",
+    "sqlcheck_quarantined_errors_total",
+    "sqlcheck_connector_retries_total",
+    "sqlcheck_connector_breaker_trips_total",
+    "sqlcheck_ingest_lines_total",
+)
+
+
+@pytest.fixture
+def fresh_registry():
+    """Swap in an isolated registry so other tests' traffic can't leak in."""
+    registry = MetricsRegistry(enabled=True)
+    previous = swap_registry(registry)
+    yield registry
+    swap_registry(previous)
+
+
+class TestMetricsEndpoint:
+    def test_get_metrics_serves_valid_prometheus_text(self, fresh_registry):
+        # Drive some real traffic through the pipeline first.
+        status, _body = handle_check_request(
+            {"query": "SELECT * FROM t; SELECT * FROM t", "stats": True}
+        )
+        assert status == 200
+        with RestServer() as server:
+            with urllib.request.urlopen(server.url + "/metrics") as response:
+                text = response.read().decode("utf-8")
+                content_type = response.headers["Content-Type"]
+        assert response.status == 200
+        assert content_type.startswith("text/plain")
+        assert "version=0.0.4" in content_type
+        for family in REQUIRED_FAMILIES:
+            assert f"# HELP {family}" in text
+            assert f"# TYPE {family}" in text
+        # Exposition validity: every sample line parses as name/value.
+        for line in text.splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value_part = line.rsplit(" ", 1)
+            assert name_part.startswith("sqlcheck_")
+            float(value_part)
+        # The traffic above must be visible: rules fired, memo was consulted.
+        assert 'sqlcheck_rule_fires_total{rule="' in text
+        assert 'sqlcheck_detection_memo_lookups_total{result="' in text
+
+    def test_api_metrics_alias(self, fresh_registry):
+        with RestServer() as server:
+            with urllib.request.urlopen(server.url + "/api/metrics") as response:
+                assert response.status == 200
+                assert "sqlcheck_" in response.read().decode("utf-8")
+
+    def test_unknown_get_path_is_still_404(self, fresh_registry):
+        with RestServer() as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + "/metricsx")
+            assert excinfo.value.code == 404
+
+
+class TestStatsMetricsBlock:
+    def test_rest_stats_payload_carries_metrics(self, fresh_registry):
+        status, body = handle_check_request({"query": "SELECT * FROM t", "stats": True})
+        assert status == 200
+        metrics = body["stats"]["metrics"]
+        assert "sqlcheck_rule_fires_total" in metrics
+        json.dumps(metrics)  # must be JSON-serialisable as-is
+
+    def test_stats_payload_is_byte_stable_when_metrics_disabled(self, fresh_registry):
+        previous = set_metrics_enabled(False)
+        try:
+            status, body = handle_check_request(
+                {"query": "SELECT * FROM t", "stats": True}
+            )
+        finally:
+            set_metrics_enabled(previous)
+        assert status == 200
+        assert "metrics" not in body["stats"]
+
+    def test_cli_stats_payload_carries_metrics(self, fresh_registry):
+        from repro.interfaces.cli import run
+
+        code, output = run(["--format", "json", "--stats", "-q", "SELECT * FROM t"])
+        assert code in (0, 1)  # 1 = findings present
+        payload = json.loads(output)
+        assert "metrics" in payload["stats"]
+        assert "sqlcheck_rule_fires_total" in payload["stats"]["metrics"]

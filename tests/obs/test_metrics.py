@@ -1,0 +1,210 @@
+"""Metrics registry semantics and the Prometheus text exposition."""
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    get_metrics,
+    render_prometheus,
+    set_metrics_enabled,
+    swap_registry,
+)
+from repro.obs import PROMETHEUS_CONTENT_TYPE
+from repro.obs.metrics import observe_stage_seconds
+
+
+@pytest.fixture
+def registry():
+    return MetricsRegistry(enabled=True)
+
+
+class TestCounter:
+    def test_inc_and_value_by_labels(self, registry):
+        registry.rule_fires.inc(rule="select-star")
+        registry.rule_fires.inc(2, rule="select-star")
+        registry.rule_fires.inc(rule="no-primary-key")
+        assert registry.rule_fires.value(rule="select-star") == 3
+        assert registry.rule_fires.value(rule="no-primary-key") == 1
+        assert registry.rule_fires.total() == 4
+
+    def test_counter_cannot_decrease(self, registry):
+        with pytest.raises(ValueError, match="cannot decrease"):
+            registry.statements.inc(-1)
+
+    def test_label_schema_is_enforced(self, registry):
+        with pytest.raises(ValueError, match="expected labels"):
+            registry.rule_fires.inc()  # missing "rule"
+        with pytest.raises(ValueError, match="expected labels"):
+            registry.rule_fires.inc(rule="x", extra="y")
+        with pytest.raises(ValueError, match="expected labels"):
+            registry.statements.inc(stage="detect")  # unlabelled counter
+
+    def test_disabled_registry_ignores_mutations(self):
+        cold = MetricsRegistry(enabled=False)
+        cold.rule_fires.inc(rule="select-star")
+        cold.rule_fires.inc_single("select-star")
+        cold.annotation_cache_entries.set(10)
+        cold.rule_check_seconds.observe(0.001, rule="select-star")
+        cold.rule_check_seconds.observe_single(0.001, "select-star")
+        assert cold.rule_fires.total() == 0
+        assert cold.annotation_cache_entries.value() == 0
+        assert cold.rule_check_seconds.count(rule="select-star") == 0
+
+    def test_single_label_fast_paths_share_the_series(self, registry):
+        """inc_single/observe_single land in the same series as inc/observe."""
+        registry.rule_fires.inc(rule="r")
+        registry.rule_fires.inc_single("r", 2)
+        assert registry.rule_fires.value(rule="r") == 3
+        registry.rule_check_seconds.observe(0.001, rule="r")
+        registry.rule_check_seconds.observe_single(0.002, "r")
+        assert registry.rule_check_seconds.count(rule="r") == 2
+        assert registry.rule_check_seconds.sum(rule="r") == pytest.approx(0.003)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        registry.memo_entries.set(5)
+        registry.memo_entries.inc(3)
+        registry.memo_entries.dec(1)
+        assert registry.memo_entries.value() == 7
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self, registry):
+        hist = registry.rule_check_seconds
+        hist.observe(0.00001, rule="r")  # exactly the first bound
+        hist.observe(0.0002, rule="r")
+        hist.observe(5.0, rule="r")  # beyond every bound -> +Inf slot
+        ((labels, count, total, buckets),) = list(hist.series())
+        assert labels == {"rule": "r"}
+        assert count == 3
+        assert total == pytest.approx(5.00021)
+        assert sum(buckets) == 3
+        assert buckets[-1] == 1  # the +Inf overflow observation
+        assert hist.count(rule="r") == 3
+        assert hist.sum(rule="r") == pytest.approx(5.00021)
+
+    def test_needs_at_least_one_bucket(self, registry):
+        with pytest.raises(ValueError, match="at least one bucket"):
+            registry.histogram("sqlcheck_test_empty", "h", buckets=())
+
+
+class TestRegistry:
+    def test_duplicate_registration_is_rejected(self, registry):
+        with pytest.raises(ValueError, match="already registered"):
+            registry.counter("sqlcheck_statements_total", "dup")
+
+    def test_reset_zeroes_series_but_keeps_declarations(self, registry):
+        registry.rule_fires.inc(rule="r")
+        registry.reset()
+        assert registry.rule_fires.total() == 0
+        assert "sqlcheck_rule_fires_total" in registry
+
+    def test_snapshot_contains_only_populated_series(self, registry):
+        registry.rule_fires.inc(rule="r")
+        registry.rule_check_seconds.observe(0.001, rule="r")
+        snap = registry.snapshot()
+        assert set(snap) == {"sqlcheck_rule_fires_total", "sqlcheck_rule_check_seconds"}
+        assert snap["sqlcheck_rule_fires_total"]["type"] == "counter"
+        assert snap["sqlcheck_rule_fires_total"]["values"] == [
+            {"labels": {"rule": "r"}, "value": 1.0}
+        ]
+        assert snap["sqlcheck_rule_check_seconds"]["values"][0]["count"] == 1
+
+    def test_observe_stage_seconds_folds_pipeline_stats(self, registry):
+        from repro.detector.pipeline import PipelineStats
+
+        previous = swap_registry(registry)
+        try:
+            stats = PipelineStats(
+                parse_seconds=0.1, context_seconds=0.02, detect_seconds=0.3,
+                rank_seconds=0.01, fix_seconds=0.005, statements=7,
+            )
+            observe_stage_seconds(stats)
+        finally:
+            swap_registry(previous)
+        assert registry.stage_seconds.count(stage="parse") == 1
+        assert registry.stage_seconds.sum(stage="detect") == pytest.approx(0.3)
+        assert registry.statements.total() == 7
+
+
+class TestProcessGlobals:
+    def test_set_metrics_enabled_round_trips(self):
+        before = get_metrics().statements.total()
+        previous = set_metrics_enabled(False)
+        try:
+            assert get_metrics().enabled is False
+            get_metrics().statements.inc(5)
+            assert get_metrics().statements.total() == before
+        finally:
+            set_metrics_enabled(previous)
+
+    def test_swap_registry_isolates_measurement_windows(self):
+        fresh = MetricsRegistry(enabled=True)
+        previous = swap_registry(fresh)
+        try:
+            get_metrics().statements.inc(3)
+            assert fresh.statements.total() == 3
+            assert previous.statements is not fresh.statements
+        finally:
+            assert swap_registry(previous) is fresh
+
+
+class TestPrometheusExposition:
+    def test_empty_registry_still_emits_help_and_type(self, registry):
+        text = render_prometheus(registry)
+        assert "# HELP sqlcheck_rule_fires_total" in text
+        assert "# TYPE sqlcheck_rule_fires_total counter" in text
+        assert "# TYPE sqlcheck_rule_check_seconds histogram" in text
+        assert "# TYPE sqlcheck_detection_memo_entries gauge" in text
+
+    def test_counter_and_gauge_lines(self, registry):
+        registry.rule_fires.inc(3, rule="select-star")
+        registry.memo_entries.set(12)
+        text = render_prometheus(registry)
+        assert 'sqlcheck_rule_fires_total{rule="select-star"} 3' in text
+        assert "sqlcheck_detection_memo_entries 12" in text
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self, registry):
+        hist = registry.rule_check_seconds
+        hist.observe(0.00001, rule="r")
+        hist.observe(0.0002, rule="r")
+        hist.observe(5.0, rule="r")
+        lines = render_prometheus(registry).splitlines()
+        buckets = [
+            line for line in lines
+            if line.startswith("sqlcheck_rule_check_seconds_bucket") and '"r"' in line
+        ]
+        counts = [int(line.rsplit(" ", 1)[1]) for line in buckets]
+        assert counts == sorted(counts), "bucket counts must be cumulative"
+        assert 'le="+Inf"' in buckets[-1]
+        assert counts[-1] == 3
+        assert 'sqlcheck_rule_check_seconds_count{rule="r"} 3' in lines
+        (sum_line,) = [
+            line for line in lines
+            if line.startswith('sqlcheck_rule_check_seconds_sum{rule="r"}')
+        ]
+        assert float(sum_line.rsplit(" ", 1)[1]) == pytest.approx(5.00021)
+
+    def test_label_values_are_escaped(self, registry):
+        registry.quarantined_errors.inc(stage='de"tect\\x', code="a\nb")
+        text = render_prometheus(registry)
+        assert 'stage="de\\"tect\\\\x"' in text
+        assert 'code="a\\nb"' in text
+
+    def test_content_type_is_prometheus_text(self):
+        assert PROMETHEUS_CONTENT_TYPE.startswith("text/plain")
+        assert "version=0.0.4" in PROMETHEUS_CONTENT_TYPE
+
+    def test_exposition_is_machine_parseable(self, registry):
+        """Every non-comment line is `name{labels} value` with a float value."""
+        registry.rule_fires.inc(rule="r")
+        registry.rule_check_seconds.observe(0.001, rule="r")
+        registry.quarantined_errors.inc(stage="detect", code="rule-error")
+        for line in render_prometheus(registry).splitlines():
+            if not line or line.startswith("#"):
+                continue
+            name_part, value_part = line.rsplit(" ", 1)
+            assert name_part.startswith("sqlcheck_")
+            float(value_part)  # must parse

@@ -1,0 +1,166 @@
+"""Tracer semantics, the JSONL export schema, and pipeline span trees."""
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.detector import detector as detector_module
+from repro.detector import pipeline as pipeline_module
+from repro.detector.detector import APDetector, DetectorConfig
+from repro.obs import get_tracer, now
+from repro.obs.trace import DEFAULT_MAX_SPANS, SCHEMA_VERSION, Tracer
+from repro.testkit.generator import CorpusGenerator
+
+
+@pytest.fixture
+def tracer():
+    return Tracer(enabled=True)
+
+
+@pytest.fixture
+def process_tracer():
+    """The process-wide tracer, enabled for one test and always restored."""
+    shared = get_tracer()
+    shared.enable(reset=True)
+    yield shared
+    shared.disable()
+    shared.reset()
+
+
+class TestTracerCore:
+    def test_disabled_tracer_is_a_noop(self):
+        cold = Tracer(enabled=False)
+        with cold.span("run", source="x") as span:
+            assert span is None
+        assert cold.record("stage", now(), now()) is None
+        assert cold.adopt([{"name": "chunk"}]) == []
+        assert cold.spans() == []
+
+    def test_nested_spans_form_a_tree(self, tracer):
+        with tracer.span("run") as run:
+            with tracer.span("stage:parse") as parse:
+                pass
+            with tracer.span("stage:detect") as detect:
+                pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["stage:parse"].parent_id == run.span_id
+        assert spans["stage:detect"].parent_id == run.span_id
+        assert spans["run"].parent_id is None
+        assert spans["stage:parse"].span_id != spans["stage:detect"].span_id
+
+    def test_record_parents_to_the_open_span(self, tracer):
+        t0 = now()
+        with tracer.span("run") as run:
+            tracer.record("stage:rank", t0, now(), items=3)
+        (ranked,) = [s for s in tracer.spans() if s.name == "stage:rank"]
+        assert ranked.parent_id == run.span_id
+        assert ranked.attributes == {"items": 3}
+        assert ranked.duration >= 0
+
+    def test_adopt_maps_worker_payloads_onto_the_timeline(self, tracer):
+        with tracer.span("stage:parse") as parse:
+            adopted = tracer.adopt([
+                {"name": "chunk", "wall_start": time.time(), "duration": 0.25,
+                 "attributes": {"statements": 40, "pid": 123}},
+            ])
+        (chunk,) = adopted
+        assert chunk.parent_id == parse.span_id
+        assert chunk.duration == pytest.approx(0.25)
+        assert chunk.attributes["statements"] == 40
+
+    def test_exception_inside_span_is_annotated_and_propagates(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("run"):
+                raise RuntimeError("boom")
+        (run,) = tracer.spans()
+        assert run.attributes["error"] == "RuntimeError"
+
+    def test_max_spans_bound_counts_drops(self):
+        small = Tracer(enabled=True, max_spans=2)
+        for index in range(5):
+            small.record(f"s{index}", 0.0, 0.0)
+        assert len(small.spans()) == 2
+        assert small.dropped == 3
+        assert DEFAULT_MAX_SPANS >= 100_000
+
+    def test_enable_reset_clears_earlier_trace(self, tracer):
+        with tracer.span("old"):
+            pass
+        tracer.enable(reset=True)
+        assert tracer.spans() == []
+
+
+class TestJsonlExport:
+    REQUIRED_KEYS = {"v", "span_id", "parent_id", "name", "start_ms",
+                     "duration_ms", "attributes"}
+
+    def _export_lines(self, tracer, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        written = tracer.export(path)
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        return written, lines
+
+    def test_every_line_has_the_full_schema(self, tracer, tmp_path):
+        with tracer.span("run", source="corpus.sql"):
+            with tracer.span("stage:parse"):
+                pass
+        written, lines = self._export_lines(tracer, tmp_path)
+        assert written == 2 == len(lines)
+        for line in lines:
+            assert set(line) == self.REQUIRED_KEYS
+            assert line["v"] == SCHEMA_VERSION
+            assert line["duration_ms"] >= 0
+        ids = {line["span_id"] for line in lines}
+        for line in lines:
+            assert line["parent_id"] is None or line["parent_id"] in ids
+
+    def test_dropped_spans_leave_a_marker_line(self, tmp_path):
+        small = Tracer(enabled=True, max_spans=1)
+        small.record("kept", 0.0, 0.0)
+        small.record("lost", 0.0, 0.0)
+        _, lines = self._export_lines(small, tmp_path)
+        assert lines[-1]["name"] == "tracer:dropped"
+        assert lines[-1]["attributes"]["dropped_spans"] == 1
+
+
+class TestPipelineSpanTrees:
+    def _span_tree(self, tracer):
+        spans = tracer.spans()
+        by_id = {s.span_id: s for s in spans}
+        return spans, by_id
+
+    def test_serial_detect_batch_nests_stages_and_rules(self, process_tracer):
+        corpus = CorpusGenerator(11).corpus_sql(20)
+        report, stats = APDetector(DetectorConfig()).detect_batch(corpus, workers=1)
+        assert stats.parallel_mode == "serial"
+        spans, by_id = self._span_tree(process_tracer)
+        names = [s.name for s in spans]
+        (batch,) = [s for s in spans if s.name == "detect_batch"]
+        assert batch.attributes["statements"] == len(corpus)
+        for stage in ("stage:parse", "stage:context", "stage:detect"):
+            (span,) = [s for s in spans if s.name == stage]
+            assert span.parent_id == batch.span_id
+        rule_spans = [s for s in spans if s.name.startswith("rule:")]
+        assert rule_spans, names
+        (detect_stage,) = [s for s in spans if s.name == "stage:detect"]
+        assert all(s.parent_id == detect_stage.span_id for s in rule_spans)
+        fired = sum(s.attributes.get("fired", 0) for s in rule_spans)
+        assert fired == len(report.detections)
+
+    def test_pool_detect_batch_adopts_worker_chunk_spans(self, process_tracer, monkeypatch):
+        for module in (pipeline_module, detector_module):
+            monkeypatch.setattr(
+                module, "resolve_workers", lambda requested: min(requested, 2)
+            )
+        corpus = [f"SELECT c{i} FROM t{i} WHERE c{i} = {i}" for i in range(80)]
+        _, stats = APDetector(DetectorConfig()).detect_batch(corpus, workers=2)
+        assert stats.parallel_mode == "process-pool"
+        spans, by_id = self._span_tree(process_tracer)
+        (parse_stage,) = [s for s in spans if s.name == "stage:parse"]
+        chunks = [s for s in spans if s.name == "chunk"]
+        assert len(chunks) == stats.chunks
+        assert all(s.parent_id == parse_stage.span_id for s in chunks)
+        assert sum(s.attributes["statements"] for s in chunks) == len(corpus)
+        assert all("pid" in s.attributes for s in chunks)

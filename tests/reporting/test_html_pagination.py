@@ -1,0 +1,87 @@
+"""HTML report pagination: large reports chunk, small reports stay static."""
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.core.sqlcheck import SQLCheck
+from repro.reporting.html import DEFAULT_PAGE_SIZE, render_html
+from repro.reporting.model import build_document
+from repro.testkit.generator import CorpusGenerator
+
+
+@pytest.fixture(scope="module")
+def toolchain():
+    return SQLCheck()
+
+
+@pytest.fixture(scope="module")
+def small_document(toolchain):
+    report = toolchain.check(["SELECT * FROM t"])
+    return build_document(report, registry=toolchain.registry, source="small.sql")
+
+
+@pytest.fixture(scope="module")
+def large_document(toolchain):
+    corpus = CorpusGenerator(7).corpus_sql(300)
+    report = toolchain.check(corpus)
+    document = build_document(report, registry=toolchain.registry, source="big.sql")
+    assert len(document.findings) > 3 * DEFAULT_PAGE_SIZE  # sanity: worth paginating
+    return document
+
+
+class TestSmallReports:
+    def test_no_pager_no_script(self, small_document):
+        html = render_html(small_document)
+        assert 'id="doc0-pager"' not in html
+        assert "<script>" not in html
+        assert 'class="page"' not in html
+
+    def test_page_size_zero_disables_pagination(self, large_document):
+        html = render_html(large_document, page_size=0)
+        assert 'id="doc0-pager"' not in html
+        assert "<script>" not in html
+
+
+class TestPaginatedReports:
+    def test_findings_chunk_into_pages(self, large_document):
+        html = render_html(large_document, page_size=10)
+        pages = re.findall(r'id="doc0-page(\d+)"', html)
+        expected = -(-len(large_document.findings) // 10)
+        assert [int(p) for p in pages] == list(range(1, expected + 1))
+
+    def test_only_first_page_is_visible(self, large_document):
+        html = render_html(large_document, page_size=10)
+        total = len(re.findall(r'id="doc0-page\d+"', html))
+        assert f'id="doc0-page1">' in html  # no display:none on page 1
+        assert html.count("display:none") == total - 1
+        first = html.index('id="doc0-page1"')
+        assert "display:none" not in html[first - 80 : first]
+
+    def test_pager_nav_and_script_are_inline(self, large_document):
+        html = render_html(large_document, page_size=10)
+        assert 'id="doc0-pager"' in html
+        assert "sqlcheckShowPage" in html and "sqlcheckFlipPage" in html
+        assert html.count("<script>") == 1
+        total = -(-len(large_document.findings) // 10)
+        assert f"Page 1 of {total}" in html
+        # Self-contained: no external assets anywhere.
+        assert "src=" not in html and "href=" not in html
+
+    def test_every_finding_appears_exactly_once(self, large_document):
+        html = render_html(large_document, page_size=10)
+        for finding in large_document.findings:
+            heading = f"<h3>{finding.rank}. "
+            assert html.count(heading) == 1
+
+    def test_each_page_has_its_own_summary_table(self, large_document):
+        html = render_html(large_document, page_size=10)
+        total = len(re.findall(r'id="doc0-page\d+"', html))
+        assert html.count("<table>") == total
+
+    def test_batch_documents_paginate_independently(self, large_document, small_document):
+        html = render_html([large_document, small_document], page_size=10)
+        assert 'id="doc0-pager"' in html
+        assert 'id="doc1-pager"' not in html  # small doc stays static
+        assert html.count("<script>") == 1
