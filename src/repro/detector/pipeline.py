@@ -45,6 +45,9 @@ DEFAULT_CHUNK_SIZE = 256
 #: point (detect_batch, check_many) so the surfaced strings cannot diverge.
 MODE_SERIAL = "serial"
 MODE_PROCESS_POOL = "process-pool"
+#: the whole batch was replayed from the persistent corpus memo — no parse,
+#: no rule execution; detection bytes come from a verified prior clean run.
+MODE_PERSISTENT_REPLAY = "persistent-replay"
 REASON_SINGLE_CPU = "single-cpu"
 REASON_SMALL_INPUT = "small-input"
 REASON_SINGLE_CORPUS = "single-corpus"

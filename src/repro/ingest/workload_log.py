@@ -220,6 +220,23 @@ class WorkloadLog:
         """The ``n`` most frequently executed statements."""
         return sorted(self._entries.values(), key=lambda e: -e.frequency)[:n]
 
+    def provenance(self) -> dict:
+        """The ``workload`` provenance block every report format shares.
+
+        ``degraded``/``lines_skipped`` only appear for degraded ingestion,
+        keeping the clean-scan payload shape byte-identical.
+        """
+        info: dict = {
+            "distinct_statements": len(self),
+            "total_statements": self.total_statements,
+            "total_duration_ms": round(self.total_duration_ms, 3),
+            "log_format": self.log_format,
+        }
+        if self.errors:
+            info["degraded"] = True
+            info["lines_skipped"] = len(self.errors)
+        return info
+
     def chunks(self, chunk_size: int) -> "Iterator[list[str]]":
         """Distinct statements in bounded-size chunks (streaming detection)."""
         for piece in self.slices(chunk_size):

@@ -27,6 +27,11 @@ frequencies and durations weight the ranking through ``--cost-model
 ``--sample N`` profiles large tables from an in-database random sample
 instead of fetching them whole.  Every ``--format`` of the offline paths
 applies.
+
+``sqlcheck serve`` runs the long-lived REST service (HTTP/1.1 keep-alive,
+shared toolchain pool, graceful drain on Ctrl-C).  ``--memo-cache PATH``
+— accepted by plain runs, ``scan``, and ``serve`` — persists the
+detection memo to a SQLite file so warm state survives process restarts.
 """
 from __future__ import annotations
 
@@ -86,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--stats", action="store_true", help="print per-stage pipeline timings and cache hit rates"
+    )
+    parser.add_argument(
+        "--memo-cache",
+        default=None,
+        metavar="PATH",
+        help="persist the detection memo to a SQLite file at PATH so warm "
+        "state (memoized detections, annotation templates, whole-corpus "
+        "replays) survives process restarts",
     )
     parser.add_argument(
         "--trace",
@@ -189,11 +202,11 @@ def build_scan_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--sample",
         type=int,
-        default=0,
+        default=None,
         metavar="N",
-        help="profile at most N rows per table; larger tables are sampled "
-        "inside the database (ORDER BY random() LIMIT N) instead of "
-        "fetched whole (default: no limit)",
+        help="profile at most N rows per table (N >= 1); larger tables are "
+        "sampled inside the database (ORDER BY random() LIMIT N) instead "
+        "of fetched whole (default: no limit)",
     )
     parser.add_argument(
         "--format",
@@ -224,6 +237,13 @@ def build_scan_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--stats", action="store_true", help="print per-stage pipeline timings and cache hit rates"
+    )
+    parser.add_argument(
+        "--memo-cache",
+        default=None,
+        metavar="PATH",
+        help="persist the detection memo to a SQLite file at PATH (warm "
+        "state survives process restarts; see plain sqlcheck --memo-cache)",
     )
     parser.add_argument(
         "--trace",
@@ -263,8 +283,10 @@ def _run_scan(args: argparse.Namespace) -> tuple[int, str]:
         return 2, "error: --pg-stat reads a table from --db; pass --db too"
     if args.top < 0:
         return 2, "error: --top must be a non-negative number of findings"
-    if args.sample < 0:
-        return 2, "error: --sample must be a non-negative row count"
+    if args.sample is not None and args.sample < 1:
+        # Zero is rejected, not coerced: the historical `sample or None`
+        # fallback silently turned "cap at zero rows" into "no limit".
+        return 2, "error: --sample must be a positive row count"
     if args.max_errors is not None and args.max_errors < 0:
         return 2, "error: --max-errors must be a non-negative error budget"
     log_format = None if args.log_format == "auto" else args.log_format
@@ -286,6 +308,7 @@ def _run_scan(args: argparse.Namespace) -> tuple[int, str]:
                 enable_inter_query=not args.no_inter_query,
                 confidence_threshold=args.min_confidence,
                 dialect=dialect,
+                persistent_memo_path=args.memo_cache,
             ),
             ranking=C1 if args.config == "C1" else C2,
             suggest_fixes=not args.no_fixes,
@@ -296,7 +319,7 @@ def _run_scan(args: argparse.Namespace) -> tuple[int, str]:
             args.db if args.db else (args.log[0] if len(args.log) == 1 else None)
         )
         report = scanner.scan(
-            connector, workload, source=source, sample_limit=args.sample or None,
+            connector, workload, source=source, sample_limit=args.sample,
             # A pg_stat snapshot table is telemetry, not application schema.
             exclude_tables=(args.pg_stat,) if args.pg_stat else (),
             strict=args.strict,
@@ -313,6 +336,9 @@ def _run_scan(args: argparse.Namespace) -> tuple[int, str]:
     output = render(
         report, fmt=args.format, top=args.top, stats=args.stats,
         registry=scanner.toolchain.registry, source=source,
+        # Ingestion provenance rides into every format — markdown/html/sarif
+        # surface degraded ingestion exactly like the JSON workload block.
+        workload=workload.provenance() if workload is not None else None,
     )
     return (1 if len(report) else 0), output
 
@@ -423,6 +449,51 @@ def run_profile_command(argv: Sequence[str]) -> tuple[int, str]:
     return 0, render_profile(payload)
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="sqlcheck serve",
+        description="Run the long-lived REST service: HTTP/1.1 keep-alive, a "
+        "shared per-process toolchain pool, /api/health and /metrics, and "
+        "graceful drain-then-close shutdown on Ctrl-C.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8080,
+        help="bind port; 0 picks a free port (default: 8080)",
+    )
+    parser.add_argument(
+        "--memo-cache",
+        default=None,
+        metavar="PATH",
+        help="persist every pooled toolchain's detection memo to a SQLite "
+        "file at PATH, so a restarted server answers its first requests warm",
+    )
+    return parser
+
+
+def run_serve_command(argv: Sequence[str]) -> tuple[int, str]:
+    """``sqlcheck serve``: run the REST service in the foreground."""
+    # Deferred import: the CLI's offline paths must not pay for http.server.
+    from .rest import create_server
+
+    args = build_serve_parser().parse_args(list(argv))
+    if not 0 <= args.port <= 65535:
+        return 2, "error: --port must be in 0..65535"
+    try:
+        server = create_server(args.host, args.port, memo_path=args.memo_cache)
+    except OSError as error:
+        return 2, f"error: cannot bind {args.host}:{args.port}: {error}"
+    server.start()
+    print(f"sqlcheck: serving on {server.url} (Ctrl-C to stop)", file=sys.stderr)
+    try:
+        server.wait()
+    except KeyboardInterrupt:
+        print("sqlcheck: draining in-flight requests ...", file=sys.stderr)
+    finally:
+        server.stop()
+    return 0, "sqlcheck: server stopped"
+
+
 def run_selftest_command(argv: Sequence[str]) -> tuple[int, str]:
     """``sqlcheck selftest``: run the conformance suite, return (code, output)."""
     from ..sqlparser import split
@@ -467,6 +538,8 @@ def run(argv: Sequence[str] | None = None, *, stdin: str | None = None) -> tuple
         return run_scan_command(argv[1:])
     if argv[:1] == ["profile"]:
         return run_profile_command(argv[1:])
+    if argv[:1] == ["serve"]:
+        return run_serve_command(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     _start_trace(args.trace)
@@ -499,6 +572,7 @@ def _run_main(args: argparse.Namespace, stdin: "str | None") -> tuple[int, str]:
             confidence_threshold=args.min_confidence,
             dialect=args.dialect,
             workers=args.workers,
+            persistent_memo_path=args.memo_cache,
         ),
         ranking=ranking,
         suggest_fixes=not args.no_fixes,
@@ -561,21 +635,26 @@ def render(
     stats: bool = False,
     registry: "RuleRegistry | None" = None,
     source: "str | None" = None,
+    workload: "dict | None" = None,
 ) -> str:
     """Render a report as text, JSON, or a rich format (markdown/html/sarif).
 
     ``top`` truncates the text/json/markdown/html findings list; SARIF
     always carries the full result set (consumers filter on level/rank
-    themselves).
+    themselves).  ``workload`` attaches ingestion provenance (scan runs) to
+    the JSON payload and every rich format.
     """
     if fmt in RICH_FORMATS:
         return render_report(
-            report, fmt, registry=registry, source=source, include_stats=stats, top=top
+            report, fmt, registry=registry, source=source, include_stats=stats,
+            top=top, workload=workload,
         )
     if fmt == "json":
         payload = report.to_dict()
         if top:
             payload["detections"] = payload["detections"][:top]
+        if workload is not None:
+            payload["workload"] = workload
         if not stats:
             payload.pop("stats", None)
         else:

@@ -292,6 +292,25 @@ class MetricsRegistry:
             f"{NAMESPACE}_detection_memo_entries",
             "Entries resident in the detection memo after the last run.",
         )
+        # persistent memo: the SQLite-backed warm state shared across
+        # restarts and detect_batch workers
+        self.persistent_memo_lookups = self.counter(
+            f"{NAMESPACE}_persistent_memo_lookups_total",
+            "Persistent-memo lookups by layer (memo/annotations/corpus) "
+            "and result (hit/miss).",
+            ("layer", "result"),
+        )
+        self.persistent_memo_invalidations = self.counter(
+            f"{NAMESPACE}_persistent_memo_invalidations_total",
+            "Persistent-memo entries or files invalidated, by reason "
+            "(registry-change/format-version/corrupt-file/corrupt-entry/"
+            "io-error).",
+            ("reason",),
+        )
+        self.persistent_memo_entries = self.gauge(
+            f"{NAMESPACE}_persistent_memo_entries",
+            "Rows resident in the persistent memo store after the last flush.",
+        )
         # fused matcher: how much work the trigger automaton pre-filter skips
         self.prefilter_rules = self.counter(
             f"{NAMESPACE}_prefilter_rules_total",

@@ -74,15 +74,22 @@ def render_report(
     source: "str | None" = None,
     include_stats: bool = False,
     top: int = 0,
+    workload: "dict | None" = None,
 ) -> str:
     """Render one report in a rich format (``markdown`` / ``html`` / ``sarif``).
 
     ``top`` keeps only the N highest-impact findings for markdown/html;
     SARIF always carries the full result set (consumers filter on
-    level/rank themselves).
+    level/rank themselves).  ``workload`` attaches ingestion provenance
+    (distinct/total statements, log format, degraded-line counts) so rich
+    formats surface it exactly like the JSON ``workload`` block.
     """
     document = build_document(
-        report, registry=registry, source=source, include_stats=include_stats
+        report,
+        registry=registry,
+        source=source,
+        include_stats=include_stats,
+        workload=workload,
     )
     return _render_documents([document], fmt, registry, top)
 

@@ -156,11 +156,12 @@ def _document_html(
         if document.degraded
         else ""
     )
+    workload = _workload_html(document.workload) if document.workload else ""
     parts = [
         f"<{tag}>SQLCheck report &mdash; <code>{_e(document.source)}</code></{tag}>",
         f"<p><strong>{document.total_findings} anti-pattern(s)</strong> in "
         f"{document.queries_analyzed} statement(s), "
-        f"{document.tables_analyzed} table(s) analysed.{weighted}{shown}{degraded}</p>",
+        f"{document.tables_analyzed} table(s) analysed.{weighted}{shown}{workload}{degraded}</p>",
     ]
     if not document.findings:
         parts.append("<p>No anti-patterns detected.</p>")
@@ -188,6 +189,24 @@ def _document_html(
     parts.extend(_errors_html(document))
     parts.extend(_stats_html(document))
     return parts
+
+
+def _workload_html(workload: dict) -> str:
+    """Ingestion provenance sentence (see the Markdown emitter's twin)."""
+    sentence = (
+        f" Workload: {workload.get('distinct_statements', 0)} distinct / "
+        f"{workload.get('total_statements', 0)} total statement(s)"
+    )
+    log_format = workload.get("log_format")
+    if log_format:
+        sentence += f" from a <code>{_e(log_format)}</code> log"
+    sentence += "."
+    if workload.get("degraded"):
+        sentence += (
+            f" <strong>Degraded ingestion:</strong>"
+            f" {workload.get('lines_skipped', 0)} malformed line(s) skipped."
+        )
+    return sentence
 
 
 def _errors_html(document: ReportDocument) -> "list[str]":

@@ -120,6 +120,8 @@ def _document_lines(document: ReportDocument, *, heading_level: int = 1) -> "lis
         summary += f" Scores are workload-weighted (cost model: `{document.cost_model}`)."
     if document.is_truncated:
         summary += f" Showing the top {len(document.findings)} by impact."
+    if document.workload:
+        summary += " " + _workload_sentence(document.workload)
     if document.degraded:
         summary += (
             f" **Degraded run:** {len(document.errors)} pipeline error(s)"
@@ -143,6 +145,25 @@ def _document_lines(document: ReportDocument, *, heading_level: int = 1) -> "lis
     lines.extend(_errors_section(document))
     lines.extend(_stats_section(document))
     return lines
+
+
+def _workload_sentence(workload: dict) -> str:
+    """Ingestion provenance: what log the weights came from, and — for
+    degraded ingestion — how many lines never made it into the workload."""
+    sentence = (
+        f"Workload: {workload.get('distinct_statements', 0)} distinct / "
+        f"{workload.get('total_statements', 0)} total statement(s)"
+    )
+    log_format = workload.get("log_format")
+    if log_format:
+        sentence += f" from a `{log_format}` log"
+    sentence += "."
+    if workload.get("degraded"):
+        sentence += (
+            f" **Degraded ingestion:** {workload.get('lines_skipped', 0)}"
+            " malformed line(s) skipped."
+        )
+    return sentence
 
 
 def _errors_section(document: ReportDocument) -> "list[str]":

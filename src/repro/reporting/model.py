@@ -105,6 +105,12 @@ class ReportDocument:
     #: must surface them (partial results are only trustworthy when their
     #: gaps are visible).
     errors: "list" = field(default_factory=list)
+    #: workload-ingestion provenance for live scans (distinct/total
+    #: statements, log format, and — for degraded ingestion —
+    #: ``degraded``/``lines_skipped``); every emitter surfaces it so the
+    #: rendered report says what workload the weights came from and
+    #: whether any of it was dropped.  ``None`` for logless runs.
+    workload: "dict | None" = None
 
     @property
     def degraded(self) -> bool:
@@ -144,6 +150,7 @@ def build_document(
     registry: "RuleRegistry | None" = None,
     source: "str | None" = None,
     include_stats: bool = False,
+    workload: "dict | None" = None,
 ) -> ReportDocument:
     """Normalise one :class:`SQLCheckReport` into a :class:`ReportDocument`."""
     registry = registry if registry is not None else default_registry()
@@ -175,6 +182,7 @@ def build_document(
         stats=report.stats.to_dict() if include_stats and report.stats is not None else None,
         cost_model=getattr(report, "cost_model", "frequency"),
         errors=list(getattr(report, "errors", ()) or ()),
+        workload=dict(workload) if workload else None,
     )
 
 

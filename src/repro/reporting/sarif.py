@@ -271,6 +271,12 @@ def to_sarif(
     stats = {doc.source: doc.stats for doc in docs if doc.stats}
     if stats:
         properties["pipeline_stats"] = stats
+    # Ingestion provenance (incl. degraded/lines_skipped) rides along so a
+    # SARIF consumer knows what workload weighted the ranks and whether any
+    # of it was dropped on the way in.
+    workload = {doc.source: doc.workload for doc in docs if doc.workload}
+    if workload:
+        properties["workload"] = workload
     run["properties"] = properties
     return {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION, "runs": [run]}
 

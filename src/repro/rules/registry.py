@@ -8,6 +8,7 @@ existing ones.
 """
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Iterable, Iterator
 
@@ -148,6 +149,9 @@ class RuleRegistry:
         # statement_types snapshots taken at registration; serving dispatch
         # against a drifted rule raises instead of returning stale results.
         self._declared_types: "dict[int, tuple[str, ...]]" = {}
+        # content_digest cache, keyed by the version it was computed at.
+        self._content_digest: "bytes | None" = None
+        self._content_digest_version = -1
         for rule in rules:
             self.register(rule)
 
@@ -221,6 +225,42 @@ class RuleRegistry:
     def cache_token(self) -> "tuple[int, int]":
         """Identity token for caches: unique per instance and per mutation."""
         return (self._uid, self._version)
+
+    @property
+    def content_digest(self) -> bytes:
+        """Stable digest of the registered rule *content*, in registration
+        order.
+
+        Unlike :attr:`cache_token` — which is instance-unique by design and
+        therefore never matches across processes — two registries built from
+        the same rule classes with the same declared metadata produce the
+        same digest in any process.  This is the identity the persistent
+        detection memo keys on: a rule added, removed, or re-declared
+        changes the digest and cleanly orphans every stored entry, while a
+        restart with the unchanged default registry keeps them warm.
+        """
+        if self._content_digest is None or self._content_digest_version != self._version:
+            digest = hashlib.blake2b(digest_size=16)
+            for rule in itertools.chain(self._query_rules, self._data_rules):
+                cls = type(rule)
+                triggers = getattr(rule, "trigger_tokens", None)
+                digest.update(
+                    "|".join(
+                        (
+                            f"{cls.__module__}.{cls.__qualname__}",
+                            rule.name,
+                            getattr(rule.anti_pattern, "value", str(rule.anti_pattern)),
+                            getattr(rule.severity, "name", str(rule.severity)),
+                            repr(tuple(getattr(rule, "statement_types", ()) or ())),
+                            repr(tuple(triggers) if triggers is not None else None),
+                            repr(bool(getattr(rule, "requires_context", False))),
+                        )
+                    ).encode("utf-8", "replace")
+                )
+                digest.update(b"\x00")
+            self._content_digest = digest.digest()
+            self._content_digest_version = self._version
+        return self._content_digest
 
     # ------------------------------------------------------------------
     # access

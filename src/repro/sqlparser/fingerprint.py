@@ -190,6 +190,17 @@ class AnnotationCache:
             self.stats.evictions += len(evicted)
         return fp
 
+    def info(self) -> dict:
+        """Occupancy snapshot for health probes (``GET /api/health``)."""
+        return {
+            "entries": self._size,
+            "buckets": len(self._buckets),
+            "maxsize": self.maxsize,
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "evictions": self.stats.evictions,
+        }
+
     def clear(self) -> None:
         self._buckets.clear()
         self._raw_index.clear()

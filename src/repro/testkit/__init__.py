@@ -47,6 +47,7 @@ from .oracles import (
     check_fused_equivalence,
     check_observability_transparency,
     check_scan_equivalence,
+    check_service_equivalence,
     check_stats_accounting,
     detection_bytes,
     ranking_bytes,
@@ -73,6 +74,7 @@ __all__ = [
     "check_fused_equivalence",
     "check_observability_transparency",
     "check_scan_equivalence",
+    "check_service_equivalence",
     "check_stats_accounting",
     "corrupt_log_lines",
     "detection_bytes",

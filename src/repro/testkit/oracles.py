@@ -28,7 +28,13 @@ Every oracle returns a list of :class:`OracleFailure` (empty = pass):
 * :func:`check_observability_transparency` — instrumentation must be pure
   observation: detections and rankings with metrics on, and with metrics
   *and* tracing on, are byte-identical to a run with all observability
-  off.
+  off;
+* :func:`check_service_equivalence` — service mode must be pure transport
+  and persistence pure optimisation: detections served over a live
+  keep-alive HTTP connection are byte-identical to the in-process
+  toolchain, and a warm-restarted process (a fresh detector over the same
+  persistent memo file) is byte-identical to its own cold run — including
+  after the memo file is corrupted, which must fall back to cold cleanly.
 """
 from __future__ import annotations
 
@@ -810,3 +816,147 @@ def check_observability_transparency(
         tracer.reset()
         tracer.enabled = was_tracing
     return failures
+
+
+# ----------------------------------------------------------------------
+# service mode ≡ in-process, warm restart ≡ cold
+# ----------------------------------------------------------------------
+def check_service_equivalence(
+    corpus: "Sequence[str] | None" = None,
+    *,
+    seed: int = 2020,
+    statements: int = 40,
+    config: DetectorConfig | None = None,
+) -> "list[OracleFailure]":
+    """Service mode ≡ in-process, and a warm restart ≡ its own cold run.
+
+    Two independent invariants:
+
+    1. **Transport transparency.**  Detections served by a live
+       :class:`~repro.interfaces.rest.RestServer` — two requests down one
+       HTTP/1.1 keep-alive connection — are byte-identical to the
+       in-process toolchain over the same SQL.  The second request rides
+       the *same* socket, so a server that drops keep-alive (or returns a
+       wrong Content-Length, which desynchronises the connection) cannot
+       pass vacuously.
+    2. **Persistence transparency.**  With a persistent memo file, a fresh
+       detector instance over the already-warm file (a simulated process
+       restart) must reproduce its own cold run byte for byte — and must
+       actually replay from the store, not re-detect.  Corrupting the file
+       afterwards must fall back to a clean cold run: never crash, never
+       serve stale bytes.
+    """
+    import dataclasses as _dc
+    import http.client
+    import os
+    import tempfile
+
+    from ..interfaces.rest import RestServer
+    from ..ranking.config import C1
+
+    if corpus is None:
+        corpus = CorpusGenerator(seed).corpus_sql(statements)
+    corpus = list(corpus)
+    base = config or DetectorConfig()
+    failures: list[OracleFailure] = []
+
+    # 1. transport transparency over a live keep-alive connection.  The
+    # server always builds its pooled toolchains from the default detector
+    # config, so the in-process reference must too.
+    sql = ";\n".join(corpus)
+    reference = SQLCheck(SQLCheckOptions(ranking=C1)).check(sql)
+    body = json.dumps({"query": sql}).encode()
+    with RestServer() as server:
+        host, port = server.address
+        connection = http.client.HTTPConnection(host, port, timeout=60)
+        try:
+            for attempt in ("first request", "keep-alive reuse"):
+                try:
+                    connection.request(
+                        "POST", "/api/check", body,
+                        headers={"Content-Type": "application/json"},
+                    )
+                    response = connection.getresponse()
+                    served = json.loads(response.read())
+                except (OSError, http.client.HTTPException) as error:
+                    failures.append(OracleFailure(
+                        "service-equivalence", attempt,
+                        f"request over the shared connection failed: {error}"))
+                    break
+                if response.version != 11:
+                    failures.append(OracleFailure(
+                        "service-equivalence", attempt,
+                        f"server answered HTTP/1.{response.version % 10}, "
+                        "not HTTP/1.1"))
+                served_bytes = json.dumps(
+                    {
+                        "queries_analyzed": served.get("queries_analyzed"),
+                        "tables_analyzed": served.get("tables_analyzed"),
+                        "detections": served.get("detections"),
+                    },
+                    sort_keys=True, default=str,
+                ).encode()
+                if served_bytes != _ranked_detection_bytes(reference):
+                    failures.append(OracleFailure(
+                        "service-equivalence", attempt,
+                        "served detections differ from the in-process toolchain"))
+        finally:
+            connection.close()
+
+    # 2. persistence transparency: warm restart ≡ cold, corrupt file ≡ cold
+    with tempfile.TemporaryDirectory() as tmp:
+        memo_path = os.path.join(tmp, "memo.sqlite")
+        persistent = _dc.replace(
+            base, enable_cache=True, persistent_memo_path=memo_path
+        )
+        cold_detector = APDetector(persistent)
+        cold_report, _cold_stats = cold_detector.detect_batch(corpus, workers=2)
+        cold = detection_bytes(cold_report)
+        cold_detector.close()
+        if detection_bytes(APDetector(base).detect(corpus)) != cold:
+            failures.append(OracleFailure(
+                "service-equivalence", "persistent cold run",
+                "enabling the persistent memo changed a cold run's detections"))
+
+        warm_detector = APDetector(persistent)
+        warm_report, warm_stats = warm_detector.detect_batch(corpus, workers=2)
+        warm_detector.close()
+        if detection_bytes(warm_report) != cold:
+            failures.append(OracleFailure(
+                "service-equivalence", "warm restart",
+                "a restarted process's warm run differs from its own cold run"))
+        if warm_stats.parallel_mode != "persistent-replay":
+            failures.append(OracleFailure(
+                "service-equivalence", "warm restart",
+                f"warm restart ran {warm_stats.parallel_mode!r}, not a "
+                "persistent replay — the comparison was vacuous"))
+
+        with open(memo_path, "wb") as handle:
+            handle.write(b"this is not a sqlite database")
+        recovered_detector = APDetector(persistent)
+        recovered, recovered_stats = recovered_detector.detect_batch(
+            corpus, workers=2
+        )
+        recovered_detector.close()
+        if detection_bytes(recovered) != cold:
+            failures.append(OracleFailure(
+                "service-equivalence", "corrupt memo file",
+                "recovery from a corrupt memo file changed the detections"))
+        if recovered_stats.parallel_mode == "persistent-replay":
+            failures.append(OracleFailure(
+                "service-equivalence", "corrupt memo file",
+                "a corrupt memo file still served a persistent replay"))
+    return failures
+
+
+def _ranked_detection_bytes(report) -> bytes:
+    """Canonical bytes of a ranked :class:`SQLCheckReport`'s served shape."""
+    payload = report.to_dict()
+    return json.dumps(
+        {
+            "queries_analyzed": payload.get("queries_analyzed"),
+            "tables_analyzed": payload.get("tables_analyzed"),
+            "detections": payload.get("detections"),
+        },
+        sort_keys=True, default=str,
+    ).encode()

@@ -25,6 +25,7 @@ from .oracles import (
     check_fixer_round_trip,
     check_fused_equivalence,
     check_observability_transparency,
+    check_service_equivalence,
 )
 
 #: Default golden-corpus location (repo checkout layout); resolves to
@@ -219,5 +220,12 @@ def run_selftest(
         check_observability_transparency(
             corpus, seed=seed, workers=workers, config=config
         )
+    )
+
+    # 10. service equivalence: detections served over a live keep-alive
+    #     connection ≡ the in-process toolchain, and a warm restart over a
+    #     persistent memo ≡ its own cold run (corrupt files fall back cold).
+    result.oracle_failures.extend(
+        check_service_equivalence(corpus, seed=seed, config=config)
     )
     return result

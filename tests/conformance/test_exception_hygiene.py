@@ -38,6 +38,10 @@ ALLOWED_BROAD_CATCHES = {
     ("core/sqlcheck.py", "check_many"),
     # REST: a handler bug must produce a JSON 500, not a dead socket
     ("interfaces/rest.py", "do_POST"),
+    # persistent memo: a cache (de)serialisation failure of any kind must
+    # degrade to a miss/invalidation, never crash the detection run
+    ("detector/persist.py", "_loads"),
+    ("detector/persist.py", "_dumps"),
     # oracles report failures, they never raise out of the suite
     ("testkit/oracles.py", "check_fixer_round_trip"),
 }

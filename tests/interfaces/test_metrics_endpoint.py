@@ -6,7 +6,7 @@ import urllib.request
 
 import pytest
 
-from repro.interfaces.rest import RestServer, handle_check_request
+from repro.interfaces.rest import RestServer, ToolchainPool, handle_check_request
 from repro.obs import MetricsRegistry, get_metrics, set_metrics_enabled, swap_registry
 
 REQUIRED_FAMILIES = (
@@ -34,9 +34,12 @@ def fresh_registry():
 
 class TestMetricsEndpoint:
     def test_get_metrics_serves_valid_prometheus_text(self, fresh_registry):
-        # Drive some real traffic through the pipeline first.
+        # Drive some real traffic through the pipeline first (a fresh pool:
+        # the assertions below need a cold run, and the shared default pool
+        # may already hold this workload's memoized detections).
         status, _body = handle_check_request(
-            {"query": "SELECT * FROM t; SELECT * FROM t", "stats": True}
+            {"query": "SELECT * FROM t; SELECT * FROM t", "stats": True},
+            pool=ToolchainPool(),
         )
         assert status == 200
         with RestServer() as server:
@@ -75,7 +78,10 @@ class TestMetricsEndpoint:
 
 class TestStatsMetricsBlock:
     def test_rest_stats_payload_carries_metrics(self, fresh_registry):
-        status, body = handle_check_request({"query": "SELECT * FROM t", "stats": True})
+        # A fresh pool: rule fires only happen on a cold (unmemoized) run.
+        status, body = handle_check_request(
+            {"query": "SELECT * FROM t", "stats": True}, pool=ToolchainPool()
+        )
         assert status == 200
         metrics = body["stats"]["metrics"]
         assert "sqlcheck_rule_fires_total" in metrics
